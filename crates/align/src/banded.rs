@@ -1,0 +1,277 @@
+//! Banded global alignment with affine gaps.
+//!
+//! When a candidate pair is anchored by a long exact maximal match, the
+//! optimal alignment path stays close to the seed diagonal. Restricting the
+//! Gotoh DP to a band of halfwidth `b` around a center diagonal reduces the
+//! work from `O(mn)` to `O((m + n) · b)` — the fast path for the millions
+//! of alignments the CCD phase verifies.
+
+use pfam_seq::ScoringScheme;
+
+use crate::alignment::{AlignOp, Alignment};
+use crate::global::NEG_INF;
+
+/// Banded global alignment around center diagonal `center` (`j − i`),
+/// halfwidth `halfwidth` (in diagonals).
+///
+/// Returns `None` when the band cannot cover both corners, i.e. when
+/// `n − m` lies outside `[center − halfwidth, center + halfwidth]`; callers
+/// should then fall back to an unbanded alignment.
+///
+/// The returned score is optimal among paths that stay inside the band; it
+/// equals the unbanded optimum whenever the optimum path fits the band.
+pub fn banded_global_affine(
+    x: &[u8],
+    y: &[u8],
+    scheme: &ScoringScheme,
+    center: isize,
+    halfwidth: usize,
+) -> Option<Alignment> {
+    let (m, n) = (x.len(), y.len());
+    let b = halfwidth as isize;
+    let corner_diag = n as isize - m as isize;
+    // Both corners (0,0) and (m,n) must lie inside the band: (0,0) sits on
+    // diagonal 0 and (m,n) on `corner_diag`.
+    if corner_diag < center - b || corner_diag > center + b || 0 < center - b || 0 > center + b {
+        return None;
+    }
+    let w = 2 * halfwidth + 1;
+    // slot k in row i ↔ column j = i + center - b + k.
+    let col_of = |i: usize, k: usize| -> isize { i as isize + center - b + k as isize };
+    let slot_of = |i: usize, j: usize| -> Option<usize> {
+        let k = j as isize - i as isize - center + b;
+        if (0..w as isize).contains(&k) {
+            Some(k as usize)
+        } else {
+            None
+        }
+    };
+    let size = (m + 1) * w;
+    let mut h = vec![NEG_INF; size];
+    let mut e = vec![NEG_INF; size];
+    let mut f = vec![NEG_INF; size];
+    let at = |i: usize, k: usize| i * w + k;
+
+    // Row 0: boundary gaps along y where the band allows.
+    for k in 0..w {
+        let j = col_of(0, k);
+        if (0..=n as isize).contains(&j) {
+            let j = j as usize;
+            let v = if j == 0 { 0 } else { -super::global::gap_cost(scheme, j) };
+            h[at(0, k)] = v;
+            if j > 0 {
+                e[at(0, k)] = v;
+            }
+        }
+    }
+    for i in 1..=m {
+        // Column-0 boundary if in band.
+        if let Some(k) = slot_of(i, 0) {
+            let v = -super::global::gap_cost(scheme, i);
+            h[at(i, k)] = v;
+            f[at(i, k)] = v;
+        }
+        for k in 0..w {
+            let j = col_of(i, k);
+            if j < 1 || j > n as isize {
+                continue;
+            }
+            let j = j as usize;
+            // (i, j-1) → slot k-1; (i-1, j) → slot k+1; (i-1, j-1) → slot k.
+            let ev = if k >= 1 {
+                (h[at(i, k - 1)].saturating_sub(scheme.gap_open))
+                    .max(e[at(i, k - 1)].saturating_sub(scheme.gap_extend))
+            } else {
+                NEG_INF
+            };
+            let fv = if k + 1 < w {
+                (h[at(i - 1, k + 1)].saturating_sub(scheme.gap_open))
+                    .max(f[at(i - 1, k + 1)].saturating_sub(scheme.gap_extend))
+            } else {
+                NEG_INF
+            };
+            let diag = h[at(i - 1, k)];
+            let sv = if diag == NEG_INF {
+                NEG_INF
+            } else {
+                diag + scheme.matrix.score_codes(x[i - 1], y[j - 1])
+            };
+            let hv = sv.max(ev).max(fv);
+            if hv <= NEG_INF / 2 {
+                continue;
+            }
+            e[at(i, k)] = ev;
+            f[at(i, k)] = fv;
+            h[at(i, k)] = hv;
+        }
+    }
+    let end_k = slot_of(m, n)?;
+    let score = h[at(m, end_k)];
+    if score <= NEG_INF / 2 {
+        return None;
+    }
+
+    // Traceback by re-deriving decisions, as in the unbanded engine.
+    #[derive(PartialEq, Clone, Copy)]
+    enum Layer {
+        H,
+        E,
+        F,
+    }
+    let (mut i, mut k) = (m, end_k);
+    let mut ops = Vec::new();
+    let mut layer = Layer::H;
+    loop {
+        let j = col_of(i, k);
+        debug_assert!(j >= 0);
+        let j = j as usize;
+        if layer == Layer::H && i == 0 && j == 0 {
+            break;
+        }
+        match layer {
+            Layer::H => {
+                let hv = h[at(i, k)];
+                if i > 0 && j > 0 && h[at(i - 1, k)] != NEG_INF {
+                    let sv = h[at(i - 1, k)] + scheme.matrix.score_codes(x[i - 1], y[j - 1]);
+                    if hv == sv {
+                        ops.push(AlignOp::Subst);
+                        i -= 1;
+                        continue;
+                    }
+                }
+                if j > 0 && hv == e[at(i, k)] {
+                    layer = Layer::E;
+                } else if i > 0 && hv == f[at(i, k)] {
+                    layer = Layer::F;
+                } else if i == 0 && j > 0 {
+                    ops.push(AlignOp::InsertY);
+                    k -= 1;
+                } else if j == 0 && i > 0 {
+                    ops.push(AlignOp::InsertX);
+                    i -= 1;
+                    k += 1;
+                } else {
+                    unreachable!("banded traceback stuck at ({i},{j})");
+                }
+            }
+            Layer::E => {
+                ops.push(AlignOp::InsertY);
+                let stay = k >= 1
+                    && e[at(i, k - 1)] != NEG_INF
+                    && e[at(i, k)] == e[at(i, k - 1)] - scheme.gap_extend;
+                if !stay {
+                    layer = Layer::H;
+                }
+                k -= 1;
+            }
+            Layer::F => {
+                ops.push(AlignOp::InsertX);
+                let stay = k + 1 < w
+                    && f[at(i - 1, k + 1)] != NEG_INF
+                    && f[at(i, k)] == f[at(i - 1, k + 1)] - scheme.gap_extend;
+                if !stay {
+                    layer = Layer::H;
+                }
+                i -= 1;
+                k += 1;
+            }
+        }
+    }
+    ops.reverse();
+    Some(Alignment { score, ops, x_range: (0, m), y_range: (0, n) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::global_affine;
+    use pfam_seq::alphabet::encode;
+
+    fn codes(s: &str) -> Vec<u8> {
+        encode(s.as_bytes()).unwrap()
+    }
+
+    fn blosum() -> ScoringScheme {
+        ScoringScheme::blosum62_default()
+    }
+
+    #[test]
+    fn wide_band_matches_unbanded() {
+        let pairs = [
+            ("MKVLWAAKND", "MKVWAAKND"),
+            ("ACDEFGHIKL", "ACDEFGHIKL"),
+            ("MKVLW", "MKVLWAAAA"),
+            ("AAAAMKVLW", "MKVLW"),
+        ];
+        let s = blosum();
+        for (a, b) in pairs {
+            let (x, y) = (codes(a), codes(b));
+            let full = global_affine(&x, &y, &s);
+            let band = banded_global_affine(&x, &y, &s, 0, x.len().max(y.len()))
+                .expect("band covers everything");
+            assert_eq!(band.score, full.score, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn band_too_narrow_for_corner_returns_none() {
+        let x = codes("AAAA");
+        let y = codes("AAAAAAAAAAAA"); // corner diagonal +8
+        assert!(banded_global_affine(&x, &y, &blosum(), 0, 2).is_none());
+    }
+
+    #[test]
+    fn narrow_band_still_optimal_for_near_diagonal_pairs() {
+        let x = codes("MKVLWAAKNDCQEGH");
+        let y = codes("MKVLWAVKNDCQEGH"); // one substitution, path on diagonal
+        let s = blosum();
+        let full = global_affine(&x, &y, &s);
+        let band = banded_global_affine(&x, &y, &s, 0, 2).unwrap();
+        assert_eq!(band.score, full.score);
+    }
+
+    #[test]
+    fn shifted_center_follows_seed_diagonal() {
+        // x matches y starting at offset 4 in y: seed diagonal +4.
+        let x = codes("MKVLWAAK");
+        let y = codes("GGGGMKVLWAAK");
+        let s = blosum();
+        let full = global_affine(&x, &y, &s);
+        let band = banded_global_affine(&x, &y, &s, 4, 4).unwrap();
+        assert_eq!(band.score, full.score);
+    }
+
+    #[test]
+    fn banded_score_never_exceeds_unbanded() {
+        let x = codes("MKVLWAAKMKVLWAAK");
+        let y = codes("AAKMKVLWMKV");
+        let s = blosum();
+        let full = global_affine(&x, &y, &s).score;
+        for hw in 5..12 {
+            if let Some(b) = banded_global_affine(&x, &y, &s, -3, hw) {
+                assert!(b.score <= full, "halfwidth {hw}");
+            }
+        }
+    }
+
+    #[test]
+    fn traceback_ops_span_both_sequences() {
+        let x = codes("MKVLWAAK");
+        let y = codes("MKVWAAK");
+        let aln = banded_global_affine(&x, &y, &blosum(), 0, 3).unwrap();
+        let subst = aln.ops.iter().filter(|&&o| o == AlignOp::Subst).count();
+        let ix = aln.ops.iter().filter(|&&o| o == AlignOp::InsertX).count();
+        let iy = aln.ops.iter().filter(|&&o| o == AlignOp::InsertY).count();
+        assert_eq!(subst + ix, x.len());
+        assert_eq!(subst + iy, y.len());
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let s = blosum();
+        let aln = banded_global_affine(&[], &[], &s, 0, 1).unwrap();
+        assert_eq!(aln.score, 0);
+        let gaps = banded_global_affine(&[], &codes("AC"), &s, 0, 2).unwrap();
+        assert_eq!(gaps.ops.len(), 2);
+    }
+}

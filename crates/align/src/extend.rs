@@ -1,0 +1,201 @@
+//! BLAST-style ungapped X-drop extension from an exact seed.
+//!
+//! Given an exact match at known positions, extend it left and right
+//! residue-by-residue, keeping the running score and giving up once it
+//! drops more than `xdrop` below the best seen — O(extension length),
+//! orders of magnitude cheaper than a full DP. Used as a triage step: a
+//! seed whose extension already covers the required span with the
+//! required similarity can be promoted (or rejected) without Smith-
+//! Waterman.
+
+use pfam_seq::SubstMatrix;
+
+/// Result of an ungapped extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extension {
+    /// Half-open extended range in `x`.
+    pub x_range: (usize, usize),
+    /// Half-open extended range in `y` (same length as `x_range`).
+    pub y_range: (usize, usize),
+    /// Total substitution score of the extended segment.
+    pub score: i32,
+    /// Exact matches within the segment.
+    pub matches: usize,
+}
+
+impl Extension {
+    /// Length of the extended (ungapped) segment.
+    pub fn len(&self) -> usize {
+        self.x_range.1 - self.x_range.0
+    }
+
+    /// Whether the extension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x_range.1 == self.x_range.0
+    }
+
+    /// Fraction of exact matches over the segment.
+    pub fn identity(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.matches as f64 / self.len() as f64
+        }
+    }
+}
+
+/// Extend the exact seed `x[seed_x .. seed_x+seed_len] ==
+/// y[seed_y .. seed_y+seed_len]` in both directions without gaps,
+/// trimming each side back to its score maximum (X-drop with drop-off
+/// threshold `xdrop > 0`).
+pub fn xdrop_extend(
+    x: &[u8],
+    y: &[u8],
+    seed_x: usize,
+    seed_y: usize,
+    seed_len: usize,
+    matrix: &SubstMatrix,
+    xdrop: i32,
+) -> Extension {
+    assert!(xdrop > 0, "X-drop threshold must be positive");
+    assert!(seed_x + seed_len <= x.len() && seed_y + seed_len <= y.len(), "seed out of range");
+    debug_assert_eq!(
+        &x[seed_x..seed_x + seed_len],
+        &y[seed_y..seed_y + seed_len],
+        "seed is not an exact match"
+    );
+
+    // Right extension from the seed end.
+    let mut best_right = 0i32;
+    let mut best_right_len = 0usize;
+    {
+        let mut score = 0i32;
+        let mut k = 0usize;
+        while seed_x + seed_len + k < x.len() && seed_y + seed_len + k < y.len() {
+            score += matrix.score_codes(x[seed_x + seed_len + k], y[seed_y + seed_len + k]);
+            k += 1;
+            if score > best_right {
+                best_right = score;
+                best_right_len = k;
+            }
+            if score < best_right - xdrop {
+                break;
+            }
+        }
+    }
+    // Left extension from the seed start.
+    let mut best_left = 0i32;
+    let mut best_left_len = 0usize;
+    {
+        let mut score = 0i32;
+        let mut k = 0usize;
+        while k < seed_x.min(seed_y) {
+            score += matrix.score_codes(x[seed_x - 1 - k], y[seed_y - 1 - k]);
+            k += 1;
+            if score > best_left {
+                best_left = score;
+                best_left_len = k;
+            }
+            if score < best_left - xdrop {
+                break;
+            }
+        }
+    }
+
+    let x_start = seed_x - best_left_len;
+    let x_end = seed_x + seed_len + best_right_len;
+    let y_start = seed_y - best_left_len;
+    let seed_score: i32 =
+        x[seed_x..seed_x + seed_len].iter().map(|&c| matrix.score_codes(c, c)).sum();
+    let segment_x = &x[x_start..x_end];
+    let segment_y = &y[y_start..y_start + (x_end - x_start)];
+    let matches = segment_x.iter().zip(segment_y).filter(|(a, b)| a == b).count();
+    Extension {
+        x_range: (x_start, x_end),
+        y_range: (y_start, y_start + (x_end - x_start)),
+        score: seed_score + best_left + best_right,
+        matches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_seq::alphabet::encode;
+
+    fn codes(s: &str) -> Vec<u8> {
+        encode(s.as_bytes()).unwrap()
+    }
+
+    fn blosum() -> &'static SubstMatrix {
+        SubstMatrix::blosum62()
+    }
+
+    #[test]
+    fn extends_identical_sequences_fully() {
+        let x = codes("MKVLWAAKNDCQEGH");
+        let ext = xdrop_extend(&x, &x, 5, 5, 3, blosum(), 10);
+        assert_eq!(ext.x_range, (0, x.len()));
+        assert_eq!(ext.y_range, (0, x.len()));
+        assert_eq!(ext.identity(), 1.0);
+        let full: i32 = x.iter().map(|&c| blosum().score_codes(c, c)).sum();
+        assert_eq!(ext.score, full);
+    }
+
+    #[test]
+    fn stops_at_unrelated_flanks() {
+        // Shared core, junk flanks (W vs P scores −4 each step).
+        let x = codes("PPPPPPMKVLWAAKPPPPPP");
+        let y = codes("WWWWWWMKVLWAAKWWWWWW");
+        let ext = xdrop_extend(&x, &y, 6, 6, 8, blosum(), 6);
+        assert_eq!(ext.x_range, (6, 14), "extension must clip to the core");
+        assert_eq!(ext.identity(), 1.0);
+    }
+
+    #[test]
+    fn tolerates_isolated_mismatch() {
+        // One mismatch inside otherwise identical context: with a generous
+        // X-drop the extension passes through it.
+        let x = codes("MKVLWAAKNDCQEGH");
+        let mut y = x.clone();
+        y[12] = codes("P")[0]; // E -> ... position 12 G? (doesn't matter)
+        let ext = xdrop_extend(&x, &y, 0, 0, 5, blosum(), 15);
+        assert_eq!(ext.x_range.1, x.len(), "should extend past the mismatch");
+        assert!(ext.matches >= x.len() - 1);
+    }
+
+    #[test]
+    fn asymmetric_seed_positions() {
+        let x = codes("GGGGMKVLWAAK");
+        let y = codes("TMKVLWAAKTTT");
+        let ext = xdrop_extend(&x, &y, 4, 1, 8, blosum(), 5);
+        assert_eq!(ext.x_range, (4, 12));
+        assert_eq!(ext.y_range, (1, 9));
+    }
+
+    #[test]
+    fn extension_respects_sequence_bounds() {
+        let x = codes("MKV");
+        let y = codes("MKVLWAAK");
+        let ext = xdrop_extend(&x, &y, 0, 0, 3, blosum(), 10);
+        assert_eq!(ext.x_range, (0, 3), "cannot extend past x's end");
+    }
+
+    #[test]
+    fn score_trims_to_maximum() {
+        // A weakly positive stretch followed by strong negatives: the
+        // extension must stop at the score maximum, not at the X-drop
+        // point.
+        let x = codes("MKVLWAAKAW");
+        let y = codes("MKVLWAAKAP"); // last: W vs P = -4; A/A then W/P
+        let ext = xdrop_extend(&x, &y, 0, 0, 8, blosum(), 3);
+        assert_eq!(ext.x_range.1, 9, "trim back to the best-scoring prefix");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed out of range")]
+    fn seed_bounds_checked() {
+        let x = codes("MKV");
+        let _ = xdrop_extend(&x, &x, 2, 2, 5, blosum(), 5);
+    }
+}

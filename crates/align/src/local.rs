@@ -1,0 +1,239 @@
+//! Smith–Waterman local alignment with affine gaps.
+//!
+//! This is the kernel behind both acceptance tests of the paper: the
+//! containment test of Definition 1 and the overlap test of Definition 2
+//! are evaluated over the optimal *local* alignment of a candidate pair.
+
+use pfam_seq::ScoringScheme;
+
+use crate::alignment::{AlignOp, Alignment};
+use crate::global::NEG_INF;
+
+/// Optimal local alignment (affine gaps) with full traceback.
+///
+/// Returns an empty alignment (score 0) when no positively-scoring region
+/// exists.
+pub fn local_affine(x: &[u8], y: &[u8], scheme: &ScoringScheme) -> Alignment {
+    let (m, n) = (x.len(), y.len());
+    let w = n + 1;
+    let mut h = vec![0i32; (m + 1) * w];
+    let mut e = vec![NEG_INF; (m + 1) * w];
+    let mut f = vec![NEG_INF; (m + 1) * w];
+    let mut best = 0i32;
+    let mut best_at = (0usize, 0usize);
+    for i in 1..=m {
+        let xi = x[i - 1];
+        for j in 1..=n {
+            let at = i * w + j;
+            let ev = (h[at - 1] - scheme.gap_open).max(e[at - 1] - scheme.gap_extend);
+            let fv = (h[at - w] - scheme.gap_open).max(f[at - w] - scheme.gap_extend);
+            let sv = h[at - w - 1] + scheme.matrix.score_codes(xi, y[j - 1]);
+            let hv = sv.max(ev).max(fv).max(0);
+            e[at] = ev;
+            f[at] = fv;
+            h[at] = hv;
+            if hv > best {
+                best = hv;
+                best_at = (i, j);
+            }
+        }
+    }
+    if best == 0 {
+        return Alignment { score: 0, ops: Vec::new(), x_range: (0, 0), y_range: (0, 0) };
+    }
+    // Traceback from the best cell until a zero cell in layer H.
+    #[derive(PartialEq, Clone, Copy)]
+    enum Layer {
+        H,
+        E,
+        F,
+    }
+    let (mut i, mut j) = best_at;
+    let mut ops = Vec::new();
+    let mut layer = Layer::H;
+    loop {
+        let at = i * w + j;
+        match layer {
+            Layer::H => {
+                let hv = h[at];
+                if hv == 0 {
+                    break;
+                }
+                let diag = at - w - 1;
+                if i > 0
+                    && j > 0
+                    && hv == h[diag] + scheme.matrix.score_codes(x[i - 1], y[j - 1])
+                {
+                    ops.push(AlignOp::Subst);
+                    i -= 1;
+                    j -= 1;
+                } else if hv == e[at] {
+                    layer = Layer::E;
+                } else {
+                    debug_assert_eq!(hv, f[at]);
+                    layer = Layer::F;
+                }
+            }
+            Layer::E => {
+                ops.push(AlignOp::InsertY);
+                let left = at - 1;
+                if e[left] != NEG_INF && e[at] == e[left] - scheme.gap_extend {
+                    // stay in E
+                } else {
+                    debug_assert_eq!(e[at], h[left] - scheme.gap_open);
+                    layer = Layer::H;
+                }
+                j -= 1;
+            }
+            Layer::F => {
+                ops.push(AlignOp::InsertX);
+                let up = at - w;
+                if f[up] != NEG_INF && f[at] == f[up] - scheme.gap_extend {
+                    // stay in F
+                } else {
+                    debug_assert_eq!(f[at], h[up] - scheme.gap_open);
+                    layer = Layer::H;
+                }
+                i -= 1;
+            }
+        }
+    }
+    ops.reverse();
+    Alignment { score: best, ops, x_range: (i, best_at.0), y_range: (j, best_at.1) }
+}
+
+/// Score-only Smith–Waterman in linear space.
+pub fn local_score(x: &[u8], y: &[u8], scheme: &ScoringScheme) -> i32 {
+    let (a, b) = if y.len() <= x.len() { (x, y) } else { (y, x) };
+    let n = b.len();
+    let mut h = vec![0i32; n + 1];
+    let mut f = vec![NEG_INF; n + 1];
+    let mut best = 0i32;
+    for i in 1..=a.len() {
+        let mut diag = h[0];
+        let mut e = NEG_INF;
+        for j in 1..=n {
+            e = (h[j - 1] - scheme.gap_open).max(e - scheme.gap_extend);
+            f[j] = (h[j] - scheme.gap_open).max(f[j] - scheme.gap_extend);
+            let s = diag + scheme.matrix.score_codes(a[i - 1], b[j - 1]);
+            diag = h[j];
+            h[j] = s.max(e).max(f[j]).max(0);
+            best = best.max(h[j]);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_seq::alphabet::encode;
+    use pfam_seq::SubstMatrix;
+
+    fn codes(s: &str) -> Vec<u8> {
+        encode(s.as_bytes()).unwrap()
+    }
+
+    fn blosum() -> ScoringScheme {
+        ScoringScheme::blosum62_default()
+    }
+
+    #[test]
+    fn finds_embedded_common_region() {
+        // Shared core "MKVLWAAK" embedded in different flanks.
+        let x = codes("PPPPMKVLWAAKPPPP");
+        let y = codes("GGMKVLWAAKGG");
+        let aln = local_affine(&x, &y, &blosum());
+        let core = codes("MKVLWAAK");
+        let expect: i32 = core.iter().map(|&c| blosum().matrix.score_codes(c, c)).sum();
+        assert_eq!(aln.score, expect);
+        assert_eq!(aln.x_range, (4, 12));
+        assert_eq!(aln.y_range, (2, 10));
+        assert!(aln.ops.iter().all(|&op| op == AlignOp::Subst));
+    }
+
+    #[test]
+    fn unrelated_sequences_score_low() {
+        // P-vs-W rich strings with no positive pairs.
+        let x = codes("PPPPPPPP");
+        let y = codes("WWWWWWWW");
+        let aln = local_affine(&x, &y, &blosum());
+        assert_eq!(aln.score, 0);
+        assert!(aln.is_empty());
+    }
+
+    #[test]
+    fn local_never_negative_and_at_least_best_pair() {
+        let x = codes("ACDEFGHIKLMNPQRSTVWY");
+        let y = codes("YWVTSRQPNMLKIHGFEDCA");
+        let s = blosum();
+        let score = local_score(&x, &y, &s);
+        assert!(score >= 0);
+        // Any single identical residue pair gives at least min diagonal score (4).
+        assert!(score >= 4);
+    }
+
+    #[test]
+    fn score_only_matches_traceback_score() {
+        let pairs = [
+            ("MKVLWAAKPP", "GGMKVLWAAK"),
+            ("ACDEFG", "ACDEFG"),
+            ("AAAA", "WWWW"),
+            ("MKVLWMKVLW", "MKVLW"),
+        ];
+        let s = blosum();
+        for (a, b) in pairs {
+            let (x, y) = (codes(a), codes(b));
+            assert_eq!(local_score(&x, &y, &s), local_affine(&x, &y, &s).score, "{a} vs {b}");
+            assert_eq!(local_score(&y, &x, &s), local_affine(&y, &x, &s).score);
+        }
+    }
+
+    #[test]
+    fn local_handles_gap_in_middle() {
+        let x = codes("MKVLWAAK");
+        let y = codes("MKVLWGGGAAK"); // GGG inserted
+        // Cheap gaps so bridging the insert strictly beats stopping early.
+        let s = ScoringScheme {
+            matrix: SubstMatrix::blosum62().clone(),
+            gap_open: 4,
+            gap_extend: 1,
+        };
+        let aln = local_affine(&x, &y, &s);
+        let gap_cols = aln.ops.iter().filter(|&&op| op == AlignOp::InsertY).count();
+        assert_eq!(gap_cols, 3);
+        let st = aln.stats(&x, &y, &s.matrix);
+        assert_eq!(st.matches, 8);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = blosum();
+        assert_eq!(local_affine(&[], &codes("ACD"), &s).score, 0);
+        assert_eq!(local_affine(&codes("ACD"), &[], &s).score, 0);
+        assert_eq!(local_score(&[], &[], &s), 0);
+    }
+
+    #[test]
+    fn local_at_least_global() {
+        // Local score always ≥ global score of the same pair.
+        let pairs = [("MKVLW", "MKW"), ("ACDEF", "WWWWW"), ("AAAA", "AAAAGGGG")];
+        let s = blosum();
+        for (a, b) in pairs {
+            let (x, y) = (codes(a), codes(b));
+            assert!(local_score(&x, &y, &s) >= crate::global::global_score(&x, &y, &s));
+        }
+    }
+
+    #[test]
+    fn traceback_ranges_consistent_with_ops() {
+        let x = codes("GGMKVLWAAKGG");
+        let y = codes("TTTMKVLWAAKTTT");
+        let aln = local_affine(&x, &y, &blosum());
+        let subst = aln.ops.iter().filter(|&&o| o == AlignOp::Subst).count();
+        let ins_x = aln.ops.iter().filter(|&&o| o == AlignOp::InsertX).count();
+        let ins_y = aln.ops.iter().filter(|&&o| o == AlignOp::InsertY).count();
+        assert_eq!(aln.x_span(), subst + ins_x);
+        assert_eq!(aln.y_span(), subst + ins_y);
+    }
+}

@@ -1,0 +1,296 @@
+//! Star multiple alignment of a protein family.
+//!
+//! The paper's Figure 1 shows a partial multiple alignment of the
+//! CRAL/TRIO domain family — the visual evidence that family members share
+//! conserved blocks. This module produces that view for a detected family:
+//! the classical star heuristic (center = the member with the highest
+//! summed pairwise score; every other member is pairwise-aligned to the
+//! center and projected into its coordinate system, "once a gap, always a
+//! gap").
+
+use pfam_seq::ScoringScheme;
+
+use crate::alignment::AlignOp;
+use crate::global::global_affine;
+
+/// Gap symbol used in rendered rows.
+pub const GAP: u8 = b'-';
+
+/// A star multiple alignment: one row per input sequence, equal lengths.
+#[derive(Debug, Clone)]
+pub struct StarAlignment {
+    /// Index (into the input list) of the center sequence.
+    pub center: usize,
+    /// Rows as residue codes with `255` marking gaps, all equal length.
+    pub rows: Vec<Vec<u8>>,
+}
+
+const ROW_GAP: u8 = 255;
+
+impl StarAlignment {
+    /// Number of alignment columns.
+    pub fn n_columns(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Number of sequences.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Fraction of non-gap symbols agreeing with the column consensus.
+    pub fn conservation(&self, column: usize) -> f64 {
+        let mut counts = [0usize; 21];
+        let mut present = 0usize;
+        for row in &self.rows {
+            let c = row[column];
+            if c != ROW_GAP {
+                counts[c as usize] += 1;
+                present += 1;
+            }
+        }
+        if present == 0 {
+            0.0
+        } else {
+            *counts.iter().max().expect("non-empty") as f64 / present as f64
+        }
+    }
+
+    /// Render as ASCII rows (gaps as `-`), one sequence per line, with a
+    /// conservation track (`*` = fully conserved column) underneath.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let line: String = row
+                .iter()
+                .map(|&c| {
+                    if c == ROW_GAP {
+                        GAP as char
+                    } else {
+                        pfam_seq::alphabet::RESIDUE_LETTERS[c as usize] as char
+                    }
+                })
+                .collect();
+            let marker = if i == self.center { '*' } else { ' ' };
+            out.push_str(&format!("{marker}{line}\n"));
+        }
+        let track: String = (0..self.n_columns())
+            .map(|c| if self.conservation(c) >= 1.0 { '*' } else { ' ' })
+            .collect();
+        out.push_str(&format!(" {track}\n"));
+        out
+    }
+}
+
+/// Compute the star alignment of `members` (each a residue-code slice).
+///
+/// Panics on an empty member list.
+pub fn star_alignment(members: &[&[u8]], scheme: &ScoringScheme) -> StarAlignment {
+    assert!(!members.is_empty(), "cannot align an empty family");
+    if members.len() == 1 {
+        return StarAlignment { center: 0, rows: vec![members[0].to_vec()] };
+    }
+
+    // 1. Pick the center: the member with the best summed score to all
+    //    others (O(k²) pairwise score-only alignments).
+    let k = members.len();
+    let mut totals = vec![0i64; k];
+    for i in 0..k {
+        for j in i + 1..k {
+            let s = crate::global::global_score(members[i], members[j], scheme) as i64;
+            totals[i] += s;
+            totals[j] += s;
+        }
+    }
+    let center = (0..k).max_by_key(|&i| totals[i]).expect("non-empty");
+
+    // 2. Align every member to the center; merge gap positions ("once a
+    //    gap, always a gap"): `insertions[p]` = longest insertion any
+    //    member needs *before* center position p (p == center_len means
+    //    trailing).
+    let center_seq = members[center];
+    let alignments: Vec<_> = (0..k)
+        .map(|i| {
+            if i == center {
+                None
+            } else {
+                Some(global_affine(members[i], center_seq, scheme))
+            }
+        })
+        .collect();
+    let mut insertions = vec![0usize; center_seq.len() + 1];
+    for aln in alignments.iter().flatten() {
+        let mut cpos = 0usize;
+        let mut run = 0usize;
+        for &op in &aln.ops {
+            match op {
+                AlignOp::InsertX => run += 1, // member residue, no center residue
+                AlignOp::Subst | AlignOp::InsertY => {
+                    insertions[cpos] = insertions[cpos].max(run);
+                    run = 0;
+                    cpos += 1;
+                }
+            }
+        }
+        insertions[cpos] = insertions[cpos].max(run);
+    }
+
+    // 3. Project every member onto the merged coordinate system.
+    let project = |aln: Option<&crate::alignment::Alignment>, seq: &[u8]| -> Vec<u8> {
+        let mut row = Vec::new();
+        match aln {
+            None => {
+                // The center itself: gaps at every insertion slot.
+                for (p, &c) in seq.iter().enumerate() {
+                    row.extend(std::iter::repeat_n(ROW_GAP, insertions[p]));
+                    row.push(c);
+                }
+                row.extend(std::iter::repeat_n(ROW_GAP, insertions[seq.len()]));
+            }
+            Some(aln) => {
+                let mut mpos = 0usize; // member cursor
+                let mut cpos = 0usize; // center cursor
+                let mut run: Vec<u8> = Vec::new();
+                for &op in &aln.ops {
+                    match op {
+                        AlignOp::InsertX => {
+                            run.push(seq[mpos]);
+                            mpos += 1;
+                        }
+                        AlignOp::Subst | AlignOp::InsertY => {
+                            // Flush the pending insertion block, padded to
+                            // this slot's width.
+                            row.extend(std::iter::repeat_n(
+                                ROW_GAP,
+                                insertions[cpos] - run.len(),
+                            ));
+                            row.append(&mut run);
+                            if op == AlignOp::Subst {
+                                row.push(seq[mpos]);
+                                mpos += 1;
+                            } else {
+                                row.push(ROW_GAP);
+                            }
+                            cpos += 1;
+                        }
+                    }
+                }
+                row.extend(std::iter::repeat_n(ROW_GAP, insertions[cpos] - run.len()));
+                row.append(&mut run);
+            }
+        }
+        row
+    };
+    let rows: Vec<Vec<u8>> = (0..k)
+        .map(|i| project(alignments[i].as_ref(), members[i]))
+        .collect();
+    debug_assert!(rows.iter().all(|r| r.len() == rows[0].len()), "ragged MSA");
+    StarAlignment { center, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_seq::alphabet::encode;
+
+    fn codes(s: &str) -> Vec<u8> {
+        encode(s.as_bytes()).unwrap()
+    }
+
+    fn blosum() -> ScoringScheme {
+        ScoringScheme::blosum62_default()
+    }
+
+    fn align(strs: &[&str]) -> StarAlignment {
+        let seqs: Vec<Vec<u8>> = strs.iter().map(|s| codes(s)).collect();
+        let refs: Vec<&[u8]> = seqs.iter().map(Vec::as_slice).collect();
+        star_alignment(&refs, &blosum())
+    }
+
+    fn row_str(msa: &StarAlignment, i: usize) -> String {
+        msa.rows[i]
+            .iter()
+            .map(|&c| {
+                if c == ROW_GAP {
+                    '-'
+                } else {
+                    pfam_seq::alphabet::RESIDUE_LETTERS[c as usize] as char
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_members_align_without_gaps() {
+        let msa = align(&["MKVLWAAK", "MKVLWAAK", "MKVLWAAK"]);
+        assert_eq!(msa.n_columns(), 8);
+        for i in 0..3 {
+            assert_eq!(row_str(&msa, i), "MKVLWAAK");
+        }
+        for c in 0..8 {
+            assert_eq!(msa.conservation(c), 1.0);
+        }
+    }
+
+    #[test]
+    fn deletion_becomes_a_gap_column() {
+        let msa = align(&["MKVLWAAK", "MKVLAAK", "MKVLWAAK"]);
+        assert_eq!(msa.n_columns(), 8);
+        let short = (0..3).find(|&i| row_str(&msa, i).contains('-')).expect("gap row");
+        assert_eq!(row_str(&msa, short).len(), 8);
+        assert_eq!(row_str(&msa, short).replace('-', ""), "MKVLAAK");
+    }
+
+    #[test]
+    fn insertion_opens_gaps_in_everyone_else() {
+        let msa = align(&["MKVLWAAK", "MKVLWGGGAAK", "MKVLWAAK"]);
+        assert_eq!(msa.n_columns(), 11);
+        for i in 0..3 {
+            let r = row_str(&msa, i);
+            assert_eq!(r.len(), 11);
+            assert!(r.starts_with("MKVLW"), "{r}");
+        }
+        // The inserted GGG appears in exactly one row.
+        let with_g = (0..3).filter(|&i| row_str(&msa, i).contains("GGG")).count();
+        assert_eq!(with_g, 1);
+    }
+
+    #[test]
+    fn rows_preserve_their_sequences() {
+        let inputs = ["MKVLWAAKND", "MKVLWAAK", "KVLWAAKND", "MKVLWGGAAKND"];
+        let msa = align(&inputs);
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(row_str(&msa, i).replace('-', ""), *input, "row {i}");
+        }
+    }
+
+    #[test]
+    fn single_member() {
+        let msa = align(&["MKVLW"]);
+        assert_eq!(msa.n_rows(), 1);
+        assert_eq!(msa.center, 0);
+        assert_eq!(row_str(&msa, 0), "MKVLW");
+    }
+
+    #[test]
+    fn center_is_a_central_member() {
+        // One outlier among near-identical members: the center must not be
+        // the outlier.
+        let msa = align(&["MKVLWAAKND", "MKVLWAVKND", "MKVLWAAKND", "PPPPPPPPPP"]);
+        assert_ne!(msa.center, 3);
+    }
+
+    #[test]
+    fn render_has_one_line_per_row_plus_track() {
+        let msa = align(&["MKVLW", "MKVLW"]);
+        let text = msa.render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().last().expect("track").contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty family")]
+    fn empty_family_panics() {
+        let _ = star_alignment(&[], &blosum());
+    }
+}

@@ -1,0 +1,172 @@
+//! Semi-global (free-end-gap) alignment.
+//!
+//! A containment check ("is 95 % of sᵢ inside sⱼ?") wants sᵢ aligned
+//! end-to-end while sⱼ may contribute only a window: leading and trailing
+//! residues of sⱼ must be free. That is global alignment with *free end
+//! gaps* on one side. With free ends on both sides this becomes overlap
+//! (dovetail) alignment. Both reuse the Gotoh engine from [`crate::global`].
+
+use pfam_seq::ScoringScheme;
+
+use crate::alignment::Alignment;
+use crate::global::{fill_affine, traceback_affine};
+
+/// Semi-global alignment of `x` against `y` with affine gaps.
+///
+/// * `x_free` — unaligned prefix/suffix of `x` costs nothing.
+/// * `y_free` — unaligned prefix/suffix of `y` costs nothing.
+///
+/// `(false, false)` degenerates to global alignment; `(true, true)` is
+/// overlap alignment. For "x contained in y" use `(false, true)`.
+pub fn semiglobal_affine(
+    x: &[u8],
+    y: &[u8],
+    scheme: &ScoringScheme,
+    x_free: bool,
+    y_free: bool,
+) -> Alignment {
+    let (m, n) = (x.len(), y.len());
+    let mat = fill_affine(x, y, scheme, x_free, y_free);
+
+    // Choose the end cell: corner, best of last row, best of last column,
+    // or best over both, depending on which ends are free.
+    let mut best = (m, n);
+    let mut best_score = mat.h[mat.idx(m, n)];
+    if y_free {
+        // x must be fully consumed; trailing y is free → scan last row.
+        for j in 0..=n {
+            let v = mat.h[mat.idx(m, j)];
+            if v > best_score {
+                best_score = v;
+                best = (m, j);
+            }
+        }
+    }
+    if x_free {
+        for i in 0..=m {
+            let v = mat.h[mat.idx(i, n)];
+            if v > best_score {
+                best_score = v;
+                best = (i, n);
+            }
+        }
+    }
+
+    let stop = move |i: usize, j: usize| -> bool {
+        match (x_free, y_free) {
+            (false, false) => i == 0 && j == 0,
+            (false, true) => i == 0,
+            (true, false) => j == 0,
+            (true, true) => i == 0 || j == 0,
+        }
+    };
+    let (ops, origin) = traceback_affine(&mat, x, y, scheme, best, stop);
+    Alignment {
+        score: best_score,
+        ops,
+        x_range: (origin.0, best.0),
+        y_range: (origin.1, best.1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::AlignOp;
+    use crate::global::global_affine;
+    use pfam_seq::alphabet::encode;
+
+    fn codes(s: &str) -> Vec<u8> {
+        encode(s.as_bytes()).unwrap()
+    }
+
+    fn blosum() -> ScoringScheme {
+        ScoringScheme::blosum62_default()
+    }
+
+    #[test]
+    fn no_free_ends_equals_global() {
+        let x = codes("MKVLWAAK");
+        let y = codes("MKVWAK");
+        let s = blosum();
+        let semi = semiglobal_affine(&x, &y, &s, false, false);
+        let glob = global_affine(&x, &y, &s);
+        assert_eq!(semi.score, glob.score);
+        assert_eq!(semi.ops, glob.ops);
+    }
+
+    #[test]
+    fn containment_ignores_container_flanks() {
+        // x sits exactly inside y; free y ends should give a perfect match
+        // with no gap penalties at all.
+        let x = codes("MKVLWAAK");
+        let y = codes("PPPPMKVLWAAKPPPP");
+        let s = blosum();
+        let aln = semiglobal_affine(&x, &y, &s, false, true);
+        let expect: i32 = x.iter().map(|&c| s.matrix.score_codes(c, c)).sum();
+        assert_eq!(aln.score, expect);
+        assert_eq!(aln.x_range, (0, 8));
+        assert_eq!(aln.y_range, (4, 12));
+        assert!(aln.ops.iter().all(|&op| op == AlignOp::Subst));
+    }
+
+    #[test]
+    fn containment_direction_matters() {
+        let x = codes("MKVLWAAK");
+        let y = codes("PPPPMKVLWAAKPPPP");
+        let s = blosum();
+        // y contained in x (wrong direction) must pay for y's flanks.
+        let wrong = semiglobal_affine(&y, &x, &s, false, true);
+        let right = semiglobal_affine(&x, &y, &s, false, true);
+        assert!(wrong.score < right.score);
+    }
+
+    #[test]
+    fn overlap_alignment_dovetails() {
+        // Suffix of x overlaps prefix of y.
+        let x = codes("GGGGMKVLWAAK");
+        let y = codes("MKVLWAAKTTTT");
+        let s = blosum();
+        let aln = semiglobal_affine(&x, &y, &s, true, true);
+        let core = codes("MKVLWAAK");
+        let expect: i32 = core.iter().map(|&c| s.matrix.score_codes(c, c)).sum();
+        assert_eq!(aln.score, expect);
+        assert_eq!(aln.x_range, (4, 12));
+        assert_eq!(aln.y_range, (0, 8));
+    }
+
+    #[test]
+    fn empty_x_with_free_y_scores_zero() {
+        let y = codes("ACDEF");
+        let aln = semiglobal_affine(&[], &y, &blosum(), false, true);
+        assert_eq!(aln.score, 0);
+        assert!(aln.ops.is_empty());
+    }
+
+    #[test]
+    fn semiglobal_at_least_global() {
+        let pairs = [("MKVLW", "GGMKVLWGG"), ("ACD", "WACDW"), ("AAA", "TTT")];
+        let s = blosum();
+        for (a, b) in pairs {
+            let (x, y) = (codes(a), codes(b));
+            let semi = semiglobal_affine(&x, &y, &s, false, true).score;
+            let glob = global_affine(&x, &y, &s).score;
+            assert!(semi >= glob, "{a} vs {b}: semi {semi} < global {glob}");
+        }
+    }
+
+    #[test]
+    fn mismatch_inside_contained_region_still_found() {
+        let x = codes("MKVLWAAK");
+        let mut y_letters = String::from("PPPP");
+        y_letters.push_str("MKVIWAAK"); // L -> I substitution
+        y_letters.push_str("PPPP");
+        let y = codes(&y_letters);
+        let s = blosum();
+        let aln = semiglobal_affine(&x, &y, &s, false, true);
+        let st = aln.stats(&x, &y, &s.matrix);
+        assert_eq!(st.columns, 8);
+        assert_eq!(st.matches, 7);
+        assert_eq!(st.positives, 8); // L/I is a positive substitution
+    }
+}

@@ -1,0 +1,215 @@
+//! Phase 3 — bipartite graph generation (Section IV-C).
+//!
+//! For each connected component the dense-subgraph stage needs the *full*
+//! similarity graph among its members — the CCD phase stops aligning a
+//! pair as soon as its endpoints are co-clustered, so its edge list is a
+//! spanning subset, not the whole graph. As in the paper, this phase runs
+//! a modified PaCE pass per component that applies only the maximal-match
+//! heuristic (no transitive-closure skipping) and verifies every promising
+//! pair.
+
+use rayon::prelude::*;
+
+use pfam_align::overlaps;
+use pfam_graph::CsrGraph;
+use pfam_seq::{SeqId, SequenceSet};
+use pfam_suffix::{
+    maximal::all_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree,
+};
+
+use crate::config::ClusterConfig;
+use crate::trace::{BatchRecord, PhaseTrace};
+
+/// The similarity graph of one connected component.
+#[derive(Debug, Clone)]
+pub struct ComponentGraph {
+    /// The component's members (original set ids, ascending).
+    pub members: Vec<SeqId>,
+    /// Similarity graph over `0..members.len()` (local indices).
+    pub graph: CsrGraph,
+}
+
+impl ComponentGraph {
+    /// Map a local vertex back to the original sequence id.
+    pub fn original_id(&self, local: u32) -> SeqId {
+        self.members[local as usize]
+    }
+}
+
+/// Build the similarity graph of one component.
+///
+/// Returns the graph plus the alignment work performed (for the trace).
+pub fn component_graph(
+    set: &SequenceSet,
+    members: &[SeqId],
+    config: &ClusterConfig,
+) -> (ComponentGraph, BatchRecord) {
+    let mut sorted: Vec<SeqId> = members.to_vec();
+    sorted.sort_unstable();
+    if sorted.len() <= 1 {
+        return (
+            ComponentGraph {
+                graph: CsrGraph::from_edges(sorted.len(), &[]),
+                members: sorted,
+            },
+            BatchRecord {
+                n_generated: 0,
+                n_filtered: 0,
+                n_aligned: 0,
+                align_cells: 0,
+                task_cells: Vec::new(),
+            },
+        );
+    }
+    // Index only the component members (local ids 0..k).
+    let (subset, _mapping) = set.subset(&sorted);
+    let gsa = GeneralizedSuffixArray::build(&subset);
+    let tree = SuffixTree::build(&gsa);
+    let pairs = all_pairs(
+        &tree,
+        MaximalMatchConfig {
+            min_len: config.psi_ccd,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+    );
+    let n_generated = pairs.len();
+    let verdicts: Vec<(u32, u32, bool, u64)> = pairs
+        .par_iter()
+        .map(|p| {
+            let x = subset.codes(p.a);
+            let y = subset.codes(p.b);
+            let cells = (x.len() as u64) * (y.len() as u64);
+            (p.a.0, p.b.0, overlaps(x, y, &config.scheme, &config.overlap), cells)
+        })
+        .collect();
+    let mut edges = Vec::new();
+    let mut task_cells = Vec::with_capacity(verdicts.len());
+    for (a, b, passed, cells) in verdicts {
+        task_cells.push(cells);
+        if passed {
+            edges.push((a, b));
+        }
+    }
+    let record = BatchRecord {
+        n_generated,
+        n_filtered: 0,
+        n_aligned: task_cells.len(),
+        align_cells: task_cells.iter().sum(),
+        task_cells,
+    };
+    (
+        ComponentGraph { graph: CsrGraph::from_edges(sorted.len(), &edges), members: sorted },
+        record,
+    )
+}
+
+/// Build similarity graphs for every component with ≥ `min_size` members,
+/// in parallel across components. Returns the graphs plus a combined
+/// trace.
+pub fn all_component_graphs(
+    set: &SequenceSet,
+    components: &[Vec<SeqId>],
+    min_size: usize,
+    config: &ClusterConfig,
+) -> (Vec<ComponentGraph>, PhaseTrace) {
+    let selected: Vec<&Vec<SeqId>> =
+        components.iter().filter(|c| c.len() >= min_size).collect();
+    let results: Vec<(ComponentGraph, BatchRecord)> = selected
+        .par_iter()
+        .map(|members| component_graph(set, members, config))
+        .collect();
+    let mut graphs = Vec::with_capacity(results.len());
+    let mut trace = PhaseTrace {
+        index_residues: selected
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|&id| set.seq_len(id) as u64)
+            .sum(),
+        ..PhaseTrace::default()
+    };
+    for (g, record) in results {
+        graphs.push(g);
+        trace.batches.push(record);
+    }
+    (graphs, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_seq::SequenceSetBuilder;
+
+    fn set_of(seqs: &[&str]) -> SequenceSet {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+        }
+        b.finish()
+    }
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::for_short_sequences()
+    }
+
+    const FAM: &str = "MKVLWAAKNDCQEGHILKMFPSTWYV";
+
+    #[test]
+    fn clique_for_identical_members() {
+        let set = set_of(&[FAM, FAM, FAM, FAM]);
+        let members: Vec<SeqId> = set.ids().collect();
+        let (cg, record) = component_graph(&set, &members, &config());
+        assert_eq!(cg.graph.n_vertices(), 4);
+        assert_eq!(cg.graph.n_edges(), 6, "identical members form a clique");
+        assert!(record.n_aligned >= 6);
+    }
+
+    #[test]
+    fn full_edge_set_exceeds_ccd_spanning_edges() {
+        // CCD stops aligning once merged; BGG must find *all* edges.
+        let seqs: Vec<&str> = std::iter::repeat(FAM).take(8).collect();
+        let set = set_of(&seqs);
+        let ccd = crate::ccd::run_ccd(
+            &set,
+            &crate::ClusterConfig { batch_size: 4, ..config() },
+        );
+        assert_eq!(ccd.components.len(), 1);
+        let (cg, _) = component_graph(&set, &ccd.components[0], &config());
+        assert_eq!(cg.graph.n_edges(), 28, "all C(8,2) edges");
+        assert!(ccd.edges.len() < 28, "CCD found only spanning edges");
+    }
+
+    #[test]
+    fn singleton_component() {
+        let set = set_of(&[FAM]);
+        let (cg, record) = component_graph(&set, &[SeqId(0)], &config());
+        assert_eq!(cg.graph.n_vertices(), 1);
+        assert_eq!(cg.graph.n_edges(), 0);
+        assert_eq!(record.n_aligned, 0);
+    }
+
+    #[test]
+    fn local_ids_map_back() {
+        let set = set_of(&["WWWWHHHHGGGGCCCC", FAM, FAM]);
+        let (cg, _) = component_graph(&set, &[SeqId(1), SeqId(2)], &config());
+        assert_eq!(cg.original_id(0), SeqId(1));
+        assert_eq!(cg.original_id(1), SeqId(2));
+        assert!(cg.graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn all_graphs_filters_small_components() {
+        let set = set_of(&[FAM, FAM, "WWWWHHHHGGGGCCCC"]);
+        let components = vec![vec![SeqId(0), SeqId(1)], vec![SeqId(2)]];
+        let (graphs, trace) = all_component_graphs(&set, &components, 2, &config());
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(trace.batches.len(), 1);
+    }
+
+    #[test]
+    fn members_sorted_regardless_of_input_order() {
+        let set = set_of(&[FAM, FAM]);
+        let (cg, _) = component_graph(&set, &[SeqId(1), SeqId(0)], &config());
+        assert_eq!(cg.members, vec![SeqId(0), SeqId(1)]);
+    }
+}

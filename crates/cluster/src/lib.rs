@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # pfam-cluster — the PaCE-style clustering engine
+//!
+//! The parallel heart of the pipeline (Sections IV-A to IV-C of the
+//! paper):
+//!
+//! * [`rr`] — redundancy removal: drop sequences ≥95 %-contained in
+//!   another, candidates from the maximal-match generator, containment
+//!   verified by alignment in parallel batches.
+//! * [`ccd`] — connected-component detection: the master–worker clustering
+//!   loop with the transitive-closure filter that skips alignments between
+//!   already-co-clustered pairs (the paper's 99 %+ work reduction).
+//! * [`bgg`] — per-component bipartite-input generation: the full
+//!   similarity graph of each component, with the maximal-match heuristic
+//!   but *without* the closure filter.
+//! * [`baseline`] — the GOS-style all-versus-all baseline plus its
+//!   core-set (shared-k-neighbors) grouping heuristic, the comparison
+//!   point for the work-reduction experiments.
+//! * [`trace`] — work-trace recording consumed by `pfam-sim`'s
+//!   discrete-event machine model.
+//!
+//! Parallelism is shared-memory (rayon) with the master steps kept
+//! sequential and deterministic; the distributed-memory behaviour of the
+//! original is reproduced by replaying the recorded traces in `pfam-sim`.
+
+pub mod baseline;
+pub mod bgg;
+pub mod ccd;
+pub mod config;
+pub(crate) mod mask;
+pub mod master_worker;
+pub mod rr;
+pub mod spmd;
+pub mod trace;
+
+pub use baseline::{core_set_clusters, run_all_pairs_baseline, BaselineResult};
+pub use bgg::{all_component_graphs, component_graph, ComponentGraph};
+pub use ccd::{run_ccd, run_ccd_from_pairs, CcdResult};
+pub use master_worker::{run_ccd_master_worker, MwStats};
+pub use config::ClusterConfig;
+pub use rr::{run_redundancy_removal, RrResult};
+pub use spmd::{run_ccd_spmd, run_rr_spmd};
+pub use trace::{BatchRecord, PhaseKind, PhaseTrace};

@@ -1,0 +1,63 @@
+//! Index-side low-complexity masking.
+//!
+//! The suffix index sees a masked copy of the sequences (low-entropy
+//! stretches replaced by `X`, which never participates in exact matches);
+//! verification alignments keep reading the original residues. This is
+//! the standard two-view arrangement: masking controls *candidate
+//! generation*, never the final similarity decision.
+
+use std::borrow::Cow;
+
+use pfam_seq::complexity::{mask_low_complexity, MaskParams};
+use pfam_seq::{SequenceSet, SequenceSetBuilder};
+
+/// The set to build the suffix index over: the input itself when masking
+/// is off, or a masked copy when it is on.
+pub(crate) fn index_view<'a>(
+    set: &'a SequenceSet,
+    mask: &Option<MaskParams>,
+) -> Cow<'a, SequenceSet> {
+    match mask {
+        None => Cow::Borrowed(set),
+        Some(params) => {
+            let mut b = SequenceSetBuilder::with_capacity(set.len(), set.total_residues());
+            for seq in set.iter() {
+                b.push_codes(seq.header.to_owned(), mask_low_complexity(seq.codes, params))
+                    .expect("masking never empties a sequence");
+            }
+            Cow::Owned(b.finish())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_seq::SeqId;
+
+    fn set_of(seqs: &[&str]) -> SequenceSet {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn no_mask_borrows() {
+        let set = set_of(&["MKVLW"]);
+        let view = index_view(&set, &None);
+        assert!(matches!(view, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn mask_replaces_repeats_keeps_ids() {
+        let set = set_of(&["MKVLWDERANAAAAAAAAAAAAAAAAAAMKVLWDERAN", "ACDEFGHIKLMNPQRS"]);
+        let view = index_view(&set, &Some(MaskParams::default()));
+        assert_eq!(view.len(), set.len());
+        assert_eq!(view.seq_len(SeqId(0)), set.seq_len(SeqId(0)), "masking preserves length");
+        let masked = view.get(SeqId(0)).to_letters();
+        assert!(masked.contains('X'));
+        assert_eq!(view.get(SeqId(1)).to_letters(), "ACDEFGHIKLMNPQRS");
+    }
+}

@@ -1,0 +1,230 @@
+//! A true threaded master–worker CCD engine (crossbeam channels).
+//!
+//! The batched engine in [`crate::ccd`] is the deterministic reference;
+//! this module is the architecture-faithful variant: one master thread
+//! owns the pair generator and the union-find clustering, a pool of
+//! worker threads pulls verification tasks from a bounded channel, and
+//! results stream back asynchronously — the PaCE paradigm, literally.
+//!
+//! The final connected components are *identical* to the batched engine's
+//! (and order-independent): a pair is only skipped when its endpoints are
+//! already connected, in which case verifying it could not change
+//! reachability; every verified pair's verdict is a pure function of the
+//! two sequences.
+
+use crossbeam::channel;
+
+use pfam_align::overlaps;
+use pfam_graph::UnionFind;
+use pfam_seq::{SeqId, SequenceSet};
+use pfam_suffix::{GeneralizedSuffixArray, MaximalMatchConfig, MaximalMatchGenerator, SuffixTree};
+
+use crate::ccd::CcdResult;
+use crate::config::ClusterConfig;
+use crate::trace::{BatchRecord, PhaseTrace};
+
+/// Statistics specific to the threaded run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MwStats {
+    /// Worker threads used.
+    pub n_workers: usize,
+    /// Maximum number of tasks that were in flight at once.
+    pub peak_in_flight: usize,
+}
+
+/// Run CCD with `n_workers` real worker threads and a streaming master.
+///
+/// `n_workers == 0` selects the available parallelism.
+pub fn run_ccd_master_worker(
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    n_workers: usize,
+) -> (CcdResult, MwStats) {
+    let n_workers = if n_workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        n_workers
+    };
+    if set.is_empty() {
+        return (
+            CcdResult {
+                components: Vec::new(),
+                edges: Vec::new(),
+                n_merges: 0,
+                trace: PhaseTrace::default(),
+            },
+            MwStats { n_workers, peak_in_flight: 0 },
+        );
+    }
+
+    let index_set = crate::mask::index_view(set, &config.mask);
+    let gsa = GeneralizedSuffixArray::build(&index_set);
+    let tree = SuffixTree::build(&gsa);
+    let mut generator = MaximalMatchGenerator::new(
+        &tree,
+        MaximalMatchConfig {
+            min_len: config.psi_ccd,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+    );
+
+    let mut uf = UnionFind::new(set.len());
+    let mut edges = Vec::new();
+    let mut n_merges = 0usize;
+    let mut n_generated = 0usize;
+    let mut n_filtered = 0usize;
+    let mut task_cells: Vec<u64> = Vec::new();
+    let mut peak_in_flight = 0usize;
+
+    // Bounded task queue applies back-pressure on the master; results are
+    // unbounded (workers never block on reporting).
+    let (task_tx, task_rx) = channel::bounded::<(SeqId, SeqId)>(4 * n_workers);
+    let (result_tx, result_rx) = channel::unbounded::<(SeqId, SeqId, bool, u64)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                for (a, b) in task_rx.iter() {
+                    let x = set.codes(a);
+                    let y = set.codes(b);
+                    let cells = (x.len() as u64) * (y.len() as u64);
+                    let verdict = overlaps(x, y, &config.scheme, &config.overlap);
+                    if result_tx.send((a, b, verdict, cells)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(task_rx);
+        drop(result_tx);
+
+        // The master loop: feed tasks, absorb results as they arrive.
+        let mut in_flight = 0usize;
+        let apply = |res: (SeqId, SeqId, bool, u64),
+                         uf: &mut UnionFind,
+                         edges: &mut Vec<(SeqId, SeqId)>,
+                         n_merges: &mut usize,
+                         task_cells: &mut Vec<u64>| {
+            let (a, b, passed, cells) = res;
+            task_cells.push(cells);
+            if passed {
+                edges.push((a, b));
+                if uf.union(a.0, b.0) {
+                    *n_merges += 1;
+                }
+            }
+        };
+        for pair in generator.by_ref() {
+            n_generated += 1;
+            // Absorb any finished results first — they sharpen the filter.
+            while let Ok(res) = result_rx.try_recv() {
+                in_flight -= 1;
+                apply(res, &mut uf, &mut edges, &mut n_merges, &mut task_cells);
+            }
+            if uf.same(pair.a.0, pair.b.0) {
+                n_filtered += 1;
+                continue;
+            }
+            task_tx.send((pair.a, pair.b)).expect("workers outlive the master loop");
+            in_flight += 1;
+            peak_in_flight = peak_in_flight.max(in_flight);
+        }
+        drop(task_tx);
+        for res in result_rx.iter() {
+            apply(res, &mut uf, &mut edges, &mut n_merges, &mut task_cells);
+        }
+    });
+
+    let trace = PhaseTrace {
+        index_residues: set.total_residues() as u64,
+        nodes_visited: generator.stats().nodes_visited as u64,
+        batches: vec![BatchRecord {
+            n_generated,
+            n_filtered,
+            n_aligned: task_cells.len(),
+            align_cells: task_cells.iter().sum(),
+            task_cells,
+        }],
+    };
+    let components = uf
+        .groups()
+        .into_iter()
+        .map(|g| g.into_iter().map(SeqId).collect())
+        .collect();
+    (
+        CcdResult { components, edges, n_merges, trace },
+        MwStats { n_workers, peak_in_flight },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccd::run_ccd;
+    use pfam_datagen::{DatasetConfig, SyntheticDataset};
+    use pfam_seq::SequenceSetBuilder;
+
+    fn set_of(seqs: &[&str]) -> SequenceSet {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn components_match_batched_engine_on_synthetic_data() {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(81));
+        let config = ClusterConfig::default();
+        let batched = run_ccd(&d.set, &config);
+        for workers in [1usize, 2, 4] {
+            let (threaded, stats) = run_ccd_master_worker(&d.set, &config, workers);
+            assert_eq!(
+                threaded.components, batched.components,
+                "{workers} workers must reproduce the batched components"
+            );
+            assert_eq!(stats.n_workers, workers);
+        }
+    }
+
+    #[test]
+    fn merge_count_is_invariant() {
+        // n_merges = n - #components regardless of execution order.
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(82));
+        let config = ClusterConfig::default();
+        let (r, _) = run_ccd_master_worker(&d.set, &config, 3);
+        assert_eq!(r.n_merges, d.set.len() - r.components.len());
+    }
+
+    #[test]
+    fn empty_set() {
+        let (r, stats) = run_ccd_master_worker(&SequenceSet::new(), &ClusterConfig::default(), 2);
+        assert!(r.components.is_empty());
+        assert_eq!(stats.peak_in_flight, 0);
+    }
+
+    #[test]
+    fn single_family_connects() {
+        const FAM: &str = "MKVLWAAKNDCQEGHILKMFPSTWYV";
+        let seqs: Vec<&str> = std::iter::repeat(FAM).take(10).collect();
+        let set = set_of(&seqs);
+        let (r, stats) =
+            run_ccd_master_worker(&set, &ClusterConfig::for_short_sequences(), 4);
+        assert_eq!(r.components.len(), 1);
+        assert!(stats.peak_in_flight >= 1);
+        // Streaming filter still saves work relative to all pairs.
+        assert!(r.trace.total_aligned() < 45, "aligned {}", r.trace.total_aligned());
+    }
+
+    #[test]
+    fn zero_workers_uses_available_parallelism() {
+        let set = set_of(&["MKVLWAAKND", "MKVLWAAKND"]);
+        let (r, stats) =
+            run_ccd_master_worker(&set, &ClusterConfig::for_short_sequences(), 0);
+        assert!(stats.n_workers >= 1);
+        assert_eq!(r.components.len(), 1);
+    }
+}

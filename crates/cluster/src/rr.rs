@@ -1,0 +1,250 @@
+//! Phase 1 — redundancy removal (Problem 1 of the paper).
+//!
+//! Sequences that are ≥ 95 %-similar and ≥ 95 %-contained in another
+//! sequence are dropped: they carry no extra information and risk false
+//! groupings in the dense-subgraph stage. Instead of all-versus-all
+//! comparison, candidate pairs come from the maximal-match generator
+//! (exact matches of length ≥ ψ are a necessary condition for the
+//! similarity level the containment test demands), and alignments are
+//! verified batch-wise: the master filters pairs whose candidate is
+//! already marked redundant, workers align the survivors in parallel.
+
+use rayon::prelude::*;
+
+use pfam_align::is_contained;
+use pfam_seq::{SeqId, SequenceSet};
+use pfam_suffix::{GeneralizedSuffixArray, MaximalMatchConfig, MaximalMatchGenerator, SuffixTree};
+
+use crate::config::ClusterConfig;
+use crate::trace::{BatchRecord, PhaseTrace};
+
+/// Outcome of the RR phase.
+#[derive(Debug, Clone)]
+pub struct RrResult {
+    /// Ids kept (non-redundant), ascending.
+    pub kept: Vec<SeqId>,
+    /// `(redundant, container)` pairs in removal order.
+    pub removed: Vec<(SeqId, SeqId)>,
+    /// Work trace for the performance model.
+    pub trace: PhaseTrace,
+}
+
+impl RrResult {
+    /// Number of non-redundant sequences.
+    pub fn n_kept(&self) -> usize {
+        self.kept.len()
+    }
+}
+
+/// Order a candidate pair: the sequence to test for containment (and mark
+/// redundant on success) is the shorter one, ties broken toward the higher
+/// id so results do not depend on generation order.
+fn orient(set: &SequenceSet, a: SeqId, b: SeqId) -> (SeqId, SeqId) {
+    let (la, lb) = (set.seq_len(a), set.seq_len(b));
+    if la < lb || (la == lb && a.0 > b.0) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Run redundancy removal over `set`.
+pub fn run_redundancy_removal(set: &SequenceSet, config: &ClusterConfig) -> RrResult {
+    if set.is_empty() {
+        return RrResult { kept: Vec::new(), removed: Vec::new(), trace: PhaseTrace::default() };
+    }
+    let index_set = crate::mask::index_view(set, &config.mask);
+    let gsa = GeneralizedSuffixArray::build(&index_set);
+    let tree = SuffixTree::build(&gsa);
+    let mut generator = MaximalMatchGenerator::new(
+        &tree,
+        MaximalMatchConfig {
+            min_len: config.psi_rr,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+    );
+
+    let mut redundant: Vec<Option<SeqId>> = vec![None; set.len()];
+    let mut trace = PhaseTrace {
+        index_residues: set.total_residues() as u64,
+        ..PhaseTrace::default()
+    };
+    let mut removed = Vec::new();
+
+    loop {
+        // Master: pull the next batch of promising pairs.
+        let batch: Vec<_> = generator.by_ref().take(config.batch_size).collect();
+        if batch.is_empty() {
+            break;
+        }
+        let n_generated = batch.len();
+        // Master: filter pairs whose candidate is already redundant.
+        let candidates: Vec<(SeqId, SeqId)> = batch
+            .iter()
+            .map(|p| orient(set, p.a, p.b))
+            .filter(|&(cand, container)| {
+                redundant[cand.index()].is_none() && redundant[container.index()].is_none()
+            })
+            .collect();
+        let n_filtered = n_generated - candidates.len();
+
+        // Workers: verify containment in parallel.
+        let verdicts: Vec<(SeqId, SeqId, bool, u64)> = candidates
+            .par_iter()
+            .map(|&(cand, container)| {
+                let x = set.codes(cand);
+                let y = set.codes(container);
+                let cells = (x.len() as u64) * (y.len() as u64);
+                let contained = is_contained(x, y, &config.scheme, &config.containment);
+                (cand, container, contained, cells)
+            })
+            .collect();
+
+        // Master: apply results in dispatch order.
+        let mut task_cells = Vec::with_capacity(verdicts.len());
+        for (cand, container, contained, cells) in verdicts {
+            task_cells.push(cells);
+            if contained && redundant[cand.index()].is_none() {
+                redundant[cand.index()] = Some(container);
+                removed.push((cand, container));
+            }
+        }
+        trace.batches.push(BatchRecord {
+            n_generated,
+            n_filtered,
+            n_aligned: task_cells.len(),
+            align_cells: task_cells.iter().sum(),
+            task_cells,
+        });
+    }
+    trace.nodes_visited = generator.stats().nodes_visited as u64;
+
+    let kept = set
+        .ids()
+        .filter(|id| redundant[id.index()].is_none())
+        .collect();
+    RrResult { kept, removed, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_seq::SequenceSetBuilder;
+
+    fn set_of(seqs: &[&str]) -> SequenceSet {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+        }
+        b.finish()
+    }
+
+    fn config() -> ClusterConfig {
+        ClusterConfig { psi_rr: 8, ..Default::default() }
+    }
+
+    const LONG: &str = "MKVLWAAKNDCQEGHILKMFPSTWYVARNDCQ";
+
+    #[test]
+    fn exact_window_is_removed() {
+        // s1 is a verbatim window covering >95 % of itself inside s0.
+        let contained = &LONG[..30];
+        let set = set_of(&[LONG, contained]);
+        let r = run_redundancy_removal(&set, &config());
+        assert_eq!(r.kept, vec![SeqId(0)]);
+        assert_eq!(r.removed, vec![(SeqId(1), SeqId(0))]);
+    }
+
+    #[test]
+    fn identical_sequences_keep_one() {
+        let set = set_of(&[LONG, LONG, LONG]);
+        let r = run_redundancy_removal(&set, &config());
+        assert_eq!(r.n_kept(), 1);
+        assert_eq!(r.kept, vec![SeqId(0)], "lowest id survives");
+    }
+
+    #[test]
+    fn unrelated_sequences_all_kept() {
+        let set = set_of(&[
+            "MKVLWAAKNDCQEGHILKMF",
+            "PSTWYVARNDCQEGHAAAAA",
+            "WWWWHHHHGGGGCCCCDDDD",
+        ]);
+        let r = run_redundancy_removal(&set, &config());
+        assert_eq!(r.n_kept(), 3);
+        assert!(r.removed.is_empty());
+    }
+
+    #[test]
+    fn partial_overlap_not_redundant() {
+        // Two sequences sharing a core but each with long unique flanks:
+        // neither is 95 %-contained in the other.
+        let a = format!("{}AAAAAAAAAAAAAAAAAAAA", LONG);
+        let b = format!("GGGGGGGGGGGGGGGGGGGG{}", LONG);
+        let set = set_of(&[&a, &b]);
+        let r = run_redundancy_removal(&set, &config());
+        assert_eq!(r.n_kept(), 2);
+    }
+
+    #[test]
+    fn chain_of_containments() {
+        // s2 ⊂ s1 ⊂ s0 (each a >95 % window of the previous).
+        let s0 = format!("{LONG}{LONG}");
+        let s1 = &s0[..(s0.len() as f64 * 0.96) as usize];
+        let s2 = &s1[1..(s1.len() as f64 * 0.97) as usize];
+        let set = set_of(&[&s0, s1, s2]);
+        let r = run_redundancy_removal(&set, &config());
+        assert_eq!(r.kept, vec![SeqId(0)]);
+        assert_eq!(r.removed.len(), 2);
+    }
+
+    #[test]
+    fn trace_records_work() {
+        let set = set_of(&[LONG, &LONG[..30], "WWWWHHHHGGGGCCCCDDDD"]);
+        let r = run_redundancy_removal(&set, &config());
+        assert_eq!(r.trace.index_residues, set.total_residues() as u64);
+        assert!(r.trace.total_generated() >= 1);
+        assert!(r.trace.total_aligned() >= 1);
+        assert!(r.trace.total_cells() > 0);
+    }
+
+    #[test]
+    fn empty_set() {
+        let r = run_redundancy_removal(&SequenceSet::new(), &config());
+        assert!(r.kept.is_empty());
+        assert!(r.removed.is_empty());
+    }
+
+    #[test]
+    fn containment_direction_marks_shorter() {
+        let contained = &LONG[1..31];
+        // Order in the set should not matter: the shorter one goes.
+        for seqs in [[LONG, contained], [contained, LONG]] {
+            let set = set_of(&seqs);
+            let r = run_redundancy_removal(&set, &config());
+            assert_eq!(r.n_kept(), 1);
+            let kept_len = set.seq_len(r.kept[0]);
+            assert_eq!(kept_len, LONG.len(), "longer sequence must survive");
+        }
+    }
+
+    #[test]
+    fn redundancy_injected_by_datagen_is_found() {
+        use pfam_datagen::{DatasetConfig, SyntheticDataset};
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(42));
+        let r = run_redundancy_removal(&d.set, &config());
+        // Every injected redundant read must be removed (its container is a
+        // verbatim superstring), except when its original was itself removed
+        // first in favour of yet another container — removal is what counts.
+        let removed_ids: std::collections::HashSet<SeqId> =
+            r.removed.iter().map(|&(x, _)| x).collect();
+        let injected = d.redundant_ids();
+        let found = injected.iter().filter(|id| removed_ids.contains(id)).count();
+        assert!(
+            found as f64 >= injected.len() as f64 * 0.9,
+            "only {found}/{} injected redundancies detected",
+            injected.len()
+        );
+    }
+}

@@ -1,0 +1,503 @@
+//! The PaCE loop as a real SPMD program over `pfam-mpi` — the closest
+//! rendering of the paper's Section IV-B in this repository.
+//!
+//! Rank 0 is the master; ranks 1… are workers. Exactly as in PaCE:
+//!
+//! 1. every worker owns a prefix-partitioned slice of the suffix space
+//!    (`PartitionedSuffixSpace`) and generates promising pairs from its
+//!    own subtrees, longest match first;
+//! 2. workers push pair batches to the master; the master filters them
+//!    against the live union-find clustering and returns the surviving
+//!    candidates to the *same* worker for alignment;
+//! 3. workers send alignment verdicts back; the master merges clusters.
+//!
+//! The final components are identical to the shared-memory engines' (the
+//! clustering is order-independent; see `crate::master_worker`), which the
+//! tests assert.
+
+use pfam_align::{is_contained, overlaps};
+use pfam_graph::UnionFind;
+use pfam_mpi::{run_spmd, Communicator, ANY_SOURCE};
+use pfam_seq::{SeqId, SequenceSet};
+use pfam_suffix::distributed::PartitionedSuffixSpace;
+use pfam_suffix::{
+    GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, MaximalMatchGenerator, SuffixTree,
+};
+
+use crate::ccd::CcdResult;
+use crate::config::ClusterConfig;
+use crate::trace::{BatchRecord, PhaseTrace};
+
+const TAG_PAIRS: u32 = 1;
+const TAG_CANDIDATES: u32 = 2;
+const TAG_VERDICTS: u32 = 3;
+const TAG_WORKER_DONE: u32 = 4;
+
+/// Messages a worker sends with its pair batch: `(pairs, exhausted)`.
+type PairBatch = (Vec<(u32, u32)>, bool);
+
+/// Run CCD as an SPMD job on `n_ranks` ranks (1 master + `n_ranks − 1`
+/// workers). Requires `n_ranks ≥ 2` and
+/// `config.psi_ccd ≥ partition prefix length` (3).
+pub fn run_ccd_spmd(set: &SequenceSet, config: &ClusterConfig, n_ranks: usize) -> CcdResult {
+    assert!(n_ranks >= 2, "need a master and at least one worker");
+    if set.is_empty() {
+        return CcdResult {
+            components: Vec::new(),
+            edges: Vec::new(),
+            n_merges: 0,
+            trace: PhaseTrace::default(),
+        };
+    }
+    const PREFIX_LEN: u32 = 3;
+    assert!(config.psi_ccd >= PREFIX_LEN, "ψ must cover the partition prefix");
+
+    // Shared read-only state, built once (in MPI this would be the
+    // distributed construction; the partition assigns subtree ownership).
+    let index_set = crate::mask::index_view(set, &config.mask);
+    let gsa = GeneralizedSuffixArray::build(&index_set);
+    let tree = SuffixTree::build(&gsa);
+    let partition = PartitionedSuffixSpace::new(&gsa, n_ranks - 1, PREFIX_LEN);
+    let nodes_per_worker = partition.nodes_per_rank(&tree, config.psi_ccd);
+
+    let results = run_spmd(n_ranks, |comm| -> Option<CcdResult> {
+        if comm.rank() == 0 {
+            Some(master(comm, set))
+        } else {
+            worker(
+                comm,
+                set,
+                config,
+                &tree,
+                nodes_per_worker[comm.rank() - 1].clone(),
+            );
+            None
+        }
+    });
+    results
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("rank 0 returns the clustering")
+}
+
+fn master(comm: &mut Communicator, set: &SequenceSet) -> CcdResult {
+    let n_workers = comm.size() - 1;
+    let mut uf = UnionFind::new(set.len());
+    let mut edges = Vec::new();
+    let mut n_merges = 0usize;
+    let mut trace = PhaseTrace {
+        index_residues: set.total_residues() as u64,
+        ..PhaseTrace::default()
+    };
+    let mut workers_done = 0usize;
+    // Per-worker: how many candidate batches are still in flight.
+    let mut outstanding = vec![0usize; comm.size()];
+
+    while workers_done < n_workers || outstanding.iter().sum::<usize>() > 0 {
+        // Verdicts and pair batches arrive interleaved; handle whichever
+        // is ready (poll verdicts first to sharpen the filter).
+        if let Some((from, verdicts)) =
+            comm.try_recv::<Vec<(u32, u32, bool, u64)>>(ANY_SOURCE, TAG_VERDICTS)
+        {
+            outstanding[from] -= 1;
+            let mut task_cells = Vec::with_capacity(verdicts.len());
+            for (a, b, passed, cells) in verdicts {
+                task_cells.push(cells);
+                if passed {
+                    edges.push((SeqId(a), SeqId(b)));
+                    if uf.union(a, b) {
+                        n_merges += 1;
+                    }
+                }
+            }
+            if let Some(last) = trace.batches.last_mut() {
+                last.n_aligned += task_cells.len();
+                last.align_cells += task_cells.iter().sum::<u64>();
+                last.task_cells.extend(task_cells);
+            }
+            continue;
+        }
+        if let Some((from, (pairs, exhausted))) =
+            comm.try_recv::<PairBatch>(ANY_SOURCE, TAG_PAIRS)
+        {
+            let n_generated = pairs.len();
+            let candidates: Vec<(u32, u32)> =
+                pairs.into_iter().filter(|&(a, b)| !uf.same(a, b)).collect();
+            trace.batches.push(BatchRecord {
+                n_generated,
+                n_filtered: n_generated - candidates.len(),
+                n_aligned: 0,
+                align_cells: 0,
+                task_cells: Vec::new(),
+            });
+            if !candidates.is_empty() {
+                outstanding[from] += 1;
+                comm.send(from, TAG_CANDIDATES, candidates);
+            }
+            if exhausted {
+                workers_done += 1;
+                comm.send(from, TAG_WORKER_DONE, ());
+            }
+            continue;
+        }
+        std::thread::yield_now();
+    }
+    // Release workers: they exit after the DONE message once no more
+    // candidate batches can arrive (outstanding drained above).
+    comm.barrier();
+
+    let components = uf
+        .groups()
+        .into_iter()
+        .map(|g| g.into_iter().map(SeqId).collect())
+        .collect();
+    CcdResult { components, edges, n_merges, trace }
+}
+
+fn worker(
+    comm: &mut Communicator,
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    tree: &SuffixTree<'_>,
+    my_nodes: Vec<pfam_suffix::tree::NodeId>,
+) {
+    let mut generator = MaximalMatchGenerator::with_nodes(
+        tree,
+        MaximalMatchConfig {
+            min_len: config.psi_ccd,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+        my_nodes,
+    );
+    let mut exhausted = false;
+    while !exhausted {
+        // Generate the next batch from this worker's subtrees.
+        let batch: Vec<(u32, u32)> = generator
+            .by_ref()
+            .take(config.batch_size)
+            .map(|MatchPair { a, b, .. }| (a.0, b.0))
+            .collect();
+        exhausted = batch.len() < config.batch_size;
+        comm.send(0, TAG_PAIRS, (batch, exhausted));
+        // Serve candidate batches while waiting; the DONE ack only comes
+        // after the master has seen our exhausted flag.
+        loop {
+            if let Some((_, candidates)) = comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES) {
+                let verdicts: Vec<(u32, u32, bool, u64)> = candidates
+                    .into_iter()
+                    .map(|(a, b)| {
+                        let x = set.codes(SeqId(a));
+                        let y = set.codes(SeqId(b));
+                        let cells = (x.len() as u64) * (y.len() as u64);
+                        (a, b, overlaps(x, y, &config.scheme, &config.overlap), cells)
+                    })
+                    .collect();
+                comm.send(0, TAG_VERDICTS, verdicts);
+                continue;
+            }
+            if !exhausted {
+                // Produce the next pair batch eagerly.
+                break;
+            }
+            if comm.try_recv::<()>(0, TAG_WORKER_DONE).is_some() {
+                // Final drain: answer any candidates still queued.
+                while let Some((_, candidates)) =
+                    comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES)
+                {
+                    let verdicts: Vec<(u32, u32, bool, u64)> = candidates
+                        .into_iter()
+                        .map(|(a, b)| {
+                            let x = set.codes(SeqId(a));
+                            let y = set.codes(SeqId(b));
+                            let cells = (x.len() as u64) * (y.len() as u64);
+                            (a, b, overlaps(x, y, &config.scheme, &config.overlap), cells)
+                        })
+                        .collect();
+                    comm.send(0, TAG_VERDICTS, verdicts);
+                }
+                comm.barrier();
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+    unreachable!("worker exits via the DONE path");
+}
+
+/// Run redundancy removal as an SPMD job (same topology and protocol as
+/// [`run_ccd_spmd`]; the master marks contained sequences redundant
+/// instead of merging clusters, and candidates are *oriented* — the first
+/// id of each candidate pair is the one to test for containment).
+pub fn run_rr_spmd(
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    n_ranks: usize,
+) -> crate::rr::RrResult {
+    assert!(n_ranks >= 2, "need a master and at least one worker");
+    if set.is_empty() {
+        return crate::rr::RrResult {
+            kept: Vec::new(),
+            removed: Vec::new(),
+            trace: PhaseTrace::default(),
+        };
+    }
+    const PREFIX_LEN: u32 = 3;
+    assert!(config.psi_rr >= PREFIX_LEN, "ψ must cover the partition prefix");
+
+    let index_set = crate::mask::index_view(set, &config.mask);
+    let gsa = GeneralizedSuffixArray::build(&index_set);
+    let tree = SuffixTree::build(&gsa);
+    let partition = PartitionedSuffixSpace::new(&gsa, n_ranks - 1, PREFIX_LEN);
+    let nodes_per_worker = partition.nodes_per_rank(&tree, config.psi_rr);
+
+    let results = run_spmd(n_ranks, |comm| -> Option<crate::rr::RrResult> {
+        if comm.rank() == 0 {
+            Some(rr_master(comm, set))
+        } else {
+            rr_worker(
+                comm,
+                set,
+                config,
+                &tree,
+                nodes_per_worker[comm.rank() - 1].clone(),
+            );
+            None
+        }
+    });
+    results.into_iter().next().flatten().expect("rank 0 returns the result")
+}
+
+/// Orient a pair as (candidate-to-remove, container): shorter first, ties
+/// toward the higher id — identical to the shared-memory RR engine.
+fn orient(set: &SequenceSet, a: u32, b: u32) -> (u32, u32) {
+    let (la, lb) = (set.seq_len(SeqId(a)), set.seq_len(SeqId(b)));
+    if la < lb || (la == lb && a > b) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn rr_master(comm: &mut Communicator, set: &SequenceSet) -> crate::rr::RrResult {
+    let n_workers = comm.size() - 1;
+    let mut redundant: Vec<Option<SeqId>> = vec![None; set.len()];
+    let mut removed = Vec::new();
+    let mut trace = PhaseTrace {
+        index_residues: set.total_residues() as u64,
+        ..PhaseTrace::default()
+    };
+    let mut workers_done = 0usize;
+    let mut outstanding = vec![0usize; comm.size()];
+
+    while workers_done < n_workers || outstanding.iter().sum::<usize>() > 0 {
+        if let Some((from, verdicts)) =
+            comm.try_recv::<Vec<(u32, u32, bool, u64)>>(ANY_SOURCE, TAG_VERDICTS)
+        {
+            outstanding[from] -= 1;
+            let mut task_cells = Vec::with_capacity(verdicts.len());
+            for (cand, container, contained, cells) in verdicts {
+                task_cells.push(cells);
+                if contained && redundant[cand as usize].is_none() {
+                    redundant[cand as usize] = Some(SeqId(container));
+                    removed.push((SeqId(cand), SeqId(container)));
+                }
+            }
+            if let Some(last) = trace.batches.last_mut() {
+                last.n_aligned += task_cells.len();
+                last.align_cells += task_cells.iter().sum::<u64>();
+                last.task_cells.extend(task_cells);
+            }
+            continue;
+        }
+        if let Some((from, (pairs, exhausted))) =
+            comm.try_recv::<PairBatch>(ANY_SOURCE, TAG_PAIRS)
+        {
+            let n_generated = pairs.len();
+            let candidates: Vec<(u32, u32)> = pairs
+                .into_iter()
+                .map(|(a, b)| orient(set, a, b))
+                .filter(|&(cand, container)| {
+                    redundant[cand as usize].is_none()
+                        && redundant[container as usize].is_none()
+                })
+                .collect();
+            trace.batches.push(BatchRecord {
+                n_generated,
+                n_filtered: n_generated - candidates.len(),
+                n_aligned: 0,
+                align_cells: 0,
+                task_cells: Vec::new(),
+            });
+            if !candidates.is_empty() {
+                outstanding[from] += 1;
+                comm.send(from, TAG_CANDIDATES, candidates);
+            }
+            if exhausted {
+                workers_done += 1;
+                comm.send(from, TAG_WORKER_DONE, ());
+            }
+            continue;
+        }
+        std::thread::yield_now();
+    }
+    comm.barrier();
+
+    let kept = set
+        .ids()
+        .filter(|id| redundant[id.index()].is_none())
+        .collect();
+    crate::rr::RrResult { kept, removed, trace }
+}
+
+fn rr_worker(
+    comm: &mut Communicator,
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    tree: &SuffixTree<'_>,
+    my_nodes: Vec<pfam_suffix::tree::NodeId>,
+) {
+    let containment_verdicts = |candidates: Vec<(u32, u32)>| -> Vec<(u32, u32, bool, u64)> {
+        candidates
+            .into_iter()
+            .map(|(cand, container)| {
+                let x = set.codes(SeqId(cand));
+                let y = set.codes(SeqId(container));
+                let cells = (x.len() as u64) * (y.len() as u64);
+                (
+                    cand,
+                    container,
+                    is_contained(x, y, &config.scheme, &config.containment),
+                    cells,
+                )
+            })
+            .collect()
+    };
+
+    let mut generator = MaximalMatchGenerator::with_nodes(
+        tree,
+        MaximalMatchConfig {
+            min_len: config.psi_rr,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+        my_nodes,
+    );
+    let mut exhausted = false;
+    while !exhausted {
+        let batch: Vec<(u32, u32)> = generator
+            .by_ref()
+            .take(config.batch_size)
+            .map(|MatchPair { a, b, .. }| (a.0, b.0))
+            .collect();
+        exhausted = batch.len() < config.batch_size;
+        comm.send(0, TAG_PAIRS, (batch, exhausted));
+        loop {
+            if let Some((_, candidates)) = comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES) {
+                comm.send(0, TAG_VERDICTS, containment_verdicts(candidates));
+                continue;
+            }
+            if !exhausted {
+                break;
+            }
+            if comm.try_recv::<()>(0, TAG_WORKER_DONE).is_some() {
+                while let Some((_, candidates)) =
+                    comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES)
+                {
+                    comm.send(0, TAG_VERDICTS, containment_verdicts(candidates));
+                }
+                comm.barrier();
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+    unreachable!("worker exits via the DONE path");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccd::run_ccd;
+    use pfam_datagen::{DatasetConfig, SyntheticDataset};
+
+    #[test]
+    fn spmd_components_match_batched_engine() {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(91));
+        let config = ClusterConfig::default();
+        let reference = run_ccd(&d.set, &config);
+        for ranks in [2usize, 3, 5] {
+            let spmd = run_ccd_spmd(&d.set, &config, ranks);
+            assert_eq!(
+                spmd.components, reference.components,
+                "{ranks} ranks must reproduce the reference clustering"
+            );
+        }
+    }
+
+    #[test]
+    fn spmd_trace_accounts_for_all_pairs() {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(92));
+        let config = ClusterConfig::default();
+        let spmd = run_ccd_spmd(&d.set, &config, 3);
+        let reference = run_ccd(&d.set, &config);
+        // Each worker dedups only its own subtrees, so a sequence pair with
+        // maximal matches in two workers' subtrees is generated twice —
+        // never fewer pairs than the globally-deduped single generator.
+        // The master's filter absorbs the duplicates.
+        assert!(
+            spmd.trace.total_generated() >= reference.trace.total_generated(),
+            "spmd {} < reference {}",
+            spmd.trace.total_generated(),
+            reference.trace.total_generated()
+        );
+        assert!(spmd.trace.total_aligned() <= spmd.trace.total_generated());
+    }
+
+    #[test]
+    fn empty_set_short_circuits() {
+        let r = run_ccd_spmd(&SequenceSet::new(), &ClusterConfig::default(), 4);
+        assert!(r.components.is_empty());
+        let rr = run_rr_spmd(&SequenceSet::new(), &ClusterConfig::default(), 4);
+        assert!(rr.kept.is_empty());
+    }
+
+    #[test]
+    fn spmd_rr_removals_are_genuine_containments() {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(94));
+        let config = ClusterConfig::default();
+        let r = run_rr_spmd(&d.set, &config, 3);
+        // Unlike CCD, the exact removal set depends on processing order
+        // (chains a⊂b⊂c admit several valid outcomes), so assert semantic
+        // validity rather than bitwise equality with the batched engine.
+        for &(cand, container) in &r.removed {
+            assert!(pfam_align::is_contained(
+                d.set.codes(cand),
+                d.set.codes(container),
+                &config.scheme,
+                &config.containment
+            ));
+            assert!(!r.kept.contains(&cand));
+        }
+        // Partition: every sequence is kept or removed, never both.
+        assert_eq!(r.kept.len() + r.removed.len(), d.set.len());
+        // The bulk of injected redundancy is caught, as with the batched
+        // engine.
+        let reference = crate::rr::run_redundancy_removal(&d.set, &config);
+        let diff = (r.kept.len() as i64 - reference.kept.len() as i64).abs();
+        assert!(
+            diff <= (d.set.len() / 10) as i64,
+            "spmd kept {} vs batched {}",
+            r.kept.len(),
+            reference.kept.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn one_rank_rejected() {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(93));
+        let _ = run_ccd_spmd(&d.set, &ClusterConfig::default(), 1);
+    }
+}

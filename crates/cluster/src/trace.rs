@@ -1,0 +1,229 @@
+//! Work-trace recording for the performance model.
+//!
+//! The paper's scaling experiments ran on a 512-node BlueGene/L we do not
+//! have. Instead of faking timings, each phase of the engine records the
+//! *work it actually performed* — index construction volume, pair-batch
+//! sizes, per-alignment DP-cell costs, and the master's filter decisions.
+//! The `pfam-sim` crate replays this trace through a discrete-event model
+//! of a master–worker machine with any processor count, which reproduces
+//! the paper's scaling *shapes* (near-linear RR, saturating CCD) from the
+//! real task structure rather than from a formula.
+
+/// Which pipeline phase a trace belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Redundancy removal.
+    RedundancyRemoval,
+    /// Connected-component detection.
+    ConnectedComponents,
+    /// Bipartite graph generation.
+    BipartiteGeneration,
+}
+
+/// One master-round of pair processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Pairs the workers generated for this round.
+    pub n_generated: usize,
+    /// Pairs the master filtered out (already co-clustered / already
+    /// marked redundant).
+    pub n_filtered: usize,
+    /// Alignment tasks dispatched to workers.
+    pub n_aligned: usize,
+    /// Total DP-cell cost of the dispatched alignments.
+    pub align_cells: u64,
+    /// Individual alignment costs (cells), in dispatch order — the unit of
+    /// work the simulator schedules.
+    pub task_cells: Vec<u64>,
+}
+
+/// Complete trace of one phase run.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTrace {
+    /// Total residues indexed (GST construction volume).
+    pub index_residues: u64,
+    /// Suffix-tree nodes visited during pair generation.
+    pub nodes_visited: u64,
+    /// Master rounds in execution order.
+    pub batches: Vec<BatchRecord>,
+}
+
+impl PhaseTrace {
+    /// Total pairs generated across batches.
+    pub fn total_generated(&self) -> usize {
+        self.batches.iter().map(|b| b.n_generated).sum()
+    }
+
+    /// Total pairs the master filtered.
+    pub fn total_filtered(&self) -> usize {
+        self.batches.iter().map(|b| b.n_filtered).sum()
+    }
+
+    /// Total alignments executed.
+    pub fn total_aligned(&self) -> usize {
+        self.batches.iter().map(|b| b.n_aligned).sum()
+    }
+
+    /// Total alignment DP cells.
+    pub fn total_cells(&self) -> u64 {
+        self.batches.iter().map(|b| b.align_cells).sum()
+    }
+
+    /// The filter's work-reduction ratio: filtered / generated
+    /// (§V reports > 99.9 % for CCD on the 80K input).
+    pub fn filter_ratio(&self) -> f64 {
+        let gen = self.total_generated();
+        if gen == 0 {
+            0.0
+        } else {
+            self.total_filtered() as f64 / gen as f64
+        }
+    }
+}
+
+impl PhaseTrace {
+    /// Serialize as TSV: a header line, then one line per batch with the
+    /// task cells comma-joined. Lets experiment drivers replay recorded
+    /// traces through `pfam-sim` without re-running the clustering.
+    pub fn to_tsv(&self) -> String {
+        let mut out = format!(
+            "#index_residues={}\tnodes_visited={}\n",
+            self.index_residues, self.nodes_visited
+        );
+        out.push_str("#n_generated\tn_filtered\tn_aligned\ttask_cells\n");
+        for b in &self.batches {
+            let cells: Vec<String> = b.task_cells.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\n",
+                b.n_generated,
+                b.n_filtered,
+                b.n_aligned,
+                cells.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Parse the format written by [`PhaseTrace::to_tsv`].
+    pub fn from_tsv(text: &str) -> Result<PhaseTrace, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty trace")?;
+        let header = header.strip_prefix('#').ok_or("missing header line")?;
+        let mut index_residues = 0u64;
+        let mut nodes_visited = 0u64;
+        for field in header.split('\t') {
+            let (key, value) = field.split_once('=').ok_or("malformed header field")?;
+            let value: u64 = value.parse().map_err(|_| format!("bad number: {value}"))?;
+            match key {
+                "index_residues" => index_residues = value,
+                "nodes_visited" => nodes_visited = value,
+                other => return Err(format!("unknown header key: {other}")),
+            }
+        }
+        let mut batches = Vec::new();
+        for line in lines.filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let mut cols = line.split('\t');
+            let mut next_num = |name: &str| -> Result<usize, String> {
+                cols.next()
+                    .ok_or_else(|| format!("missing column {name}"))?
+                    .parse()
+                    .map_err(|_| format!("bad {name} in: {line}"))
+            };
+            let n_generated = next_num("n_generated")?;
+            let n_filtered = next_num("n_filtered")?;
+            let n_aligned = next_num("n_aligned")?;
+            let cells_col = cols.next().unwrap_or("");
+            let task_cells: Vec<u64> = if cells_col.is_empty() {
+                Vec::new()
+            } else {
+                cells_col
+                    .split(',')
+                    .map(|c| c.parse().map_err(|_| format!("bad cell count: {c}")))
+                    .collect::<Result<_, _>>()?
+            };
+            if task_cells.len() != n_aligned {
+                return Err(format!(
+                    "n_aligned {} disagrees with {} task cells",
+                    n_aligned,
+                    task_cells.len()
+                ));
+            }
+            batches.push(BatchRecord {
+                n_generated,
+                n_filtered,
+                n_aligned,
+                align_cells: task_cells.iter().sum(),
+                task_cells,
+            });
+        }
+        Ok(PhaseTrace { index_residues, nodes_visited, batches })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(generated: usize, filtered: usize, cells: &[u64]) -> BatchRecord {
+        BatchRecord {
+            n_generated: generated,
+            n_filtered: filtered,
+            n_aligned: cells.len(),
+            align_cells: cells.iter().sum(),
+            task_cells: cells.to_vec(),
+        }
+    }
+
+    #[test]
+    fn totals_aggregate() {
+        let trace = PhaseTrace {
+            index_residues: 1000,
+            nodes_visited: 5,
+            batches: vec![batch(10, 7, &[100, 200]), batch(4, 4, &[])],
+        };
+        assert_eq!(trace.total_generated(), 14);
+        assert_eq!(trace.total_filtered(), 11);
+        assert_eq!(trace.total_aligned(), 2);
+        assert_eq!(trace.total_cells(), 300);
+        assert!((trace.filter_ratio() - 11.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = PhaseTrace::default();
+        assert_eq!(trace.total_generated(), 0);
+        assert_eq!(trace.filter_ratio(), 0.0);
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let trace = PhaseTrace {
+            index_residues: 12345,
+            nodes_visited: 67,
+            batches: vec![batch(10, 7, &[100, 200, 300]), batch(4, 4, &[])],
+        };
+        let text = trace.to_tsv();
+        let back = PhaseTrace::from_tsv(&text).expect("own output parses");
+        assert_eq!(back.index_residues, trace.index_residues);
+        assert_eq!(back.nodes_visited, trace.nodes_visited);
+        assert_eq!(back.batches, trace.batches);
+    }
+
+    #[test]
+    fn tsv_round_trip_empty() {
+        let trace = PhaseTrace::default();
+        let back = PhaseTrace::from_tsv(&trace.to_tsv()).expect("parses");
+        assert_eq!(back.batches, trace.batches);
+        assert_eq!(back.index_residues, 0);
+    }
+
+    #[test]
+    fn tsv_rejects_garbage() {
+        assert!(PhaseTrace::from_tsv("").is_err());
+        assert!(PhaseTrace::from_tsv("not a header\n").is_err());
+        assert!(PhaseTrace::from_tsv("#index_residues=1\tnodes_visited=2\n#h\nbad\n").is_err());
+        // Inconsistent n_aligned vs cell count.
+        let bad = "#index_residues=1\tnodes_visited=0\n#h\n3\t1\t2\t5\n";
+        assert!(PhaseTrace::from_tsv(bad).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! The four-phase pipeline of Figure 2: redundancy removal → connected
+//! components → bipartite graph generation → dense subgraph detection.
+
+use rayon::prelude::*;
+
+use pfam_cluster::{
+    all_component_graphs, run_ccd, run_redundancy_removal, ComponentGraph, PhaseTrace,
+};
+use pfam_graph::{subgraph_density, BipartiteGraph, SubgraphDensity};
+use pfam_seq::{SeqId, SequenceSet};
+use pfam_shingle::{
+    detect_dense_subgraphs, DenseSubgraphConfig, ReductionMode, ShingleStats,
+};
+
+use crate::config::{PipelineConfig, Reduction};
+
+/// One reported protein family (dense subgraph).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseSubgraph {
+    /// Members as ids into the *original* input set, ascending.
+    pub members: Vec<SeqId>,
+    /// Index of the connected component it came from.
+    pub component: usize,
+    /// Induced degree/density within its component graph.
+    pub density: SubgraphDensity,
+}
+
+/// Everything the pipeline produces.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// Number of input sequences.
+    pub n_input: usize,
+    /// Non-redundant sequence ids (original numbering).
+    pub non_redundant: Vec<SeqId>,
+    /// Connected components over the non-redundant set (original ids).
+    pub components: Vec<Vec<SeqId>>,
+    /// Per-component similarity graphs (only components that reached the
+    /// dense-subgraph stage).
+    pub component_graphs: Vec<ComponentGraph>,
+    /// Reported dense subgraphs (original ids).
+    pub dense_subgraphs: Vec<DenseSubgraph>,
+    /// Work traces per phase: (RR, CCD, BGG).
+    pub traces: (PhaseTrace, PhaseTrace, PhaseTrace),
+    /// Aggregated shingle work counters.
+    pub shingle_stats: ShingleStats,
+}
+
+impl PipelineResult {
+    /// Components with at least `min` members.
+    pub fn components_of_size(&self, min: usize) -> Vec<&Vec<SeqId>> {
+        self.components.iter().filter(|c| c.len() >= min).collect()
+    }
+
+    /// Total sequences covered by dense subgraphs.
+    pub fn sequences_in_subgraphs(&self) -> usize {
+        self.dense_subgraphs.iter().map(|d| d.members.len()).sum()
+    }
+
+    /// The dense subgraphs as a clustering (id lists) for the metrics.
+    pub fn subgraph_clusters(&self) -> Vec<Vec<u32>> {
+        self.dense_subgraphs
+            .iter()
+            .map(|d| d.members.iter().map(|id| id.0).collect())
+            .collect()
+    }
+}
+
+/// Run the full pipeline on `input`.
+pub fn run_pipeline(input: &SequenceSet, config: &PipelineConfig) -> PipelineResult {
+    // ---- Phase 1: redundancy removal. ----
+    let rr = run_redundancy_removal(input, &config.cluster);
+
+    // Re-pack the non-redundant sequences as their own set; `mapping[i]`
+    // is the original id of non-redundant sequence `i`.
+    let (nr_set, mapping) = input.subset(&rr.kept);
+
+    // ---- Phase 2: connected-component detection. ----
+    let ccd = run_ccd(&nr_set, &config.cluster);
+    let components: Vec<Vec<SeqId>> = ccd
+        .components
+        .iter()
+        .map(|c| c.iter().map(|&local| mapping[local.index()]).collect())
+        .collect();
+
+    // ---- Phase 3: bipartite graph generation (per large component). ----
+    let (graphs, bgg_trace) = all_component_graphs(
+        input,
+        &components,
+        config.min_component_size,
+        &config.cluster,
+    );
+
+    // ---- Phase 4: dense subgraph detection (parallel over components). ----
+    let dsd_config = DenseSubgraphConfig {
+        params: config.shingle,
+        mode: match config.reduction {
+            Reduction::GlobalSimilarity { tau } => ReductionMode::GlobalSimilarity { tau },
+            Reduction::DomainBased { .. } => ReductionMode::DomainBased,
+        },
+        min_size: config.min_subgraph_size,
+        disjoint: true,
+    };
+    let per_component: Vec<(Vec<Vec<u32>>, ShingleStats)> = graphs
+        .par_iter()
+        .map(|cg| match config.reduction {
+            Reduction::GlobalSimilarity { .. } => {
+                let bd = BipartiteGraph::duplicate_from(&cg.graph);
+                detect_dense_subgraphs(&bd, &dsd_config)
+            }
+            Reduction::DomainBased { w } => {
+                let (subset, _) = input.subset(&cg.members);
+                let bm = BipartiteGraph::word_based(&subset, None, w);
+                detect_dense_subgraphs(&bm, &dsd_config)
+            }
+        })
+        .collect();
+
+    let mut dense_subgraphs = Vec::new();
+    let mut shingle_stats = ShingleStats::default();
+    for (ci, (subgraphs, stats)) in per_component.iter().enumerate() {
+        shingle_stats.pass1_shingles += stats.pass1_shingles;
+        shingle_stats.distinct_s1 += stats.distinct_s1;
+        shingle_stats.pass2_shingles += stats.pass2_shingles;
+        shingle_stats.components += stats.components;
+        for local_members in subgraphs {
+            let density = subgraph_density(&graphs[ci].graph, local_members);
+            let members: Vec<SeqId> =
+                local_members.iter().map(|&l| graphs[ci].original_id(l)).collect();
+            dense_subgraphs.push(DenseSubgraph { members, component: ci, density });
+        }
+    }
+    // Deterministic output order: biggest first, then by first member.
+    dense_subgraphs.sort_by(|a, b| {
+        b.members.len().cmp(&a.members.len()).then(a.members.cmp(&b.members))
+    });
+
+    PipelineResult {
+        n_input: input.len(),
+        non_redundant: rr.kept.clone(),
+        components,
+        component_graphs: graphs,
+        dense_subgraphs,
+        traces: (rr.trace, ccd.trace, bgg_trace),
+        shingle_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_datagen::{DatasetConfig, MutationModel, SyntheticDataset};
+
+    fn small_dataset(seed: u64) -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig {
+            n_families: 3,
+            n_members: 30,
+            n_noise: 4,
+            redundancy_frac: 0.1,
+            fragment_prob: 0.0,
+            mutation: MutationModel {
+                substitution_rate: 0.12,
+                conservative_fraction: 0.6,
+                insertion_rate: 0.0,
+                deletion_rate: 0.0,
+            },
+            seed,
+            ..DatasetConfig::tiny(seed)
+        })
+    }
+
+    #[test]
+    fn end_to_end_recovers_families() {
+        let d = small_dataset(21);
+        let r = run_pipeline(&d.set, &PipelineConfig::for_tests());
+        assert_eq!(r.n_input, d.set.len());
+        // Redundant reads removed.
+        assert!(r.non_redundant.len() < d.set.len());
+        // Three family components (plus noise singletons).
+        assert_eq!(r.components_of_size(2).len(), 3);
+        // Dense subgraphs found, none mixing families.
+        assert!(!r.dense_subgraphs.is_empty());
+        for ds in &r.dense_subgraphs {
+            let fams: std::collections::HashSet<_> =
+                ds.members.iter().filter_map(|&id| d.family_of(id)).collect();
+            assert_eq!(fams.len(), 1, "dense subgraph mixes families");
+        }
+    }
+
+    #[test]
+    fn dense_subgraphs_are_disjoint_and_sized() {
+        let d = small_dataset(22);
+        let config = PipelineConfig::for_tests();
+        let r = run_pipeline(&d.set, &config);
+        let mut seen = std::collections::HashSet::new();
+        for ds in &r.dense_subgraphs {
+            assert!(ds.members.len() >= config.min_subgraph_size);
+            for &m in &ds.members {
+                assert!(seen.insert(m), "sequence {m} in two dense subgraphs");
+            }
+        }
+    }
+
+    #[test]
+    fn densities_are_high_for_family_cliques() {
+        let d = small_dataset(23);
+        let r = run_pipeline(&d.set, &PipelineConfig::for_tests());
+        for ds in &r.dense_subgraphs {
+            assert!(
+                ds.density.density > 0.5,
+                "family subgraphs should be dense, got {}",
+                ds.density.density
+            );
+        }
+    }
+
+    #[test]
+    fn traces_populated() {
+        let d = small_dataset(24);
+        let r = run_pipeline(&d.set, &PipelineConfig::for_tests());
+        let (rr, ccd, bgg) = &r.traces;
+        assert!(rr.index_residues > 0);
+        assert!(ccd.total_generated() > 0);
+        assert!(bgg.total_aligned() > 0);
+    }
+
+    #[test]
+    fn domain_reduction_runs() {
+        let d = small_dataset(25);
+        let mut config = PipelineConfig::for_tests();
+        config.reduction = crate::config::Reduction::DomainBased { w: 10 };
+        let r = run_pipeline(&d.set, &config);
+        assert!(!r.dense_subgraphs.is_empty());
+        for ds in &r.dense_subgraphs {
+            let fams: std::collections::HashSet<_> =
+                ds.members.iter().filter_map(|&id| d.family_of(id)).collect();
+            assert_eq!(fams.len(), 1, "domain-based subgraph mixes families");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = run_pipeline(&SequenceSet::new(), &PipelineConfig::for_tests());
+        assert_eq!(r.n_input, 0);
+        assert!(r.dense_subgraphs.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = small_dataset(26);
+        let config = PipelineConfig::for_tests();
+        let a = run_pipeline(&d.set, &config);
+        let b = run_pipeline(&d.set, &config);
+        assert_eq!(a.dense_subgraphs, b.dense_subgraphs);
+        assert_eq!(a.components, b.components);
+    }
+}

@@ -1,0 +1,120 @@
+//! Table-I-style summaries of a pipeline run.
+
+use crate::pipeline::PipelineResult;
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableOneRow {
+    /// Input sequences.
+    pub n_input: usize,
+    /// Non-redundant sequences after RR.
+    pub n_non_redundant: usize,
+    /// Connected components with ≥ `cc_min` members.
+    pub n_components: usize,
+    /// Dense subgraphs reported.
+    pub n_dense_subgraphs: usize,
+    /// Sequences covered by dense subgraphs.
+    pub n_seq_in_subgraphs: usize,
+    /// Mean vertex degree across reported subgraphs (size-weighted).
+    pub mean_degree: f64,
+    /// Mean subgraph density (unweighted, as in the paper).
+    pub mean_density: f64,
+    /// Size of the largest dense subgraph.
+    pub largest: usize,
+}
+
+impl TableOneRow {
+    /// Summarise `result`, counting components of at least `cc_min`
+    /// members (the paper reports components of size ≥ 5).
+    pub fn from_result(result: &PipelineResult, cc_min: usize) -> TableOneRow {
+        let n_ds = result.dense_subgraphs.len();
+        let covered = result.sequences_in_subgraphs();
+        let largest =
+            result.dense_subgraphs.iter().map(|d| d.members.len()).max().unwrap_or(0);
+        let mean_degree = if covered == 0 {
+            0.0
+        } else {
+            result
+                .dense_subgraphs
+                .iter()
+                .map(|d| d.density.mean_degree * d.members.len() as f64)
+                .sum::<f64>()
+                / covered as f64
+        };
+        let mean_density = if n_ds == 0 {
+            0.0
+        } else {
+            result.dense_subgraphs.iter().map(|d| d.density.density).sum::<f64>() / n_ds as f64
+        };
+        TableOneRow {
+            n_input: result.n_input,
+            n_non_redundant: result.non_redundant.len(),
+            n_components: result.components_of_size(cc_min).len(),
+            n_dense_subgraphs: n_ds,
+            n_seq_in_subgraphs: covered,
+            mean_degree,
+            mean_density,
+            largest,
+        }
+    }
+
+    /// Header matching the paper's column names.
+    pub fn header() -> &'static str {
+        "#Input seq.\t#NR seq.\t#CC\t#DS\t#Seq in DS\tMean degree\tMean density\tLargest DS"
+    }
+}
+
+impl std::fmt::Display for TableOneRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}\t{}\t{}\t{}\t{}\t{:.0}\t{:.0}%\t{}",
+            self.n_input,
+            self.n_non_redundant,
+            self.n_components,
+            self.n_dense_subgraphs,
+            self.n_seq_in_subgraphs,
+            self.mean_degree,
+            self.mean_density * 100.0,
+            self.largest
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::run_pipeline;
+    use pfam_datagen::{DatasetConfig, SyntheticDataset};
+
+    #[test]
+    fn row_reflects_result() {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(33));
+        let r = run_pipeline(&d.set, &PipelineConfig::for_tests());
+        let row = TableOneRow::from_result(&r, 2);
+        assert_eq!(row.n_input, d.set.len());
+        assert_eq!(row.n_non_redundant, r.non_redundant.len());
+        assert_eq!(row.n_dense_subgraphs, r.dense_subgraphs.len());
+        assert!(row.mean_density >= 0.0 && row.mean_density <= 1.0);
+        assert!(row.largest <= row.n_seq_in_subgraphs);
+    }
+
+    #[test]
+    fn display_tab_separated() {
+        let row = TableOneRow {
+            n_input: 100,
+            n_non_redundant: 90,
+            n_components: 5,
+            n_dense_subgraphs: 4,
+            n_seq_in_subgraphs: 60,
+            mean_degree: 12.0,
+            mean_density: 0.76,
+            largest: 30,
+        };
+        let text = row.to_string();
+        assert_eq!(text.split('\t').count(), 8);
+        assert!(text.contains("76%"));
+        assert_eq!(TableOneRow::header().split('\t').count(), 8);
+    }
+}

@@ -1,0 +1,178 @@
+//! Articulation points and bridges (Tarjan/Hopcroft low-link DFS).
+//!
+//! In a similarity graph, articulation points are the sequences that alone
+//! hold a component together — exactly the multi-domain "bridge" reads
+//! that fuse otherwise-separate dense subgraphs into one connected
+//! component (the structure behind the paper's 22 K data set, where one
+//! component fragments into 134 dense subgraphs). Identifying them
+//! explains *why* a component fragments at the dense-subgraph stage.
+
+use crate::csr::CsrGraph;
+
+/// Cut structure of an undirected graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutStructure {
+    /// Vertices whose removal increases the number of components, sorted.
+    pub articulation_points: Vec<u32>,
+    /// Edges whose removal increases the number of components, as
+    /// `(min, max)` pairs, sorted.
+    pub bridges: Vec<(u32, u32)>,
+}
+
+/// Compute articulation points and bridges with an iterative low-link DFS.
+pub fn cut_structure(g: &CsrGraph) -> CutStructure {
+    let n = g.n_vertices();
+    let mut disc = vec![u32::MAX; n]; // discovery time
+    let mut low = vec![u32::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut is_articulation = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut timer = 0u32;
+
+    for root in 0..n as u32 {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        // Iterative DFS frame: (vertex, index into its adjacency list).
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        let mut root_children = 0u32;
+
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            if *idx < g.degree(v) {
+                let u = g.neighbors(v)[*idx];
+                *idx += 1;
+                if disc[u as usize] == u32::MAX {
+                    parent[u as usize] = v;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    disc[u as usize] = timer;
+                    low[u as usize] = timer;
+                    timer += 1;
+                    stack.push((u, 0));
+                } else if u != parent[v as usize] {
+                    // Back edge (parallel edges were deduped by CSR).
+                    low[v as usize] = low[v as usize].min(disc[u as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if low[v as usize] > disc[p as usize] {
+                        bridges.push((p.min(v), p.max(v)));
+                    }
+                    if p != root && low[v as usize] >= disc[p as usize] {
+                        is_articulation[p as usize] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_articulation[root as usize] = true;
+        }
+    }
+
+    let mut articulation_points: Vec<u32> = (0..n as u32)
+        .filter(|&v| is_articulation[v as usize])
+        .collect();
+    articulation_points.sort_unstable();
+    bridges.sort_unstable();
+    CutStructure { articulation_points, bridges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute force: remove each vertex/edge, count components.
+    fn naive(g: &CsrGraph) -> CutStructure {
+        let n = g.n_vertices();
+        let base = g.connected_components().len();
+        let mut aps = Vec::new();
+        for v in 0..n as u32 {
+            let keep: Vec<u32> = (0..n as u32).filter(|&u| u != v).collect();
+            let (sub, _) = g.induced_subgraph(&keep);
+            // Removing v removes a component if v was isolated; articulation
+            // means the count rises above base minus (v isolated ? 1 : 0).
+            let isolated = g.degree(v) == 0;
+            let expected = base - usize::from(isolated);
+            if sub.connected_components().len() > expected {
+                aps.push(v);
+            }
+        }
+        let mut bridges = Vec::new();
+        for a in 0..n as u32 {
+            for &b in g.neighbors(a) {
+                if a < b {
+                    let edges: Vec<(u32, u32)> = (0..n as u32)
+                        .flat_map(|v| {
+                            g.neighbors(v)
+                                .iter()
+                                .filter(move |&&u| v < u && !(v == a && u == b))
+                                .map(move |&u| (v, u))
+                        })
+                        .collect();
+                    let without = CsrGraph::from_edges(n, &edges);
+                    if without.connected_components().len() > base {
+                        bridges.push((a, b));
+                    }
+                }
+            }
+        }
+        CutStructure { articulation_points: aps, bridges }
+    }
+
+    #[test]
+    fn path_interior_vertices_are_articulation_points() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![1, 2]);
+        assert_eq!(cs.bridges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn cycle_has_no_cuts() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let cs = cut_structure(&g);
+        assert!(cs.articulation_points.is_empty());
+        assert!(cs.bridges.is_empty());
+    }
+
+    #[test]
+    fn two_cliques_joined_by_a_vertex() {
+        // Cliques {0,1,2} and {3,4,5}, both attached to vertex 6.
+        let mut edges = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)];
+        edges.extend([(0, 6), (1, 6), (3, 6), (4, 6)]);
+        let g = CsrGraph::from_edges(7, &edges);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![6]);
+        assert!(cs.bridges.is_empty(), "multiple attachments, no bridge edges");
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(61);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..16);
+            let m = rng.gen_range(0..28);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            assert_eq!(cut_structure(&g), naive(&g), "trial {trial}: {edges:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_edges(3, &[]);
+        let cs = cut_structure(&g);
+        assert!(cs.articulation_points.is_empty());
+        assert!(cs.bridges.is_empty());
+    }
+}

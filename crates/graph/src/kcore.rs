@@ -1,0 +1,298 @@
+//! k-core decomposition and greedy densest-subgraph peeling.
+//!
+//! The Shingle algorithm is the paper's choice because it streams; the
+//! classical alternative is Charikar's peeling: repeatedly remove the
+//! minimum-degree vertex and keep the prefix maximising average degree —
+//! a ½-approximation to the densest subgraph. This module provides both
+//! the peeling baseline (used by the ablation studies to sanity-check the
+//! Shingle output) and the Matula–Beck k-core numbers it builds on.
+
+use crate::csr::CsrGraph;
+
+/// Core number of every vertex: the largest `k` such that the vertex
+/// belongs to a subgraph where all degrees are ≥ `k`. O(V + E) bucket
+/// peeling (Matula & Beck).
+pub fn core_numbers(g: &CsrGraph) -> Vec<u32> {
+    let n = g.n_vertices();
+    let mut degree: Vec<u32> = (0..n as u32).map(|v| g.degree(v) as u32).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort vertices by degree.
+    let mut bin_start = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bin_start[d as usize + 1] += 1;
+    }
+    for i in 1..bin_start.len() {
+        bin_start[i] += bin_start[i - 1];
+    }
+    let mut position = vec![0usize; n];
+    let mut ordered = vec![0u32; n];
+    {
+        let mut next = bin_start.clone();
+        for v in 0..n as u32 {
+            let d = degree[v as usize] as usize;
+            position[v as usize] = next[d];
+            ordered[next[d]] = v;
+            next[d] += 1;
+        }
+    }
+
+    let mut core = vec![0u32; n];
+    let mut bin = bin_start;
+    for i in 0..n {
+        let v = ordered[i];
+        core[v as usize] = degree[v as usize];
+        for &u in g.neighbors(v) {
+            let du = degree[u as usize];
+            if du > degree[v as usize] {
+                // Move u one bucket down: swap with the first vertex of
+                // its bucket and shrink the bucket boundary.
+                let pu = position[u as usize];
+                let bucket_first = bin[du as usize];
+                let w = ordered[bucket_first];
+                if u != w {
+                    ordered.swap(pu, bucket_first);
+                    position[u as usize] = bucket_first;
+                    position[w as usize] = pu;
+                }
+                bin[du as usize] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Charikar's greedy peeling: returns the vertex set maximising average
+/// degree over all peeling prefixes (a ½-approximation of the densest
+/// subgraph) and its density `|E| / |V|`.
+pub fn densest_subgraph_peeling(g: &CsrGraph) -> (Vec<u32>, f64) {
+    let n = g.n_vertices();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let mut degree: Vec<i64> = (0..n as u32).map(|v| g.degree(v) as i64).collect();
+    let mut alive = vec![true; n];
+    let mut edges_left = g.n_edges() as i64;
+
+    // Peel min-degree vertices; record the removal order.
+    use std::collections::BTreeSet;
+    let mut queue: BTreeSet<(i64, u32)> =
+        (0..n as u32).map(|v| (degree[v as usize], v)).collect();
+    let mut removal = Vec::with_capacity(n);
+    let mut best_density = edges_left as f64 / n as f64;
+    let mut best_remaining = n;
+    let mut remaining = n;
+    while let Some(&(d, v)) = queue.iter().next() {
+        queue.remove(&(d, v));
+        alive[v as usize] = false;
+        edges_left -= d;
+        remaining -= 1;
+        removal.push(v);
+        for &u in g.neighbors(v) {
+            if alive[u as usize] {
+                let du = degree[u as usize];
+                queue.remove(&(du, u));
+                degree[u as usize] = du - 1;
+                queue.insert((du - 1, u));
+            }
+        }
+        if remaining > 0 {
+            let density = edges_left as f64 / remaining as f64;
+            if density > best_density {
+                best_density = density;
+                best_remaining = remaining;
+            }
+        }
+    }
+    // The best prefix keeps the last `best_remaining` removed vertices.
+    let mut members: Vec<u32> = removal[n - best_remaining..].to_vec();
+    members.sort_unstable();
+    (members, best_density)
+}
+
+/// Greedy dense-subgraph decomposition: repeatedly peel the densest
+/// subgraph out of what remains, until it falls below `min_size` vertices
+/// or `min_avg_degree` average degree. An alternative to the Shingle
+/// detection used as an ablation baseline.
+pub fn greedy_dense_decomposition(
+    g: &CsrGraph,
+    min_size: usize,
+    min_avg_degree: f64,
+) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut remaining: Vec<u32> = (0..g.n_vertices() as u32).collect();
+    let mut current = g.clone();
+    let mut mapping: Vec<u32> = remaining.clone();
+    loop {
+        let (local, density) = densest_subgraph_peeling(&current);
+        // average degree = 2 · |E| / |V| = 2 · density.
+        if local.len() < min_size || 2.0 * density < min_avg_degree {
+            break;
+        }
+        let members: Vec<u32> = local.iter().map(|&l| mapping[l as usize]).collect();
+        let member_set: std::collections::HashSet<u32> = local.iter().copied().collect();
+        out.push(members);
+        remaining = (0..current.n_vertices() as u32)
+            .filter(|v| !member_set.contains(v))
+            .collect();
+        if remaining.len() < min_size {
+            break;
+        }
+        let (sub, local_map) = current.induced_subgraph(&remaining);
+        mapping = local_map.iter().map(|&l| mapping[l as usize]).collect();
+        current = sub;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(n: usize) -> CsrGraph {
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in a + 1..n as u32 {
+                edges.push((a, b));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    /// Brute-force core numbers by iterated peeling definition.
+    fn core_numbers_naive(g: &CsrGraph) -> Vec<u32> {
+        let n = g.n_vertices();
+        let mut core = vec![0u32; n];
+        for k in 1..=n as u32 {
+            // Repeatedly remove vertices with degree < k.
+            let mut alive = vec![true; n];
+            loop {
+                let mut changed = false;
+                for v in 0..n as u32 {
+                    if alive[v as usize] {
+                        let d = g
+                            .neighbors(v)
+                            .iter()
+                            .filter(|&&u| alive[u as usize])
+                            .count() as u32;
+                        if d < k {
+                            alive[v as usize] = false;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in 0..n {
+                if alive[v] {
+                    core[v] = k;
+                }
+            }
+        }
+        core
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        let g = clique(6);
+        assert_eq!(core_numbers(&g), vec![5; 6]);
+    }
+
+    #[test]
+    fn path_core_numbers() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn core_numbers_match_naive_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..25);
+            let m = rng.gen_range(0..60);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            assert_eq!(core_numbers(&g), core_numbers_naive(&g));
+        }
+    }
+
+    #[test]
+    fn peeling_finds_planted_clique() {
+        // K8 plus a long sparse path attached.
+        let mut edges = Vec::new();
+        for a in 0..8u32 {
+            for b in a + 1..8 {
+                edges.push((a, b));
+            }
+        }
+        for v in 8..20u32 {
+            edges.push((v - 1, v));
+        }
+        let g = CsrGraph::from_edges(20, &edges);
+        let (members, density) = densest_subgraph_peeling(&g);
+        assert_eq!(members, (0..8).collect::<Vec<u32>>());
+        assert!((density - 28.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peeling_on_empty_and_edgeless() {
+        let (m, d) = densest_subgraph_peeling(&CsrGraph::from_edges(0, &[]));
+        assert!(m.is_empty());
+        assert_eq!(d, 0.0);
+        let (_, d) = densest_subgraph_peeling(&CsrGraph::from_edges(5, &[]));
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn decomposition_recovers_two_cliques() {
+        let mut edges = Vec::new();
+        for a in 0..10u32 {
+            for b in a + 1..10 {
+                edges.push((a, b));
+            }
+        }
+        for a in 10..16u32 {
+            for b in a + 1..16 {
+                edges.push((a, b));
+            }
+        }
+        let g = CsrGraph::from_edges(16, &edges);
+        let parts = greedy_dense_decomposition(&g, 3, 2.0);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], (0..10).collect::<Vec<u32>>());
+        assert_eq!(parts[1], (10..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn decomposition_respects_min_size() {
+        let g = clique(4);
+        assert!(greedy_dense_decomposition(&g, 5, 1.0).is_empty());
+        assert_eq!(greedy_dense_decomposition(&g, 4, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn decomposition_is_disjoint() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(92);
+        let n = 40;
+        let edges: Vec<(u32, u32)> = (0..200)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        let parts = greedy_dense_decomposition(&g, 2, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for part in &parts {
+            for &v in part {
+                assert!(seen.insert(v), "vertex {v} in two parts");
+            }
+        }
+    }
+}

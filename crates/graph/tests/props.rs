@@ -1,0 +1,123 @@
+//! Property tests over the graph substrate.
+
+use proptest::prelude::*;
+
+use pfam_graph::{
+    core_numbers, densest_subgraph_peeling, greedy_dense_decomposition, subgraph_density,
+    BipartiteGraph, ConcurrentUnionFind, CsrGraph, UnionFind,
+};
+
+fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_neighbors_symmetric_and_sorted(es in edges(20, 60)) {
+        let g = CsrGraph::from_edges(20, &es);
+        for v in 0..20u32 {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicated");
+            for &u in ns {
+                prop_assert!(g.neighbors(u).contains(&v), "asymmetric edge {v}-{u}");
+                prop_assert_ne!(u, v, "self-loop survived");
+            }
+        }
+    }
+
+    #[test]
+    fn components_are_closed_under_adjacency(es in edges(25, 70)) {
+        let g = CsrGraph::from_edges(25, &es);
+        let comps = g.connected_components();
+        let mut comp_of = vec![usize::MAX; 25];
+        for (i, c) in comps.iter().enumerate() {
+            for &v in c {
+                comp_of[v as usize] = i;
+            }
+        }
+        for v in 0..25u32 {
+            for &u in g.neighbors(v) {
+                prop_assert_eq!(comp_of[v as usize], comp_of[u as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_uf_matches_sequential(
+        ops in prop::collection::vec((0u32..30, 0u32..30), 0..80),
+    ) {
+        let mut seq = UnionFind::new(30);
+        let conc = ConcurrentUnionFind::new(30);
+        for &(a, b) in &ops {
+            seq.union(a, b);
+            conc.union(a, b);
+        }
+        for a in 0..30 {
+            for b in 0..30 {
+                prop_assert_eq!(seq.same(a, b), conc.same(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn core_number_bounded_by_degree(es in edges(20, 60)) {
+        let g = CsrGraph::from_edges(20, &es);
+        let cores = core_numbers(&g);
+        for v in 0..20u32 {
+            prop_assert!(cores[v as usize] as usize <= g.degree(v));
+        }
+        // Max core ≤ max degree; every vertex of a non-empty graph with an
+        // edge has core ≥ 1 iff degree ≥ 1.
+        for v in 0..20u32 {
+            prop_assert_eq!(cores[v as usize] >= 1, g.degree(v) >= 1);
+        }
+    }
+
+    #[test]
+    fn peeling_density_is_at_least_half_of_any_subset_density(es in edges(16, 50)) {
+        let g = CsrGraph::from_edges(16, &es);
+        let (_, best) = densest_subgraph_peeling(&g);
+        // Charikar guarantee: best ≥ OPT/2 ≥ (whole graph density)/2, and
+        // trivially best ≥ density of the whole graph prefix considered.
+        let whole = g.n_edges() as f64 / 16.0;
+        prop_assert!(best + 1e-9 >= whole / 2.0);
+    }
+
+    #[test]
+    fn decomposition_parts_are_disjoint_and_dense(es in edges(24, 90)) {
+        let g = CsrGraph::from_edges(24, &es);
+        let parts = greedy_dense_decomposition(&g, 2, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for part in &parts {
+            prop_assert!(part.len() >= 2);
+            for &v in part {
+                prop_assert!(seen.insert(v));
+            }
+            let d = subgraph_density(&g, part);
+            prop_assert!(d.mean_degree + 1e-9 >= 1.0, "avg degree {}", d.mean_degree);
+        }
+    }
+
+    #[test]
+    fn bd_reduction_out_links_mirror_graph(es in edges(15, 40)) {
+        let g = CsrGraph::from_edges(15, &es);
+        let bd = BipartiteGraph::duplicate_from(&g);
+        for v in 0..15u32 {
+            prop_assert_eq!(bd.out_links(v), g.neighbors(v));
+        }
+        prop_assert_eq!(bd.n_edges(), 2 * g.n_edges());
+    }
+
+    #[test]
+    fn induced_subgraph_degrees_bounded(es in edges(18, 50), keep in prop::collection::btree_set(0u32..18, 0..18)) {
+        let g = CsrGraph::from_edges(18, &es);
+        let keep: Vec<u32> = keep.into_iter().collect();
+        let (sub, mapping) = g.induced_subgraph(&keep);
+        prop_assert_eq!(sub.n_vertices(), keep.len());
+        for (local, &orig) in mapping.iter().enumerate() {
+            prop_assert!(sub.degree(local as u32) <= g.degree(orig));
+        }
+    }
+}

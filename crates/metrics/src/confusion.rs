@@ -1,0 +1,175 @@
+//! Pairwise confusion counts between two clusterings.
+//!
+//! The paper's quality assessment treats clustering comparison as binary
+//! classification over *pairs of sequences*: a pair is TP if co-clustered
+//! in both the Test and Benchmark schemes, FP if only in Test, FN if only
+//! in Benchmark, TN if in neither. Only sequences clustered under **both**
+//! schemes participate ("we calculated the above measures by observing the
+//! distribution of sequences that were included in the clustering under
+//! both schemes").
+//!
+//! Counting is O(n + #distinct label pairs) via a contingency table — the
+//! naive O(n²) pair scan would defeat the whole point of the paper.
+
+use std::collections::HashMap;
+
+/// Pairwise TP/FP/FN/TN counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairConfusion {
+    /// Pairs together in both clusterings.
+    pub tp: u64,
+    /// Pairs together in Test only.
+    pub fp: u64,
+    /// Pairs together in Benchmark only.
+    pub fn_: u64,
+    /// Pairs separated in both.
+    pub tn: u64,
+}
+
+/// `n choose 2` without overflow for the sizes at hand.
+#[inline]
+fn c2(n: u64) -> u64 {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Count pair agreements between `test` and `benchmark` label assignments.
+///
+/// `None` marks an element not clustered under that scheme; such elements
+/// are excluded from the comparison entirely.
+pub fn pair_confusion(test: &[Option<u32>], benchmark: &[Option<u32>]) -> PairConfusion {
+    assert_eq!(test.len(), benchmark.len(), "label arrays must align");
+    let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut test_sizes: HashMap<u32, u64> = HashMap::new();
+    let mut bench_sizes: HashMap<u32, u64> = HashMap::new();
+    let mut n = 0u64;
+    for (t, b) in test.iter().zip(benchmark) {
+        if let (Some(t), Some(b)) = (t, b) {
+            *joint.entry((*t, *b)).or_default() += 1;
+            *test_sizes.entry(*t).or_default() += 1;
+            *bench_sizes.entry(*b).or_default() += 1;
+            n += 1;
+        }
+    }
+    let tp: u64 = joint.values().map(|&v| c2(v)).sum();
+    let test_pairs: u64 = test_sizes.values().map(|&v| c2(v)).sum();
+    let bench_pairs: u64 = bench_sizes.values().map(|&v| c2(v)).sum();
+    let fp = test_pairs - tp;
+    let fn_ = bench_pairs - tp;
+    let tn = c2(n) - tp - fp - fn_;
+    PairConfusion { tp, fp, fn_, tn }
+}
+
+/// Convert cluster membership lists into a label array over `n` elements
+/// (`None` where an element belongs to no cluster). Panics if an element
+/// appears in two clusters.
+pub fn labels_from_clusters(n: usize, clusters: &[Vec<u32>]) -> Vec<Option<u32>> {
+    let mut labels = vec![None; n];
+    for (ci, cluster) in clusters.iter().enumerate() {
+        for &v in cluster {
+            assert!(
+                labels[v as usize].is_none(),
+                "element {v} appears in multiple clusters"
+            );
+            labels[v as usize] = Some(ci as u32);
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force pair counting for cross-validation.
+    fn naive(test: &[Option<u32>], bench: &[Option<u32>]) -> PairConfusion {
+        let mut c = PairConfusion::default();
+        for i in 0..test.len() {
+            for j in i + 1..test.len() {
+                let (Some(ti), Some(bi)) = (test[i], bench[i]) else { continue };
+                let (Some(tj), Some(bj)) = (test[j], bench[j]) else { continue };
+                match (ti == tj, bi == bj) {
+                    (true, true) => c.tp += 1,
+                    (true, false) => c.fp += 1,
+                    (false, true) => c.fn_ += 1,
+                    (false, false) => c.tn += 1,
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn identical_clusterings_have_no_errors() {
+        let labels: Vec<Option<u32>> = vec![Some(0), Some(0), Some(1), Some(1), Some(2)];
+        let c = pair_confusion(&labels, &labels);
+        assert_eq!(c.fp, 0);
+        assert_eq!(c.fn_, 0);
+        assert_eq!(c.tp, 2); // (0,1) and (2,3)
+        assert_eq!(c.tn, 10 - 2);
+    }
+
+    #[test]
+    fn fragmented_test_clustering_loses_tp_not_precision() {
+        // Benchmark: one cluster of 4. Test: two clusters of 2.
+        let test = vec![Some(0), Some(0), Some(1), Some(1)];
+        let bench = vec![Some(9), Some(9), Some(9), Some(9)];
+        let c = pair_confusion(&test, &bench);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 0, "fragmentation creates no false positives");
+        assert_eq!(c.fn_, 4);
+        assert_eq!(c.tn, 0);
+    }
+
+    #[test]
+    fn unclustered_elements_excluded() {
+        let test = vec![Some(0), Some(0), None, Some(1)];
+        let bench = vec![Some(0), Some(0), Some(0), None];
+        // Only elements 0 and 1 are clustered in both.
+        let c = pair_confusion(&test, &bench);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fp + c.fn_ + c.tn, 0);
+    }
+
+    #[test]
+    fn matches_naive_on_random_labelings() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let n = rng.gen_range(0..60);
+            let gen = |rng: &mut StdRng| -> Vec<Option<u32>> {
+                (0..n)
+                    .map(|_| {
+                        if rng.gen_bool(0.2) {
+                            None
+                        } else {
+                            Some(rng.gen_range(0..5))
+                        }
+                    })
+                    .collect()
+            };
+            let test = gen(&mut rng);
+            let bench = gen(&mut rng);
+            assert_eq!(pair_confusion(&test, &bench), naive(&test, &bench));
+        }
+    }
+
+    #[test]
+    fn labels_from_clusters_roundtrip() {
+        let clusters = vec![vec![0, 2], vec![3]];
+        let labels = labels_from_clusters(5, &clusters);
+        assert_eq!(labels, vec![Some(0), None, Some(0), Some(1), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple clusters")]
+    fn overlapping_clusters_rejected() {
+        let _ = labels_from_clusters(3, &[vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = pair_confusion(&[], &[]);
+        assert_eq!(c, PairConfusion::default());
+    }
+}

@@ -1,0 +1,211 @@
+//! Information-theoretic and chance-corrected clustering indices.
+//!
+//! The paper evaluates with pairwise PR/SE/OQ/CC; modern practice adds the
+//! Adjusted Rand Index (chance-corrected pair agreement), Normalized
+//! Mutual Information, and Variation of Information. All operate on the
+//! same contingency table and the same both-clustered element subset as
+//! [`crate::confusion`].
+
+use std::collections::HashMap;
+
+/// The shared contingency table of two labelings.
+struct Contingency {
+    joint: HashMap<(u32, u32), u64>,
+    a_sizes: HashMap<u32, u64>,
+    b_sizes: HashMap<u32, u64>,
+    n: u64,
+}
+
+fn contingency(a: &[Option<u32>], b: &[Option<u32>]) -> Contingency {
+    assert_eq!(a.len(), b.len(), "label arrays must align");
+    let mut c = Contingency {
+        joint: HashMap::new(),
+        a_sizes: HashMap::new(),
+        b_sizes: HashMap::new(),
+        n: 0,
+    };
+    for (x, y) in a.iter().zip(b) {
+        if let (Some(x), Some(y)) = (x, y) {
+            *c.joint.entry((*x, *y)).or_default() += 1;
+            *c.a_sizes.entry(*x).or_default() += 1;
+            *c.b_sizes.entry(*y).or_default() += 1;
+            c.n += 1;
+        }
+    }
+    c
+}
+
+#[inline]
+fn c2(n: u64) -> f64 {
+    (n as f64) * (n.saturating_sub(1) as f64) / 2.0
+}
+
+/// Adjusted Rand Index in `[-1, 1]`; 1 for identical clusterings, ≈ 0 for
+/// independent ones. Degenerate inputs (n < 2, or both clusterings
+/// trivial) return 1.0 when the clusterings agree exactly and 0.0
+/// otherwise, matching scikit-learn's convention.
+pub fn adjusted_rand_index(a: &[Option<u32>], b: &[Option<u32>]) -> f64 {
+    let c = contingency(a, b);
+    if c.n < 2 {
+        return 1.0;
+    }
+    let sum_ij: f64 = c.joint.values().map(|&v| c2(v)).sum();
+    let sum_a: f64 = c.a_sizes.values().map(|&v| c2(v)).sum();
+    let sum_b: f64 = c.b_sizes.values().map(|&v| c2(v)).sum();
+    let expected = sum_a * sum_b / c2(c.n);
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        // Both clusterings all-singletons or all-one-cluster.
+        return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Entropy (nats) of a size distribution.
+fn entropy(sizes: &HashMap<u32, u64>, n: u64) -> f64 {
+    sizes
+        .values()
+        .map(|&v| {
+            let p = v as f64 / n as f64;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Mutual information (nats) of the two labelings.
+fn mutual_information(c: &Contingency) -> f64 {
+    let n = c.n as f64;
+    c.joint
+        .iter()
+        .map(|(&(x, y), &v)| {
+            let pxy = v as f64 / n;
+            let px = c.a_sizes[&x] as f64 / n;
+            let py = c.b_sizes[&y] as f64 / n;
+            pxy * (pxy / (px * py)).ln()
+        })
+        .sum()
+}
+
+/// Normalized Mutual Information in `[0, 1]` (arithmetic-mean
+/// normalisation). Returns 1.0 when both clusterings are identical and
+/// both entropies are zero (single cluster each).
+pub fn normalized_mutual_information(a: &[Option<u32>], b: &[Option<u32>]) -> f64 {
+    let c = contingency(a, b);
+    if c.n == 0 {
+        return 1.0;
+    }
+    let ha = entropy(&c.a_sizes, c.n);
+    let hb = entropy(&c.b_sizes, c.n);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0;
+    }
+    let mi = mutual_information(&c);
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+/// Variation of Information (nats), a true metric on clusterings:
+/// `VI = H(A) + H(B) − 2·I(A,B)`; 0 iff the clusterings are identical.
+pub fn variation_of_information(a: &[Option<u32>], b: &[Option<u32>]) -> f64 {
+    let c = contingency(a, b);
+    if c.n == 0 {
+        return 0.0;
+    }
+    let ha = entropy(&c.a_sizes, c.n);
+    let hb = entropy(&c.b_sizes, c.n);
+    (ha + hb - 2.0 * mutual_information(&c)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(xs: &[u32]) -> Vec<Option<u32>> {
+        xs.iter().map(|&x| Some(x)).collect()
+    }
+
+    #[test]
+    fn identical_clusterings_score_perfectly() {
+        let l = labels(&[0, 0, 1, 1, 2, 2, 2]);
+        assert!((adjusted_rand_index(&l, &l) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&l, &l) - 1.0).abs() < 1e-12);
+        assert!(variation_of_information(&l, &l).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_is_invisible() {
+        let a = labels(&[0, 0, 1, 1, 2]);
+        let b = labels(&[7, 7, 3, 3, 9]);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        assert!(variation_of_information(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_ari_value() {
+        // Classic example: a = [0,0,1,1], b = [0,1,1,1].
+        // nij: (0,0)=1 (0,1)=1 (1,1)=2; sum_ij = C(2,2)=1.
+        // sum_a = 1+1 = 2; sum_b = C(1,2)+C(3,2) = 0+3 = 3; C(4,2)=6.
+        // expected = 1.0; max = 2.5; ARI = (1-1)/(2.5-1) = 0.
+        let a = labels(&[0, 0, 1, 1]);
+        let b = labels(&[0, 1, 1, 1]);
+        assert!(adjusted_rand_index(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fragmentation_keeps_positive_ari() {
+        // One benchmark cluster split into two: positive but < 1.
+        let test = labels(&[0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        let bench = labels(&[0, 0, 0, 0, 0, 0, 2, 2, 2]);
+        let ari = adjusted_rand_index(&test, &bench);
+        assert!(ari > 0.0 && ari < 1.0, "ari = {ari}");
+    }
+
+    #[test]
+    fn independent_clusterings_near_zero_ari() {
+        // Perfectly crossed 2×2 design: ARI should be ≤ 0.
+        let a = labels(&[0, 0, 1, 1]);
+        let b = labels(&[0, 1, 0, 1]);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari <= 0.0 + 1e-12, "ari = {ari}");
+    }
+
+    #[test]
+    fn vi_is_symmetric_and_triangleish() {
+        let a = labels(&[0, 0, 1, 1, 2, 2]);
+        let b = labels(&[0, 1, 1, 2, 2, 0]);
+        let c = labels(&[0, 0, 0, 1, 1, 1]);
+        let ab = variation_of_information(&a, &b);
+        let ba = variation_of_information(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        // Triangle inequality (VI is a metric).
+        let ac = variation_of_information(&a, &c);
+        let cb = variation_of_information(&c, &b);
+        assert!(ab <= ac + cb + 1e-9);
+    }
+
+    #[test]
+    fn unclustered_elements_excluded() {
+        let a = vec![Some(0), Some(0), None, Some(1)];
+        let b = vec![Some(5), Some(5), Some(5), None];
+        // Only the first two elements count: identical singleton problem.
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty: Vec<Option<u32>> = vec![];
+        assert_eq!(adjusted_rand_index(&empty, &empty), 1.0);
+        assert_eq!(normalized_mutual_information(&empty, &empty), 1.0);
+        assert_eq!(variation_of_information(&empty, &empty), 0.0);
+        let ones = labels(&[0, 0, 0]);
+        assert_eq!(adjusted_rand_index(&ones, &ones), 1.0);
+        assert_eq!(normalized_mutual_information(&ones, &ones), 1.0);
+    }
+
+    #[test]
+    fn nmi_bounded() {
+        let a = labels(&[0, 1, 2, 3, 0, 1, 2, 3]);
+        let b = labels(&[0, 0, 1, 1, 2, 2, 3, 3]);
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!((0.0..=1.0).contains(&nmi));
+    }
+}

@@ -1,0 +1,148 @@
+//! Cluster-level agreement measures: purity, inverse purity, and the
+//! clustering F-measure.
+//!
+//! Pair-based measures (the paper's PR/SE) weight large clusters
+//! quadratically; the set-matching family here weights elements linearly,
+//! so the two views together expose different failure modes (a merged
+//! giant hurts pair-PR badly but purity only proportionally; shattering
+//! hurts inverse purity / SE in both).
+
+use std::collections::HashMap;
+
+/// Purity, inverse purity, and F-measure of a Test clustering against a
+/// Benchmark clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetMeasures {
+    /// Weighted fraction of each test cluster belonging to its dominant
+    /// benchmark class.
+    pub purity: f64,
+    /// The same with roles swapped (a.k.a. completeness by majority).
+    pub inverse_purity: f64,
+    /// Van Rijsbergen clustering F-measure: weighted best-match F₁ over
+    /// benchmark classes.
+    pub f_measure: f64,
+}
+
+/// Compute set measures over label arrays (`None` = unclustered, excluded
+/// from the comparison, as in [`crate::confusion`]).
+pub fn set_measures(test: &[Option<u32>], benchmark: &[Option<u32>]) -> SetMeasures {
+    assert_eq!(test.len(), benchmark.len(), "label arrays must align");
+    let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut test_sizes: HashMap<u32, u64> = HashMap::new();
+    let mut bench_sizes: HashMap<u32, u64> = HashMap::new();
+    let mut n = 0u64;
+    for (t, b) in test.iter().zip(benchmark) {
+        if let (Some(t), Some(b)) = (t, b) {
+            *joint.entry((*t, *b)).or_default() += 1;
+            *test_sizes.entry(*t).or_default() += 1;
+            *bench_sizes.entry(*b).or_default() += 1;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return SetMeasures { purity: 0.0, inverse_purity: 0.0, f_measure: 0.0 };
+    }
+    // Purity: per test cluster, the dominant benchmark overlap.
+    let mut best_per_test: HashMap<u32, u64> = HashMap::new();
+    let mut best_per_bench: HashMap<u32, u64> = HashMap::new();
+    for (&(t, b), &count) in &joint {
+        let e = best_per_test.entry(t).or_default();
+        *e = (*e).max(count);
+        let e = best_per_bench.entry(b).or_default();
+        *e = (*e).max(count);
+    }
+    let purity = best_per_test.values().sum::<u64>() as f64 / n as f64;
+    let inverse_purity = best_per_bench.values().sum::<u64>() as f64 / n as f64;
+
+    // F-measure: for each benchmark class, the best F1 against any test
+    // cluster, weighted by class size.
+    let mut f_sum = 0.0;
+    for (&b, &bsize) in &bench_sizes {
+        let mut best_f = 0.0f64;
+        for (&(t, b2), &count) in &joint {
+            if b2 != b {
+                continue;
+            }
+            let precision = count as f64 / test_sizes[&t] as f64;
+            let recall = count as f64 / bsize as f64;
+            let f1 = 2.0 * precision * recall / (precision + recall);
+            best_f = best_f.max(f1);
+        }
+        f_sum += best_f * bsize as f64;
+    }
+    SetMeasures { purity, inverse_purity, f_measure: f_sum / n as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(xs: &[u32]) -> Vec<Option<u32>> {
+        xs.iter().map(|&x| Some(x)).collect()
+    }
+
+    #[test]
+    fn identical_clusterings_are_perfect() {
+        let l = labels(&[0, 0, 1, 1, 2]);
+        let m = set_measures(&l, &l);
+        assert_eq!(m.purity, 1.0);
+        assert_eq!(m.inverse_purity, 1.0);
+        assert_eq!(m.f_measure, 1.0);
+    }
+
+    #[test]
+    fn fragmentation_keeps_purity_loses_inverse_purity() {
+        // One benchmark class split into three test clusters.
+        let test = labels(&[0, 0, 1, 1, 2, 2]);
+        let bench = labels(&[9, 9, 9, 9, 9, 9]);
+        let m = set_measures(&test, &bench);
+        assert_eq!(m.purity, 1.0, "every test cluster is pure");
+        assert!((m.inverse_purity - 2.0 / 6.0).abs() < 1e-12);
+        // Best F1: any 2-element cluster vs the 6-class: p=1, r=1/3, f=0.5.
+        assert!((m.f_measure - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_keeps_inverse_purity_loses_purity() {
+        let test = labels(&[0, 0, 0, 0, 0, 0]);
+        let bench = labels(&[1, 1, 1, 2, 2, 2]);
+        let m = set_measures(&test, &bench);
+        assert!((m.purity - 0.5).abs() < 1e-12);
+        assert_eq!(m.inverse_purity, 1.0);
+    }
+
+    #[test]
+    fn unclustered_elements_excluded() {
+        let test = vec![Some(0), Some(0), None];
+        let bench = vec![Some(1), Some(1), Some(1)];
+        let m = set_measures(&test, &bench);
+        assert_eq!(m.purity, 1.0);
+        assert_eq!(m.inverse_purity, 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let m = set_measures(&[], &[]);
+        assert_eq!(m.purity, 0.0);
+        assert_eq!(m.f_measure, 0.0);
+    }
+
+    #[test]
+    fn measures_bounded() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..50);
+            let test: Vec<Option<u32>> = (0..n).map(|_| Some(rng.gen_range(0..5))).collect();
+            let bench: Vec<Option<u32>> = (0..n).map(|_| Some(rng.gen_range(0..5))).collect();
+            let m = set_measures(&test, &bench);
+            for v in [m.purity, m.inverse_purity, m.f_measure] {
+                assert!((0.0..=1.0).contains(&v), "{m:?}");
+            }
+            // Purity of a clustering against itself is always 1.
+            let selfm = set_measures(&test, &test);
+            assert_eq!(selfm.purity, 1.0);
+        }
+    }
+}

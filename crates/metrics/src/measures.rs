@@ -1,0 +1,112 @@
+//! The paper's four clustering-agreement measures (equations 1–4).
+
+use crate::confusion::PairConfusion;
+
+/// Precision, sensitivity, overlap quality and correlation coefficient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityMeasures {
+    /// Precision rate `TP / (TP + FP)`.
+    pub precision: f64,
+    /// Sensitivity `TP / (TP + FN)`.
+    pub sensitivity: f64,
+    /// Overlap quality `TP / (TP + FP + FN)`.
+    pub overlap_quality: f64,
+    /// Correlation coefficient
+    /// `(TP·TN − FP·FN) / √((TP+FP)(TN+FN)(TP+FN)(TN+FP))`.
+    pub correlation: f64,
+}
+
+impl QualityMeasures {
+    /// Derive all four measures from pairwise confusion counts.
+    /// Degenerate denominators yield 0.0 rather than NaN.
+    pub fn from_confusion(c: &PairConfusion) -> QualityMeasures {
+        let (tp, fp, fn_, tn) = (c.tp as f64, c.fp as f64, c.fn_ as f64, c.tn as f64);
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        let denom = ((tp + fp) * (tn + fn_) * (tp + fn_) * (tn + fp)).sqrt();
+        QualityMeasures {
+            precision: ratio(tp, tp + fp),
+            sensitivity: ratio(tp, tp + fn_),
+            overlap_quality: ratio(tp, tp + fp + fn_),
+            correlation: if denom > 0.0 { (tp * tn - fp * fn_) / denom } else { 0.0 },
+        }
+    }
+}
+
+impl std::fmt::Display for QualityMeasures {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PR={:.2}% SE={:.2}% OQ={:.2}% CC={:.2}%",
+            self.precision * 100.0,
+            self.sensitivity * 100.0,
+            self.overlap_quality * 100.0,
+            self.correlation * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let c = PairConfusion { tp: 10, fp: 0, fn_: 0, tn: 35 };
+        let m = QualityMeasures::from_confusion(&c);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.sensitivity, 1.0);
+        assert_eq!(m.overlap_quality, 1.0);
+        assert!((m.correlation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fragmentation_profile() {
+        // High precision, low sensitivity — the paper's signature outcome.
+        let c = PairConfusion { tp: 96, fp: 4, fn_: 80, tn: 500 };
+        let m = QualityMeasures::from_confusion(&c);
+        assert!(m.precision > 0.95);
+        assert!(m.sensitivity < 0.6);
+        assert!(m.overlap_quality < m.precision);
+        assert!(m.correlation > 0.0 && m.correlation < 1.0);
+    }
+
+    #[test]
+    fn anti_correlation_possible() {
+        let c = PairConfusion { tp: 0, fp: 50, fn_: 50, tn: 0 };
+        let m = QualityMeasures::from_confusion(&c);
+        assert!(m.correlation < 0.0);
+        assert_eq!(m.precision, 0.0);
+    }
+
+    #[test]
+    fn degenerate_counts_do_not_nan() {
+        let m = QualityMeasures::from_confusion(&PairConfusion::default());
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.sensitivity, 0.0);
+        assert_eq!(m.overlap_quality, 0.0);
+        assert_eq!(m.correlation, 0.0);
+        assert!(!m.correlation.is_nan());
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let c = PairConfusion { tp: 1, fp: 1, fn_: 3, tn: 5 };
+        let text = QualityMeasures::from_confusion(&c).to_string();
+        assert!(text.contains("PR=50.00%"));
+        assert!(text.contains("SE=25.00%"));
+    }
+
+    #[test]
+    fn large_counts_no_overflow() {
+        // Counts at the 160K-sequence scale: ~1.9e9 pairs.
+        let c = PairConfusion {
+            tp: 900_000_000,
+            fp: 40_000_000,
+            fn_: 700_000_000,
+            tn: 18_000_000_000,
+        };
+        let m = QualityMeasures::from_confusion(&c);
+        assert!(m.precision > 0.95);
+        assert!(m.correlation.is_finite());
+    }
+}

@@ -1,0 +1,456 @@
+//! The communicator: tagged point-to-point messaging plus collectives.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Wildcard source for [`Communicator::recv`].
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// Tags at or above this value are reserved for collectives.
+const RESERVED_TAG_BASE: u32 = u32::MAX - 16;
+const TAG_BARRIER_IN: u32 = RESERVED_TAG_BASE;
+const TAG_BARRIER_OUT: u32 = RESERVED_TAG_BASE + 1;
+const TAG_BCAST: u32 = RESERVED_TAG_BASE + 2;
+const TAG_GATHER: u32 = RESERVED_TAG_BASE + 3;
+const TAG_REDUCE: u32 = RESERVED_TAG_BASE + 4;
+const TAG_ALLTOALL: u32 = RESERVED_TAG_BASE + 5;
+
+struct Envelope {
+    from: usize,
+    tag: u32,
+    payload: Box<dyn Any + Send>,
+}
+
+/// One rank's endpoint of the SPMD world.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Messages received but not yet matched by a `recv` call.
+    pending: VecDeque<Envelope>,
+}
+
+impl Communicator {
+    /// This rank's id, `0 .. size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `value` to `to` with `tag`. Asynchronous (buffered); never
+    /// blocks. User tags must stay below the reserved range.
+    pub fn send<T: Any + Send>(&self, to: usize, tag: u32, value: T) {
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved for collectives");
+        self.send_raw(to, tag, value);
+    }
+
+    fn send_raw<T: Any + Send>(&self, to: usize, tag: u32, value: T) {
+        assert!(to < self.size, "rank {to} out of range (size {})", self.size);
+        self.senders[to]
+            .send(Envelope { from: self.rank, tag, payload: Box::new(value) })
+            .expect("receiving rank has exited with messages in flight");
+    }
+
+    /// Blocking receive of a `T` from `from` (or [`ANY_SOURCE`]) with `tag`.
+    /// Returns the actual source. Panics if the matched message holds a
+    /// different type — a type confusion bug in the caller.
+    pub fn recv<T: Any + Send>(&mut self, from: usize, tag: u32) -> (usize, T) {
+        // 1. Search already-buffered messages.
+        if let Some(at) = self
+            .pending
+            .iter()
+            .position(|e| e.tag == tag && (from == ANY_SOURCE || e.from == from))
+        {
+            let e = self.pending.remove(at).expect("index just found");
+            return (e.from, Self::open(e));
+        }
+        // 2. Pull from the inbox until a match appears.
+        loop {
+            let e = self.inbox.recv().expect("world kept alive during recv");
+            if e.tag == tag && (from == ANY_SOURCE || e.from == from) {
+                return (e.from, Self::open(e));
+            }
+            self.pending.push_back(e);
+        }
+    }
+
+    /// Non-blocking receive. `Some((source, value))` if a matching message
+    /// is available now.
+    pub fn try_recv<T: Any + Send>(&mut self, from: usize, tag: u32) -> Option<(usize, T)> {
+        if let Some(at) = self
+            .pending
+            .iter()
+            .position(|e| e.tag == tag && (from == ANY_SOURCE || e.from == from))
+        {
+            let e = self.pending.remove(at).expect("index just found");
+            return Some((e.from, Self::open(e)));
+        }
+        while let Ok(e) = self.inbox.try_recv() {
+            if e.tag == tag && (from == ANY_SOURCE || e.from == from) {
+                return Some((e.from, Self::open(e)));
+            }
+            self.pending.push_back(e);
+        }
+        None
+    }
+
+    fn open<T: Any + Send>(e: Envelope) -> T {
+        *e.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "message type mismatch on tag {} from rank {}: expected {}",
+                e.tag,
+                e.from,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Synchronise all ranks (central counter at rank 0).
+    pub fn barrier(&mut self) {
+        if self.rank == 0 {
+            for _ in 1..self.size {
+                let _ = self.recv_reserved::<()>(ANY_SOURCE, TAG_BARRIER_IN);
+            }
+            for r in 1..self.size {
+                self.send_raw(r, TAG_BARRIER_OUT, ());
+            }
+        } else {
+            self.send_raw(0, TAG_BARRIER_IN, ());
+            let _ = self.recv_reserved::<()>(0, TAG_BARRIER_OUT);
+        }
+    }
+
+    fn recv_reserved<T: Any + Send>(&mut self, from: usize, tag: u32) -> (usize, T) {
+        // Identical matching logic; reserved tags bypass the user-tag check.
+        if let Some(at) = self
+            .pending
+            .iter()
+            .position(|e| e.tag == tag && (from == ANY_SOURCE || e.from == from))
+        {
+            let e = self.pending.remove(at).expect("index just found");
+            return (e.from, Self::open(e));
+        }
+        loop {
+            let e = self.inbox.recv().expect("world kept alive during recv");
+            if e.tag == tag && (from == ANY_SOURCE || e.from == from) {
+                return (e.from, Self::open(e));
+            }
+            self.pending.push_back(e);
+        }
+    }
+
+    /// Broadcast from `root`: the root passes `Some(value)`, everyone else
+    /// `None`; all ranks return the value.
+    pub fn broadcast<T: Any + Send + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+        if self.rank == root {
+            let v = value.expect("root must supply the broadcast value");
+            for r in 0..self.size {
+                if r != root {
+                    self.send_raw(r, TAG_BCAST, v.clone());
+                }
+            }
+            v
+        } else {
+            assert!(value.is_none(), "non-root ranks must pass None");
+            self.recv_reserved::<T>(root, TAG_BCAST).1
+        }
+    }
+
+    /// Gather one value per rank at `root` (ordered by rank); other ranks
+    /// get `None`.
+    pub fn gather<T: Any + Send>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        if self.rank == root {
+            let mut slots: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+            slots[root] = Some(value);
+            // Receive per rank, in rank order: per-sender FIFO then keeps
+            // consecutive collectives (possibly of different types) from
+            // interleaving.
+            #[allow(clippy::needless_range_loop)] // r is the message source, not just an index
+            for r in 0..self.size {
+                if r != root {
+                    let (_, v) = self.recv_reserved::<T>(r, TAG_GATHER);
+                    slots[r] = Some(v);
+                }
+            }
+            Some(slots.into_iter().map(|s| s.expect("every rank gathered")).collect())
+        } else {
+            self.send_raw(root, TAG_GATHER, value);
+            None
+        }
+    }
+
+    /// Sum-reduce `value` at `root`.
+    pub fn reduce_sum(&mut self, root: usize, value: u64) -> Option<u64> {
+        if self.rank == root {
+            let mut total = value;
+            for r in 0..self.size {
+                if r != root {
+                    let (_, v) = self.recv_reserved::<u64>(r, TAG_REDUCE);
+                    total += v;
+                }
+            }
+            Some(total)
+        } else {
+            self.send_raw(root, TAG_REDUCE, value);
+            None
+        }
+    }
+
+    /// Sum-reduce to every rank.
+    pub fn all_reduce_sum(&mut self, value: u64) -> u64 {
+        let total = self.reduce_sum(0, value);
+        self.broadcast(0, total)
+    }
+
+    /// Personalized all-to-all: `outgoing[r]` is sent to rank `r`; returns
+    /// the messages received, indexed by source rank (`result[self.rank]`
+    /// is this rank's own bucket, moved without copying).
+    pub fn all_to_all<T: Any + Send + Default>(&mut self, mut outgoing: Vec<T>) -> Vec<T> {
+        assert_eq!(outgoing.len(), self.size, "one outgoing message per rank");
+        let mine = std::mem::take(&mut outgoing[self.rank]);
+        for (r, msg) in outgoing.into_iter().enumerate() {
+            if r != self.rank {
+                self.send_raw(r, TAG_ALLTOALL, msg);
+            }
+        }
+        let mut slots: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+        slots[self.rank] = Some(mine);
+        #[allow(clippy::needless_range_loop)] // r is the message source, not just an index
+        for r in 0..self.size {
+            if r != self.rank {
+                let (_, v) = self.recv_reserved::<T>(r, TAG_ALLTOALL);
+                slots[r] = Some(v);
+            }
+        }
+        slots.into_iter().map(|s| s.expect("every rank contributes")).collect()
+    }
+}
+
+/// Run `f` on `p` ranks (one thread each) and collect each rank's return
+/// value, ordered by rank.
+pub fn run_spmd<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Communicator) -> R + Sync,
+{
+    assert!(p >= 1, "need at least one rank");
+    let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(p);
+    let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let mut comms: Vec<Communicator> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Communicator {
+            rank,
+            size: p,
+            senders: senders.clone(),
+            inbox,
+            pending: VecDeque::new(),
+        })
+        .collect();
+    drop(senders);
+
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for comm in comms.iter_mut() {
+            handles.push(scope.spawn(move || f(comm)));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // Re-raise with the original payload so callers (and
+                // `should_panic` tests) see the rank's own message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_accumulates() {
+        let results = run_spmd(5, |comm| {
+            let (rank, size) = (comm.rank(), comm.size());
+            if rank == 0 {
+                comm.send(1, 7, 1u64);
+                let (_, total) = comm.recv::<u64>(size - 1, 7);
+                total
+            } else {
+                let (_, v) = comm.recv::<u64>(rank - 1, 7);
+                comm.send((rank + 1) % size, 7, v + 1);
+                v
+            }
+        });
+        assert_eq!(results[0], 5, "one increment per hop");
+    }
+
+    #[test]
+    fn messages_non_overtaking_per_sender_tag() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u32 {
+                    comm.send(1, 3, i);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| comm.recv::<u32>(0, 3).1).collect::<Vec<u32>>()
+            }
+        });
+        assert_eq!(results[1], (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn tags_keep_message_streams_apart() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, "tag-one");
+                comm.send(1, 2, "tag-two");
+                (String::new(), String::new())
+            } else {
+                // Receive in the opposite order of sending.
+                let (_, b) = comm.recv::<&str>(0, 2);
+                let (_, a) = comm.recv::<&str>(0, 1);
+                (a.to_owned(), b.to_owned())
+            }
+        });
+        assert_eq!(results[1], ("tag-one".to_owned(), "tag-two".to_owned()));
+    }
+
+    #[test]
+    fn any_source_receives_from_everyone() {
+        let results = run_spmd(6, |comm| {
+            if comm.rank() == 0 {
+                let mut got: Vec<usize> = (1..comm.size())
+                    .map(|_| comm.recv::<u64>(ANY_SOURCE, 9).0)
+                    .collect();
+                got.sort_unstable();
+                got
+            } else {
+                comm.send(0, 9, comm.rank() as u64);
+                Vec::new()
+            }
+        });
+        assert_eq!(results[0], vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let results = run_spmd(4, |comm| {
+            let v = if comm.rank() == 2 {
+                comm.broadcast(2, Some(vec![1u8, 2, 3]))
+            } else {
+                comm.broadcast::<Vec<u8>>(2, None)
+            };
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn gather_ordered_by_rank() {
+        let results = run_spmd(4, |comm| comm.gather(0, comm.rank() as u32 * 10));
+        assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
+        assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn reduce_and_allreduce() {
+        let results = run_spmd(8, |comm| {
+            let at_root = comm.reduce_sum(3, 1);
+            let everywhere = comm.all_reduce_sum(2);
+            (at_root, everywhere)
+        });
+        for (rank, (at_root, everywhere)) in results.into_iter().enumerate() {
+            assert_eq!(at_root, if rank == 3 { Some(8) } else { None });
+            assert_eq!(everywhere, 16);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        let results = run_spmd(6, |comm| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all 6 increments.
+            phase1.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&seen| seen == 6), "{results:?}");
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let results = run_spmd(1, |comm| {
+            comm.barrier();
+            assert_eq!(comm.all_reduce_sum(7), 7);
+            assert_eq!(comm.gather(0, 42u8), Some(vec![42]));
+            comm.rank()
+        });
+        assert_eq!(results, vec![0]);
+    }
+
+    #[test]
+    fn all_to_all_routes_by_destination() {
+        let results = run_spmd(4, |comm| {
+            let outgoing: Vec<Vec<u32>> = (0..comm.size())
+                .map(|to| vec![comm.rank() as u32 * 10 + to as u32])
+                .collect();
+            comm.all_to_all(outgoing)
+        });
+        for (rank, incoming) in results.into_iter().enumerate() {
+            for (from, msg) in incoming.into_iter().enumerate() {
+                assert_eq!(msg, vec![from as u32 * 10 + rank as u32]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for collectives")]
+    fn reserved_tags_rejected() {
+        // Only rank 0 acts; rank 1 returns immediately so the panic can
+        // propagate through the join (a blocking recv here would deadlock
+        // the scope).
+        run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, u32::MAX - 1, 0u8);
+            }
+        });
+    }
+
+    #[test]
+    fn mixed_types_same_channel() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 42u64);
+                comm.send(1, 2, "hello".to_owned());
+                comm.send(1, 3, vec![1.0f64, 2.0]);
+                0.0
+            } else {
+                let (_, n) = comm.recv::<u64>(0, 1);
+                let (_, s) = comm.recv::<String>(0, 2);
+                let (_, v) = comm.recv::<Vec<f64>>(0, 3);
+                n as f64 + s.len() as f64 + v.iter().sum::<f64>()
+            }
+        });
+        assert_eq!(results[1], 42.0 + 5.0 + 3.0);
+    }
+}

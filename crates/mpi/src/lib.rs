@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # pfam-mpi — a thread-backed SPMD message-passing runtime
+//!
+//! The paper's implementation is C + MPI on a BlueGene/L. This crate
+//! provides the same programming model — a fixed set of ranks running the
+//! same program, communicating only through tagged point-to-point messages
+//! and collectives — on threads of one machine, so the distributed
+//! algorithms (`pfam_cluster::spmd`) can be written exactly as they would
+//! be against MPI and tested deterministically.
+//!
+//! ```
+//! use pfam_mpi::run_spmd;
+//!
+//! // Every rank sends its rank number to rank 0, which sums them.
+//! let results = run_spmd(4, |comm| {
+//!     let total = comm.reduce_sum(0, comm.rank() as u64);
+//!     comm.barrier();
+//!     total
+//! });
+//! assert_eq!(results[0], Some(0 + 1 + 2 + 3));
+//! assert!(results[1..].iter().all(Option::is_none));
+//! ```
+//!
+//! Semantics follow MPI where it matters:
+//! * messages between a fixed (sender, receiver, tag) triple arrive in
+//!   send order (non-overtaking);
+//! * `recv` blocks; `try_recv` polls;
+//! * collectives must be called by every rank (they are built from
+//!   reserved-tag point-to-point messages).
+
+pub mod comm;
+
+pub use comm::{run_spmd, Communicator, ANY_SOURCE};

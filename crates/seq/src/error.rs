@@ -1,0 +1,87 @@
+//! Error type shared by the sequence substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing or constructing sequence data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A byte that is not a recognised amino-acid code (or `*`/`X`).
+    InvalidResidue {
+        /// The offending byte.
+        byte: u8,
+        /// 0-based position within the record it appeared in.
+        position: usize,
+    },
+    /// A byte that is not a recognised nucleotide code.
+    InvalidNucleotide {
+        /// The offending byte.
+        byte: u8,
+        /// 0-based position within the record it appeared in.
+        position: usize,
+    },
+    /// FASTA structure violation (e.g. sequence data before the first `>`).
+    Format(String),
+    /// An empty sequence where a non-empty one is required.
+    EmptySequence {
+        /// Identifier (header or index) of the empty record.
+        id: String,
+    },
+    /// Underlying I/O failure, carried as a string to keep the type `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidResidue { byte, position } => write!(
+                f,
+                "invalid amino-acid residue byte 0x{byte:02x} ({:?}) at position {position}",
+                *byte as char
+            ),
+            SeqError::InvalidNucleotide { byte, position } => write!(
+                f,
+                "invalid nucleotide byte 0x{byte:02x} ({:?}) at position {position}",
+                *byte as char
+            ),
+            SeqError::Format(msg) => write!(f, "malformed FASTA: {msg}"),
+            SeqError::EmptySequence { id } => write!(f, "empty sequence: {id}"),
+            SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+impl From<std::io::Error> for SeqError {
+    fn from(e: std::io::Error) -> Self {
+        SeqError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SeqError::InvalidResidue { byte: b'1', position: 7 };
+        let s = e.to_string();
+        assert!(s.contains("0x31"));
+        assert!(s.contains("position 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: SeqError = io.into();
+        assert!(matches!(e, SeqError::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = SeqError::EmptySequence { id: "x".into() };
+        let b = SeqError::EmptySequence { id: "x".into() };
+        assert_eq!(a, b);
+    }
+}

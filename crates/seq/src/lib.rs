@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # pfam-seq — sequence substrate
+//!
+//! The lowest layer of the `pfam` workspace: amino-acid alphabet handling,
+//! compact arena-backed sequence storage, FASTA parsing/writing, substitution
+//! scoring matrices (BLOSUM/PAM), k-mer iteration and six-frame ORF
+//! extraction from nucleotide fragments.
+//!
+//! Everything above (suffix indexes, alignment, clustering, the pipeline)
+//! consumes the [`SequenceSet`] type defined here, which stores all residues
+//! of a data set contiguously so that downstream index structures (suffix
+//! arrays, suffix trees) can be built over a single text with sentinels.
+//!
+//! This crate corresponds to the "input ORFs" box of Figure 2 in
+//! Wu & Kalyanaraman (SC 2008).
+
+pub mod alphabet;
+pub mod complexity;
+pub mod composition;
+pub mod error;
+pub mod fasta;
+pub mod kmer;
+pub mod minimizer;
+pub mod orf;
+pub mod scoring;
+pub mod sequence;
+pub mod stats;
+
+pub use alphabet::{AminoAcid, ALPHABET_SIZE};
+pub use composition::Composition;
+pub use error::SeqError;
+pub use kmer::KmerIter;
+pub use minimizer::{minimizers, Minimizer};
+pub use scoring::{ScoringScheme, SubstMatrix};
+pub use sequence::{SeqId, Sequence, SequenceSet, SequenceSetBuilder};
+pub use stats::LengthStats;

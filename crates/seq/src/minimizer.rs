@@ -1,0 +1,212 @@
+//! (w, k)-minimizer selection.
+//!
+//! Minimizers are the modern descendant of the paper's fixed-length word
+//! seeds: instead of indexing *every* k-mer, keep only the minimum-hash
+//! k-mer of each w-window. Two sequences sharing a long exact match are
+//! guaranteed to share its minimizers, so minimizer seeding preserves the
+//! maximal-match filter's guarantees at a fraction of the index size —
+//! the natural next step for scaling the pipeline beyond what the paper
+//! attempted.
+
+use crate::kmer::KmerIter;
+
+/// One selected minimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Minimizer {
+    /// Start offset of the k-mer in the sequence.
+    pub position: u32,
+    /// Packed base-21 k-mer value (see [`crate::kmer`]).
+    pub kmer: u64,
+}
+
+/// Mix a packed k-mer so ties are broken pseudo-randomly rather than
+/// lexicographically (lexicographic minima over-select poly-A-like seeds).
+#[inline]
+fn mix(kmer: u64) -> u64 {
+    // SplitMix64 finalizer.
+    let mut z = kmer.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Select the (w, k)-minimizers of `codes`: for every window of `w`
+/// consecutive k-mers, the one with the smallest mixed hash (leftmost on
+/// ties). Consecutive windows usually share their minimum, so the output
+/// is deduplicated and typically ~`2/(w+1)` of all k-mers.
+///
+/// Windows interrupted by `X` residues restart (no k-mer covers an `X`).
+pub fn minimizers(codes: &[u8], w: usize, k: usize) -> Vec<Minimizer> {
+    assert!(w >= 1, "window must cover at least one k-mer");
+    let kmers: Vec<(usize, u64)> = KmerIter::new(codes, k).collect();
+    let mut out: Vec<Minimizer> = Vec::new();
+    if kmers.is_empty() {
+        return out;
+    }
+    // Split into gap-free stretches (X breaks positions' continuity).
+    let mut stretch_start = 0usize;
+    for i in 0..=kmers.len() {
+        let broken = i == kmers.len() || (i > 0 && kmers[i].0 != kmers[i - 1].0 + 1);
+        if !broken {
+            continue;
+        }
+        let stretch = &kmers[stretch_start..i];
+        stretch_start = i;
+        // Monotone deque over the mixed hash within each stretch.
+        let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for (j, &(_, kmer)) in stretch.iter().enumerate() {
+            let h = mix(kmer);
+            while let Some(&back) = deque.back() {
+                if mix(stretch[back].1) > h {
+                    deque.pop_back();
+                } else {
+                    break;
+                }
+            }
+            deque.push_back(j);
+            if let Some(&front) = deque.front() {
+                if j >= w && front + w <= j {
+                    deque.pop_front();
+                }
+            }
+            if j + 1 >= w {
+                let &min_idx = deque.front().expect("window is non-empty");
+                let m = Minimizer {
+                    position: stretch[min_idx].0 as u32,
+                    kmer: stretch[min_idx].1,
+                };
+                if out.last() != Some(&m) {
+                    out.push(m);
+                }
+            }
+        }
+        // Short stretches (< w k-mers) still contribute their overall
+        // minimum, so no stretch is left unseeded.
+        if !stretch.is_empty() && stretch.len() < w {
+            let &(pos, kmer) = stretch
+                .iter()
+                .min_by_key(|&&(p, km)| (mix(km), p))
+                .expect("non-empty");
+            let m = Minimizer { position: pos as u32, kmer };
+            if out.last() != Some(&m) {
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::encode;
+
+    fn codes(s: &str) -> Vec<u8> {
+        encode(s.as_bytes()).unwrap()
+    }
+
+    /// Reference implementation: per window, scan for the minimum.
+    fn naive(codes: &[u8], w: usize, k: usize) -> Vec<Minimizer> {
+        let kmers: Vec<(usize, u64)> = KmerIter::new(codes, k).collect();
+        let mut out: Vec<Minimizer> = Vec::new();
+        let mut stretch: Vec<(usize, u64)> = Vec::new();
+        let flush = |stretch: &mut Vec<(usize, u64)>, out: &mut Vec<Minimizer>| {
+            if stretch.is_empty() {
+                return;
+            }
+            if stretch.len() < w {
+                let &(p, km) =
+                    stretch.iter().min_by_key(|&&(p, km)| (super::mix(km), p)).unwrap();
+                let m = Minimizer { position: p as u32, kmer: km };
+                if out.last() != Some(&m) {
+                    out.push(m);
+                }
+            } else {
+                for win in stretch.windows(w) {
+                    let &(p, km) =
+                        win.iter().min_by_key(|&&(p, km)| (super::mix(km), p)).unwrap();
+                    let m = Minimizer { position: p as u32, kmer: km };
+                    if out.last() != Some(&m) {
+                        out.push(m);
+                    }
+                }
+            }
+            stretch.clear();
+        };
+        for &(p, km) in &kmers {
+            if let Some(&(lp, _)) = stretch.last() {
+                if p != lp + 1 {
+                    flush(&mut stretch, &mut out);
+                }
+            }
+            stretch.push((p, km));
+        }
+        flush(&mut stretch, &mut out);
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_random_sequences() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..120);
+            let c: Vec<u8> = (0..n)
+                .map(|_| if rng.gen_bool(0.05) { 20 } else { rng.gen_range(0..20u8) })
+                .collect();
+            let w = rng.gen_range(1..8);
+            let k = rng.gen_range(2..6);
+            assert_eq!(minimizers(&c, w, k), naive(&c, w, k), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn shared_substring_shares_minimizers() {
+        // The guarantee the seeding relies on: an exact shared region of
+        // length ≥ w + k − 1 shares at least one minimizer.
+        let core = "MKVLWAAKNDCQEGH";
+        let a = codes(&format!("RRRR{core}TTTT"));
+        let b = codes(&format!("GGGG{core}PPPP"));
+        let (w, k) = (4usize, 5usize);
+        let ma: std::collections::HashSet<u64> =
+            minimizers(&a, w, k).into_iter().map(|m| m.kmer).collect();
+        let shared = minimizers(&b, w, k).iter().any(|m| ma.contains(&m.kmer));
+        assert!(shared, "shared core must produce a shared minimizer");
+    }
+
+    #[test]
+    fn density_is_sublinear() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let c: Vec<u8> = (0..5000).map(|_| rng.gen_range(0..20u8)).collect();
+        let all_kmers = KmerIter::new(&c, 5).count();
+        let picked = minimizers(&c, 10, 5).len();
+        let density = picked as f64 / all_kmers as f64;
+        // Expected ~2/(w+1) ≈ 0.18.
+        assert!((0.1..0.3).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn empty_and_short_inputs() {
+        assert!(minimizers(&[], 4, 5).is_empty());
+        let short = codes("MKV");
+        assert!(minimizers(&short, 4, 5).is_empty(), "no 5-mers in 3 residues");
+        // A stretch shorter than w still yields its minimum.
+        let medium = codes("MKVLWA");
+        assert_eq!(minimizers(&medium, 10, 5).len(), 1);
+    }
+
+    #[test]
+    fn x_breaks_windows() {
+        let c = codes("MKVLWAXMKVLWA");
+        let ms = minimizers(&c, 2, 5);
+        // Positions 0..2 before X and 7..9 after; none covering index 6.
+        for m in &ms {
+            let range = m.position as usize..m.position as usize + 5;
+            assert!(!range.contains(&6), "minimizer covers the X: {m:?}");
+        }
+        assert!(!ms.is_empty());
+    }
+}

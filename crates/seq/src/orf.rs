@@ -1,0 +1,315 @@
+//! Six-frame translation and ORF extraction from nucleotide fragments.
+//!
+//! Metagenomic pipelines receive shotgun DNA fragments; the peptide
+//! sequences the clustering operates on are Open Reading Frames predicted
+//! from those fragments. This module provides the standard genetic code,
+//! reverse complementation, six-frame translation, and stop-to-stop /
+//! start-to-stop ORF calling with a minimum-length filter — enough to turn
+//! a synthetic DNA read set into the ORF collections the pipeline consumes.
+
+use crate::alphabet::AminoAcid;
+use crate::SeqError;
+
+/// A DNA base, `A`/`C`/`G`/`T`, with `N` for ambiguity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Nucleotide {
+    /// Adenine.
+    A,
+    /// Cytosine.
+    C,
+    /// Guanine.
+    G,
+    /// Thymine.
+    T,
+    /// Any / unknown.
+    N,
+}
+
+impl Nucleotide {
+    /// Parse an ASCII base (case-insensitive; `U` is accepted as `T`).
+    pub fn from_letter(letter: u8) -> Result<Nucleotide, SeqError> {
+        match letter.to_ascii_uppercase() {
+            b'A' => Ok(Nucleotide::A),
+            b'C' => Ok(Nucleotide::C),
+            b'G' => Ok(Nucleotide::G),
+            b'T' | b'U' => Ok(Nucleotide::T),
+            b'N' => Ok(Nucleotide::N),
+            other => Err(SeqError::InvalidNucleotide { byte: other, position: 0 }),
+        }
+    }
+
+    /// Watson–Crick complement (`N` maps to `N`).
+    pub fn complement(self) -> Nucleotide {
+        match self {
+            Nucleotide::A => Nucleotide::T,
+            Nucleotide::T => Nucleotide::A,
+            Nucleotide::C => Nucleotide::G,
+            Nucleotide::G => Nucleotide::C,
+            Nucleotide::N => Nucleotide::N,
+        }
+    }
+
+    /// ASCII letter.
+    pub fn letter(self) -> u8 {
+        match self {
+            Nucleotide::A => b'A',
+            Nucleotide::C => b'C',
+            Nucleotide::G => b'G',
+            Nucleotide::T => b'T',
+            Nucleotide::N => b'N',
+        }
+    }
+
+    /// Index for codon lookup in T,C,A,G order; `None` for `N`.
+    fn tcag_index(self) -> Option<usize> {
+        match self {
+            Nucleotide::T => Some(0),
+            Nucleotide::C => Some(1),
+            Nucleotide::A => Some(2),
+            Nucleotide::G => Some(3),
+            Nucleotide::N => None,
+        }
+    }
+}
+
+/// Parse a DNA string.
+pub fn parse_dna(letters: &[u8]) -> Result<Vec<Nucleotide>, SeqError> {
+    letters
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            Nucleotide::from_letter(b)
+                .map_err(|_| SeqError::InvalidNucleotide { byte: b, position: i })
+        })
+        .collect()
+}
+
+/// Reverse complement of a DNA strand.
+pub fn reverse_complement(dna: &[Nucleotide]) -> Vec<Nucleotide> {
+    dna.iter().rev().map(|n| n.complement()).collect()
+}
+
+/// Result of translating one codon: a residue or a stop signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Translation {
+    /// A standard (or unknown, for ambiguous codons) residue.
+    Residue(AminoAcid),
+    /// A stop codon (`TAA`, `TAG`, `TGA`).
+    Stop,
+}
+
+/// Standard genetic code, bases cycling T,C,A,G with the third position
+/// fastest — the classical textbook layout.
+const CODE: &[u8; 64] = b"FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG";
+
+/// Translate a single codon under the standard genetic code. Codons
+/// containing `N` translate to the ambiguity residue `X`.
+pub fn translate_codon(c: [Nucleotide; 3]) -> Translation {
+    match (c[0].tcag_index(), c[1].tcag_index(), c[2].tcag_index()) {
+        (Some(a), Some(b), Some(d)) => {
+            let letter = CODE[16 * a + 4 * b + d];
+            if letter == b'*' {
+                Translation::Stop
+            } else {
+                Translation::Residue(AminoAcid::from_letter(letter).expect("code table is valid"))
+            }
+        }
+        _ => Translation::Residue(AminoAcid::UNKNOWN),
+    }
+}
+
+/// Translate a reading frame into residues-or-stops, consuming complete
+/// codons only.
+pub fn translate_frame(dna: &[Nucleotide]) -> Vec<Translation> {
+    dna.chunks_exact(3).map(|c| translate_codon([c[0], c[1], c[2]])).collect()
+}
+
+/// How ORFs are delimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrfMode {
+    /// Maximal stop-free stretches (standard for fragment data, where reads
+    /// truncate genes and a start codon may be missing).
+    StopToStop,
+    /// Require an initiator methionine: ORFs run from an `M` to the stop.
+    StartToStop,
+}
+
+/// One predicted ORF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orf {
+    /// Frame 0..=2 on the forward strand, 3..=5 on the reverse strand.
+    pub frame: u8,
+    /// Offset of the first codon within the (possibly reverse-complemented)
+    /// frame, in codons.
+    pub codon_start: usize,
+    /// Peptide residues as internal codes.
+    pub peptide: Vec<u8>,
+}
+
+/// Extract ORFs from all six frames of `dna`, keeping peptides of at least
+/// `min_len` residues.
+pub fn find_orfs(dna: &[Nucleotide], mode: OrfMode, min_len: usize) -> Vec<Orf> {
+    let rc = reverse_complement(dna);
+    let mut out = Vec::new();
+    for frame in 0..6u8 {
+        let strand: &[Nucleotide] = if frame < 3 { dna } else { &rc };
+        let shift = (frame % 3) as usize;
+        if strand.len() < shift {
+            continue;
+        }
+        let translated = translate_frame(&strand[shift..]);
+        extract_from_frame(&translated, frame, mode, min_len, &mut out);
+    }
+    out
+}
+
+fn extract_from_frame(
+    translated: &[Translation],
+    frame: u8,
+    mode: OrfMode,
+    min_len: usize,
+    out: &mut Vec<Orf>,
+) {
+    let mut run_start: Option<usize> = None;
+    for (i, t) in translated.iter().chain(std::iter::once(&Translation::Stop)).enumerate() {
+        match t {
+            Translation::Residue(aa) => {
+                if run_start.is_none() {
+                    let is_start = match mode {
+                        OrfMode::StopToStop => true,
+                        OrfMode::StartToStop => aa.letter() == b'M',
+                    };
+                    if is_start {
+                        run_start = Some(i);
+                    }
+                }
+            }
+            Translation::Stop => {
+                if let Some(s) = run_start.take() {
+                    if i - s >= min_len {
+                        let peptide: Vec<u8> = translated[s..i]
+                            .iter()
+                            .map(|t| match t {
+                                Translation::Residue(aa) => aa.code(),
+                                Translation::Stop => unreachable!("stop inside run"),
+                            })
+                            .collect();
+                        out.push(Orf { frame, codon_start: s, peptide });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::decode;
+
+    fn dna(s: &str) -> Vec<Nucleotide> {
+        parse_dna(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn codon_table_spot_checks() {
+        assert_eq!(
+            translate_codon([Nucleotide::A, Nucleotide::T, Nucleotide::G]),
+            Translation::Residue(AminoAcid::from_letter(b'M').unwrap())
+        );
+        assert_eq!(
+            translate_codon([Nucleotide::T, Nucleotide::G, Nucleotide::G]),
+            Translation::Residue(AminoAcid::from_letter(b'W').unwrap())
+        );
+        for stop in ["TAA", "TAG", "TGA"] {
+            let c = dna(stop);
+            assert_eq!(translate_codon([c[0], c[1], c[2]]), Translation::Stop, "{stop}");
+        }
+    }
+
+    #[test]
+    fn n_codon_is_unknown() {
+        let c = dna("ANT");
+        assert_eq!(
+            translate_codon([c[0], c[1], c[2]]),
+            Translation::Residue(AminoAcid::UNKNOWN)
+        );
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let d = dna("ACGTTGCAN");
+        assert_eq!(reverse_complement(&reverse_complement(&d)), d);
+    }
+
+    #[test]
+    fn translate_known_gene() {
+        // ATG AAA GTT TGG TAA -> M K V W *
+        let t = translate_frame(&dna("ATGAAAGTTTGGTAA"));
+        let peptide: String = t
+            .iter()
+            .filter_map(|x| match x {
+                Translation::Residue(aa) => Some(aa.letter() as char),
+                Translation::Stop => None,
+            })
+            .collect();
+        assert_eq!(peptide, "MKVW");
+        assert_eq!(*t.last().unwrap(), Translation::Stop);
+    }
+
+    #[test]
+    fn orf_stop_to_stop() {
+        // Frame 0: MKVW* then GA (incomplete) — one ORF of length 4.
+        let orfs = find_orfs(&dna("ATGAAAGTTTGGTAA"), OrfMode::StopToStop, 4);
+        let forward: Vec<_> = orfs.iter().filter(|o| o.frame == 0).collect();
+        assert_eq!(forward.len(), 1);
+        assert_eq!(decode(&forward[0].peptide), "MKVW");
+    }
+
+    #[test]
+    fn orf_start_to_stop_requires_m() {
+        // Frame 0 reads KVW (no M) -> nothing in StartToStop mode.
+        let d = dna("AAAGTTTGGTAA");
+        assert!(find_orfs(&d, OrfMode::StartToStop, 1)
+            .iter()
+            .all(|o| o.frame != 0 || decode(&o.peptide).starts_with('M')));
+        // StopToStop finds the stretch.
+        let stop_mode = find_orfs(&d, OrfMode::StopToStop, 3);
+        assert!(stop_mode.iter().any(|o| o.frame == 0 && decode(&o.peptide) == "KVW"));
+    }
+
+    #[test]
+    fn min_len_filters() {
+        let d = dna("ATGAAAGTTTGGTAA");
+        assert!(find_orfs(&d, OrfMode::StopToStop, 5).iter().all(|o| o.peptide.len() >= 5));
+    }
+
+    #[test]
+    fn reverse_strand_orfs_found() {
+        // Reverse complement of ATGAAATGA codes for something on frames 3..6.
+        let d = dna("TCATTTCAT"); // revcomp = ATGAAATGA -> frame 3: M K (stop)
+        let orfs = find_orfs(&d, OrfMode::StartToStop, 2);
+        assert!(orfs.iter().any(|o| o.frame >= 3 && decode(&o.peptide) == "MK"),
+            "orfs: {orfs:?}");
+    }
+
+    #[test]
+    fn six_frames_cover_shifts() {
+        let d = dna("ACGTACGTACGTACGT");
+        let orfs = find_orfs(&d, OrfMode::StopToStop, 1);
+        let frames: std::collections::HashSet<u8> = orfs.iter().map(|o| o.frame).collect();
+        // T/Y-rich repeats: every frame yields at least one stop-free run.
+        assert!(frames.len() >= 4, "frames seen: {frames:?}");
+    }
+
+    #[test]
+    fn invalid_base_reported_with_position() {
+        let err = parse_dna(b"ACGQ").unwrap_err();
+        assert_eq!(err, SeqError::InvalidNucleotide { byte: b'Q', position: 3 });
+    }
+
+    #[test]
+    fn u_accepted_as_t() {
+        assert_eq!(Nucleotide::from_letter(b'u').unwrap(), Nucleotide::T);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests over the sequence substrate.
+
+use proptest::prelude::*;
+
+use pfam_seq::alphabet::{decode, encode};
+use pfam_seq::complexity::{mask_low_complexity, window_entropy, MaskParams};
+use pfam_seq::fasta::{read_fasta_str, to_fasta_string};
+use pfam_seq::kmer::{pack_word, unpack_word, KmerIter};
+use pfam_seq::minimizer::minimizers;
+use pfam_seq::orf::{find_orfs, parse_dna, reverse_complement, OrfMode};
+use pfam_seq::{Composition, LengthStats, SequenceSetBuilder};
+
+fn residue_string() -> impl Strategy<Value = String> {
+    "[ARNDCQEGHILKMFPSTWYVX]{1,60}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fasta_round_trip(seqs in prop::collection::vec(residue_string(), 1..8)) {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("seq {i} with description"), s.as_bytes()).unwrap();
+        }
+        let set = b.finish();
+        let reparsed = read_fasta_str(&to_fasta_string(&set)).unwrap();
+        prop_assert_eq!(set.len(), reparsed.len());
+        for (a, b) in set.iter().zip(reparsed.iter()) {
+            prop_assert_eq!(a.header, b.header);
+            prop_assert_eq!(a.codes, b.codes);
+        }
+    }
+
+    #[test]
+    fn encode_decode_identity(s in residue_string()) {
+        prop_assert_eq!(decode(&encode(s.as_bytes()).unwrap()), s);
+    }
+
+    #[test]
+    fn kmer_windows_match_slices(codes in prop::collection::vec(0u8..21, 0..60), k in 1usize..6) {
+        for (pos, packed) in KmerIter::new(&codes, k) {
+            let window = &codes[pos..pos + k];
+            prop_assert!(window.iter().all(|&c| c != 20), "window covers an X");
+            prop_assert_eq!(pack_word(window), Some(packed));
+            prop_assert_eq!(unpack_word(packed, k), window.to_vec());
+        }
+    }
+
+    #[test]
+    fn minimizers_are_a_subset_of_kmers(
+        codes in prop::collection::vec(0u8..21, 0..80),
+        w in 1usize..6,
+        k in 2usize..5,
+    ) {
+        let all: std::collections::HashSet<(usize, u64)> =
+            KmerIter::new(&codes, k).collect();
+        for m in minimizers(&codes, w, k) {
+            prop_assert!(all.contains(&(m.position as usize, m.kmer)));
+        }
+    }
+
+    #[test]
+    fn masking_preserves_length_and_only_masks(codes in prop::collection::vec(0u8..20, 0..80)) {
+        let masked = mask_low_complexity(&codes, &MaskParams::default());
+        prop_assert_eq!(masked.len(), codes.len());
+        for (&before, &after) in codes.iter().zip(&masked) {
+            prop_assert!(after == before || after == 20, "masking may only write X");
+        }
+    }
+
+    #[test]
+    fn entropy_bounded(codes in prop::collection::vec(0u8..21, 0..40)) {
+        let e = window_entropy(&codes);
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= (21f64).log2() + 1e-12);
+    }
+
+    #[test]
+    fn composition_frequencies_sum_to_one(seqs in prop::collection::vec(residue_string(), 1..5)) {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+        }
+        let set = b.finish();
+        let comp = Composition::of(&set);
+        let total: f64 = (0..21u8).map(|c| comp.frequency(c)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let stats = LengthStats::of(&set);
+        prop_assert_eq!(stats.total as u64, comp.total());
+    }
+
+    #[test]
+    fn revcomp_involution_and_orf_symmetry(dna in "[ACGT]{3,90}") {
+        let d = parse_dna(dna.as_bytes()).unwrap();
+        prop_assert_eq!(reverse_complement(&reverse_complement(&d)), d.clone());
+        // ORFs of the reverse complement are the reverse-strand ORFs of the
+        // original, frame-swapped: counts must match.
+        let fwd = find_orfs(&d, OrfMode::StopToStop, 1);
+        let rc = reverse_complement(&d);
+        let bwd = find_orfs(&rc, OrfMode::StopToStop, 1);
+        let fwd_peptides: Vec<Vec<u8>> =
+            fwd.iter().map(|o| o.peptide.clone()).collect();
+        let bwd_peptides: Vec<Vec<u8>> =
+            bwd.iter().map(|o| o.peptide.clone()).collect();
+        let mut a = fwd_peptides;
+        let mut b = bwd_peptides;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b, "six-frame ORFs are strand-symmetric");
+    }
+}

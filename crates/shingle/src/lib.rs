@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # pfam-shingle — dense bipartite subgraph detection
+//!
+//! Implementation of the two-pass Shingle algorithm of Gibson, Kumar &
+//! Tomkins ("Discovering large dense subgraphs in massive graphs",
+//! VLDB 2005), which the paper applies to each connected component's
+//! bipartite reduction:
+//!
+//! * [`minwise`] — min-wise independent permutations and (s, c)-shingle
+//!   sets (Broder et al.).
+//! * [`algorithm`] — the two passes plus the union-find reporting step,
+//!   parallelised over vertices with rayon.
+//! * [`dense`] — the paper's reporting rules on top: the `Bd` mode with
+//!   the `|A∩B| / |A∪B| ≥ τ` post-filter, the `Bm` mode reporting `B`,
+//!   minimum-size filtering, and disjoint-ification.
+
+pub mod algorithm;
+pub mod dense;
+pub mod minwise;
+pub mod parallel;
+pub mod spmd;
+
+pub use algorithm::{shingle_clusters, BipartiteCluster, ShingleParams, ShingleStats};
+pub use dense::{
+    dense_subgraphs_of, detect_dense_subgraphs, jaccard, DenseSubgraphConfig, ReductionMode,
+};
+pub use minwise::{shingle_set, HashFamily, Shingle};
+pub use parallel::{shingle_clusters_distributed, RankMemory};
+pub use spmd::shingle_clusters_spmd;

@@ -1,0 +1,263 @@
+//! Prefix-partitioned ("distributed") construction of the suffix space.
+//!
+//! PaCE builds the generalized suffix tree in a distributed fashion: the
+//! suffix space is split into buckets by a fixed-length prefix, buckets are
+//! assigned to processors with load balancing, and each processor builds
+//! and mines only its own subtrees. Because every internal node of depth
+//! ≥ `prefix_len` lies entirely inside one bucket, pair generation with
+//! ψ ≥ `prefix_len` is *exact* under this partitioning — no cross-processor
+//! pairs are lost.
+//!
+//! On one shared-memory machine we reproduce the same decomposition over
+//! the already-built [`GeneralizedSuffixArray`]: bucket boundaries are SA
+//! ranks where the LCP drops below `prefix_len`. The per-rank subsets feed
+//! (a) rayon-parallel pair generation and (b) the per-rank size accounting
+//! the performance model uses.
+
+use rayon::prelude::*;
+
+use crate::gsa::GeneralizedSuffixArray;
+use crate::maximal::{MatchPair, MaximalMatchConfig, MaximalMatchGenerator};
+use crate::tree::{NodeId, SuffixTree};
+
+/// A partition of the suffix space across `p` ranks.
+#[derive(Debug, Clone)]
+pub struct PartitionedSuffixSpace {
+    /// Bucket boundaries as SA ranks: bucket `i` covers
+    /// `boundaries[i]..boundaries[i + 1]`.
+    boundaries: Vec<u32>,
+    /// Owning rank of each bucket.
+    rank_of_bucket: Vec<u32>,
+    /// Number of ranks.
+    p: usize,
+    /// Prefix length used for splitting.
+    prefix_len: u32,
+}
+
+impl PartitionedSuffixSpace {
+    /// Split the suffix space of `gsa` into prefix buckets and assign them
+    /// to `p` ranks by longest-processing-time (LPT) load balancing.
+    pub fn new(gsa: &GeneralizedSuffixArray, p: usize, prefix_len: u32) -> Self {
+        assert!(p >= 1, "at least one rank required");
+        assert!(prefix_len >= 1, "prefix length must be positive");
+        let n = gsa.sa().len();
+        let lcp = gsa.lcp();
+        let mut boundaries = vec![0u32];
+        for (r, &l) in lcp.iter().enumerate().take(n).skip(1) {
+            if l < prefix_len {
+                boundaries.push(r as u32);
+            }
+        }
+        boundaries.push(n as u32);
+
+        // LPT: largest buckets first onto the least-loaded rank.
+        let n_buckets = boundaries.len() - 1;
+        let mut order: Vec<usize> = (0..n_buckets).collect();
+        let size = |b: usize| boundaries[b + 1] - boundaries[b];
+        order.sort_by_key(|&b| std::cmp::Reverse(size(b)));
+        let mut load = vec![0u64; p];
+        let mut rank_of_bucket = vec![0u32; n_buckets];
+        for b in order {
+            let (rank, _) =
+                load.iter().enumerate().min_by_key(|&(_, &l)| l).expect("p >= 1");
+            rank_of_bucket[b] = rank as u32;
+            load[rank] += size(b) as u64;
+        }
+        PartitionedSuffixSpace { boundaries, rank_of_bucket, p, prefix_len }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Number of prefix buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The prefix length the split was computed with.
+    pub fn prefix_len(&self) -> u32 {
+        self.prefix_len
+    }
+
+    /// Number of suffixes owned by each rank.
+    pub fn rank_loads(&self) -> Vec<u64> {
+        let mut load = vec![0u64; self.p];
+        for b in 0..self.n_buckets() {
+            load[self.rank_of_bucket[b] as usize] +=
+                (self.boundaries[b + 1] - self.boundaries[b]) as u64;
+        }
+        load
+    }
+
+    /// Owning rank of the bucket containing SA rank `r`.
+    pub fn rank_of_sa_rank(&self, r: u32) -> u32 {
+        let b = self.boundaries.partition_point(|&x| x <= r) - 1;
+        self.rank_of_bucket[b]
+    }
+
+    /// Distribute the internal nodes of `tree` (depth ≥ ψ) to their owning
+    /// ranks, preserving decreasing-depth order within each rank.
+    ///
+    /// Requires `config.min_len >= self.prefix_len` — shallower nodes may
+    /// straddle buckets.
+    pub fn nodes_per_rank(
+        &self,
+        tree: &SuffixTree<'_>,
+        min_len: u32,
+    ) -> Vec<Vec<NodeId>> {
+        assert!(
+            min_len >= self.prefix_len,
+            "ψ (={min_len}) must be at least the partition prefix length (={})",
+            self.prefix_len
+        );
+        let mut per_rank: Vec<Vec<NodeId>> = vec![Vec::new(); self.p];
+        for node in tree.nodes_by_depth_desc() {
+            if tree.depth(node) < min_len {
+                break;
+            }
+            let (l, r) = tree.range(node);
+            let rank = self.rank_of_sa_rank(l);
+            debug_assert_eq!(
+                rank,
+                self.rank_of_sa_rank(r - 1),
+                "node of depth >= prefix_len must sit inside one bucket"
+            );
+            per_rank[rank as usize].push(node);
+        }
+        per_rank
+    }
+
+    /// Run pair generation independently on every rank (in parallel) and
+    /// return each rank's pairs. The union over ranks equals a global run
+    /// up to per-node capping order; with `dedup`, each rank dedups only
+    /// its own pairs (cross-rank duplicates cannot exist for a fixed
+    /// maximal match, but the same sequence pair may be reported by two
+    /// ranks at different match lengths — the consumer's clustering filter
+    /// absorbs those, exactly as PaCE's master does).
+    pub fn per_rank_pairs(
+        &self,
+        tree: &SuffixTree<'_>,
+        config: MaximalMatchConfig,
+    ) -> Vec<Vec<MatchPair>> {
+        let nodes = self.nodes_per_rank(tree, config.min_len);
+        nodes
+            .into_par_iter()
+            .map(|rank_nodes| {
+                MaximalMatchGenerator::with_nodes(tree, config, rank_nodes).collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_seq::{SequenceSet, SequenceSetBuilder};
+    use std::collections::HashSet;
+
+    fn set_of(seqs: &[&str]) -> SequenceSet {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+        }
+        b.finish()
+    }
+
+    fn family_set() -> SequenceSet {
+        // Three "families" with internal sharing plus singletons.
+        set_of(&[
+            "MKVLWAAKNDCQEGH",
+            "MKVLWAAKNDCQEGH",
+            "GGMKVLWAAKNDGG",
+            "WYVFPSTWYVFPST",
+            "AAWYVFPSTWYVAA",
+            "CCCCCCCCCCCC",
+            "HILKMFHILKMF",
+        ])
+    }
+
+    #[test]
+    fn buckets_cover_all_suffixes() {
+        let set = family_set();
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let part = PartitionedSuffixSpace::new(&gsa, 4, 3);
+        let loads = part.rank_loads();
+        assert_eq!(loads.iter().sum::<u64>(), gsa.sa().len() as u64);
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let set = family_set();
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let part = PartitionedSuffixSpace::new(&gsa, 1, 2);
+        assert_eq!(part.rank_loads(), vec![gsa.sa().len() as u64]);
+    }
+
+    #[test]
+    fn lpt_balances_loads() {
+        let set = family_set();
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let part = PartitionedSuffixSpace::new(&gsa, 3, 2);
+        let loads = part.rank_loads();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        // LPT guarantee is loose; just check no rank is starved while
+        // another holds everything.
+        assert!(min > 0, "a rank was starved: {loads:?}");
+        assert!(max < gsa.sa().len() as u64, "one rank holds all: {loads:?}");
+    }
+
+    #[test]
+    fn partitioned_pairs_equal_global_pairs() {
+        let set = family_set();
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let tree = SuffixTree::build(&gsa);
+        let config = MaximalMatchConfig { min_len: 5, dedup: false, ..Default::default() };
+        let global: HashSet<MatchPair> =
+            crate::maximal::all_pairs(&tree, config).into_iter().collect();
+        for p in [1usize, 2, 3, 5, 8] {
+            let part = PartitionedSuffixSpace::new(&gsa, p, 3);
+            let distributed: HashSet<MatchPair> =
+                part.per_rank_pairs(&tree, config).into_iter().flatten().collect();
+            assert_eq!(distributed, global, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn deep_nodes_never_straddle_buckets() {
+        let set = family_set();
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let tree = SuffixTree::build(&gsa);
+        let part = PartitionedSuffixSpace::new(&gsa, 4, 3);
+        for node in tree.nodes_by_depth_desc() {
+            if tree.depth(node) < 3 {
+                break;
+            }
+            let (l, r) = tree.range(node);
+            let first = part.rank_of_sa_rank(l);
+            for rank in l..r {
+                assert_eq!(part.rank_of_sa_rank(rank), first, "node {node}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least the partition prefix length")]
+    fn rejects_psi_below_prefix_len() {
+        let set = family_set();
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let tree = SuffixTree::build(&gsa);
+        let part = PartitionedSuffixSpace::new(&gsa, 2, 5);
+        let _ = part.nodes_per_rank(&tree, 3);
+    }
+
+    #[test]
+    fn more_ranks_than_buckets_is_fine() {
+        let set = set_of(&["ACD", "EFG"]);
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let part = PartitionedSuffixSpace::new(&gsa, 64, 2);
+        assert_eq!(part.rank_loads().iter().sum::<u64>(), gsa.sa().len() as u64);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # pfam-suffix — string-index substrate
+//!
+//! The exact-match filtering machinery of the pipeline. The paper builds a
+//! generalized suffix tree (GST) over all input ORFs and uses it to emit
+//! *promising pairs* — pairs of sequences sharing a maximal exact match of
+//! length ≥ ψ — in decreasing order of match length. This crate provides:
+//!
+//! * [`sais`] — linear-time SA-IS suffix array construction over integer
+//!   alphabets (from scratch).
+//! * [`lcp`] — Kasai's linear-time LCP array.
+//! * [`gsa`] — the generalized suffix array over a [`pfam_seq::SequenceSet`]
+//!   with distinct per-sequence sentinels, so no common prefix ever spans a
+//!   sequence boundary.
+//! * [`tree`] — the generalized suffix tree, built in linear time from the
+//!   suffix + LCP arrays (the production GST), with pattern search.
+//! * [`ukkonen`] — an independent online Ukkonen suffix-tree construction
+//!   for a single string, used to cross-validate [`tree`].
+//! * [`maximal`] — enumeration of maximal-match pairs in decreasing match
+//!   length, the paper's promising-pair generator.
+//! * [`distributed`] — prefix-partitioned construction that splits the
+//!   suffix space across `p` ranks (the PaCE distributed-GST scheme),
+//!   with per-rank size accounting for the performance model.
+
+pub mod distributed;
+pub mod gsa;
+pub mod lcp;
+pub mod maximal;
+pub mod repeats;
+pub mod rmq;
+pub mod sais;
+pub mod tree;
+pub mod ukkonen;
+
+pub use gsa::GeneralizedSuffixArray;
+pub use maximal::{MatchPair, MaximalMatchConfig, MaximalMatchGenerator};
+pub use repeats::{longest_repeat, supermaximal_repeats, Repeat};
+pub use rmq::{LcpOracle, SparseRmq};
+pub use sais::suffix_array;
+pub use tree::SuffixTree;

@@ -1,0 +1,174 @@
+//! Repeat structure queries over the enhanced suffix array: longest
+//! repeated substrings and supermaximal repeats.
+//!
+//! Domain blocks shared across family members are exactly the long repeats
+//! of the concatenated text; these queries give a data-quality view (how
+//! repetitive is a read set? where would pair generation blow up?) and are
+//! classic enhanced-suffix-array applications built on the same lcp-interval
+//! machinery the pipeline uses.
+
+use pfam_seq::SeqId;
+
+use crate::gsa::GeneralizedSuffixArray;
+use crate::tree::SuffixTree;
+
+/// One repeated substring occurrence set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repeat {
+    /// Length of the repeated string.
+    pub len: u32,
+    /// Occurrences as `(sequence, offset)`, sorted.
+    pub occurrences: Vec<(SeqId, u32)>,
+}
+
+/// The longest substring occurring at least twice anywhere in the set
+/// (possibly within one sequence), or `None` when nothing repeats.
+pub fn longest_repeat(gsa: &GeneralizedSuffixArray) -> Option<Repeat> {
+    let lcp = gsa.lcp();
+    let best_rank = (1..lcp.len()).max_by_key(|&r| lcp[r])?;
+    let len = lcp[best_rank];
+    if len == 0 {
+        return None;
+    }
+    // Collect the full run of ranks sharing this prefix.
+    let mut lo = best_rank;
+    while lo > 1 && lcp[lo - 1] >= len {
+        lo -= 1;
+    }
+    let mut hi = best_rank;
+    while hi + 1 < lcp.len() && lcp[hi + 1] >= len {
+        hi += 1;
+    }
+    let mut occurrences: Vec<(SeqId, u32)> = (lo - 1..=hi)
+        .map(|r| {
+            let p = gsa.sa()[r] as usize;
+            (gsa.seq_at(p), gsa.offset_at(p))
+        })
+        .collect();
+    occurrences.sort_unstable();
+    Some(Repeat { len, occurrences })
+}
+
+/// Supermaximal repeats: maximal repeats that are not substrings of any
+/// other maximal repeat. On the lcp-interval tree these are exactly the
+/// *deepest* internal nodes (no internal children) all of whose leaf
+/// occurrences have pairwise-distinct left characters.
+pub fn supermaximal_repeats(tree: &SuffixTree<'_>, min_len: u32) -> Vec<Repeat> {
+    let gsa = tree.gsa();
+    let sa = gsa.sa();
+    let mut out = Vec::new();
+    for node in tree.nodes_by_depth_desc() {
+        let depth = tree.depth(node);
+        if depth < min_len {
+            break;
+        }
+        if !tree.children(node).is_empty() {
+            continue; // has an internal child → not deepest
+        }
+        let (l, r) = tree.range(node);
+        // Left characters must be pairwise distinct (None counts as unique).
+        let mut seen = std::collections::HashSet::new();
+        let mut distinct = true;
+        for rank in l..r {
+            let pos = sa[rank as usize] as usize;
+            if let Some(c) = gsa.left_residue(pos) {
+                if !seen.insert(c) {
+                    distinct = false;
+                    break;
+                }
+            }
+        }
+        if !distinct {
+            continue;
+        }
+        let mut occurrences: Vec<(SeqId, u32)> = (l..r)
+            .map(|rank| {
+                let p = sa[rank as usize] as usize;
+                (gsa.seq_at(p), gsa.offset_at(p))
+            })
+            .collect();
+        occurrences.sort_unstable();
+        out.push(Repeat { len: depth, occurrences });
+    }
+    out.sort_by(|a, b| b.len.cmp(&a.len).then(a.occurrences.cmp(&b.occurrences)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_seq::{SequenceSet, SequenceSetBuilder};
+
+    fn set_of(seqs: &[&str]) -> SequenceSet {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn longest_repeat_across_sequences() {
+        let set = set_of(&["AAMKVLWAA", "CCMKVLWCC"]);
+        let g = GeneralizedSuffixArray::build(&set);
+        let r = longest_repeat(&g).expect("MKVLW repeats");
+        assert_eq!(r.len, 5);
+        assert_eq!(r.occurrences, vec![(SeqId(0), 2), (SeqId(1), 2)]);
+    }
+
+    #[test]
+    fn longest_repeat_within_one_sequence() {
+        let set = set_of(&["MKVLWGGMKVLW"]);
+        let g = GeneralizedSuffixArray::build(&set);
+        let r = longest_repeat(&g).expect("internal repeat");
+        assert_eq!(r.len, 5);
+        assert_eq!(r.occurrences.len(), 2);
+        assert!(r.occurrences.iter().all(|&(s, _)| s == SeqId(0)));
+    }
+
+    #[test]
+    fn no_repeats_in_distinct_singletons() {
+        let set = set_of(&["ARNDC"]); // all residues distinct
+        let g = GeneralizedSuffixArray::build(&set);
+        assert!(longest_repeat(&g).is_none());
+    }
+
+    #[test]
+    fn supermaximal_finds_the_planted_domain() {
+        // The 8-residue core is a supermaximal repeat (flanks differ);
+        // its 5-residue interior is NOT supermaximal (contained in it).
+        let set = set_of(&["GGMKVLWAAKGG", "TTMKVLWAAKTT", "PPMKVLWAAKPP"]);
+        let g = GeneralizedSuffixArray::build(&set);
+        let tree = SuffixTree::build(&g);
+        let reps = supermaximal_repeats(&tree, 4);
+        assert!(!reps.is_empty());
+        assert_eq!(reps[0].len, 8, "MKVLWAAK is the longest supermaximal repeat");
+        assert_eq!(reps[0].occurrences.len(), 3);
+        // No reported repeat is a proper substring occurrence set of another
+        // at the same positions-with-longer-length.
+        for w in reps.windows(2) {
+            assert!(w[0].len >= w[1].len);
+        }
+    }
+
+    #[test]
+    fn left_extendable_repeats_are_excluded() {
+        // "AMKVLW" in both: the inner "MKVLW" always has left char A, so it
+        // is left-extendable and not supermaximal; "AMKVLW" itself is.
+        let set = set_of(&["GAMKVLW", "TAMKVLW"]);
+        let g = GeneralizedSuffixArray::build(&set);
+        let tree = SuffixTree::build(&g);
+        let reps = supermaximal_repeats(&tree, 5);
+        assert_eq!(reps.len(), 1, "{reps:?}");
+        assert_eq!(reps[0].len, 6);
+    }
+
+    #[test]
+    fn min_len_filters() {
+        let set = set_of(&["AAMKVLWAA", "CCMKVLWCC"]);
+        let g = GeneralizedSuffixArray::build(&set);
+        let tree = SuffixTree::build(&g);
+        assert!(supermaximal_repeats(&tree, 6).is_empty());
+        assert!(!supermaximal_repeats(&tree, 5).is_empty());
+    }
+}

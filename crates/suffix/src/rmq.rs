@@ -1,0 +1,159 @@
+//! Sparse-table range-minimum queries over the LCP array.
+//!
+//! `lcp(rank_i, rank_j) = min(LCP[i+1..=j])` — the classic reduction that
+//! turns an LCP array into a constant-time longest-common-prefix oracle
+//! for arbitrary suffix pairs. Used by diagnostics and by consumers that
+//! need pairwise match lengths without re-walking the tree.
+
+/// Immutable sparse table answering range-minimum queries in O(1) after
+/// O(n log n) preprocessing.
+#[derive(Debug, Clone)]
+pub struct SparseRmq {
+    /// `table[k][i]` = min of `data[i .. i + 2^k]`.
+    table: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl SparseRmq {
+    /// Preprocess `data`.
+    pub fn new(data: &[u32]) -> SparseRmq {
+        let n = data.len();
+        let levels = if n <= 1 { 1 } else { n.ilog2() as usize + 1 };
+        let mut table = Vec::with_capacity(levels);
+        table.push(data.to_vec());
+        for k in 1..levels {
+            let half = 1usize << (k - 1);
+            let prev = &table[k - 1];
+            let width = n + 1 - (1 << k);
+            let mut row = Vec::with_capacity(width);
+            for i in 0..width {
+                row.push(prev[i].min(prev[i + half]));
+            }
+            table.push(row);
+        }
+        SparseRmq { table, len: n }
+    }
+
+    /// Number of elements indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Minimum of `data[lo..hi)`. Panics when the range is empty or out of
+    /// bounds.
+    pub fn min(&self, lo: usize, hi: usize) -> u32 {
+        assert!(lo < hi && hi <= self.len, "invalid RMQ range {lo}..{hi}");
+        let k = (hi - lo).ilog2() as usize;
+        let left = self.table[k][lo];
+        let right = self.table[k][hi - (1 << k)];
+        left.min(right)
+    }
+}
+
+/// Constant-time longest-common-prefix oracle over a suffix array.
+#[derive(Debug, Clone)]
+pub struct LcpOracle {
+    rmq: SparseRmq,
+    rank: Vec<u32>,
+}
+
+impl LcpOracle {
+    /// Build from a suffix array and its LCP array.
+    pub fn new(sa: &[u32], lcp: &[u32]) -> LcpOracle {
+        let mut rank = vec![0u32; sa.len()];
+        for (r, &p) in sa.iter().enumerate() {
+            rank[p as usize] = r as u32;
+        }
+        LcpOracle { rmq: SparseRmq::new(lcp), rank }
+    }
+
+    /// Length of the longest common prefix of the suffixes starting at
+    /// text positions `a` and `b`.
+    pub fn lcp(&self, a: usize, b: usize) -> u32 {
+        if a == b {
+            return (self.rank.len() - a) as u32;
+        }
+        let (ra, rb) = (self.rank[a] as usize, self.rank[b] as usize);
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.rmq.min(lo + 1, hi + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcp::lcp_array;
+    use crate::sais::suffix_array;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sparse_rmq_matches_scan() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..80);
+            let data: Vec<u32> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+            let rmq = SparseRmq::new(&data);
+            for _ in 0..50 {
+                let lo = rng.gen_range(0..n);
+                let hi = rng.gen_range(lo + 1..=n);
+                let expect = *data[lo..hi].iter().min().unwrap();
+                assert_eq!(rmq.min(lo, hi), expect, "range {lo}..{hi} of {data:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let rmq = SparseRmq::new(&[42]);
+        assert_eq!(rmq.min(0, 1), 42);
+        assert_eq!(rmq.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RMQ range")]
+    fn empty_range_panics() {
+        let rmq = SparseRmq::new(&[1, 2, 3]);
+        let _ = rmq.min(1, 1);
+    }
+
+    fn naive_lcp(text: &[u32], a: usize, b: usize) -> u32 {
+        text[a..].iter().zip(&text[b..]).take_while(|(x, y)| x == y).count() as u32
+    }
+
+    #[test]
+    fn oracle_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(72);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..120);
+            let mut text: Vec<u32> = (0..n).map(|_| rng.gen_range(1..5)).collect();
+            text.push(0);
+            let sa = suffix_array(&text, 5);
+            let lcp = lcp_array(&text, &sa);
+            let oracle = LcpOracle::new(&sa, &lcp);
+            for _ in 0..60 {
+                let a = rng.gen_range(0..text.len());
+                let b = rng.gen_range(0..text.len());
+                assert_eq!(
+                    oracle.lcp(a, b),
+                    naive_lcp(&text, a, b),
+                    "positions {a},{b} of {text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lcp_of_position_with_itself_is_suffix_length() {
+        let text = vec![3u32, 2, 1, 0];
+        let sa = suffix_array(&text, 4);
+        let lcp = lcp_array(&text, &sa);
+        let oracle = LcpOracle::new(&sa, &lcp);
+        assert_eq!(oracle.lcp(1, 1), 3);
+    }
+}

@@ -1,0 +1,340 @@
+//! SA-IS: linear-time suffix array construction by induced sorting
+//! (Nong, Zhang & Chan, 2009), implemented from scratch over `u32` texts
+//! with an integer alphabet.
+//!
+//! The generalized suffix array needs an integer alphabet anyway (distinct
+//! per-sequence sentinels), so the implementation works on `&[u32]` with an
+//! explicit alphabet size `k`. The input must end with a unique, smallest
+//! character (the sentinel); [`suffix_array`] enforces this.
+
+/// Build the suffix array of `text`.
+///
+/// Requirements (checked):
+/// * `text` is non-empty,
+/// * every value is `< k`,
+/// * the final character is strictly smaller than every other character
+///   (a unique sentinel).
+///
+/// Returns `sa` with `sa[r]` = start position of the rank-`r` suffix.
+pub fn suffix_array(text: &[u32], k: usize) -> Vec<u32> {
+    assert!(!text.is_empty(), "SA-IS input must be non-empty");
+    let last = *text.last().expect("non-empty");
+    assert!(
+        text[..text.len() - 1].iter().all(|&c| c > last),
+        "SA-IS input must end with a unique smallest sentinel"
+    );
+    debug_assert!(text.iter().all(|&c| (c as usize) < k), "character out of alphabet range");
+    let mut sa = vec![0u32; text.len()];
+    sais(text, k, &mut sa);
+    sa
+}
+
+/// Core recursive SA-IS over `s` with alphabet size `k`, writing into `sa`.
+fn sais(s: &[u32], k: usize, sa: &mut [u32]) {
+    let n = s.len();
+    debug_assert_eq!(sa.len(), n);
+    if n == 1 {
+        sa[0] = 0;
+        return;
+    }
+    if n == 2 {
+        // Sentinel is last and smallest.
+        sa[0] = 1;
+        sa[1] = 0;
+        return;
+    }
+
+    // --- Classify suffixes: S-type (true) or L-type (false). ---
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // --- Bucket boundaries. ---
+    let mut bucket_sizes = vec![0u32; k];
+    for &c in s {
+        bucket_sizes[c as usize] += 1;
+    }
+    let bucket_heads = |sizes: &[u32]| -> Vec<u32> {
+        let mut heads = vec![0u32; k];
+        let mut sum = 0u32;
+        for (h, &sz) in heads.iter_mut().zip(sizes) {
+            *h = sum;
+            sum += sz;
+        }
+        heads
+    };
+    let bucket_tails = |sizes: &[u32]| -> Vec<u32> {
+        let mut tails = vec![0u32; k];
+        let mut sum = 0u32;
+        for (t, &sz) in tails.iter_mut().zip(sizes) {
+            sum += sz;
+            *t = sum; // one past the end
+        }
+        tails
+    };
+
+    const EMPTY: u32 = u32::MAX;
+
+    // Induced sort: given LMS suffixes placed at bucket tails (in `sa`),
+    // induce L-type then S-type suffixes.
+    let induce = |sa: &mut [u32], bucket_sizes: &[u32]| {
+        // L-types, left to right from bucket heads.
+        let mut heads = bucket_heads(bucket_sizes);
+        for i in 0..n {
+            let j = sa[i];
+            if j == EMPTY || j == 0 {
+                continue;
+            }
+            let p = (j - 1) as usize;
+            if !is_s[p] {
+                let c = s[p] as usize;
+                sa[heads[c] as usize] = p as u32;
+                heads[c] += 1;
+            }
+        }
+        // S-types, right to left from bucket tails.
+        let mut tails = bucket_tails(bucket_sizes);
+        for i in (0..n).rev() {
+            let j = sa[i];
+            if j == EMPTY || j == 0 {
+                continue;
+            }
+            let p = (j - 1) as usize;
+            if is_s[p] {
+                let c = s[p] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = p as u32;
+            }
+        }
+    };
+
+    // --- Step 1: approximate sort — place LMS suffixes arbitrarily, induce. ---
+    sa.fill(EMPTY);
+    {
+        let mut tails = bucket_tails(&bucket_sizes);
+        for i in (1..n).rev() {
+            if is_lms(i) {
+                let c = s[i] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = i as u32;
+            }
+        }
+    }
+    induce(sa, &bucket_sizes);
+
+    // --- Step 2: name LMS substrings in their sorted order. ---
+    let lms_count = (1..n).filter(|&i| is_lms(i)).count();
+    // Collect LMS positions in suffix-array order.
+    let mut sorted_lms = Vec::with_capacity(lms_count);
+    for &j in sa.iter() {
+        let j = j as usize;
+        if j > 0 && is_lms(j) {
+            sorted_lms.push(j as u32);
+        }
+    }
+    debug_assert_eq!(sorted_lms.len(), lms_count);
+
+    // Name each LMS substring; equal substrings share a name.
+    let mut names = vec![EMPTY; n];
+    let mut current_name = 0u32;
+    let mut prev: Option<usize> = None;
+    for &pos in &sorted_lms {
+        let pos = pos as usize;
+        if let Some(pv) = prev {
+            if !lms_substrings_equal(s, &is_s, pv, pos) {
+                current_name += 1;
+            }
+        }
+        names[pos] = current_name;
+        prev = Some(pos);
+    }
+    let name_count = current_name as usize + 1;
+
+    // Reduced string: names of LMS substrings in text order.
+    let mut reduced = Vec::with_capacity(lms_count);
+    let mut lms_positions = Vec::with_capacity(lms_count);
+    for (i, &nm) in names.iter().enumerate() {
+        if nm != EMPTY {
+            reduced.push(nm);
+            lms_positions.push(i as u32);
+        }
+    }
+
+    // --- Step 3: order LMS suffixes exactly. ---
+    let lms_order: Vec<u32> = if name_count == lms_count {
+        // All names unique: the approximate order is exact.
+        sorted_lms
+    } else {
+        let mut sub_sa = vec![0u32; reduced.len()];
+        sais(&reduced, name_count, &mut sub_sa);
+        sub_sa.iter().map(|&r| lms_positions[r as usize]).collect()
+    };
+
+    // --- Step 4: final induced sort with exactly-ordered LMS suffixes. ---
+    sa.fill(EMPTY);
+    {
+        let mut tails = bucket_tails(&bucket_sizes);
+        for &pos in lms_order.iter().rev() {
+            let c = s[pos as usize] as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = pos;
+        }
+    }
+    induce(sa, &bucket_sizes);
+    debug_assert!(sa.iter().all(|&v| v != EMPTY), "unfilled SA slot");
+}
+
+/// Compare two LMS substrings (from their start positions to their next LMS
+/// position inclusive) for equality.
+fn lms_substrings_equal(s: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
+    let n = s.len();
+    if a == b {
+        return true;
+    }
+    // The sentinel's LMS substring is unique.
+    if a == n - 1 || b == n - 1 {
+        return false;
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    let mut i = 0;
+    loop {
+        let (pa, pb) = (a + i, b + i);
+        if pa >= n || pb >= n {
+            return false;
+        }
+        if s[pa] != s[pb] || is_s[pa] != is_s[pb] {
+            return false;
+        }
+        if i > 0 && (is_lms(pa) || is_lms(pb)) {
+            return is_lms(pa) && is_lms(pb);
+        }
+        i += 1;
+    }
+}
+
+/// Reference implementation: O(n² log n) comparison sort of suffixes.
+/// Used only by tests and cross-validation.
+pub fn suffix_array_naive(text: &[u32]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Append a sentinel 0 and shift characters up by 1.
+    fn with_sentinel(codes: &[u8]) -> Vec<u32> {
+        codes.iter().map(|&c| c as u32 + 1).chain(std::iter::once(0)).collect()
+    }
+
+    #[test]
+    fn banana() {
+        // "banana$" — the classic example.
+        let text: Vec<u32> = with_sentinel(b"banana");
+        let sa = suffix_array(&text, 256 + 1);
+        assert_eq!(sa, suffix_array_naive(&text));
+        // $ < a$ < ana$ < anana$ < banana$ < na$ < nana$
+        assert_eq!(sa, vec![6, 5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn single_sentinel() {
+        let sa = suffix_array(&[0], 1);
+        assert_eq!(sa, vec![0]);
+    }
+
+    #[test]
+    fn two_characters() {
+        let sa = suffix_array(&[5, 0], 6);
+        assert_eq!(sa, vec![1, 0]);
+    }
+
+    #[test]
+    fn all_equal_run() {
+        let text = with_sentinel(&[7u8; 50]);
+        let sa = suffix_array(&text, 9);
+        assert_eq!(sa, suffix_array_naive(&text));
+        // Longest suffix of an equal-run sorts last among the run suffixes.
+        assert_eq!(sa[0], 50);
+        assert_eq!(sa[1], 49);
+        assert_eq!(*sa.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn alternating_pattern() {
+        let text = with_sentinel(b"abababab");
+        let sa = suffix_array(&text, 256 + 1);
+        assert_eq!(sa, suffix_array_naive(&text));
+    }
+
+    #[test]
+    fn fibonacci_word() {
+        // Fibonacci words are SA-IS stress tests (deep LMS recursion).
+        let mut a = vec![1u8];
+        let mut b = vec![1u8, 0];
+        for _ in 0..10 {
+            let next = [b.clone(), a.clone()].concat();
+            a = b;
+            b = next;
+        }
+        let text = with_sentinel(&b);
+        let sa = suffix_array(&text, 3);
+        assert_eq!(sa, suffix_array_naive(&text));
+    }
+
+    #[test]
+    fn random_small_alphabet_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..50 {
+            let n = rng.gen_range(1..200);
+            let sigma = rng.gen_range(1..5u8);
+            let codes: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=sigma)).collect();
+            let text = with_sentinel(&codes);
+            let sa = suffix_array(&text, sigma as usize + 2);
+            assert_eq!(sa, suffix_array_naive(&text), "trial {trial}: {codes:?}");
+        }
+    }
+
+    #[test]
+    fn random_protein_like_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..500);
+            let codes: Vec<u8> = (0..n).map(|_| rng.gen_range(0..21u8)).collect();
+            let text = with_sentinel(&codes);
+            let sa = suffix_array(&text, 22);
+            assert_eq!(sa, suffix_array_naive(&text));
+        }
+    }
+
+    #[test]
+    fn result_is_a_permutation() {
+        let text = with_sentinel(b"mississippi");
+        let sa = suffix_array(&text, 257);
+        let mut seen = vec![false; text.len()];
+        for &p in &sa {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    #[should_panic(expected = "unique smallest sentinel")]
+    fn rejects_missing_sentinel() {
+        let _ = suffix_array(&[1, 2, 3], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        let _ = suffix_array(&[], 1);
+    }
+}

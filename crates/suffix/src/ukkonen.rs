@@ -1,0 +1,329 @@
+//! Online Ukkonen suffix-tree construction for a single string.
+//!
+//! The production index is the lcp-interval tree of [`crate::tree`]; this
+//! module is an *independent* implementation of the same structure (for one
+//! sequence) used to cross-validate it: a DFS of an Ukkonen tree in
+//! lexicographic child order must reproduce the suffix array, and pattern
+//! search must agree with the array-based search.
+
+use std::collections::BTreeMap;
+
+/// Sentinel character appended to the input (smaller than any residue).
+const SENTINEL: u32 = 0;
+
+/// Marker for "leaf edge extends to the current end".
+const OPEN_END: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    /// Edge label: `text[start..end)` (end == OPEN_END on leaves).
+    start: usize,
+    end: usize,
+    /// Suffix link (root for none).
+    link: usize,
+    /// Children keyed by first edge character; ordered for DFS.
+    children: BTreeMap<u32, usize>,
+}
+
+/// A suffix tree of one residue string, built online by Ukkonen's
+/// algorithm in O(n log σ).
+#[derive(Debug)]
+pub struct UkkonenTree {
+    /// Encoded text: residues shifted by 1, then the 0 sentinel.
+    text: Vec<u32>,
+    nodes: Vec<Node>,
+}
+
+impl UkkonenTree {
+    /// Build the suffix tree of `codes` (internal residue codes).
+    pub fn build(codes: &[u8]) -> UkkonenTree {
+        let text: Vec<u32> =
+            codes.iter().map(|&c| c as u32 + 1).chain(std::iter::once(SENTINEL)).collect();
+        let mut t = UkkonenTree {
+            text,
+            nodes: vec![Node { start: 0, end: 0, link: 0, children: BTreeMap::new() }],
+        };
+        t.construct();
+        t
+    }
+
+    fn edge_len(&self, node: usize, pos: usize) -> usize {
+        let n = &self.nodes[node];
+        n.end.min(pos + 1) - n.start
+    }
+
+    fn construct(&mut self) {
+        let n = self.text.len();
+        let mut active_node = 0usize;
+        let mut active_edge = 0usize; // index into text of the edge's first char
+        let mut active_length = 0usize;
+        let mut remainder = 0usize;
+
+        // `need_link == 0` (the root) means "no node awaiting a link":
+        // the root never needs one, so index 0 doubles as the none marker.
+        let mut need_link: usize;
+        let add_link = |nodes: &mut Vec<Node>, need_link: &mut usize, node: usize| {
+            if *need_link != 0 {
+                nodes[*need_link].link = node;
+            }
+            *need_link = node;
+        };
+
+        for pos in 0..n {
+            let c = self.text[pos];
+            remainder += 1;
+            need_link = 0;
+            while remainder > 0 {
+                if active_length == 0 {
+                    active_edge = pos;
+                }
+                let edge_char = self.text[active_edge];
+                match self.nodes[active_node].children.get(&edge_char).copied() {
+                    None => {
+                        // Rule 2: new leaf directly off the active node.
+                        let leaf = self.new_node(pos, OPEN_END);
+                        self.nodes[active_node].children.insert(edge_char, leaf);
+                        add_link(&mut self.nodes, &mut need_link, active_node);
+                    }
+                    Some(next) => {
+                        let el = self.edge_len(next, pos);
+                        if active_length >= el {
+                            // Walk down.
+                            active_edge += el;
+                            active_length -= el;
+                            active_node = next;
+                            continue;
+                        }
+                        if self.text[self.nodes[next].start + active_length] == c {
+                            // Rule 3: char already on the edge; end the phase.
+                            active_length += 1;
+                            add_link(&mut self.nodes, &mut need_link, active_node);
+                            break;
+                        }
+                        // Rule 2 with an edge split.
+                        let split_start = self.nodes[next].start;
+                        let split = self.new_node(split_start, split_start + active_length);
+                        self.nodes[active_node].children.insert(edge_char, split);
+                        let leaf = self.new_node(pos, OPEN_END);
+                        self.nodes[split].children.insert(c, leaf);
+                        self.nodes[next].start += active_length;
+                        let next_char = self.text[self.nodes[next].start];
+                        self.nodes[split].children.insert(next_char, next);
+                        add_link(&mut self.nodes, &mut need_link, split);
+                    }
+                }
+                remainder -= 1;
+                if active_node == 0 && active_length > 0 {
+                    active_length -= 1;
+                    active_edge = pos - remainder + 1;
+                } else if active_node != 0 {
+                    active_node = self.nodes[active_node].link;
+                }
+            }
+        }
+    }
+
+    fn new_node(&mut self, start: usize, end: usize) -> usize {
+        self.nodes.push(Node { start, end, link: 0, children: BTreeMap::new() });
+        self.nodes.len() - 1
+    }
+
+    /// Total number of nodes (root + internal + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Length of the encoded text (input length + 1 sentinel).
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether `pattern` (residue codes) occurs in the input.
+    pub fn contains(&self, pattern: &[u8]) -> bool {
+        self.descend(pattern).is_some()
+    }
+
+    /// All occurrence start positions of `pattern`, sorted ascending.
+    pub fn occurrences(&self, pattern: &[u8]) -> Vec<usize> {
+        let Some(node) = self.descend(pattern) else {
+            return Vec::new();
+        };
+        // Every leaf below `node` is one occurrence: a leaf reached at
+        // string depth d is the suffix starting at text_len − d.
+        let mut out = Vec::new();
+        self.collect_leaves(node, self.string_depth_to(node), &mut out);
+        out.iter_mut().for_each(|p| *p = self.text.len() - *p);
+        out.sort_unstable();
+        out
+    }
+
+    /// Depth of the path label ending at `node` (excluding any partial edge).
+    fn string_depth_to(&self, node: usize) -> usize {
+        // Recompute by walking from the root: acceptable for validation use.
+        // Depth = sum of edge lengths; we find the path by scanning parents.
+        // Nodes do not store parents, so compute via DFS memo.
+        let mut depths = vec![usize::MAX; self.nodes.len()];
+        depths[0] = 0;
+        let mut stack = vec![0usize];
+        while let Some(u) = stack.pop() {
+            if u == node {
+                return depths[u];
+            }
+            for &v in self.nodes[u].children.values() {
+                let el = self.nodes[v].end.min(self.text.len()) - self.nodes[v].start;
+                depths[v] = depths[u] + el;
+                stack.push(v);
+            }
+        }
+        depths[node]
+    }
+
+    /// Sum of remaining-edge leaf depths below `node`, where `depth` is the
+    /// string depth at `node`'s position on its edge.
+    fn collect_leaves(&self, node: usize, depth: usize, out: &mut Vec<usize>) {
+        if self.nodes[node].children.is_empty() && node != 0 {
+            out.push(depth);
+            return;
+        }
+        for &v in self.nodes[node].children.values() {
+            let el = self.nodes[v].end.min(self.text.len()) - self.nodes[v].start;
+            self.collect_leaves(v, depth + el, out);
+        }
+    }
+
+    /// Descend the tree along `pattern`. When the whole pattern matches
+    /// (possibly ending mid-edge) the edge's child node is returned: every
+    /// occurrence of the pattern is a leaf below it.
+    fn descend(&self, pattern: &[u8]) -> Option<usize> {
+        if pattern.is_empty() {
+            return None;
+        }
+        let encoded: Vec<u32> = pattern.iter().map(|&c| c as u32 + 1).collect();
+        let mut node = 0usize;
+        let mut i = 0usize;
+        loop {
+            let &child = self.nodes[node].children.get(&encoded[i])?;
+            let start = self.nodes[child].start;
+            let end = self.nodes[child].end.min(self.text.len());
+            let mut k = 0usize;
+            while i < encoded.len() && start + k < end {
+                if self.text[start + k] != encoded[i] {
+                    return None;
+                }
+                i += 1;
+                k += 1;
+            }
+            if i == encoded.len() {
+                return Some(child);
+            }
+            node = child;
+        }
+    }
+
+    /// Suffix array of the input, obtained by lexicographic DFS — used to
+    /// cross-validate against SA-IS.
+    pub fn suffix_array_by_dfs(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_leaves(0, 0, &mut out);
+        out.iter().map(|&d| (self.text.len() - d) as u32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sais::suffix_array;
+    use pfam_seq::alphabet::encode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn codes(s: &str) -> Vec<u8> {
+        encode(s.as_bytes()).unwrap()
+    }
+
+    fn sa_of(codes: &[u8]) -> Vec<u32> {
+        let text: Vec<u32> =
+            codes.iter().map(|&c| c as u32 + 1).chain(std::iter::once(0)).collect();
+        suffix_array(&text, pfam_seq::ALPHABET_SIZE + 1)
+    }
+
+    #[test]
+    fn dfs_reproduces_suffix_array_small() {
+        for s in ["A", "AC", "MKVLW", "AAAAA", "MKVLWMKVLW", "ACACACAC"] {
+            let c = codes(s);
+            let tree = UkkonenTree::build(&c);
+            assert_eq!(tree.suffix_array_by_dfs(), sa_of(&c), "input {s}");
+        }
+    }
+
+    #[test]
+    fn dfs_reproduces_suffix_array_random() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..150);
+            let sigma = rng.gen_range(1..6u8);
+            let c: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=sigma)).collect();
+            let tree = UkkonenTree::build(&c);
+            assert_eq!(tree.suffix_array_by_dfs(), sa_of(&c), "input {c:?}");
+        }
+    }
+
+    #[test]
+    fn contains_substrings() {
+        let c = codes("MKVLWAAKND");
+        let tree = UkkonenTree::build(&c);
+        for i in 0..c.len() {
+            for j in i + 1..=c.len() {
+                assert!(tree.contains(&c[i..j]), "substring {i}..{j}");
+            }
+        }
+        assert!(!tree.contains(&codes("WW")));
+        assert!(!tree.contains(&codes("MKVLWAAKNDA")));
+        assert!(!tree.contains(&[]));
+    }
+
+    #[test]
+    fn occurrences_found_and_sorted() {
+        let c = codes("MKVMKVMKV");
+        let tree = UkkonenTree::build(&c);
+        assert_eq!(tree.occurrences(&codes("MKV")), vec![0, 3, 6]);
+        assert_eq!(tree.occurrences(&codes("KVM")), vec![1, 4]);
+        assert_eq!(tree.occurrences(&codes("MKVMKVMKV")), vec![0]);
+        assert!(tree.occurrences(&codes("W")).is_empty());
+    }
+
+    #[test]
+    fn node_count_bounded() {
+        // A suffix tree of n+1 characters has ≤ 2(n+1) nodes.
+        let c = codes("MKVLWAAKNDCQEGHILKMF");
+        let tree = UkkonenTree::build(&c);
+        assert!(tree.n_nodes() <= 2 * tree.text_len());
+        assert!(tree.n_nodes() > tree.text_len()); // at least the leaves + root
+    }
+
+    #[test]
+    fn single_character() {
+        let tree = UkkonenTree::build(&codes("A"));
+        assert!(tree.contains(&codes("A")));
+        assert_eq!(tree.occurrences(&codes("A")), vec![0]);
+        assert_eq!(tree.suffix_array_by_dfs(), sa_of(&codes("A")));
+    }
+
+    #[test]
+    fn occurrences_match_naive_on_random() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let n = rng.gen_range(5..100);
+            let c: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4u8)).collect();
+            let tree = UkkonenTree::build(&c);
+            for _ in 0..10 {
+                let plen = rng.gen_range(1..5);
+                let pat: Vec<u8> = (0..plen).map(|_| rng.gen_range(0..4u8)).collect();
+                let naive: Vec<usize> = (0..c.len().saturating_sub(plen - 1))
+                    .filter(|&i| &c[i..i + plen] == pat.as_slice())
+                    .collect();
+                assert_eq!(tree.occurrences(&pat), naive, "text {c:?} pat {pat:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests over the suffix substrate.
+
+use proptest::prelude::*;
+
+use pfam_seq::{SequenceSet, SequenceSetBuilder};
+use pfam_suffix::maximal::{all_pairs, MatchPair};
+use pfam_suffix::tree::SuffixTree;
+use pfam_suffix::ukkonen::UkkonenTree;
+use pfam_suffix::{GeneralizedSuffixArray, LcpOracle, MaximalMatchConfig};
+use pfam_suffix::distributed::PartitionedSuffixSpace;
+
+fn seq_set(max_seqs: usize, max_len: usize) -> impl Strategy<Value = SequenceSet> {
+    prop::collection::vec(
+        prop::collection::vec(0u8..6, 1..max_len),
+        1..max_seqs,
+    )
+    .prop_map(|seqs| {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.into_iter().enumerate() {
+            b.push_codes(format!("s{i}"), s).expect("non-empty by construction");
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gsa_suffixes_strictly_sorted(set in seq_set(6, 25)) {
+        let g = GeneralizedSuffixArray::build(&set);
+        for r in 1..g.sa().len() {
+            let a = &g.text()[g.sa()[r - 1] as usize..];
+            let b = &g.text()[g.sa()[r] as usize..];
+            prop_assert!(a < b, "rank {} out of order", r);
+        }
+    }
+
+    #[test]
+    fn tree_nodes_have_correct_depth_and_branching(set in seq_set(5, 20)) {
+        let g = GeneralizedSuffixArray::build(&set);
+        let t = SuffixTree::build(&g);
+        for node in 0..t.n_nodes() as u32 {
+            let (l, r) = t.range(node);
+            prop_assert!(r > l);
+            // Depth equals the minimum LCP strictly inside the range.
+            if r - l >= 2 {
+                let min_lcp = (l + 1..r).map(|i| g.lcp()[i as usize]).min().unwrap();
+                prop_assert_eq!(min_lcp, t.depth(node));
+            }
+            // Every internal node branches (≥ 2 child groups).
+            prop_assert!(t.child_groups(node).len() >= 2);
+        }
+    }
+
+    #[test]
+    fn every_reported_pair_shares_a_substring(set in seq_set(5, 20)) {
+        let g = GeneralizedSuffixArray::build(&set);
+        let t = SuffixTree::build(&g);
+        let pairs = all_pairs(&t, MaximalMatchConfig { min_len: 2, ..Default::default() });
+        for MatchPair { a, b, len } in pairs {
+            let x = set.codes(a);
+            let y = set.codes(b);
+            let shared = x
+                .windows(len as usize)
+                .any(|w| y.windows(len as usize).any(|v| v == w));
+            prop_assert!(shared, "pair ({a}, {b}) claims a length-{len} match");
+        }
+    }
+
+    #[test]
+    fn lcp_oracle_consistent_with_text(set in seq_set(5, 20)) {
+        let g = GeneralizedSuffixArray::build(&set);
+        let oracle = LcpOracle::new(g.sa(), g.lcp());
+        let text = g.text();
+        // Sample some position pairs.
+        for a in (0..text.len()).step_by(3) {
+            for b in (0..text.len()).step_by(7) {
+                let expect = text[a..]
+                    .iter()
+                    .zip(&text[b..])
+                    .take_while(|(x, y)| x == y)
+                    .count() as u32;
+                prop_assert_eq!(oracle.lcp(a, b), expect, "positions {} {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_partition_preserves_pairs(
+        set in seq_set(6, 20),
+        p in 1usize..6,
+    ) {
+        let g = GeneralizedSuffixArray::build(&set);
+        let t = SuffixTree::build(&g);
+        let config = MaximalMatchConfig { min_len: 3, dedup: false, ..Default::default() };
+        let global: std::collections::HashSet<MatchPair> =
+            all_pairs(&t, config).into_iter().collect();
+        let part = PartitionedSuffixSpace::new(&g, p, 3);
+        let distributed: std::collections::HashSet<MatchPair> =
+            part.per_rank_pairs(&t, config).into_iter().flatten().collect();
+        prop_assert_eq!(distributed, global);
+    }
+
+    #[test]
+    fn ukkonen_contains_all_true_substrings(codes in prop::collection::vec(0u8..5, 1..40)) {
+        let tree = UkkonenTree::build(&codes);
+        for i in 0..codes.len() {
+            for j in i + 1..=codes.len().min(i + 6) {
+                prop_assert!(tree.contains(&codes[i..j]));
+            }
+        }
+        // A symbol outside the alphabet never occurs.
+        prop_assert!(!tree.contains(&[9]));
+    }
+
+    #[test]
+    fn pairs_emitted_in_decreasing_length(set in seq_set(6, 22)) {
+        let g = GeneralizedSuffixArray::build(&set);
+        let t = SuffixTree::build(&g);
+        let pairs = all_pairs(&t, MaximalMatchConfig { min_len: 2, ..Default::default() });
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].len >= w[1].len);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The PaCE clustering loop as a real SPMD message-passing program:
+//! rank 0 masters the union-find clustering, worker ranks own disjoint
+//! prefix-partitioned slices of the suffix space, generate promising
+//! pairs from their own subtrees and verify the candidates the master
+//! sends back — the paper's Section IV-B, executed over the `pfam-mpi`
+//! runtime instead of BlueGene/L MPI.
+//!
+//! ```sh
+//! cargo run --release --example distributed_pace [ranks]
+//! ```
+
+use pfam::cluster::{run_ccd, run_ccd_spmd, ClusterConfig};
+use pfam::datagen::{DatasetConfig, SyntheticDataset};
+use pfam::mpi::run_spmd;
+
+fn main() {
+    let ranks: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    // A taste of the runtime itself: ring all-reduce across the world.
+    let sums = run_spmd(ranks, |comm| comm.all_reduce_sum(comm.rank() as u64 + 1));
+    println!(
+        "mpi runtime up: {} ranks, all_reduce_sum(1..={}) = {}",
+        ranks, ranks, sums[0]
+    );
+
+    // The distributed clustering, checked against the shared-memory engine.
+    let data = SyntheticDataset::generate(&DatasetConfig {
+        n_families: 12,
+        n_members: 240,
+        seed: 0x5B3D,
+        ..DatasetConfig::default()
+    });
+    println!("clustering {} reads on 1 master + {} workers…", data.set.len(), ranks - 1);
+
+    let config = ClusterConfig::default();
+    let spmd = run_ccd_spmd(&data.set, &config, ranks);
+    let reference = run_ccd(&data.set, &config);
+
+    println!(
+        "SPMD: {} components, {} merges, {} pairs generated ({} aligned)",
+        spmd.components.len(),
+        spmd.n_merges,
+        spmd.trace.total_generated(),
+        spmd.trace.total_aligned()
+    );
+    println!(
+        "reference (shared-memory): {} components, {} pairs generated",
+        reference.components.len(),
+        reference.trace.total_generated()
+    );
+    println!(
+        "clusterings identical: {}",
+        spmd.components == reference.components
+    );
+    println!(
+        "\nNote: workers dedup only their own subtrees, so the SPMD run may\n\
+         generate more raw pairs than the globally-deduped single generator;\n\
+         the master's transitive-closure filter absorbs the duplicates — the\n\
+         final components are provably order-independent."
+    );
+}

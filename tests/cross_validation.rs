@@ -1,0 +1,170 @@
+//! Independent implementations checked against each other: the lcp-interval
+//! suffix tree vs Ukkonen, SA-IS vs comparison sort, banded vs full
+//! alignment, and the maximal-match generator vs a brute-force definition.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pfam::align::{banded_global_affine, global_affine};
+use pfam::datagen::random_peptide;
+use pfam::seq::{ScoringScheme, SeqId, SequenceSet, SequenceSetBuilder};
+use pfam::suffix::maximal::{all_pairs, MatchPair};
+use pfam::suffix::sais::{suffix_array, suffix_array_naive};
+use pfam::suffix::ukkonen::UkkonenTree;
+use pfam::suffix::{GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
+
+fn random_set(rng: &mut StdRng, n_seqs: usize, max_len: usize) -> SequenceSet {
+    let mut b = SequenceSetBuilder::new();
+    for i in 0..n_seqs {
+        let len = rng.gen_range(5..=max_len);
+        // Small residue alphabet to force shared substrings.
+        let codes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..5u8)).collect();
+        b.push_codes(format!("s{i}"), codes).expect("non-empty");
+    }
+    b.finish()
+}
+
+#[test]
+fn tree_pattern_search_agrees_with_ukkonen_per_sequence() {
+    let mut rng = StdRng::seed_from_u64(401);
+    for _ in 0..10 {
+        let set = random_set(&mut rng, 4, 40);
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let tree = SuffixTree::build(&gsa);
+        // Per-sequence Ukkonen trees.
+        let ukk: Vec<UkkonenTree> =
+            set.iter().map(|s| UkkonenTree::build(s.codes)).collect();
+        for _ in 0..30 {
+            let plen = rng.gen_range(1..6);
+            let pattern: Vec<u8> = (0..plen).map(|_| rng.gen_range(0..5u8)).collect();
+            let from_tree = tree.find(&pattern);
+            let mut from_ukkonen: Vec<(SeqId, u32)> = Vec::new();
+            for (i, u) in ukk.iter().enumerate() {
+                for pos in u.occurrences(&pattern) {
+                    from_ukkonen.push((SeqId(i as u32), pos as u32));
+                }
+            }
+            from_ukkonen.sort_unstable();
+            assert_eq!(from_tree, from_ukkonen, "pattern {pattern:?}");
+        }
+    }
+}
+
+#[test]
+fn sais_agrees_with_naive_on_generalized_texts() {
+    let mut rng = StdRng::seed_from_u64(402);
+    for _ in 0..20 {
+        let n_seqs = rng.gen_range(1..5);
+        let set = random_set(&mut rng, n_seqs, 30);
+        let gsa = GeneralizedSuffixArray::build(&set);
+        assert_eq!(gsa.sa(), suffix_array_naive(gsa.text()).as_slice());
+        // Alphabet-size stress: the same text through the public API.
+        let again = suffix_array(gsa.text(), gsa.alphabet_size());
+        assert_eq!(gsa.sa(), again.as_slice());
+    }
+}
+
+/// Brute-force maximal matches: all (i, j, length) such that some common
+/// substring of that length is left- and right-maximal between the pair.
+fn brute_force_pairs(set: &SequenceSet, min_len: u32) -> std::collections::HashSet<(u32, u32)> {
+    let mut found = std::collections::HashSet::new();
+    for a in 0..set.len() {
+        for b in a + 1..set.len() {
+            let x = set.codes(SeqId(a as u32));
+            let y = set.codes(SeqId(b as u32));
+            'positions: for i in 0..x.len() {
+                for j in 0..y.len() {
+                    // Extend the match at (i, j).
+                    let mut l = 0usize;
+                    while i + l < x.len() && j + l < y.len() && x[i + l] == y[j + l] {
+                        l += 1;
+                    }
+                    let left_maximal = i == 0 || j == 0 || x[i - 1] != y[j - 1];
+                    if left_maximal && l >= min_len as usize {
+                        found.insert((a as u32, b as u32));
+                        break 'positions;
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+#[test]
+fn maximal_match_pairs_complete_vs_brute_force() {
+    let mut rng = StdRng::seed_from_u64(403);
+    for trial in 0..15 {
+        let n_seqs = rng.gen_range(2..6);
+        let set = random_set(&mut rng, n_seqs, 25);
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let tree = SuffixTree::build(&gsa);
+        let min_len = rng.gen_range(2..5u32);
+        let generated: std::collections::HashSet<(u32, u32)> = all_pairs(
+            &tree,
+            MaximalMatchConfig { min_len, dedup: true, ..Default::default() },
+        )
+        .into_iter()
+        .map(|MatchPair { a, b, .. }| (a.0, b.0))
+        .collect();
+        let expected = brute_force_pairs(&set, min_len);
+        assert_eq!(generated, expected, "trial {trial}, ψ = {min_len}");
+    }
+}
+
+#[test]
+fn maximal_match_lengths_are_genuine() {
+    // Every reported (pair, len) corresponds to an actual common substring
+    // of that length.
+    let mut rng = StdRng::seed_from_u64(404);
+    for _ in 0..10 {
+        let set = random_set(&mut rng, 3, 30);
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let tree = SuffixTree::build(&gsa);
+        for p in all_pairs(&tree, MaximalMatchConfig { min_len: 3, ..Default::default() }) {
+            let x = set.codes(p.a);
+            let y = set.codes(p.b);
+            let found = x.windows(p.len as usize).any(|w| {
+                y.windows(p.len as usize).any(|v| v == w)
+            });
+            assert!(found, "reported match of length {} does not exist", p.len);
+        }
+    }
+}
+
+#[test]
+fn banded_alignment_matches_full_when_band_covers() {
+    let mut rng = StdRng::seed_from_u64(405);
+    let scheme = ScoringScheme::blosum62_default();
+    for _ in 0..25 {
+        let (lx, ly) = (rng.gen_range(1..60), rng.gen_range(1..60));
+        let x = random_peptide(&mut rng, lx);
+        let y = random_peptide(&mut rng, ly);
+        let full = global_affine(&x, &y, &scheme);
+        let halfwidth = x.len().max(y.len());
+        let banded = banded_global_affine(&x, &y, &scheme, 0, halfwidth)
+            .expect("band covers the whole matrix");
+        assert_eq!(banded.score, full.score);
+    }
+}
+
+#[test]
+fn gsa_find_is_exhaustive() {
+    let mut rng = StdRng::seed_from_u64(406);
+    for _ in 0..10 {
+        let set = random_set(&mut rng, 4, 30);
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let plen = rng.gen_range(1..4);
+        let pattern: Vec<u8> = (0..plen).map(|_| rng.gen_range(0..5u8)).collect();
+        let mut naive = Vec::new();
+        for s in set.iter() {
+            for (i, w) in s.codes.windows(plen).enumerate() {
+                if w == pattern.as_slice() {
+                    naive.push((s.id, i as u32));
+                }
+            }
+        }
+        naive.sort_unstable();
+        assert_eq!(gsa.find(&pattern), naive);
+    }
+}

@@ -1,0 +1,109 @@
+//! The heuristic engine against the exhaustive GOS-style baseline: the
+//! transitive-closure + maximal-match machinery must (a) do strictly less
+//! alignment work and (b) produce a clustering that *refines* the
+//! baseline's (every heuristic edge is also a baseline edge, so heuristic
+//! components are subsets of baseline components).
+
+use std::collections::HashMap;
+
+use pfam::cluster::{run_all_pairs_baseline, run_ccd, ClusterConfig};
+use pfam::datagen::{DatasetConfig, MutationModel, SyntheticDataset};
+use pfam::seq::SeqId;
+
+fn dataset(seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig {
+        n_families: 4,
+        n_members: 48,
+        n_noise: 6,
+        redundancy_frac: 0.0,
+        fragment_prob: 0.2,
+        mutation: MutationModel {
+            substitution_rate: 0.12,
+            conservative_fraction: 0.6,
+            insertion_rate: 0.0,
+            deletion_rate: 0.0,
+        },
+        seed,
+        ..DatasetConfig::tiny(seed)
+    })
+}
+
+#[test]
+fn heuristic_components_refine_baseline_components() {
+    let d = dataset(201);
+    let config = ClusterConfig::default();
+    let ours = run_ccd(&d.set, &config);
+    let base = run_all_pairs_baseline(&d.set, &config);
+
+    // Map each sequence to its baseline component.
+    let mut base_of: HashMap<SeqId, usize> = HashMap::new();
+    for (i, comp) in base.components.iter().enumerate() {
+        for &m in comp {
+            base_of.insert(m, i);
+        }
+    }
+    for comp in &ours.components {
+        let targets: std::collections::HashSet<usize> =
+            comp.iter().map(|m| base_of[m]).collect();
+        assert_eq!(
+            targets.len(),
+            1,
+            "heuristic component spans {} baseline components",
+            targets.len()
+        );
+    }
+}
+
+#[test]
+fn heuristic_never_does_more_alignments() {
+    let d = dataset(202);
+    let config = ClusterConfig::default();
+    let ours = run_ccd(&d.set, &config);
+    let base = run_all_pairs_baseline(&d.set, &config);
+    assert!(
+        (ours.trace.total_aligned() as u64) < base.n_alignments,
+        "heuristic {} vs baseline {}",
+        ours.trace.total_aligned(),
+        base.n_alignments
+    );
+    assert!(ours.trace.total_cells() < base.align_cells);
+}
+
+#[test]
+fn heuristic_recovers_the_bulk_of_baseline_clustering() {
+    let d = dataset(203);
+    let config = ClusterConfig::default();
+    let ours = run_ccd(&d.set, &config);
+    let base = run_all_pairs_baseline(&d.set, &config);
+    // Compare pairwise: sensitivity of heuristic vs exhaustive clustering.
+    let n = d.set.len();
+    let to_labels = |comps: &Vec<Vec<SeqId>>| -> Vec<Option<u32>> {
+        let lists: Vec<Vec<u32>> = comps
+            .iter()
+            .filter(|c| c.len() >= 2)
+            .map(|c| c.iter().map(|id| id.0).collect())
+            .collect();
+        pfam::metrics::labels_from_clusters(n, &lists)
+    };
+    let confusion =
+        pfam::metrics::pair_confusion(&to_labels(&ours.components), &to_labels(&base.components));
+    let m = pfam::metrics::QualityMeasures::from_confusion(&confusion);
+    assert!(m.precision > 0.999, "refinement implies no false positives: {m}");
+    assert!(m.sensitivity > 0.8, "heuristic lost too much clustering: {m}");
+}
+
+#[test]
+fn core_set_heuristic_is_stricter_than_components() {
+    let d = dataset(204);
+    let config = ClusterConfig::default();
+    let base = run_all_pairs_baseline(&d.set, &config);
+    for k in [0usize, 2, 5, 10] {
+        let clusters = pfam::cluster::core_set_clusters(&base.graph, k);
+        let n_k = clusters.len();
+        let n_cc = base.components.len();
+        assert!(
+            n_k >= n_cc,
+            "k={k}: core-set clustering must refine plain connectivity"
+        );
+    }
+}

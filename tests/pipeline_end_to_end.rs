@@ -1,0 +1,144 @@
+//! End-to-end pipeline invariants on synthetic metagenomes.
+
+use std::collections::HashSet;
+
+use pfam::core::{evaluate, run_pipeline, PipelineConfig, Reduction, TableOneRow};
+use pfam::datagen::{DatasetConfig, MutationModel, Provenance, SyntheticDataset};
+use pfam::seq::SeqId;
+
+fn dataset(seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig {
+        n_families: 5,
+        n_members: 60,
+        n_noise: 8,
+        redundancy_frac: 0.12,
+        fragment_prob: 0.15,
+        mutation: MutationModel {
+            substitution_rate: 0.12,
+            conservative_fraction: 0.6,
+            insertion_rate: 0.002,
+            deletion_rate: 0.002,
+        },
+        seed,
+        ..DatasetConfig::tiny(seed)
+    })
+}
+
+#[test]
+fn dense_subgraphs_contain_only_non_redundant_sequences() {
+    let d = dataset(101);
+    let r = run_pipeline(&d.set, &PipelineConfig::for_tests());
+    let nr: HashSet<SeqId> = r.non_redundant.iter().copied().collect();
+    for ds in &r.dense_subgraphs {
+        for &m in &ds.members {
+            assert!(nr.contains(&m), "{m} was removed as redundant but appears in a DS");
+        }
+    }
+}
+
+#[test]
+fn dense_subgraphs_nest_inside_their_component() {
+    let d = dataset(102);
+    let r = run_pipeline(&d.set, &PipelineConfig::for_tests());
+    for ds in &r.dense_subgraphs {
+        let members: HashSet<SeqId> =
+            r.component_graphs[ds.component].members.iter().copied().collect();
+        for &m in &ds.members {
+            assert!(members.contains(&m), "DS member outside its component");
+        }
+    }
+}
+
+#[test]
+fn components_partition_the_non_redundant_set() {
+    let d = dataset(103);
+    let r = run_pipeline(&d.set, &PipelineConfig::for_tests());
+    let mut seen = HashSet::new();
+    for comp in &r.components {
+        for &m in comp {
+            assert!(seen.insert(m), "{m} in two components");
+        }
+    }
+    let nr: HashSet<SeqId> = r.non_redundant.iter().copied().collect();
+    assert_eq!(seen, nr);
+}
+
+#[test]
+fn noise_reads_never_enter_family_subgraphs_with_members() {
+    let d = dataset(104);
+    let r = run_pipeline(&d.set, &PipelineConfig::for_tests());
+    for ds in &r.dense_subgraphs {
+        let has_member = ds
+            .members
+            .iter()
+            .any(|&id| matches!(d.provenance[id.index()], Provenance::Member { .. }));
+        let has_noise = ds
+            .members
+            .iter()
+            .any(|&id| matches!(d.provenance[id.index()], Provenance::Noise));
+        assert!(
+            !(has_member && has_noise),
+            "noise clustered together with family members"
+        );
+    }
+}
+
+#[test]
+fn quality_against_ground_truth_is_high_precision() {
+    let d = dataset(105);
+    let r = run_pipeline(&d.set, &PipelineConfig::for_tests());
+    let q = evaluate(&r, &d.benchmark_clusters());
+    assert!(q.measures.precision > 0.95, "PR = {}", q.measures.precision);
+    assert!(q.confusion.tp > 0, "no true-positive pairs at all");
+}
+
+#[test]
+fn table_row_is_internally_consistent() {
+    let d = dataset(106);
+    let config = PipelineConfig::for_tests();
+    let r = run_pipeline(&d.set, &config);
+    let row = TableOneRow::from_result(&r, config.min_component_size);
+    assert!(row.n_non_redundant <= row.n_input);
+    assert!(row.n_seq_in_subgraphs <= row.n_non_redundant);
+    assert!(row.largest <= row.n_seq_in_subgraphs);
+    assert!(row.mean_density >= 0.0 && row.mean_density <= 1.0);
+    assert!(row.n_dense_subgraphs <= row.n_seq_in_subgraphs);
+}
+
+#[test]
+fn both_reductions_agree_on_family_purity() {
+    let d = dataset(107);
+    for reduction in
+        [Reduction::GlobalSimilarity { tau: 0.3 }, Reduction::DomainBased { w: 10 }]
+    {
+        let config = PipelineConfig { reduction, ..PipelineConfig::for_tests() };
+        let r = run_pipeline(&d.set, &config);
+        for ds in &r.dense_subgraphs {
+            let fams: HashSet<_> =
+                ds.members.iter().filter_map(|&id| d.family_of(id)).collect();
+            assert!(fams.len() <= 1, "{reduction:?} mixed families {fams:?}");
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let d = dataset(108);
+    let config = PipelineConfig::for_tests();
+    let a = run_pipeline(&d.set, &config);
+    let b = run_pipeline(&d.set, &config);
+    assert_eq!(a.non_redundant, b.non_redundant);
+    assert_eq!(a.components, b.components);
+    assert_eq!(a.dense_subgraphs, b.dense_subgraphs);
+}
+
+#[test]
+fn fasta_round_trip_preserves_pipeline_output() {
+    let d = dataset(109);
+    let text = pfam::seq::fasta::to_fasta_string(&d.set);
+    let reparsed = pfam::seq::fasta::read_fasta_str(&text).expect("own output parses");
+    let config = PipelineConfig::for_tests();
+    let a = run_pipeline(&d.set, &config);
+    let b = run_pipeline(&reparsed, &config);
+    assert_eq!(a.dense_subgraphs, b.dense_subgraphs);
+}
