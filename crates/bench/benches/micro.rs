@@ -14,8 +14,9 @@ use pfam_graph::{CsrGraph, UnionFind};
 use pfam_seq::{ScoringScheme, SequenceSet, SequenceSetBuilder};
 use pfam_shingle::{shingle_set, HashFamily};
 use pfam_suffix::{
-    lcp::lcp_array, maximal::all_pairs, suffix_array, ukkonen::UkkonenTree,
-    GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree,
+    lcp::lcp_array, lcp_array_parallel, maximal::all_pairs, parallel_pairs, suffix_array,
+    suffix_array_parallel, ukkonen::UkkonenTree, GeneralizedSuffixArray, MaximalMatchConfig,
+    SuffixTree,
 };
 
 fn random_set(n_seqs: usize, len: usize, seed: u64) -> SequenceSet {
@@ -39,14 +40,23 @@ fn bench_suffix(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sais", n), &text, |b, text| {
             b.iter(|| black_box(suffix_array(black_box(text), 22)))
         });
+        group.bench_with_input(BenchmarkId::new("sa_parallel", n), &text, |b, text| {
+            b.iter(|| black_box(suffix_array_parallel(black_box(text), 22, 0)))
+        });
         let sa = suffix_array(&text, 22);
         group.bench_with_input(BenchmarkId::new("kasai_lcp", n), &(), |b, _| {
             b.iter(|| black_box(lcp_array(black_box(&text), black_box(&sa))))
+        });
+        group.bench_with_input(BenchmarkId::new("plcp_parallel", n), &(), |b, _| {
+            b.iter(|| black_box(lcp_array_parallel(black_box(&text), black_box(&sa), 0)))
         });
     }
     let set = random_set(100, 200, 2);
     group.bench_function("gsa_build_100x200", |b| {
         b.iter(|| black_box(GeneralizedSuffixArray::build(black_box(&set))))
+    });
+    group.bench_function("gsa_build_parallel_100x200", |b| {
+        b.iter(|| black_box(GeneralizedSuffixArray::build_parallel(black_box(&set), 0)))
     });
     let gsa = GeneralizedSuffixArray::build(&set);
     group.bench_function("interval_tree_build", |b| {
@@ -58,6 +68,15 @@ fn bench_suffix(c: &mut Criterion) {
             black_box(all_pairs(
                 black_box(&tree),
                 MaximalMatchConfig { min_len: 8, ..Default::default() },
+            ))
+        })
+    });
+    group.bench_function("maximal_pairs_parallel", |b| {
+        b.iter(|| {
+            black_box(parallel_pairs(
+                black_box(&tree),
+                MaximalMatchConfig { min_len: 8, ..Default::default() },
+                0,
             ))
         })
     });

@@ -1,0 +1,135 @@
+//! Index hot-path benchmark: serial vs parallel GSA construction and
+//! maximal-match pair generation on the 40K-like workload, emitting a
+//! machine-readable `BENCH_index.json`.
+//!
+//! ```sh
+//! cargo run --release -p pfam-bench --bin index_bench [scale] [threads]
+//! cargo run --release -p pfam-bench --bin index_bench -- --test   # smoke
+//! ```
+//!
+//! `--test` runs a tiny single-rep smoke pass and prints the JSON to
+//! stdout instead of writing the file (so CI smoke runs never clobber a
+//! real measurement).
+
+use std::time::Instant;
+
+use pfam_bench::dataset_160k_like;
+use pfam_suffix::{
+    maximal::all_pairs, parallel_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree,
+};
+
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let scale = if smoke { 0.05 } else { positional.first().copied().unwrap_or(1.0) };
+    let threads = positional.get(1).map_or(8usize, |&t| t as usize);
+    let reps = if smoke { 1 } else { 3 };
+
+    // The paper's 40K performance point is a quarter of its 160K set.
+    let data = dataset_160k_like(scale * 0.25, 0x40);
+    let set = &data.set;
+    eprintln!(
+        "index_bench: {} ({} reads, {} residues), {} threads, {} rep(s)",
+        data.label,
+        set.len(),
+        set.total_residues(),
+        threads,
+        reps
+    );
+
+    let pair_config = MaximalMatchConfig {
+        min_len: 15, // RR's ψ — the expensive pair-generation regime
+        max_pairs_per_node: 100_000,
+        dedup: true,
+    };
+
+    // Serial reference.
+    let (serial_index_s, gsa_serial) =
+        time_min(reps, || GeneralizedSuffixArray::build(set));
+    let tree_serial = SuffixTree::build(&gsa_serial);
+    let (serial_pairgen_s, pairs_serial) =
+        time_min(reps, || all_pairs(&tree_serial, pair_config));
+
+    // Parallel path.
+    let (par_index_s, gsa_par) =
+        time_min(reps, || GeneralizedSuffixArray::build_parallel(set, threads));
+    let tree_par = SuffixTree::build(&gsa_par);
+    let (par_pairgen_s, (pairs_par, _stats)) =
+        time_min(reps, || parallel_pairs(&tree_par, pair_config, threads));
+
+    // Bit-identity check — the whole point of the design.
+    let identical = gsa_par.sa() == gsa_serial.sa()
+        && gsa_par.lcp() == gsa_serial.lcp()
+        && pairs_par == pairs_serial;
+    assert!(identical, "parallel output diverged from serial — this is a bug");
+
+    let serial_total = serial_index_s + serial_pairgen_s;
+    let par_total = par_index_s + par_pairgen_s;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"index\",\n",
+            "  \"dataset\": \"{label}\",\n",
+            "  \"n_seqs\": {n_seqs},\n",
+            "  \"total_residues\": {residues},\n",
+            "  \"threads\": {threads},\n",
+            "  \"available_cores\": {cores},\n",
+            "  \"reps\": {reps},\n",
+            "  \"n_pairs\": {n_pairs},\n",
+            "  \"outputs_identical\": true,\n",
+            "  \"serial\": {{ \"index_s\": {si:.6}, \"pairgen_s\": {sp:.6}, \"total_s\": {st:.6} }},\n",
+            "  \"parallel\": {{ \"index_s\": {pi:.6}, \"pairgen_s\": {pp:.6}, \"total_s\": {pt:.6} }},\n",
+            "  \"speedup\": {{ \"index\": {sx:.3}, \"pairgen\": {px:.3}, \"total\": {tx:.3} }}\n",
+            "}}\n"
+        ),
+        label = data.label,
+        n_seqs = set.len(),
+        residues = set.total_residues(),
+        threads = threads,
+        cores = std::thread::available_parallelism().map_or(1, |n| n.get()),
+        reps = reps,
+        n_pairs = pairs_serial.len(),
+        si = serial_index_s,
+        sp = serial_pairgen_s,
+        st = serial_total,
+        pi = par_index_s,
+        pp = par_pairgen_s,
+        pt = par_total,
+        sx = serial_index_s / par_index_s,
+        px = serial_pairgen_s / par_pairgen_s,
+        tx = serial_total / par_total,
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < threads {
+        eprintln!(
+            "index_bench: NOTE — only {cores} core(s) available; speedup at \
+             {threads} threads reflects overhead, not scaling"
+        );
+    }
+    if smoke {
+        println!("{json}");
+        eprintln!("index_bench: smoke mode OK (outputs identical)");
+    } else {
+        std::fs::write("BENCH_index.json", &json).expect("write BENCH_index.json");
+        println!("{json}");
+        eprintln!(
+            "index_bench: wrote BENCH_index.json (total speedup {:.2}x at {} threads)",
+            serial_total / par_total,
+            threads
+        );
+    }
+}

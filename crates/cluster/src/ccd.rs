@@ -14,7 +14,7 @@ use rayon::prelude::*;
 use pfam_align::overlaps;
 use pfam_graph::UnionFind;
 use pfam_seq::{SeqId, SequenceSet};
-use pfam_suffix::{GeneralizedSuffixArray, MaximalMatchConfig, MaximalMatchGenerator, SuffixTree};
+use pfam_suffix::{promising_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
 
 use crate::config::ClusterConfig;
 use crate::trace::{BatchRecord, PhaseTrace};
@@ -64,15 +64,17 @@ pub fn run_ccd(set: &SequenceSet, config: &ClusterConfig) -> CcdResult {
         };
     }
     let index_set = crate::mask::index_view(set, &config.mask);
-    let gsa = GeneralizedSuffixArray::build(&index_set);
+    let threads = config.index_threads();
+    let gsa = GeneralizedSuffixArray::build_parallel(&index_set, threads);
     let tree = SuffixTree::build(&gsa);
-    let mut generator = MaximalMatchGenerator::new(
+    let mut generator = promising_pairs(
         &tree,
         MaximalMatchConfig {
             min_len: config.psi_ccd,
             max_pairs_per_node: config.max_pairs_per_node,
             dedup: true,
         },
+        threads,
     );
     let mut result = ccd_over_pairs(set, config, &mut generator);
     result.trace.nodes_visited = generator.stats().nodes_visited as u64;

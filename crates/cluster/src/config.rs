@@ -31,6 +31,15 @@ pub struct ClusterConfig {
     /// pairs, while verification alignments still see the original
     /// residues. `None` disables masking.
     pub mask: Option<MaskParams>,
+    /// Worker-thread count for index construction and pair generation:
+    /// `0` uses every available core, `1` forces the serial reference
+    /// path, `n` uses exactly `n` workers. Outputs are bit-identical for
+    /// every value.
+    pub threads: usize,
+    /// Whether to use the parallel index builders at all. On by default —
+    /// safe because parallel construction is output-identical to serial;
+    /// turn off to pin the serial code path (e.g. for ablation timing).
+    pub parallel_index: bool,
 }
 
 impl Default for ClusterConfig {
@@ -48,6 +57,8 @@ impl Default for ClusterConfig {
             batch_size: 128,
             max_pairs_per_node: 100_000,
             mask: None,
+            threads: 0,
+            parallel_index: true,
         }
     }
 }
@@ -56,6 +67,17 @@ impl ClusterConfig {
     /// Config with small ψ values for short test sequences.
     pub fn for_short_sequences() -> ClusterConfig {
         ClusterConfig { psi_rr: 8, psi_ccd: 5, ..Default::default() }
+    }
+
+    /// Effective thread count for index construction: `1` (serial) when
+    /// the parallel path is disabled, otherwise the `threads` knob as-is
+    /// (`0` still means "all cores"; resolution happens downstream).
+    pub fn index_threads(&self) -> usize {
+        if self.parallel_index {
+            self.threads
+        } else {
+            1
+        }
     }
 }
 
@@ -76,5 +98,15 @@ mod tests {
     fn short_sequence_config_loosens_psi() {
         let c = ClusterConfig::for_short_sequences();
         assert!(c.psi_ccd < ClusterConfig::default().psi_ccd);
+    }
+
+    #[test]
+    fn index_threads_honours_parallel_toggle() {
+        let mut c = ClusterConfig::default();
+        assert_eq!(c.index_threads(), 0); // all cores by default
+        c.threads = 4;
+        assert_eq!(c.index_threads(), 4);
+        c.parallel_index = false;
+        assert_eq!(c.index_threads(), 1); // toggle pins the serial path
     }
 }

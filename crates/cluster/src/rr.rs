@@ -13,7 +13,7 @@ use rayon::prelude::*;
 
 use pfam_align::is_contained;
 use pfam_seq::{SeqId, SequenceSet};
-use pfam_suffix::{GeneralizedSuffixArray, MaximalMatchConfig, MaximalMatchGenerator, SuffixTree};
+use pfam_suffix::{promising_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
 
 use crate::config::ClusterConfig;
 use crate::trace::{BatchRecord, PhaseTrace};
@@ -54,15 +54,17 @@ pub fn run_redundancy_removal(set: &SequenceSet, config: &ClusterConfig) -> RrRe
         return RrResult { kept: Vec::new(), removed: Vec::new(), trace: PhaseTrace::default() };
     }
     let index_set = crate::mask::index_view(set, &config.mask);
-    let gsa = GeneralizedSuffixArray::build(&index_set);
+    let threads = config.index_threads();
+    let gsa = GeneralizedSuffixArray::build_parallel(&index_set, threads);
     let tree = SuffixTree::build(&gsa);
-    let mut generator = MaximalMatchGenerator::new(
+    let mut generator = promising_pairs(
         &tree,
         MaximalMatchConfig {
             min_len: config.psi_rr,
             max_pairs_per_node: config.max_pairs_per_node,
             dedup: true,
         },
+        threads,
     );
 
     let mut redundant: Vec<Option<SeqId>> = vec![None; set.len()];

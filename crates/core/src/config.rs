@@ -58,6 +58,15 @@ impl PipelineConfig {
             min_subgraph_size: 2,
         }
     }
+
+    /// Set the worker-thread count for index construction and pair
+    /// generation (`0` = all cores, `1` = serial reference). The result
+    /// of every phase is identical for any value — only wall-clock time
+    /// changes.
+    pub fn with_threads(mut self, threads: usize) -> PipelineConfig {
+        self.cluster.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +88,12 @@ mod tests {
         let c = PipelineConfig::for_tests();
         assert!(c.shingle.c1 < 300);
         assert_eq!(c.min_subgraph_size, 2);
+    }
+
+    #[test]
+    fn with_threads_reaches_the_cluster_layer() {
+        let c = PipelineConfig::for_tests().with_threads(3);
+        assert_eq!(c.cluster.threads, 3);
+        assert_eq!(c.cluster.index_threads(), 3);
     }
 }

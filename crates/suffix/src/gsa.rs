@@ -19,7 +19,57 @@
 use pfam_seq::{SeqId, SequenceSet, ALPHABET_SIZE};
 
 use crate::lcp::lcp_array;
+use crate::parallel::{lcp_array_parallel, resolve_threads, suffix_array_parallel};
 use crate::sais::suffix_array;
+
+/// Encoded concatenation of a sequence set, ready for suffix sorting.
+struct EncodedText {
+    text: Vec<u32>,
+    seq_of: Vec<u32>,
+    starts: Vec<u32>,
+    n_unknown: u32,
+}
+
+/// Encode `set` per the module-level scheme. Capacities are exact (one
+/// character per residue plus one sentinel per sequence), and sequences
+/// without any `X` take a branch-free table-lookup path.
+fn encode_text(set: &SequenceSet) -> EncodedText {
+    let n_seqs = set.len() as u32;
+    let total = set.total_residues() + set.len();
+    let mut text = Vec::with_capacity(total);
+    let mut seq_of = Vec::with_capacity(total);
+    let mut starts = Vec::with_capacity(set.len());
+    const X_CODE: u8 = (ALPHABET_SIZE - 1) as u8;
+    // Unique values for `X` occurrences start just above the residues.
+    let x_base = n_seqs + ALPHABET_SIZE as u32;
+    // Residue translation table: code `c` ↦ `c + n_seqs`. The `X` entry is
+    // never read on the fast path (X-bearing sequences take the slow loop).
+    let mut table = [0u32; ALPHABET_SIZE];
+    for (c, slot) in table.iter_mut().enumerate() {
+        *slot = c as u32 + n_seqs;
+    }
+    let mut n_unknown = 0u32;
+    for seq in set.iter() {
+        starts.push(text.len() as u32);
+        if seq.codes.contains(&X_CODE) {
+            for &c in seq.codes {
+                if c == X_CODE {
+                    text.push(x_base + n_unknown);
+                    n_unknown += 1;
+                } else {
+                    text.push(table[c as usize]);
+                }
+            }
+        } else {
+            text.extend(seq.codes.iter().map(|&c| table[c as usize]));
+        }
+        let sentinel = if seq.id.0 == n_seqs - 1 { 0 } else { seq.id.0 + 1 };
+        text.push(sentinel);
+        seq_of.extend(std::iter::repeat_n(seq.id.0, seq.codes.len() + 1));
+    }
+    debug_assert_eq!(text.len(), total, "encoding must fill exactly the reserved capacity");
+    EncodedText { text, seq_of, starts, n_unknown }
+}
 
 /// Suffix array + LCP array over the concatenation of a sequence set.
 ///
@@ -56,32 +106,32 @@ impl GeneralizedSuffixArray {
     pub fn build(set: &SequenceSet) -> GeneralizedSuffixArray {
         assert!(!set.is_empty(), "cannot index an empty sequence set");
         let n_seqs = set.len() as u32;
-        let total = set.total_residues() + set.len();
-        let mut text = Vec::with_capacity(total);
-        let mut seq_of = Vec::with_capacity(total);
-        let mut starts = Vec::with_capacity(set.len());
-        const X_CODE: u8 = (ALPHABET_SIZE - 1) as u8;
-        // Unique values for `X` occurrences start just above the residues.
-        let x_base = n_seqs + ALPHABET_SIZE as u32;
-        let mut n_unknown = 0u32;
-        for seq in set.iter() {
-            starts.push(text.len() as u32);
-            for &c in seq.codes {
-                if c == X_CODE {
-                    text.push(x_base + n_unknown);
-                    n_unknown += 1;
-                } else {
-                    text.push(c as u32 + n_seqs);
-                }
-            }
-            let sentinel =
-                if seq.id.0 == n_seqs - 1 { 0 } else { seq.id.0 + 1 };
-            text.push(sentinel);
-            seq_of.extend(std::iter::repeat_n(seq.id.0, seq.codes.len() + 1));
-        }
-        let k = (x_base + n_unknown.max(1)) as usize;
+        let EncodedText { text, seq_of, starts, n_unknown } = encode_text(set);
+        let k = (n_seqs + ALPHABET_SIZE as u32 + n_unknown.max(1)) as usize;
         let sa = suffix_array(&text, k);
         let lcp = lcp_array(&text, &sa);
+        GeneralizedSuffixArray { text, sa, lcp, seq_of, starts, n_seqs, n_unknown }
+    }
+
+    /// Build the generalized suffix array of `set` with up to `threads`
+    /// workers (`0` = all available cores).
+    ///
+    /// Bit-identical to [`build`](Self::build) for every input — the
+    /// suffixes of the encoded text are all distinct (unique sentinels,
+    /// unique `X` characters), so the suffix order is unique and both
+    /// construction strategies must produce it. `threads == 1` *is* the
+    /// serial path.
+    pub fn build_parallel(set: &SequenceSet, threads: usize) -> GeneralizedSuffixArray {
+        assert!(!set.is_empty(), "cannot index an empty sequence set");
+        let threads = resolve_threads(threads);
+        if threads <= 1 {
+            return GeneralizedSuffixArray::build(set);
+        }
+        let n_seqs = set.len() as u32;
+        let EncodedText { text, seq_of, starts, n_unknown } = encode_text(set);
+        let k = (n_seqs + ALPHABET_SIZE as u32 + n_unknown.max(1)) as usize;
+        let sa = suffix_array_parallel(&text, k, threads);
+        let lcp = lcp_array_parallel(&text, &sa, threads);
         GeneralizedSuffixArray { text, sa, lcp, seq_of, starts, n_seqs, n_unknown }
     }
 
@@ -333,6 +383,21 @@ mod tests {
         // Pattern search with X finds nothing either.
         assert!(g.find(&encode(b"XX").unwrap()).is_empty());
         assert!(g.find(&encode(b"X").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn build_parallel_matches_build() {
+        // Mixed X-bearing and X-free sequences exercise both encoding
+        // paths; repeats exercise the sort tie-break.
+        let set = set_of(&["MKVLWMKV", "AAMKVAA", "WXXWMKVXW", "AAAAAAAA", "MKVLWMKV"]);
+        let serial = GeneralizedSuffixArray::build(&set);
+        for threads in [1usize, 2, 3, 8] {
+            let par = GeneralizedSuffixArray::build_parallel(&set, threads);
+            assert_eq!(par.text(), serial.text(), "threads={threads}");
+            assert_eq!(par.sa(), serial.sa(), "threads={threads}");
+            assert_eq!(par.lcp(), serial.lcp(), "threads={threads}");
+            assert_eq!(par.alphabet_size(), serial.alphabet_size());
+        }
     }
 
     #[test]

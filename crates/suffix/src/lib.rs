@@ -21,11 +21,15 @@
 //! * [`distributed`] — prefix-partitioned construction that splits the
 //!   suffix space across `p` ranks (the PaCE distributed-GST scheme),
 //!   with per-rank size accounting for the performance model.
+//! * [`parallel`] — shared-memory parallel construction of the whole hot
+//!   path (suffix array, LCP, pair generation), bit-identical to the
+//!   serial reference for any thread count.
 
 pub mod distributed;
 pub mod gsa;
 pub mod lcp;
 pub mod maximal;
+pub mod parallel;
 pub mod repeats;
 pub mod rmq;
 pub mod sais;
@@ -34,6 +38,10 @@ pub mod ukkonen;
 
 pub use gsa::GeneralizedSuffixArray;
 pub use maximal::{MatchPair, MaximalMatchConfig, MaximalMatchGenerator};
+pub use parallel::{
+    lcp_array_parallel, parallel_pairs, promising_pairs, resolve_threads, suffix_array_parallel,
+    PairSource,
+};
 pub use repeats::{longest_repeat, supermaximal_repeats, Repeat};
 pub use rmq::{LcpOracle, SparseRmq};
 pub use sais::suffix_array;

@@ -15,10 +15,44 @@
 //! first (longest) report of each pair.
 
 use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use pfam_seq::SeqId;
 
 use crate::tree::{NodeId, SuffixTree};
+
+/// Hasher for packed [`MatchPair::key`] values: a single 64-bit
+/// multiply-xor mix (the `splitmix64` finalizer) instead of SipHash —
+/// the dedup set sits on the pair-generation hot path and its keys are
+/// already well-distributed sequence-id pairs, so a keyed hash buys
+/// nothing here.
+#[derive(Clone, Copy, Default)]
+pub struct PairKeyHasher(u64);
+
+impl Hasher for PairKeyHasher {
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused by the dedup set).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Dedup set keyed by [`MatchPair::key`].
+pub(crate) type PairKeySet = HashSet<u64, BuildHasherDefault<PairKeyHasher>>;
 
 /// A promising pair: two distinct sequences sharing a maximal match.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,8 +109,71 @@ pub struct GenerationStats {
     pub pairs_emitted: usize,
     /// Pairs suppressed by the dedup filter.
     pub pairs_deduped: usize,
-    /// Pairs dropped by the per-node cap.
+    /// Candidate pairs dropped by the per-node cap. The cap counts raw
+    /// candidates *before* dedup, so each node's output depends only on
+    /// the node itself — the property that lets nodes be processed on
+    /// any thread while staying bit-identical to the serial walk.
     pub pairs_capped: usize,
+}
+
+/// Enumerate the maximal-match candidate pairs of one tree node, appending
+/// them to `out` in generation order (no dedup — that is a stream-level
+/// concern applied by the caller in node order). Returns the number of
+/// candidates dropped by `max_pairs_per_node`.
+///
+/// This function is deliberately free of generator state: both the serial
+/// [`MaximalMatchGenerator`] and the parallel path in [`crate::parallel`]
+/// call it, which is what guarantees their outputs are identical.
+pub(crate) fn collect_node_pairs(
+    tree: &SuffixTree<'_>,
+    node: NodeId,
+    max_pairs_per_node: usize,
+    out: &mut Vec<MatchPair>,
+) -> usize {
+    let gsa = tree.gsa();
+    let sa = gsa.sa();
+    let depth = tree.depth(node);
+
+    let groups = tree.child_groups(node);
+    // Entries seen in earlier groups: (sequence, left residue or None).
+    let mut prev: Vec<(SeqId, Option<u8>)> = Vec::new();
+    let mut candidates_here = 0usize;
+    let mut capped = 0usize;
+    'groups: for (gl, gr) in groups {
+        let group_start = prev.len();
+        for rank in gl..gr {
+            let pos = sa[rank as usize] as usize;
+            let seq = gsa.seq_at(pos);
+            let left = gsa.left_residue(pos);
+            // Pair with all entries from previous groups.
+            for &(pseq, pleft) in &prev[..group_start] {
+                if pseq == seq {
+                    continue; // self-match within one sequence
+                }
+                // Left-maximality: preceding residues differ, or either
+                // occurrence starts its sequence.
+                let left_maximal = match (pleft, left) {
+                    (Some(x), Some(y)) => x != y,
+                    _ => true,
+                };
+                if !left_maximal {
+                    continue;
+                }
+                if candidates_here >= max_pairs_per_node {
+                    capped += 1;
+                    continue;
+                }
+                candidates_here += 1;
+                out.push(MatchPair::new(pseq, seq, depth));
+            }
+            prev.push((seq, left));
+        }
+        if candidates_here >= max_pairs_per_node && capped > 0 && prev.len() > 4096 {
+            // Node is saturated and very large: stop scanning it.
+            break 'groups;
+        }
+    }
+    capped
 }
 
 /// Streaming generator of promising pairs in decreasing match length.
@@ -89,7 +186,9 @@ pub struct MaximalMatchGenerator<'a> {
     next_node: usize,
     /// Buffered pairs from the current node (drained back to front).
     buffer: Vec<MatchPair>,
-    seen: HashSet<u64>,
+    /// Per-node candidate scratch, reused across nodes.
+    scratch: Vec<MatchPair>,
+    seen: PairKeySet,
     stats: GenerationStats,
 }
 
@@ -121,7 +220,8 @@ impl<'a> MaximalMatchGenerator<'a> {
             queue: nodes,
             next_node: 0,
             buffer: Vec::new(),
-            seen: HashSet::new(),
+            scratch: Vec::new(),
+            seen: PairKeySet::default(),
             stats: GenerationStats::default(),
         }
     }
@@ -133,58 +233,21 @@ impl<'a> MaximalMatchGenerator<'a> {
 
     /// Process one tree node, pushing its surviving pairs into `buffer`.
     fn process_node(&mut self, node: NodeId) {
-        let tree = self.tree;
-        let gsa = tree.gsa();
-        let sa = gsa.sa();
-        let depth = tree.depth(node);
         self.stats.nodes_visited += 1;
-
-        let groups = tree.child_groups(node);
-        // Entries seen in earlier groups: (sequence, left residue or None).
-        let mut prev: Vec<(SeqId, Option<u8>)> = Vec::new();
-        let mut emitted_here = 0usize;
-        'groups: for (gl, gr) in groups {
-            let group_start = prev.len();
-            for rank in gl..gr {
-                let pos = sa[rank as usize] as usize;
-                let seq = gsa.seq_at(pos);
-                let left = gsa.left_residue(pos);
-                // Pair with all entries from previous groups.
-                for &(pseq, pleft) in &prev[..group_start] {
-                    if pseq == seq {
-                        continue; // self-match within one sequence
-                    }
-                    // Left-maximality: preceding residues differ, or either
-                    // occurrence starts its sequence.
-                    let left_maximal = match (pleft, left) {
-                        (Some(x), Some(y)) => x != y,
-                        _ => true,
-                    };
-                    if !left_maximal {
-                        continue;
-                    }
-                    if emitted_here >= self.config.max_pairs_per_node {
-                        self.stats.pairs_capped += 1;
-                        continue;
-                    }
-                    let pair = MatchPair::new(pseq, seq, depth);
-                    if self.config.dedup && !self.seen.insert(pair.key()) {
-                        self.stats.pairs_deduped += 1;
-                        continue;
-                    }
-                    emitted_here += 1;
-                    self.stats.pairs_emitted += 1;
-                    self.buffer.push(pair);
-                }
-                prev.push((seq, left));
+        self.scratch.clear();
+        self.stats.pairs_capped += collect_node_pairs(
+            self.tree,
+            node,
+            self.config.max_pairs_per_node,
+            &mut self.scratch,
+        );
+        for &pair in &self.scratch {
+            if self.config.dedup && !self.seen.insert(pair.key()) {
+                self.stats.pairs_deduped += 1;
+                continue;
             }
-            if emitted_here >= self.config.max_pairs_per_node
-                && self.stats.pairs_capped > 0
-                && prev.len() > 4096
-            {
-                // Node is saturated and very large: stop scanning it.
-                break 'groups;
-            }
+            self.stats.pairs_emitted += 1;
+            self.buffer.push(pair);
         }
         // Within a node all pairs share the same length; reverse so that
         // draining from the back preserves generation order.

@@ -1,0 +1,118 @@
+//! Property tests pinning the parallel hot path to the serial reference:
+//! for every input and every thread count, `build_parallel` must equal
+//! `build` bit for bit, and parallel pair generation must replay the
+//! serial generator's stream exactly.
+
+use proptest::prelude::*;
+
+use pfam_seq::{SequenceSet, SequenceSetBuilder};
+use pfam_suffix::maximal::all_pairs;
+use pfam_suffix::{parallel_pairs, promising_pairs, GeneralizedSuffixArray, MaximalMatchConfig};
+
+fn build_set(seqs: Vec<Vec<u8>>) -> SequenceSet {
+    let mut b = SequenceSetBuilder::new();
+    for (i, s) in seqs.into_iter().enumerate() {
+        b.push_codes(format!("s{i}"), s).expect("non-empty by construction");
+    }
+    b.finish()
+}
+
+/// Arbitrary small sets over a narrow residue range (many repeats, deep
+/// tree — the adversarial regime for suffix sorting).
+fn seq_set(max_seqs: usize, max_len: usize) -> impl Strategy<Value = SequenceSet> {
+    prop::collection::vec(prop::collection::vec(0u8..6, 1..max_len), 1..max_seqs)
+        .prop_map(build_set)
+}
+
+/// X-heavy sets: codes 15..21 include the ambiguity residue `X` (20) with
+/// probability ~1/6 per position, exercising the unique-character encoding
+/// and its wide-alphabet (capped-key) regime.
+fn x_heavy_set(max_seqs: usize, max_len: usize) -> impl Strategy<Value = SequenceSet> {
+    prop::collection::vec(prop::collection::vec(15u8..21, 1..max_len), 1..max_seqs)
+        .prop_map(build_set)
+}
+
+/// Sets of identical copies of one sequence — maximal suffix-order tie
+/// pressure and maximal pair density.
+fn identical_set(max_copies: usize, max_len: usize) -> impl Strategy<Value = SequenceSet> {
+    (prop::collection::vec(0u8..4, 1..max_len), 2..max_copies)
+        .prop_map(|(template, copies)| build_set(vec![template; copies]))
+}
+
+fn assert_same_index(
+    serial: &GeneralizedSuffixArray,
+    par: &GeneralizedSuffixArray,
+) -> Result<(), String> {
+    prop_assert_eq!(par.text(), serial.text());
+    prop_assert_eq!(par.sa(), serial.sa());
+    prop_assert_eq!(par.lcp(), serial.lcp());
+    prop_assert_eq!(par.alphabet_size(), serial.alphabet_size());
+    for pos in 0..serial.text_len() {
+        prop_assert_eq!(par.seq_at(pos), serial.seq_at(pos));
+        prop_assert_eq!(par.offset_at(pos), serial.offset_at(pos));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn build_parallel_is_bit_identical(set in seq_set(6, 25)) {
+        let serial = GeneralizedSuffixArray::build(&set);
+        for threads in [2usize, 3, 8] {
+            let par = GeneralizedSuffixArray::build_parallel(&set, threads);
+            assert_same_index(&serial, &par)?;
+        }
+    }
+
+    #[test]
+    fn build_parallel_handles_x_heavy_inputs(set in x_heavy_set(5, 20)) {
+        let serial = GeneralizedSuffixArray::build(&set);
+        for threads in [2usize, 8] {
+            let par = GeneralizedSuffixArray::build_parallel(&set, threads);
+            assert_same_index(&serial, &par)?;
+        }
+    }
+
+    #[test]
+    fn build_parallel_handles_identical_sequences(set in identical_set(8, 20)) {
+        let serial = GeneralizedSuffixArray::build(&set);
+        for threads in [2usize, 8] {
+            let par = GeneralizedSuffixArray::build_parallel(&set, threads);
+            assert_same_index(&serial, &par)?;
+        }
+    }
+
+    #[test]
+    fn parallel_pairgen_replays_serial_stream(set in seq_set(6, 25)) {
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let tree = pfam_suffix::SuffixTree::build(&gsa);
+        for min_len in [2u32, 4] {
+            for dedup in [true, false] {
+                let config = MaximalMatchConfig { min_len, dedup, ..Default::default() };
+                let serial = all_pairs(&tree, config);
+                for threads in [2usize, 3, 8] {
+                    let (par, stats) = parallel_pairs(&tree, config, threads);
+                    // Exact sequence equality — same pairs, same order.
+                    prop_assert_eq!(&par, &serial);
+                    prop_assert_eq!(stats.pairs_emitted, serial.len());
+                }
+                // Decreasing match length (the PaCE discipline).
+                for w in serial.windows(2) {
+                    prop_assert!(w[0].len >= w[1].len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_source_is_mode_transparent(set in identical_set(6, 15)) {
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let tree = pfam_suffix::SuffixTree::build(&gsa);
+        let config = MaximalMatchConfig { min_len: 2, ..Default::default() };
+        let serial: Vec<_> = promising_pairs(&tree, config, 1).collect();
+        let parallel: Vec<_> = promising_pairs(&tree, config, 4).collect();
+        prop_assert_eq!(parallel, serial);
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, root-package tests, workspace tests, and an
+# index-bench smoke pass (serial/parallel bit-identity check on a tiny
+# workload). Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+echo "== tier1: cargo test -q (root package) =="
+cargo test -q
+
+echo "== tier1: cargo test --workspace -q =="
+cargo test --workspace -q
+
+echo "== tier1: index_bench --test (smoke + identity check) =="
+cargo run --release -p pfam-bench --bin index_bench -- --test
+
+echo "== tier1: OK =="

@@ -1,0 +1,434 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * range strategies (`0u8..21`, `0.0f64..0.3`, ...), tuple strategies,
+//!   `prop::collection::{vec, btree_set}`, `.prop_map`, [`strategy::Just`],
+//! * string strategies from the simple regex form `"[chars]{min,max}"`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports its
+//! case number and RNG seed (derived deterministically from the test name
+//! and case index, so failures reproduce across runs).
+
+pub mod strategy {
+    //! The [`Strategy`] trait and basic combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of test-case values.
+    ///
+    /// The stand-in collapses proptest's `Strategy`/`ValueTree` split into
+    /// one method: [`Strategy::generate`] draws a value directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy producing a single constant value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: rand::SampleUniform + Copy + PartialOrd,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: rand::SampleUniform + Copy + PartialOrd,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, G);
+
+    /// String strategy from a restricted regex: `[chars]{min,max}`
+    /// (a character class with a repetition count) or a plain literal.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (class, min, max) = parse_class_repeat(self).unwrap_or_else(|| {
+                panic!(
+                    "proptest stand-in supports only \"[chars]{{min,max}}\" \
+                     string strategies, got {self:?}"
+                )
+            });
+            let len = rng.gen_range(min..=max);
+            (0..len).map(|_| class[rng.gen_range(0..class.len())]).collect()
+        }
+    }
+
+    /// Parse `[chars]{min,max}`; literals (no regex meta) count as a class
+    /// repeated exactly once per character.
+    fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let rest = rest.strip_prefix('{')?;
+        let counts = rest.strip_suffix('}')?;
+        let (min, max) = match counts.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n = counts.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        let chars: Vec<char> = class.chars().collect();
+        if chars.is_empty() || min > max {
+            return None;
+        }
+        Some((chars, min, max))
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_set`.
+
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A set of up to `size` distinct elements drawn from `element`.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; bound the retries as real proptest
+            // does rather than looping forever on small domains.
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner and its configuration.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (only `cases` is honoured by the stand-in).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// FNV-1a over the test identity, so every property gets its own
+    /// deterministic seed sequence.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `case` for each configured case with a seeded RNG; panic with
+    /// the case number and seed on the first failure.
+    pub fn run<F>(config: ProptestConfig, file: &str, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), String>,
+    {
+        let base = fnv1a(file.as_bytes()) ^ fnv1a(name.as_bytes());
+        for i in 0..config.cases {
+            let seed = base.wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Err(msg) = case(&mut rng) {
+                panic!(
+                    "property {name} failed at case {i}/{} (rng seed {seed:#x}): {msg}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case with the
+/// condition text (or a formatted message) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+/// Define property tests: each `fn name(binder in strategy, ...) { .. }`
+/// becomes a `#[test]` that draws its arguments from the strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::test_runner::run(
+                    $cfg,
+                    ::std::file!(),
+                    ::std::stringify!($name),
+                    |__proptest_rng| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                __proptest_rng,
+                            );
+                        )*
+                        (move || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs in scope.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` module alias (`prop::collection::vec` etc.).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in 0.0f64..1.0, n in 1usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u8..21, 0..40)) {
+            prop_assert!(v.len() < 40);
+            prop_assert!(v.iter().all(|&c| c < 21));
+        }
+
+        #[test]
+        fn btree_set_is_bounded(s in prop::collection::btree_set(0u32..50, 0..20)) {
+            prop_assert!(s.len() < 20);
+        }
+
+        #[test]
+        fn regex_class_strategy(s in "[ACGT]{3,9}") {
+            prop_assert!(s.len() >= 3 && s.len() <= 9, "bad length {}", s.len());
+            prop_assert!(s.chars().all(|c| "ACGT".contains(c)));
+        }
+
+        #[test]
+        fn prop_map_applies(v in prop::collection::vec(0u8..10, 1..5).prop_map(|v| v.len())) {
+            prop_assert!(v >= 1 && v < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0u32..1000, 5..6);
+        let a = strat.generate(&mut StdRng::seed_from_u64(7));
+        let b = strat.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_and_seed() {
+        crate::test_runner::run(
+            ProptestConfig::with_cases(4),
+            "f",
+            "t",
+            |_| Err("boom".into()),
+        );
+    }
+}

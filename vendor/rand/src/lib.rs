@@ -1,0 +1,539 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the small slice of `rand` it actually uses:
+//!
+//! * [`rngs::StdRng`] — the ChaCha12 generator `rand 0.8` uses, including
+//!   the PCG-based `seed_from_u64` fill, so seeded streams are stable
+//!   across runs and platforms;
+//! * [`Rng::gen_range`] / [`Rng::gen_bool`] / [`Rng::gen`] with the same
+//!   widening-multiply rejection sampling `rand 0.8` performs;
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
+//!
+//! Anything the workspace does not call is intentionally absent.
+
+/// The core trait every generator implements: raw 32/64-bit output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits (two 32-bit draws, low half first).
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, with the deterministic `seed_from_u64` expansion
+/// of `rand_core 0.6` (a PCG32 stream fills the seed words).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it exactly as `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod uniform {
+    use super::RngCore;
+
+    /// Types that can be drawn uniformly from a half-open or inclusive
+    /// range, mirroring `rand 0.8`'s widening-multiply rejection sampler.
+    pub trait SampleUniform: Copy + PartialOrd {
+        fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        fn sample_range_inclusive<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+        ) -> Self;
+    }
+
+    /// Widening multiply of two u32s.
+    #[inline]
+    fn wmul32(a: u32, b: u32) -> (u32, u32) {
+        let t = (a as u64) * (b as u64);
+        ((t >> 32) as u32, t as u32)
+    }
+
+    /// Widening multiply of two u64s.
+    #[inline]
+    fn wmul64(a: u64, b: u64) -> (u64, u64) {
+        let t = (a as u128) * (b as u128);
+        ((t >> 64) as u64, t as u64)
+    }
+
+    /// Sample `hi` uniform in `0..range` over a u32 lane; `None` means the
+    /// full 32-bit range was requested (range encoded as 0).
+    #[inline]
+    fn sample_u32<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> Option<u32> {
+        if range == 0 {
+            return None;
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u32();
+            let (hi, lo) = wmul32(v, range);
+            if lo <= zone {
+                return Some(hi);
+            }
+        }
+    }
+
+    /// Same over a u64 lane.
+    #[inline]
+    fn sample_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> Option<u64> {
+        if range == 0 {
+            return None;
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u64();
+            let (hi, lo) = wmul64(v, range);
+            if lo <= zone {
+                return Some(hi);
+            }
+        }
+    }
+
+    /// `rand 0.8` samples small ints (≤ 16 bit) through a u32 lane with a
+    /// modulo-derived rejection zone.
+    #[inline]
+    fn sample_small<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+        debug_assert!(range > 0);
+        let ints_to_reject = (u32::MAX - range + 1) % range;
+        let zone = u32::MAX - ints_to_reject;
+        loop {
+            let v = rng.next_u32();
+            let (hi, lo) = wmul32(v, range);
+            if lo <= zone {
+                return hi;
+            }
+        }
+    }
+
+    macro_rules! impl_uniform_16 {
+        ($($ty:ty => $unsigned:ty),*) => {$(
+            impl SampleUniform for $ty {
+                fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                    assert!(low < high, "gen_range: empty range");
+                    let range = (high.wrapping_sub(low)) as $unsigned as u32;
+                    low.wrapping_add(sample_small(rng, range) as $ty)
+                }
+                fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                    assert!(low <= high, "gen_range: empty range");
+                    let range = ((high.wrapping_sub(low)) as $unsigned as u32).wrapping_add(1);
+                    if range == 0 {
+                        // Full 8/16-bit span never overflows the u32 lane.
+                        unreachable!("8/16-bit inclusive range cannot wrap the u32 lane");
+                    }
+                    low.wrapping_add(sample_small(rng, range) as $ty)
+                }
+            }
+        )*};
+    }
+    impl_uniform_16!(u8 => u8, i8 => u8, u16 => u16, i16 => u16);
+
+    macro_rules! impl_uniform_32 {
+        ($($ty:ty),*) => {$(
+            impl SampleUniform for $ty {
+                fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                    assert!(low < high, "gen_range: empty range");
+                    let range = high.wrapping_sub(low) as u32;
+                    match sample_u32(rng, range) {
+                        Some(hi) => low.wrapping_add(hi as $ty),
+                        None => unreachable!("exclusive range cannot cover the full lane"),
+                    }
+                }
+                fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                    assert!(low <= high, "gen_range: empty range");
+                    let range = (high.wrapping_sub(low) as u32).wrapping_add(1);
+                    match sample_u32(rng, range) {
+                        Some(hi) => low.wrapping_add(hi as $ty),
+                        None => rng.next_u32() as $ty,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_uniform_32!(u32, i32);
+
+    macro_rules! impl_uniform_64 {
+        ($($ty:ty),*) => {$(
+            impl SampleUniform for $ty {
+                fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                    assert!(low < high, "gen_range: empty range");
+                    let range = high.wrapping_sub(low) as u64;
+                    match sample_u64(rng, range) {
+                        Some(hi) => low.wrapping_add(hi as $ty),
+                        None => unreachable!("exclusive range cannot cover the full lane"),
+                    }
+                }
+                fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                    assert!(low <= high, "gen_range: empty range");
+                    let range = (high.wrapping_sub(low) as u64).wrapping_add(1);
+                    match sample_u64(rng, range) {
+                        Some(hi) => low.wrapping_add(hi as $ty),
+                        None => rng.next_u64() as $ty,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_uniform_64!(u64, i64, usize, isize);
+
+    macro_rules! impl_uniform_float {
+        ($($ty:ty => ($uty:ty, $discard:expr, $exp_bias:expr, $frac_bits:expr, $next:ident)),*) => {$(
+            impl SampleUniform for $ty {
+                fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                    assert!(low < high, "gen_range: empty range");
+                    let scale = high - low;
+                    let offset = low - scale;
+                    // Mantissa bits with exponent 0 → uniform in [1, 2).
+                    let bits = (rng.$next() >> $discard) | (($exp_bias as $uty) << $frac_bits);
+                    let value1_2 = <$ty>::from_bits(bits);
+                    value1_2 * scale + offset
+                }
+                fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                    // Floats reuse the half-open sampler (matches rand's
+                    // practical behaviour to within one ulp at `high`).
+                    Self::sample_range(rng, low, high)
+                }
+            }
+        )*};
+    }
+    impl_uniform_float!(f64 => (u64, 12, 1023u64, 52, next_u64), f32 => (u32, 9, 127u32, 23, next_u32));
+}
+
+pub use uniform::SampleUniform;
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range_inclusive(rng, lo, hi)
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait StandardSample {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty => $next:ident),*) => {$(
+        impl StandardSample for $ty {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$next() as $ty
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, i8 => next_u32,
+    i16 => next_u32, i32 => next_u32, u64 => next_u64, i64 => next_u64,
+    usize => next_u64, isize => next_u64);
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand: sign bit of a u32 draw.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits scaled into [0, 1) — rand's `Standard` for f64.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// User-facing convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // rand's Bernoulli: compare a u64 draw against p · 2⁶⁴.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// A value from the standard distribution of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Random bytes into `dest`.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! The standard generator.
+
+    use super::{RngCore, SeedableRng};
+
+    /// ChaCha quarter round.
+    #[inline(always)]
+    fn qr(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    /// The ChaCha12 generator `rand 0.8` uses as `StdRng`: 32-byte key,
+    /// 64-bit block counter, zero stream. Words are consumed strictly in
+    /// block order, matching `rand_chacha`'s buffered output sequence.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        /// Initial state: constants, key, counter, stream.
+        state: [u32; 16],
+        /// Current 16-word output block.
+        block: [u32; 16],
+        /// Next word index into `block`; 16 forces a refill.
+        index: usize,
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut w = self.state;
+            for _ in 0..6 {
+                // Double round: column then diagonal quarter rounds.
+                qr(&mut w, 0, 4, 8, 12);
+                qr(&mut w, 1, 5, 9, 13);
+                qr(&mut w, 2, 6, 10, 14);
+                qr(&mut w, 3, 7, 11, 15);
+                qr(&mut w, 0, 5, 10, 15);
+                qr(&mut w, 1, 6, 11, 12);
+                qr(&mut w, 2, 7, 8, 13);
+                qr(&mut w, 3, 4, 9, 14);
+            }
+            for (out, (&work, &init)) in
+                self.block.iter_mut().zip(w.iter().zip(self.state.iter()))
+            {
+                *out = work.wrapping_add(init);
+            }
+            // 64-bit counter in words 12..14.
+            let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32))
+                .wrapping_add(1);
+            self.state[12] = counter as u32;
+            self.state[13] = (counter >> 32) as u32;
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut state = [0u32; 16];
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            for (w, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+                *w = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            // Words 12..16 (counter + stream) start at zero.
+            StdRng { state, block: [0; 16], index: 16 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 16 {
+                self.refill();
+            }
+            let w = self.block[self.index];
+            self.index += 1;
+            w
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+    }
+
+    /// Alias: the workspace only needs determinism, not speed.
+    pub type SmallRng = StdRng;
+}
+
+pub mod seq {
+    //! Slice helpers (`shuffle`, `choose`).
+
+    use super::{Rng, RngCore};
+
+    /// Uniform index below `ubound`, via the u32 lane when possible —
+    /// the same split `rand 0.8` makes in `gen_index`.
+    fn gen_index<R: RngCore>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Random-order and random-pick operations on slices.
+    pub trait SliceRandom {
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+        /// One uniformly chosen element, `None` on an empty slice.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(gen_index(rng, self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+            assert_eq!(a.gen_range(0.0..1.0f64), b.gen_range(0.0..1.0f64));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let u: u8 = rng.gen_range(0..=3);
+            assert!(u <= 3);
+            let f = rng.gen_range(0.85..1.0);
+            assert!((0.85..1.0).contains(&f));
+            let z = rng.gen_range(0..1usize.max(1));
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chacha_counter_advances() {
+        // Distinct blocks: 32 consecutive words are not all equal.
+        let mut rng = StdRng::seed_from_u64(0);
+        let words: Vec<u32> = (0..32).map(|_| rng.next_u32()).collect();
+        assert!(words.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace's call sites all follow one shape —
+//! `collection.par_iter().map(f).collect()` /
+//! `collection.into_par_iter().map(f).collect()` — so this shim provides
+//! exactly that, with *real* parallelism: items are dispatched to scoped
+//! OS threads through an atomic work counter (fine-grained, so skewed
+//! workloads balance), and results are reassembled in input order, making
+//! every combinator deterministic regardless of thread count.
+//!
+//! Unlike real rayon there is no global pool: each `map` call spawns its
+//! scoped workers and joins them before returning. For the coarse tasks
+//! the pipeline runs (alignments, subtree mining, per-component shingling)
+//! the spawn cost is noise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything a call site needs in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Upper bound on worker threads for one parallel call.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run `f` over `items`, returning results in input order. Items are
+/// handed out one at a time through a shared counter so uneven task costs
+/// balance across workers.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Wrap each item so any worker can `take` it by index.
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let cursor = &cursor;
+
+    let mut per_thread: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("poisoned work slot")
+                            .take()
+                            .expect("each slot is taken exactly once");
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    // Reassemble in input order.
+    let mut ordered: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in per_thread.drain(..).flatten() {
+        ordered[i] = Some(r);
+    }
+    ordered.into_iter().map(|r| r.expect("every index produced")).collect()
+}
+
+/// An eager "parallel iterator": holds materialised items; `map` runs the
+/// parallel step, `collect` only repackages.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, preserving input order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: parallel_map(self.items, f) }
+    }
+
+    /// Parallel filter, preserving input order.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let keep = parallel_map(self.items, |t| if f(&t) { Some(t) } else { None });
+        ParIter { items: keep.into_iter().flatten().collect() }
+    }
+
+    /// Parallel for-each (order of side effects is unspecified, as in rayon).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let _ = parallel_map(self.items, |t| f(t));
+    }
+
+    /// Flatten nested iterables, preserving input order.
+    pub fn flatten(self) -> ParIter<<T as IntoIterator>::Item>
+    where
+        T: IntoIterator,
+        <T as IntoIterator>::Item: Send,
+    {
+        ParIter { items: self.items.into_iter().flatten().collect() }
+    }
+
+    /// Parallel flat-map, preserving input order.
+    pub fn flat_map<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        I: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        self.map(f).flatten()
+    }
+
+    /// Gather into any `FromIterator` collection, in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum of the mapped items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// `into_par_iter()` — consuming conversion.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Convert into the eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter()` — borrowing conversion yielding `&T`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a reference).
+    type Item: Send + 'data;
+    /// Borrow into the eager parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined closure panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let squared: Vec<u64> = v.into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squared, (0..1000).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_par_iter() {
+        let out: Vec<usize> = (0..17usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (1..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_workloads_complete() {
+        // One huge item among many tiny ones — exercises the work counter.
+        let work: Vec<usize> = (0..64).map(|i| if i == 0 { 1_000_000 } else { 10 }).collect();
+        let sums: Vec<u64> = work
+            .into_par_iter()
+            .map(|n| (0..n as u64).sum::<u64>())
+            .collect();
+        assert_eq!(sums.len(), 64);
+        assert!(sums[0] > sums[1]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}
