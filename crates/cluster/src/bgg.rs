@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn full_edge_set_exceeds_ccd_spanning_edges() {
         // CCD stops aligning once merged; BGG must find *all* edges.
-        let seqs: Vec<&str> = std::iter::repeat(FAM).take(8).collect();
+        let seqs = vec![FAM; 8];
         let set = set_of(&seqs);
         let ccd = crate::ccd::run_ccd(
             &set,

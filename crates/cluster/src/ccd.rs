@@ -81,6 +81,78 @@ pub fn run_ccd(set: &SequenceSet, config: &ClusterConfig) -> CcdResult {
     result
 }
 
+/// Mid-phase CCD state at a batch boundary: everything the master loop
+/// needs to resume and reach a final clustering identical to the
+/// uninterrupted run.
+///
+/// Resume works by *deterministic replay*: the pair generator's order is
+/// bit-identical across runs (the parallel generator preserves the serial
+/// order), so skipping the first `pairs_consumed` pairs after an index
+/// rebuild lands exactly where the checkpointed run stopped. The
+/// union-find is restored verbatim (including incidental path-compression
+/// state), so every subsequent filter decision — and therefore every
+/// alignment, merge and trace record — repeats exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcdCursor {
+    /// Pairs already drawn from the generator (a batch boundary).
+    pub pairs_consumed: u64,
+    /// Union-find parent array ([`UnionFind::parts`]).
+    pub uf_parent: Vec<u32>,
+    /// Union-find rank array.
+    pub uf_rank: Vec<u8>,
+    /// Accepted edges so far, in verification order.
+    pub edges: Vec<(u32, u32)>,
+    /// Merges so far.
+    pub n_merges: usize,
+    /// Work trace accumulated so far.
+    pub trace: PhaseTrace,
+}
+
+/// [`run_ccd`] with checkpoint/restart hooks: optionally resume from a
+/// [`CcdCursor`], and emit a cursor through `on_checkpoint` after every
+/// `checkpoint_every` batches (0 disables emission). The final result is
+/// identical to the uninterrupted [`run_ccd`] — the checkpoint/resume
+/// integration tests assert this batch boundary by batch boundary.
+pub fn run_ccd_resumable(
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    resume: Option<CcdCursor>,
+    checkpoint_every: usize,
+    on_checkpoint: &mut dyn FnMut(&CcdCursor),
+) -> CcdResult {
+    if set.is_empty() {
+        return CcdResult {
+            components: Vec::new(),
+            edges: Vec::new(),
+            n_merges: 0,
+            trace: PhaseTrace::default(),
+        };
+    }
+    let index_set = crate::mask::index_view(set, &config.mask);
+    let threads = config.index_threads();
+    let gsa = GeneralizedSuffixArray::build_parallel(&index_set, threads);
+    let tree = SuffixTree::build(&gsa);
+    let mut generator = promising_pairs(
+        &tree,
+        MaximalMatchConfig {
+            min_len: config.psi_ccd,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+        threads,
+    );
+    let mut result = ccd_over_pairs_with(
+        set,
+        config,
+        &mut generator,
+        resume,
+        checkpoint_every,
+        on_checkpoint,
+    );
+    result.trace.nodes_visited = generator.stats().nodes_visited as u64;
+    result
+}
+
 /// Run the CCD master loop over an explicit pair stream — the ablation
 /// hook: feeding the same pairs in a different order shows how much the
 /// longest-match-first discipline contributes to the filter's savings.
@@ -105,13 +177,46 @@ fn ccd_over_pairs(
     config: &ClusterConfig,
     pairs: &mut dyn Iterator<Item = pfam_suffix::MatchPair>,
 ) -> CcdResult {
-    let mut uf = UnionFind::new(set.len());
-    let mut trace = PhaseTrace {
-        index_residues: set.total_residues() as u64,
-        ..PhaseTrace::default()
+    ccd_over_pairs_with(set, config, pairs, None, 0, &mut |_| {})
+}
+
+fn ccd_over_pairs_with(
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    pairs: &mut dyn Iterator<Item = pfam_suffix::MatchPair>,
+    resume: Option<CcdCursor>,
+    checkpoint_every: usize,
+    on_checkpoint: &mut dyn FnMut(&CcdCursor),
+) -> CcdResult {
+    let (mut uf, mut edges, mut n_merges, mut trace, mut pairs_consumed) = match resume {
+        Some(cursor) => {
+            // Deterministic replay: advance the generator past the pairs
+            // the checkpointed run already consumed.
+            for _ in 0..cursor.pairs_consumed {
+                if pairs.next().is_none() {
+                    break;
+                }
+            }
+            (
+                UnionFind::from_parts(cursor.uf_parent, cursor.uf_rank),
+                cursor.edges.iter().map(|&(a, b)| (SeqId(a), SeqId(b))).collect(),
+                cursor.n_merges,
+                cursor.trace,
+                cursor.pairs_consumed,
+            )
+        }
+        None => (
+            UnionFind::new(set.len()),
+            Vec::new(),
+            0usize,
+            PhaseTrace {
+                index_residues: set.total_residues() as u64,
+                ..PhaseTrace::default()
+            },
+            0u64,
+        ),
     };
-    let mut edges = Vec::new();
-    let mut n_merges = 0usize;
+    let mut batches_since_checkpoint = 0usize;
 
     loop {
         let mut batch = Vec::with_capacity(config.batch_size);
@@ -124,6 +229,7 @@ fn ccd_over_pairs(
         if batch.is_empty() {
             break;
         }
+        pairs_consumed += batch.len() as u64;
         let n_generated = batch.len();
         // Master: transitive-closure filter.
         let candidates: Vec<(SeqId, SeqId)> = batch
@@ -162,6 +268,19 @@ fn ccd_over_pairs(
             align_cells: task_cells.iter().sum(),
             task_cells,
         });
+        batches_since_checkpoint += 1;
+        if checkpoint_every > 0 && batches_since_checkpoint >= checkpoint_every {
+            batches_since_checkpoint = 0;
+            let (parent, rank) = uf.parts();
+            on_checkpoint(&CcdCursor {
+                pairs_consumed,
+                uf_parent: parent.to_vec(),
+                uf_rank: rank.to_vec(),
+                edges: edges.iter().map(|&(a, b)| (a.0, b.0)).collect(),
+                n_merges,
+                trace: trace.clone(),
+            });
+        }
     }
 
     let components = uf
@@ -215,7 +334,7 @@ mod tests {
         // Many identical sequences: after the first merges, remaining pairs
         // are filtered without alignment. A small batch size makes the
         // master's filter visible even on this tiny input.
-        let seqs: Vec<&str> = std::iter::repeat(FAM_A).take(12).collect();
+        let seqs = vec![FAM_A; 12];
         let set = set_of(&seqs);
         let r = run_ccd(&set, &ClusterConfig { batch_size: 8, ..config() });
         assert_eq!(r.components.len(), 1);
@@ -296,6 +415,35 @@ mod tests {
         // Either way the sequences must not cluster together.
         assert_eq!(plain.components.len(), 2);
         assert_eq!(masked.components.len(), 2);
+    }
+
+    #[test]
+    fn resume_from_any_batch_boundary_is_identical() {
+        use pfam_datagen::{DatasetConfig, SyntheticDataset};
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(77));
+        // Small batches so the run crosses many checkpoint boundaries.
+        let cfg = ClusterConfig { batch_size: 32, ..ClusterConfig::default() };
+        let full = run_ccd(&d.set, &cfg);
+
+        // Capture a cursor at every batch boundary.
+        let mut cursors = Vec::new();
+        let observed =
+            run_ccd_resumable(&d.set, &cfg, None, 1, &mut |c| cursors.push(c.clone()));
+        assert_eq!(observed.components, full.components);
+        assert_eq!(observed.edges, full.edges);
+        assert_eq!(observed.trace, full.trace);
+        assert!(cursors.len() >= 3, "want several boundaries, got {}", cursors.len());
+
+        // Resuming from any of them must replay to the identical result.
+        let step = (cursors.len() / 4).max(1);
+        for cursor in cursors.into_iter().step_by(step) {
+            let resumed =
+                run_ccd_resumable(&d.set, &cfg, Some(cursor), 0, &mut |_| {});
+            assert_eq!(resumed.components, full.components);
+            assert_eq!(resumed.edges, full.edges);
+            assert_eq!(resumed.n_merges, full.n_merges);
+            assert_eq!(resumed.trace, full.trace, "trace must replay exactly");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod baseline;
 pub mod bgg;
 pub mod ccd;
 pub mod config;
+pub mod ft;
 pub(crate) mod mask;
 pub mod master_worker;
 pub mod rr;
@@ -35,8 +36,9 @@ pub mod trace;
 
 pub use baseline::{core_set_clusters, run_all_pairs_baseline, BaselineResult};
 pub use bgg::{all_component_graphs, component_graph, ComponentGraph};
-pub use ccd::{run_ccd, run_ccd_from_pairs, CcdResult};
-pub use master_worker::{run_ccd_master_worker, MwStats};
+pub use ccd::{run_ccd, run_ccd_from_pairs, run_ccd_resumable, CcdCursor, CcdResult};
+pub use ft::{run_ccd_ft, FtError};
+pub use master_worker::{run_ccd_master_worker, run_ccd_master_worker_with, MwError, MwStats};
 pub use config::ClusterConfig;
 pub use rr::{run_redundancy_removal, RrResult};
 pub use spmd::{run_ccd_spmd, run_rr_spmd};

@@ -36,6 +36,16 @@ const TAG_WORKER_DONE: u32 = 4;
 /// Messages a worker sends with its pair batch: `(pairs, exhausted)`.
 type PairBatch = (Vec<(u32, u32)>, bool);
 
+/// The engines in this module run fault-free worlds, so any communicator
+/// error is a bug in the protocol, not a tolerated fault — it panics.
+/// Fault-tolerant CCD with worker recovery lives in [`crate::ft`].
+fn healthy<T>(r: Result<T, pfam_mpi::CommError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("spmd world must stay healthy: {e}"),
+    }
+}
+
 /// Run CCD as an SPMD job on `n_ranks` ranks (1 master + `n_ranks − 1`
 /// workers). Requires `n_ranks ≥ 2` and
 /// `config.psi_ccd ≥ partition prefix length` (3).
@@ -98,7 +108,7 @@ fn master(comm: &mut Communicator, set: &SequenceSet) -> CcdResult {
         // Verdicts and pair batches arrive interleaved; handle whichever
         // is ready (poll verdicts first to sharpen the filter).
         if let Some((from, verdicts)) =
-            comm.try_recv::<Vec<(u32, u32, bool, u64)>>(ANY_SOURCE, TAG_VERDICTS)
+            healthy(comm.try_recv::<Vec<(u32, u32, bool, u64)>>(ANY_SOURCE, TAG_VERDICTS))
         {
             outstanding[from] -= 1;
             let mut task_cells = Vec::with_capacity(verdicts.len());
@@ -119,7 +129,7 @@ fn master(comm: &mut Communicator, set: &SequenceSet) -> CcdResult {
             continue;
         }
         if let Some((from, (pairs, exhausted))) =
-            comm.try_recv::<PairBatch>(ANY_SOURCE, TAG_PAIRS)
+            healthy(comm.try_recv::<PairBatch>(ANY_SOURCE, TAG_PAIRS))
         {
             let n_generated = pairs.len();
             let candidates: Vec<(u32, u32)> =
@@ -133,11 +143,11 @@ fn master(comm: &mut Communicator, set: &SequenceSet) -> CcdResult {
             });
             if !candidates.is_empty() {
                 outstanding[from] += 1;
-                comm.send(from, TAG_CANDIDATES, candidates);
+                healthy(comm.send(from, TAG_CANDIDATES, candidates));
             }
             if exhausted {
                 workers_done += 1;
-                comm.send(from, TAG_WORKER_DONE, ());
+                healthy(comm.send(from, TAG_WORKER_DONE, ()));
             }
             continue;
         }
@@ -145,7 +155,7 @@ fn master(comm: &mut Communicator, set: &SequenceSet) -> CcdResult {
     }
     // Release workers: they exit after the DONE message once no more
     // candidate batches can arrive (outstanding drained above).
-    comm.barrier();
+    healthy(comm.barrier());
 
     let components = uf
         .groups()
@@ -180,11 +190,11 @@ fn worker(
             .map(|MatchPair { a, b, .. }| (a.0, b.0))
             .collect();
         exhausted = batch.len() < config.batch_size;
-        comm.send(0, TAG_PAIRS, (batch, exhausted));
+        healthy(comm.send(0, TAG_PAIRS, (batch, exhausted)));
         // Serve candidate batches while waiting; the DONE ack only comes
         // after the master has seen our exhausted flag.
         loop {
-            if let Some((_, candidates)) = comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES) {
+            if let Some((_, candidates)) = healthy(comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES)) {
                 let verdicts: Vec<(u32, u32, bool, u64)> = candidates
                     .into_iter()
                     .map(|(a, b)| {
@@ -194,17 +204,17 @@ fn worker(
                         (a, b, overlaps(x, y, &config.scheme, &config.overlap), cells)
                     })
                     .collect();
-                comm.send(0, TAG_VERDICTS, verdicts);
+                healthy(comm.send(0, TAG_VERDICTS, verdicts));
                 continue;
             }
             if !exhausted {
                 // Produce the next pair batch eagerly.
                 break;
             }
-            if comm.try_recv::<()>(0, TAG_WORKER_DONE).is_some() {
+            if healthy(comm.try_recv::<()>(0, TAG_WORKER_DONE)).is_some() {
                 // Final drain: answer any candidates still queued.
                 while let Some((_, candidates)) =
-                    comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES)
+                    healthy(comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES))
                 {
                     let verdicts: Vec<(u32, u32, bool, u64)> = candidates
                         .into_iter()
@@ -215,9 +225,9 @@ fn worker(
                             (a, b, overlaps(x, y, &config.scheme, &config.overlap), cells)
                         })
                         .collect();
-                    comm.send(0, TAG_VERDICTS, verdicts);
+                    healthy(comm.send(0, TAG_VERDICTS, verdicts));
                 }
-                comm.barrier();
+                healthy(comm.barrier());
                 return;
             }
             std::thread::yield_now();
@@ -293,7 +303,7 @@ fn rr_master(comm: &mut Communicator, set: &SequenceSet) -> crate::rr::RrResult 
 
     while workers_done < n_workers || outstanding.iter().sum::<usize>() > 0 {
         if let Some((from, verdicts)) =
-            comm.try_recv::<Vec<(u32, u32, bool, u64)>>(ANY_SOURCE, TAG_VERDICTS)
+            healthy(comm.try_recv::<Vec<(u32, u32, bool, u64)>>(ANY_SOURCE, TAG_VERDICTS))
         {
             outstanding[from] -= 1;
             let mut task_cells = Vec::with_capacity(verdicts.len());
@@ -312,7 +322,7 @@ fn rr_master(comm: &mut Communicator, set: &SequenceSet) -> crate::rr::RrResult 
             continue;
         }
         if let Some((from, (pairs, exhausted))) =
-            comm.try_recv::<PairBatch>(ANY_SOURCE, TAG_PAIRS)
+            healthy(comm.try_recv::<PairBatch>(ANY_SOURCE, TAG_PAIRS))
         {
             let n_generated = pairs.len();
             let candidates: Vec<(u32, u32)> = pairs
@@ -332,17 +342,17 @@ fn rr_master(comm: &mut Communicator, set: &SequenceSet) -> crate::rr::RrResult 
             });
             if !candidates.is_empty() {
                 outstanding[from] += 1;
-                comm.send(from, TAG_CANDIDATES, candidates);
+                healthy(comm.send(from, TAG_CANDIDATES, candidates));
             }
             if exhausted {
                 workers_done += 1;
-                comm.send(from, TAG_WORKER_DONE, ());
+                healthy(comm.send(from, TAG_WORKER_DONE, ()));
             }
             continue;
         }
         std::thread::yield_now();
     }
-    comm.barrier();
+    healthy(comm.barrier());
 
     let kept = set
         .ids()
@@ -392,22 +402,22 @@ fn rr_worker(
             .map(|MatchPair { a, b, .. }| (a.0, b.0))
             .collect();
         exhausted = batch.len() < config.batch_size;
-        comm.send(0, TAG_PAIRS, (batch, exhausted));
+        healthy(comm.send(0, TAG_PAIRS, (batch, exhausted)));
         loop {
-            if let Some((_, candidates)) = comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES) {
-                comm.send(0, TAG_VERDICTS, containment_verdicts(candidates));
+            if let Some((_, candidates)) = healthy(comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES)) {
+                healthy(comm.send(0, TAG_VERDICTS, containment_verdicts(candidates)));
                 continue;
             }
             if !exhausted {
                 break;
             }
-            if comm.try_recv::<()>(0, TAG_WORKER_DONE).is_some() {
+            if healthy(comm.try_recv::<()>(0, TAG_WORKER_DONE)).is_some() {
                 while let Some((_, candidates)) =
-                    comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES)
+                    healthy(comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES))
                 {
-                    comm.send(0, TAG_VERDICTS, containment_verdicts(candidates));
+                    healthy(comm.send(0, TAG_VERDICTS, containment_verdicts(candidates)));
                 }
-                comm.barrier();
+                healthy(comm.barrier());
                 return;
             }
             std::thread::yield_now();

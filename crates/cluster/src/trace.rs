@@ -38,7 +38,7 @@ pub struct BatchRecord {
 }
 
 /// Complete trace of one phase run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseTrace {
     /// Total residues indexed (GST construction volume).
     pub index_residues: u64,

@@ -1,0 +1,601 @@
+//! Versioned, checksummed checkpoint files for the pipeline (DESIGN.md
+//! §robustness).
+//!
+//! A checkpoint captures the pipeline's progress at a recovery point so a
+//! killed job can resume and reach a final clustering *identical* to the
+//! uninterrupted run:
+//!
+//! * after redundancy removal — the survivor set ([`RrState`]);
+//! * during/after CCD — the union-find forest, accepted edges and the
+//!   pair-generator cursor at a batch boundary ([`CcdState`], wrapping
+//!   [`pfam_cluster::CcdCursor`]), written every N batches;
+//! * during/after BGG+DSD — the component queue position plus every
+//!   finished component's graph and dense subgraphs ([`DsdState`]).
+//!
+//! # File format
+//!
+//! ```text
+//! magic "PFCK" | u32 version | u32 phase | u64 payload_len | u32 crc32 | payload
+//! ```
+//!
+//! All integers little-endian. The CRC-32 (IEEE) covers the payload only.
+//! Files are written atomically (`<path>.tmp` + rename), so a crash
+//! mid-write leaves the previous checkpoint intact; a torn or tampered
+//! file fails the checksum and is reported, never silently half-loaded.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use pfam_cluster::{CcdCursor, PhaseTrace};
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: &[u8; 4] = b"PFCK";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Which phase a checkpoint belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Redundancy removal (complete).
+    Rr,
+    /// Connected-component detection (possibly mid-phase).
+    Ccd,
+    /// Bipartite generation + dense subgraph detection (possibly
+    /// mid-queue).
+    Dsd,
+}
+
+impl Phase {
+    fn code(self) -> u32 {
+        match self {
+            Phase::Rr => 1,
+            Phase::Ccd => 2,
+            Phase::Dsd => 3,
+        }
+    }
+
+    fn from_code(code: u32) -> Option<Phase> {
+        match code {
+            1 => Some(Phase::Rr),
+            2 => Some(Phase::Ccd),
+            3 => Some(Phase::Dsd),
+            _ => None,
+        }
+    }
+
+    /// Conventional file name inside a checkpoint directory.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Phase::Rr => "rr.ckpt",
+            Phase::Ccd => "ccd.ckpt",
+            Phase::Dsd => "dsd.ckpt",
+        }
+    }
+
+    /// Conventional path inside `dir`.
+    pub fn path_in(self, dir: &Path) -> PathBuf {
+        dir.join(self.file_name())
+    }
+}
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem failure (message includes the path).
+    Io(String),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Unknown phase code in the header.
+    BadPhase(u32),
+    /// The payload failed its CRC-32 — torn write or corruption.
+    BadChecksum,
+    /// The file or payload ended early / decoded inconsistently.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(m) => write!(f, "checkpoint I/O error: {m}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CkptError::BadPhase(p) => write!(f, "unknown checkpoint phase code {p}"),
+            CkptError::BadChecksum => {
+                write!(f, "checkpoint checksum mismatch (torn write or corruption)")
+            }
+            CkptError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+// ---------------------------------------------------------------- CRC-32
+
+/// CRC-32 (IEEE 802.3, reflected), the zlib/PNG polynomial.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ------------------------------------------------------------- raw files
+
+/// Atomically write `payload` as a phase checkpoint: the bytes land in
+/// `<path>.tmp` first and are renamed into place, so `path` always holds
+/// either the previous checkpoint or the complete new one.
+pub fn write_checkpoint(path: &Path, phase: Phase, payload: &[u8]) -> Result<(), CkptError> {
+    let mut bytes = Vec::with_capacity(payload.len() + 24);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&phase.code().to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+
+    let tmp = path.with_extension("ckpt.tmp");
+    let io = |e: std::io::Error| CkptError::Io(format!("{}: {e}", tmp.display()));
+    let mut f = std::fs::File::create(&tmp).map_err(io)?;
+    f.write_all(&bytes).map_err(io)?;
+    f.sync_all().map_err(io)?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| CkptError::Io(format!("renaming {}: {e}", path.display())))
+}
+
+/// Read and validate a checkpoint, returning its phase and payload.
+pub fn read_checkpoint(path: &Path) -> Result<(Phase, Vec<u8>), CkptError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| CkptError::Io(format!("{}: {e}", path.display())))?;
+    if bytes.len() < 24 {
+        return Err(CkptError::Corrupt("file shorter than header"));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let word = |at: usize| -> u32 {
+        u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+    };
+    let version = word(4);
+    if version != VERSION {
+        return Err(CkptError::BadVersion(version));
+    }
+    let phase = Phase::from_code(word(8)).ok_or(CkptError::BadPhase(word(8)))?;
+    let len = u64::from_le_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18],
+        bytes[19],
+    ]) as usize;
+    let checksum = word(20);
+    let payload = bytes
+        .get(24..24 + len)
+        .ok_or(CkptError::Corrupt("payload shorter than header claims"))?;
+    if bytes.len() != 24 + len {
+        return Err(CkptError::Corrupt("trailing bytes after payload"));
+    }
+    if crc32(payload) != checksum {
+        return Err(CkptError::BadChecksum);
+    }
+    Ok((phase, payload.to_vec()))
+}
+
+// ----------------------------------------------------------- byte codec
+
+/// Little-endian byte encoder for checkpoint payloads.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Finish and take the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed `u32` slice.
+    pub fn u32s(&mut self, vs: &[u32]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn bytes(&mut self, vs: &[u8]) {
+        self.u64(vs.len() as u64);
+        self.buf.extend_from_slice(vs);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Append a length-prefixed list of `u32` pairs.
+    pub fn pairs(&mut self, vs: &[(u32, u32)]) {
+        self.u64(vs.len() as u64);
+        for &(a, b) in vs {
+            self.u32(a);
+            self.u32(b);
+        }
+    }
+}
+
+/// Matching decoder; every getter bounds-checks and fails with
+/// [`CkptError::Corrupt`] instead of panicking.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, at: 0 }
+    }
+
+    /// Assert the payload was fully consumed.
+    pub fn done(&self) -> Result<(), CkptError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CkptError::Corrupt("payload has trailing bytes"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        let slice = self
+            .buf
+            .get(self.at..self.at + n)
+            .ok_or(CkptError::Corrupt("payload truncated"))?;
+        self.at += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn len_prefix(&mut self) -> Result<usize, CkptError> {
+        let n = self.u64()?;
+        // Cheap sanity bound: a length can never exceed the bytes left.
+        if n > (self.buf.len() - self.at) as u64 {
+            return Err(CkptError::Corrupt("length prefix exceeds payload"));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read a length-prefixed `u32` list.
+    pub fn u32s(&mut self) -> Result<Vec<u32>, CkptError> {
+        let n = self.len_prefix()?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let n = self.len_prefix()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CkptError> {
+        std::str::from_utf8(self.bytes()?)
+            .map(str::to_owned)
+            .map_err(|_| CkptError::Corrupt("string is not UTF-8"))
+    }
+
+    /// Read a length-prefixed list of `u32` pairs.
+    pub fn pairs(&mut self) -> Result<Vec<(u32, u32)>, CkptError> {
+        let n = self.len_prefix()?;
+        (0..n).map(|_| Ok((self.u32()?, self.u32()?))).collect()
+    }
+}
+
+fn encode_trace(e: &mut Enc, trace: &PhaseTrace) {
+    e.str(&trace.to_tsv());
+}
+
+fn decode_trace(d: &mut Dec<'_>) -> Result<PhaseTrace, CkptError> {
+    PhaseTrace::from_tsv(&d.str()?).map_err(|_| CkptError::Corrupt("bad trace TSV"))
+}
+
+// ----------------------------------------------------------- phase state
+
+/// Redundancy removal, complete: the survivor set and what was removed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RrState {
+    /// Kept (non-redundant) sequence ids, ascending.
+    pub kept: Vec<u32>,
+    /// `(removed, container)` pairs, in removal order.
+    pub removed: Vec<(u32, u32)>,
+    /// RR work trace.
+    pub trace: PhaseTrace,
+}
+
+impl RrState {
+    /// Serialize to a checkpoint payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32s(&self.kept);
+        e.pairs(&self.removed);
+        encode_trace(&mut e, &self.trace);
+        e.finish()
+    }
+
+    /// Parse an [`RrState::encode`] payload.
+    pub fn decode(payload: &[u8]) -> Result<RrState, CkptError> {
+        let mut d = Dec::new(payload);
+        let kept = d.u32s()?;
+        let removed = d.pairs()?;
+        let trace = decode_trace(&mut d)?;
+        d.done()?;
+        Ok(RrState { kept, removed, trace })
+    }
+}
+
+/// CCD progress: the master-loop cursor at a batch boundary, plus whether
+/// the phase had finished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcdState {
+    /// Whether the generator was exhausted (phase complete).
+    pub complete: bool,
+    /// The resumable master-loop state.
+    pub cursor: CcdCursor,
+}
+
+impl CcdState {
+    /// Serialize to a checkpoint payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(self.complete as u8);
+        e.u64(self.cursor.pairs_consumed);
+        e.u32s(&self.cursor.uf_parent);
+        e.bytes(&self.cursor.uf_rank);
+        e.pairs(&self.cursor.edges);
+        e.u64(self.cursor.n_merges as u64);
+        encode_trace(&mut e, &self.cursor.trace);
+        e.finish()
+    }
+
+    /// Parse a [`CcdState::encode`] payload.
+    pub fn decode(payload: &[u8]) -> Result<CcdState, CkptError> {
+        let mut d = Dec::new(payload);
+        let complete = d.u8()? != 0;
+        let pairs_consumed = d.u64()?;
+        let uf_parent = d.u32s()?;
+        let uf_rank = d.bytes()?.to_vec();
+        if uf_rank.len() != uf_parent.len() {
+            return Err(CkptError::Corrupt("union-find parent/rank length mismatch"));
+        }
+        let edges = d.pairs()?;
+        let n_merges = d.u64()? as usize;
+        let trace = decode_trace(&mut d)?;
+        d.done()?;
+        Ok(CcdState {
+            complete,
+            cursor: CcdCursor { pairs_consumed, uf_parent, uf_rank, edges, n_merges, trace },
+        })
+    }
+}
+
+/// One finished component in the BGG/DSD queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsdComponent {
+    /// Component members (original sequence ids, ascending).
+    pub members: Vec<u32>,
+    /// Similarity-graph edges over local indices `0..members.len()`.
+    pub edges: Vec<(u32, u32)>,
+    /// Dense subgraphs found, as local-index lists.
+    pub subgraphs: Vec<Vec<u32>>,
+}
+
+/// BGG + dense-subgraph progress: how many queue entries are done and
+/// their accumulated outputs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DsdState {
+    /// Finished components, in queue order (`done.len()` is the cursor).
+    pub done: Vec<DsdComponent>,
+    /// Aggregated shingle counters so far:
+    /// `(pass1_shingles, distinct_s1, pass2_shingles, components)`.
+    pub shingle: (u64, u64, u64, u64),
+    /// Accumulated BGG trace (one batch per finished component).
+    pub trace: PhaseTrace,
+}
+
+impl DsdState {
+    /// Serialize to a checkpoint payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.done.len() as u64);
+        for c in &self.done {
+            e.u32s(&c.members);
+            e.pairs(&c.edges);
+            e.u64(c.subgraphs.len() as u64);
+            for s in &c.subgraphs {
+                e.u32s(s);
+            }
+        }
+        e.u64(self.shingle.0);
+        e.u64(self.shingle.1);
+        e.u64(self.shingle.2);
+        e.u64(self.shingle.3);
+        encode_trace(&mut e, &self.trace);
+        e.finish()
+    }
+
+    /// Parse a [`DsdState::encode`] payload.
+    pub fn decode(payload: &[u8]) -> Result<DsdState, CkptError> {
+        let mut d = Dec::new(payload);
+        let n = d.u64()? as usize;
+        let mut done = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let members = d.u32s()?;
+            let edges = d.pairs()?;
+            let n_sub = d.u64()? as usize;
+            let mut subgraphs = Vec::with_capacity(n_sub.min(1 << 20));
+            for _ in 0..n_sub {
+                subgraphs.push(d.u32s()?);
+            }
+            done.push(DsdComponent { members, edges, subgraphs });
+        }
+        let shingle = (d.u64()?, d.u64()?, d.u64()?, d.u64()?);
+        let trace = decode_trace(&mut d)?;
+        d.done()?;
+        Ok(DsdState { done, shingle, trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_cluster::BatchRecord;
+
+    fn sample_trace() -> PhaseTrace {
+        PhaseTrace {
+            index_residues: 1234,
+            nodes_visited: 99,
+            batches: vec![BatchRecord {
+                n_generated: 10,
+                n_filtered: 3,
+                n_aligned: 2,
+                align_cells: 12,
+                task_cells: vec![5, 7],
+            }],
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pfck-test-round-trip");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("x.ckpt");
+        let payload = b"some phase payload".to_vec();
+        write_checkpoint(&path, Phase::Ccd, &payload).expect("write");
+        let (phase, back) = read_checkpoint(&path).expect("read");
+        assert_eq!(phase, Phase::Ccd);
+        assert_eq!(back, payload);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = std::env::temp_dir().join("pfck-test-corruption");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("x.ckpt");
+        write_checkpoint(&path, Phase::Rr, b"payload bytes here").expect("write");
+        let mut bytes = std::fs::read(&path).expect("read back");
+        // Flip one payload byte: checksum must catch it.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(matches!(read_checkpoint(&path), Err(CkptError::BadChecksum)));
+        // Truncation.
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).expect("rewrite");
+        assert!(matches!(read_checkpoint(&path), Err(CkptError::Corrupt(_))));
+        // Wrong magic.
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(matches!(read_checkpoint(&path), Err(CkptError::BadMagic)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rr_state_round_trip() {
+        let s = RrState {
+            kept: vec![0, 2, 5, 9],
+            removed: vec![(1, 0), (3, 2)],
+            trace: sample_trace(),
+        };
+        assert_eq!(RrState::decode(&s.encode()).expect("decode"), s);
+    }
+
+    #[test]
+    fn ccd_state_round_trip() {
+        let s = CcdState {
+            complete: false,
+            cursor: CcdCursor {
+                pairs_consumed: 512,
+                uf_parent: vec![0, 0, 2, 2],
+                uf_rank: vec![1, 0, 1, 0],
+                edges: vec![(0, 1), (2, 3)],
+                n_merges: 2,
+                trace: sample_trace(),
+            },
+        };
+        assert_eq!(CcdState::decode(&s.encode()).expect("decode"), s);
+    }
+
+    #[test]
+    fn dsd_state_round_trip() {
+        let s = DsdState {
+            done: vec![
+                DsdComponent {
+                    members: vec![3, 4, 8],
+                    edges: vec![(0, 1), (1, 2)],
+                    subgraphs: vec![vec![0, 1, 2]],
+                },
+                DsdComponent { members: vec![10, 11], edges: vec![(0, 1)], subgraphs: vec![] },
+            ],
+            shingle: (4, 3, 2, 1),
+            trace: sample_trace(),
+        };
+        assert_eq!(DsdState::decode(&s.encode()).expect("decode"), s);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payloads() {
+        let s = RrState { kept: vec![1, 2], removed: vec![], trace: sample_trace() };
+        let bytes = s.encode();
+        for cut in [0, 1, 7, bytes.len() - 1] {
+            assert!(RrState::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

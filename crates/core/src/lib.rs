@@ -8,6 +8,8 @@
 //!        ──BGG──▶ per-component bipartite graphs ──DSD──▶ dense subgraphs
 //! ```
 //!
+//! * [`checkpoint`] — versioned, checksummed phase snapshots powering
+//!   `run_pipeline_checkpointed`'s crash/restart story.
 //! * [`config`] — pipeline parameters (ψ cutoffs, shingle (s, c), τ,
 //!   reduction choice, size thresholds).
 //! * [`pipeline`] — orchestration of the four phases, parallel inside
@@ -28,14 +30,19 @@
 //!          result.dense_subgraphs.len(), result.n_input);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod pipeline;
 pub mod quality;
 pub mod report;
 pub mod validate;
 
+pub use checkpoint::{CkptError, Phase};
 pub use config::{PipelineConfig, Reduction};
-pub use pipeline::{run_pipeline, DenseSubgraph, PipelineResult};
+pub use pipeline::{
+    run_pipeline, run_pipeline_checkpointed, CheckpointConfig, DenseSubgraph,
+    PipelineResult,
+};
 pub use quality::{evaluate, QualityReport};
 pub use report::TableOneRow;
 pub use validate::{validate, ConfigError};

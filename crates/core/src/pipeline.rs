@@ -1,17 +1,24 @@
 //! The four-phase pipeline of Figure 2: redundancy removal → connected
 //! components → bipartite graph generation → dense subgraph detection.
 
+use std::path::PathBuf;
+
 use rayon::prelude::*;
 
 use pfam_cluster::{
-    all_component_graphs, run_ccd, run_redundancy_removal, ComponentGraph, PhaseTrace,
+    all_component_graphs, component_graph, run_ccd, run_ccd_resumable,
+    run_redundancy_removal, CcdCursor, CcdResult, ComponentGraph, PhaseTrace,
 };
-use pfam_graph::{subgraph_density, BipartiteGraph, SubgraphDensity};
+use pfam_graph::{subgraph_density, BipartiteGraph, CsrGraph, SubgraphDensity, UnionFind};
 use pfam_seq::{SeqId, SequenceSet};
 use pfam_shingle::{
     detect_dense_subgraphs, DenseSubgraphConfig, ReductionMode, ShingleStats,
 };
 
+use crate::checkpoint::{
+    read_checkpoint, write_checkpoint, CcdState, CkptError, DsdComponent, DsdState, Phase,
+    RrState,
+};
 use crate::config::{PipelineConfig, Reduction};
 
 /// One reported protein family (dense subgraph).
@@ -91,28 +98,10 @@ pub fn run_pipeline(input: &SequenceSet, config: &PipelineConfig) -> PipelineRes
     );
 
     // ---- Phase 4: dense subgraph detection (parallel over components). ----
-    let dsd_config = DenseSubgraphConfig {
-        params: config.shingle,
-        mode: match config.reduction {
-            Reduction::GlobalSimilarity { tau } => ReductionMode::GlobalSimilarity { tau },
-            Reduction::DomainBased { .. } => ReductionMode::DomainBased,
-        },
-        min_size: config.min_subgraph_size,
-        disjoint: true,
-    };
+    let dsd_config = dsd_config_of(config);
     let per_component: Vec<(Vec<Vec<u32>>, ShingleStats)> = graphs
         .par_iter()
-        .map(|cg| match config.reduction {
-            Reduction::GlobalSimilarity { .. } => {
-                let bd = BipartiteGraph::duplicate_from(&cg.graph);
-                detect_dense_subgraphs(&bd, &dsd_config)
-            }
-            Reduction::DomainBased { w } => {
-                let (subset, _) = input.subset(&cg.members);
-                let bm = BipartiteGraph::word_based(&subset, None, w);
-                detect_dense_subgraphs(&bm, &dsd_config)
-            }
-        })
+        .map(|cg| dsd_for_component(input, cg, config, &dsd_config))
         .collect();
 
     let mut dense_subgraphs = Vec::new();
@@ -143,6 +132,287 @@ pub fn run_pipeline(input: &SequenceSet, config: &PipelineConfig) -> PipelineRes
         traces: (rr.trace, ccd.trace, bgg_trace),
         shingle_stats,
     }
+}
+
+fn dsd_config_of(config: &PipelineConfig) -> DenseSubgraphConfig {
+    DenseSubgraphConfig {
+        params: config.shingle,
+        mode: match config.reduction {
+            Reduction::GlobalSimilarity { tau } => ReductionMode::GlobalSimilarity { tau },
+            Reduction::DomainBased { .. } => ReductionMode::DomainBased,
+        },
+        min_size: config.min_subgraph_size,
+        disjoint: true,
+    }
+}
+
+fn dsd_for_component(
+    input: &SequenceSet,
+    cg: &ComponentGraph,
+    config: &PipelineConfig,
+    dsd_config: &DenseSubgraphConfig,
+) -> (Vec<Vec<u32>>, ShingleStats) {
+    match config.reduction {
+        Reduction::GlobalSimilarity { .. } => {
+            let bd = BipartiteGraph::duplicate_from(&cg.graph);
+            detect_dense_subgraphs(&bd, dsd_config)
+        }
+        Reduction::DomainBased { w } => {
+            let (subset, _) = input.subset(&cg.members);
+            let bm = BipartiteGraph::word_based(&subset, None, w);
+            detect_dense_subgraphs(&bm, dsd_config)
+        }
+    }
+}
+
+/// Where and how often [`run_pipeline_checkpointed`] snapshots its state.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding `rr.ckpt` / `ccd.ckpt` / `dsd.ckpt` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Write a CCD cursor every this many master batches (0 = only at
+    /// phase completion). DSD always checkpoints after each component.
+    pub every_batches: usize,
+}
+
+/// The undirected edge list of a component graph, `(u, v)` with `u < v`
+/// in ascending order — the canonical serialized form.
+fn csr_edge_list(graph: &CsrGraph) -> Vec<(u32, u32)> {
+    let mut edges = Vec::with_capacity(graph.n_edges());
+    for u in 0..graph.n_vertices() as u32 {
+        for &v in graph.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// [`run_pipeline`] with checkpoint/restart (DESIGN.md §robustness).
+///
+/// State is snapshotted to `ckpt.dir` at phase boundaries (plus every
+/// `ckpt.every_batches` CCD batches and after each DSD component), so a
+/// killed run restarted with `resume = true` replays from the last
+/// snapshot and produces a result *identical* to the uninterrupted run —
+/// CCD's pair generator is deterministic, so skipping the consumed prefix
+/// and restoring the union-find verbatim repeats every decision exactly.
+///
+/// `stop_after` ends the run right after the named phase's checkpoint is
+/// written (returning `Ok(None)`) — the hook the kill-at-every-phase
+/// integration tests use to simulate a crash at a phase boundary.
+pub fn run_pipeline_checkpointed(
+    input: &SequenceSet,
+    config: &PipelineConfig,
+    ckpt: &CheckpointConfig,
+    resume: bool,
+    stop_after: Option<Phase>,
+) -> Result<Option<PipelineResult>, CkptError> {
+    std::fs::create_dir_all(&ckpt.dir)
+        .map_err(|e| CkptError::Io(format!("{}: {e}", ckpt.dir.display())))?;
+    let load = |phase: Phase| -> Result<Option<Vec<u8>>, CkptError> {
+        let path = phase.path_in(&ckpt.dir);
+        if !(resume && path.exists()) {
+            return Ok(None);
+        }
+        let (found, payload) = read_checkpoint(&path)?;
+        if found != phase {
+            return Err(CkptError::Corrupt("checkpoint file holds a different phase"));
+        }
+        Ok(Some(payload))
+    };
+
+    // ---- Phase 1: redundancy removal (checkpointed when complete). ----
+    let rr = match load(Phase::Rr)? {
+        Some(payload) => RrState::decode(&payload)?,
+        None => {
+            let r = run_redundancy_removal(input, &config.cluster);
+            let state = RrState {
+                kept: r.kept.iter().map(|id| id.0).collect(),
+                removed: r.removed.iter().map(|&(a, b)| (a.0, b.0)).collect(),
+                trace: r.trace,
+            };
+            write_checkpoint(&Phase::Rr.path_in(&ckpt.dir), Phase::Rr, &state.encode())?;
+            state
+        }
+    };
+    if stop_after == Some(Phase::Rr) {
+        return Ok(None);
+    }
+
+    let kept_ids: Vec<SeqId> = rr.kept.iter().map(|&i| SeqId(i)).collect();
+    let (nr_set, mapping) = input.subset(&kept_ids);
+
+    // ---- Phase 2: CCD (cursor every N batches, final state at the end). ----
+    let ccd_path = Phase::Ccd.path_in(&ckpt.dir);
+    let prior = match load(Phase::Ccd)? {
+        Some(payload) => Some(CcdState::decode(&payload)?),
+        None => None,
+    };
+    if let Some(state) = &prior {
+        if state.cursor.uf_parent.len() != nr_set.len() {
+            return Err(CkptError::Corrupt("ccd checkpoint is for a different input"));
+        }
+    }
+    let ccd: CcdResult = match prior {
+        Some(state) if state.complete => {
+            // Phase already finished: rebuild the result from the stored
+            // forest — no index rebuild, no realignment.
+            let mut uf = UnionFind::from_parts(state.cursor.uf_parent, state.cursor.uf_rank);
+            CcdResult {
+                components: uf
+                    .groups()
+                    .into_iter()
+                    .map(|g| g.into_iter().map(SeqId).collect())
+                    .collect(),
+                edges: state
+                    .cursor
+                    .edges
+                    .iter()
+                    .map(|&(a, b)| (SeqId(a), SeqId(b)))
+                    .collect(),
+                n_merges: state.cursor.n_merges,
+                trace: state.cursor.trace,
+            }
+        }
+        prior => {
+            let cursor = prior.map(|s| s.cursor);
+            let mut ckpt_err: Option<CkptError> = None;
+            let mut on_checkpoint = |cursor: &CcdCursor| {
+                if ckpt_err.is_some() {
+                    return;
+                }
+                let state = CcdState { complete: false, cursor: cursor.clone() };
+                if let Err(e) = write_checkpoint(&ccd_path, Phase::Ccd, &state.encode()) {
+                    ckpt_err = Some(e);
+                }
+            };
+            let result = run_ccd_resumable(
+                &nr_set,
+                &config.cluster,
+                cursor,
+                ckpt.every_batches,
+                &mut on_checkpoint,
+            );
+            if let Some(e) = ckpt_err {
+                return Err(e);
+            }
+            // Final snapshot: the forest rebuilt from the accepted edges
+            // yields the same partition the master loop ended with.
+            let mut uf = UnionFind::new(nr_set.len());
+            for &(a, b) in &result.edges {
+                uf.union(a.0, b.0);
+            }
+            let (parent, rank) = uf.parts();
+            let state = CcdState {
+                complete: true,
+                cursor: CcdCursor {
+                    pairs_consumed: result.trace.total_generated() as u64,
+                    uf_parent: parent.to_vec(),
+                    uf_rank: rank.to_vec(),
+                    edges: result.edges.iter().map(|&(a, b)| (a.0, b.0)).collect(),
+                    n_merges: result.n_merges,
+                    trace: result.trace.clone(),
+                },
+            };
+            write_checkpoint(&ccd_path, Phase::Ccd, &state.encode())?;
+            result
+        }
+    };
+    if stop_after == Some(Phase::Ccd) {
+        return Ok(None);
+    }
+
+    let components: Vec<Vec<SeqId>> = ccd
+        .components
+        .iter()
+        .map(|c| c.iter().map(|&local| mapping[local.index()]).collect())
+        .collect();
+
+    // ---- Phases 3+4: BGG + DSD, sequential over the component queue,
+    // checkpointed after every finished component. ----
+    let dsd_path = Phase::Dsd.path_in(&ckpt.dir);
+    let selected: Vec<&Vec<SeqId>> =
+        components.iter().filter(|c| c.len() >= config.min_component_size).collect();
+    let mut state = match load(Phase::Dsd)? {
+        Some(payload) => DsdState::decode(&payload)?,
+        None => DsdState::default(),
+    };
+    if state.done.len() > selected.len() {
+        return Err(CkptError::Corrupt("dsd checkpoint is for a different input"));
+    }
+    for (c, comp) in state.done.iter().zip(&selected) {
+        let members: Vec<u32> = comp.iter().map(|id| id.0).collect();
+        if c.members != members {
+            return Err(CkptError::Corrupt("dsd checkpoint is for a different input"));
+        }
+    }
+    state.trace.index_residues = selected
+        .iter()
+        .flat_map(|c| c.iter())
+        .map(|&id| input.seq_len(id) as u64)
+        .sum();
+    let dsd_config = dsd_config_of(config);
+    for members in selected.iter().skip(state.done.len()) {
+        let (cg, record) = component_graph(input, members.as_slice(), &config.cluster);
+        let (subgraphs, stats) = dsd_for_component(input, &cg, config, &dsd_config);
+        state.done.push(DsdComponent {
+            members: cg.members.iter().map(|id| id.0).collect(),
+            edges: csr_edge_list(&cg.graph),
+            subgraphs,
+        });
+        state.shingle.0 += stats.pass1_shingles as u64;
+        state.shingle.1 += stats.distinct_s1 as u64;
+        state.shingle.2 += stats.pass2_shingles as u64;
+        state.shingle.3 += stats.components as u64;
+        state.trace.batches.push(record);
+        write_checkpoint(&dsd_path, Phase::Dsd, &state.encode())?;
+    }
+    if state.done.is_empty() {
+        // No component reached the DSD stage; still record completion.
+        write_checkpoint(&dsd_path, Phase::Dsd, &state.encode())?;
+    }
+    if stop_after == Some(Phase::Dsd) {
+        return Ok(None);
+    }
+
+    // ---- Assemble the result from the (now complete) DSD state. ----
+    let graphs: Vec<ComponentGraph> = state
+        .done
+        .iter()
+        .map(|c| ComponentGraph {
+            members: c.members.iter().map(|&i| SeqId(i)).collect(),
+            graph: CsrGraph::from_edges(c.members.len(), &c.edges),
+        })
+        .collect();
+    let mut dense_subgraphs = Vec::new();
+    for (ci, comp) in state.done.iter().enumerate() {
+        for local_members in &comp.subgraphs {
+            let density = subgraph_density(&graphs[ci].graph, local_members);
+            let members: Vec<SeqId> =
+                local_members.iter().map(|&l| graphs[ci].original_id(l)).collect();
+            dense_subgraphs.push(DenseSubgraph { members, component: ci, density });
+        }
+    }
+    dense_subgraphs.sort_by(|a, b| {
+        b.members.len().cmp(&a.members.len()).then(a.members.cmp(&b.members))
+    });
+
+    Ok(Some(PipelineResult {
+        n_input: input.len(),
+        non_redundant: kept_ids,
+        components,
+        component_graphs: graphs,
+        dense_subgraphs,
+        traces: (rr.trace, ccd.trace, state.trace),
+        shingle_stats: ShingleStats {
+            pass1_shingles: state.shingle.0 as usize,
+            distinct_s1: state.shingle.1 as usize,
+            pass2_shingles: state.shingle.2 as usize,
+            components: state.shingle.3 as usize,
+        },
+    }))
 }
 
 #[cfg(test)]

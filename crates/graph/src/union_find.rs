@@ -84,6 +84,23 @@ impl UnionFind {
         self.find(a) == self.find(b)
     }
 
+    /// The raw forest state `(parent, rank)` for checkpointing. Paired
+    /// with [`UnionFind::from_parts`], round-trips the exact structure —
+    /// including the incidental path-compression state — so a restored
+    /// forest answers every `find`/`same` query identically.
+    pub fn parts(&self) -> (&[u32], &[u8]) {
+        (&self.parent, &self.rank)
+    }
+
+    /// Rebuild a forest from checkpointed [`UnionFind::parts`] state.
+    /// `n_sets` is recomputed by counting roots.
+    pub fn from_parts(parent: Vec<u32>, rank: Vec<u8>) -> UnionFind {
+        assert_eq!(parent.len(), rank.len(), "parent/rank length mismatch");
+        let n_sets =
+            parent.iter().enumerate().filter(|&(i, &p)| p == i as u32).count();
+        UnionFind { parent, rank, n_sets }
+    }
+
     /// Group all elements by representative, returning the members of each
     /// set (sets ordered by smallest member; members ascending).
     pub fn groups(&mut self) -> Vec<Vec<u32>> {
@@ -340,6 +357,22 @@ mod tests {
         uf.union(1, 4);
         let groups = uf.into_groups();
         assert_eq!(groups, vec![vec![0, 3], vec![1, 4], vec![2], vec![5]]);
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_structure_and_count() {
+        let mut uf = UnionFind::new(10);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 3);
+        uf.union(7, 8);
+        let (parent, rank) = uf.parts();
+        let mut restored = UnionFind::from_parts(parent.to_vec(), rank.to_vec());
+        assert_eq!(restored.n_sets(), uf.n_sets());
+        assert_eq!(restored.groups(), uf.groups());
+        // The restored forest must keep evolving identically.
+        assert_eq!(restored.union(0, 7), uf.union(0, 7));
+        assert_eq!(restored.groups(), uf.groups());
     }
 
     #[test]

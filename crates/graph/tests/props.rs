@@ -31,7 +31,7 @@ proptest! {
     fn components_are_closed_under_adjacency(es in edges(25, 70)) {
         let g = CsrGraph::from_edges(25, &es);
         let comps = g.connected_components();
-        let mut comp_of = vec![usize::MAX; 25];
+        let mut comp_of = [usize::MAX; 25];
         for (i, c) in comps.iter().enumerate() {
             for &v in c {
                 comp_of[v as usize] = i;

@@ -1,9 +1,24 @@
 //! The communicator: tagged point-to-point messaging plus collectives.
+//!
+//! Every operation is *fallible*: faults (a dead peer, a timeout, this
+//! rank's own injected death) surface as [`CommError`] values rather than
+//! panics, so long-running jobs can contain failures instead of
+//! collapsing. A shared liveness board tracks which ranks are still
+//! running — the moral equivalent of ULFM's failure notification — and an
+//! optional [`FaultInjector`] lets tests drive deterministic kill/drop/
+//! delay/slowdown schedules through the same code paths real faults would
+//! take.
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+use crate::error::CommError;
+use crate::fault::{FaultInjector, MessageFate};
 
 /// Wildcard source for [`Communicator::recv`].
 pub const ANY_SOURCE: usize = usize::MAX;
@@ -23,6 +38,14 @@ struct Envelope {
     payload: Box<dyn Any + Send>,
 }
 
+/// A message held back by an injected delay: delivered once `remaining`
+/// further sends to the same destination have gone out.
+struct Holdback {
+    remaining: u32,
+    to: usize,
+    envelope: Envelope,
+}
+
 /// One rank's endpoint of the SPMD world.
 pub struct Communicator {
     rank: usize,
@@ -31,6 +54,16 @@ pub struct Communicator {
     inbox: Receiver<Envelope>,
     /// Messages received but not yet matched by a `recv` call.
     pending: VecDeque<Envelope>,
+    /// Shared liveness board: `alive[r]` is cleared when rank `r` exits
+    /// (normally, by panic, or killed by the injector).
+    alive: Arc<Vec<AtomicBool>>,
+    injector: Arc<dyn FaultInjector>,
+    /// Operations this rank has performed (the injector's event clock).
+    events: u64,
+    /// Messages sent per destination (the injector's per-edge sequence).
+    edge_seq: Vec<u64>,
+    /// Messages held back by injected delays.
+    holdback: Vec<Holdback>,
 }
 
 impl Communicator {
@@ -44,128 +77,242 @@ impl Communicator {
         self.size
     }
 
+    /// Whether rank `r` is still running. `false` once it has returned
+    /// from its SPMD closure, panicked, or been killed by the injector.
+    pub fn peer_alive(&self, r: usize) -> bool {
+        r < self.size && self.alive[r].load(Ordering::SeqCst)
+    }
+
+    /// Consult the fault injector before an operation: sleep through any
+    /// injected slowdown, then fail if this rank is (or just became) dead.
+    fn preflight(&mut self) -> Result<(), CommError> {
+        if !self.alive[self.rank].load(Ordering::SeqCst) {
+            return Err(CommError::RankKilled);
+        }
+        let event = self.events;
+        self.events += 1;
+        if let Some(pause) = self.injector.slowdown(self.rank, event) {
+            std::thread::sleep(pause);
+        }
+        if self.injector.kill_now(self.rank, event) {
+            self.alive[self.rank].store(false, Ordering::SeqCst);
+            return Err(CommError::RankKilled);
+        }
+        Ok(())
+    }
+
     /// Send `value` to `to` with `tag`. Asynchronous (buffered); never
     /// blocks. User tags must stay below the reserved range.
-    pub fn send<T: Any + Send>(&self, to: usize, tag: u32, value: T) {
+    pub fn send<T: Any + Send>(&mut self, to: usize, tag: u32, value: T) -> Result<(), CommError> {
         assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved for collectives");
-        self.send_raw(to, tag, value);
+        self.preflight()?;
+        self.send_raw(to, tag, value)
     }
 
-    fn send_raw<T: Any + Send>(&self, to: usize, tag: u32, value: T) {
+    fn send_raw<T: Any + Send>(&mut self, to: usize, tag: u32, value: T) -> Result<(), CommError> {
         assert!(to < self.size, "rank {to} out of range (size {})", self.size);
-        self.senders[to]
-            .send(Envelope { from: self.rank, tag, payload: Box::new(value) })
-            .expect("receiving rank has exited with messages in flight");
+        let seq = self.edge_seq[to];
+        self.edge_seq[to] += 1;
+        let envelope = Envelope { from: self.rank, tag, payload: Box::new(value) };
+        match self.injector.message_fate(self.rank, to, tag, seq) {
+            MessageFate::Drop => {
+                // Silent loss: the sender sees success, like a buffered
+                // MPI send onto a failing link. Held-back messages still
+                // age past this slot.
+                self.age_holdbacks(to);
+                return Ok(());
+            }
+            MessageFate::Delay { hold } => {
+                self.holdback.push(Holdback { remaining: hold, to, envelope });
+                return Ok(());
+            }
+            MessageFate::Deliver => {}
+        }
+        let result = if self.alive[to].load(Ordering::SeqCst) {
+            self.senders[to]
+                .send(envelope)
+                .map_err(|_| CommError::PeerExited { rank: to })
+        } else {
+            Err(CommError::PeerExited { rank: to })
+        };
+        self.age_holdbacks(to);
+        result
     }
 
-    /// Blocking receive of a `T` from `from` (or [`ANY_SOURCE`]) with `tag`.
-    /// Returns the actual source. Panics if the matched message holds a
-    /// different type — a type confusion bug in the caller.
-    pub fn recv<T: Any + Send>(&mut self, from: usize, tag: u32) -> (usize, T) {
-        // 1. Search already-buffered messages.
-        if let Some(at) = self
+    /// Age every held-back message destined for `to`; deliver the ones
+    /// whose delay has elapsed (best effort — a dead receiver loses them).
+    fn age_holdbacks(&mut self, to: usize) {
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.holdback.len() {
+            if self.holdback[i].to == to {
+                if self.holdback[i].remaining == 0 {
+                    due.push(self.holdback.swap_remove(i));
+                    continue;
+                }
+                self.holdback[i].remaining -= 1;
+            }
+            i += 1;
+        }
+        for held in due {
+            let _ = self.senders[to].send(held.envelope);
+        }
+    }
+
+    fn open<T: Any + Send>(e: Envelope) -> Result<(usize, T), CommError> {
+        let from = e.from;
+        let tag = e.tag;
+        match e.payload.downcast::<T>() {
+            Ok(value) => Ok((from, *value)),
+            Err(_) => Err(CommError::TypeMismatch {
+                tag,
+                from,
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Pull the already-buffered message matching `(from, tag)`, if any.
+    fn take_pending(&mut self, from: usize, tag: u32) -> Option<Envelope> {
+        let at = self
             .pending
             .iter()
-            .position(|e| e.tag == tag && (from == ANY_SOURCE || e.from == from))
-        {
-            let e = self.pending.remove(at).expect("index just found");
-            return (e.from, Self::open(e));
+            .position(|e| e.tag == tag && (from == ANY_SOURCE || e.from == from))?;
+        self.pending.remove(at)
+    }
+
+    /// Core matching loop shared by every receive flavour. `deadline:
+    /// None` blocks indefinitely; `Some(t)` fails with `Timeout` at `t`.
+    fn recv_match<T: Any + Send>(
+        &mut self,
+        from: usize,
+        tag: u32,
+        deadline: Option<Instant>,
+    ) -> Result<(usize, T), CommError> {
+        if let Some(e) = self.take_pending(from, tag) {
+            return Self::open(e);
         }
-        // 2. Pull from the inbox until a match appears.
         loop {
-            let e = self.inbox.recv().expect("world kept alive during recv");
+            let e = match deadline {
+                None => self.inbox.recv().map_err(|_| CommError::Disconnected)?,
+                Some(t) => {
+                    let now = Instant::now();
+                    if now >= t {
+                        return Err(CommError::Timeout);
+                    }
+                    match self.inbox.recv_timeout(t - now) {
+                        Ok(e) => e,
+                        Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout),
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(CommError::Disconnected)
+                        }
+                    }
+                }
+            };
             if e.tag == tag && (from == ANY_SOURCE || e.from == from) {
-                return (e.from, Self::open(e));
+                return Self::open(e);
             }
             self.pending.push_back(e);
         }
     }
 
-    /// Non-blocking receive. `Some((source, value))` if a matching message
-    /// is available now.
-    pub fn try_recv<T: Any + Send>(&mut self, from: usize, tag: u32) -> Option<(usize, T)> {
-        if let Some(at) = self
-            .pending
-            .iter()
-            .position(|e| e.tag == tag && (from == ANY_SOURCE || e.from == from))
-        {
-            let e = self.pending.remove(at).expect("index just found");
-            return Some((e.from, Self::open(e)));
-        }
-        while let Ok(e) = self.inbox.try_recv() {
-            if e.tag == tag && (from == ANY_SOURCE || e.from == from) {
-                return Some((e.from, Self::open(e)));
-            }
-            self.pending.push_back(e);
-        }
-        None
+    /// Blocking receive of a `T` from `from` (or [`ANY_SOURCE`]) with
+    /// `tag`. Returns the actual source.
+    pub fn recv<T: Any + Send>(&mut self, from: usize, tag: u32) -> Result<(usize, T), CommError> {
+        self.preflight()?;
+        self.recv_match(from, tag, None)
     }
 
-    fn open<T: Any + Send>(e: Envelope) -> T {
-        *e.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "message type mismatch on tag {} from rank {}: expected {}",
-                e.tag,
-                e.from,
-                std::any::type_name::<T>()
-            )
-        })
+    /// Receive with a timeout: blocks at most `timeout` for a matching
+    /// message, then fails with [`CommError::Timeout`] — the primitive
+    /// failure detectors are built on.
+    pub fn recv_timeout<T: Any + Send>(
+        &mut self,
+        from: usize,
+        tag: u32,
+        timeout: Duration,
+    ) -> Result<(usize, T), CommError> {
+        self.preflight()?;
+        self.recv_match(from, tag, Some(Instant::now() + timeout))
+    }
+
+    /// Non-blocking receive. `Ok(Some(..))` if a matching message is
+    /// available now, `Ok(None)` if not.
+    pub fn try_recv<T: Any + Send>(
+        &mut self,
+        from: usize,
+        tag: u32,
+    ) -> Result<Option<(usize, T)>, CommError> {
+        self.preflight()?;
+        if let Some(e) = self.take_pending(from, tag) {
+            return Self::open(e).map(Some);
+        }
+        loop {
+            match self.inbox.try_recv() {
+                Ok(e) => {
+                    if e.tag == tag && (from == ANY_SOURCE || e.from == from) {
+                        return Self::open(e).map(Some);
+                    }
+                    self.pending.push_back(e);
+                }
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Ok(None),
+            }
+        }
     }
 
     /// Synchronise all ranks (central counter at rank 0).
-    pub fn barrier(&mut self) {
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        self.preflight()?;
         if self.rank == 0 {
             for _ in 1..self.size {
-                let _ = self.recv_reserved::<()>(ANY_SOURCE, TAG_BARRIER_IN);
+                let _ = self.recv_match::<()>(ANY_SOURCE, TAG_BARRIER_IN, None)?;
             }
             for r in 1..self.size {
-                self.send_raw(r, TAG_BARRIER_OUT, ());
+                self.send_raw(r, TAG_BARRIER_OUT, ())?;
             }
         } else {
-            self.send_raw(0, TAG_BARRIER_IN, ());
-            let _ = self.recv_reserved::<()>(0, TAG_BARRIER_OUT);
+            self.send_raw(0, TAG_BARRIER_IN, ())?;
+            let _ = self.recv_match::<()>(0, TAG_BARRIER_OUT, None)?;
         }
-    }
-
-    fn recv_reserved<T: Any + Send>(&mut self, from: usize, tag: u32) -> (usize, T) {
-        // Identical matching logic; reserved tags bypass the user-tag check.
-        if let Some(at) = self
-            .pending
-            .iter()
-            .position(|e| e.tag == tag && (from == ANY_SOURCE || e.from == from))
-        {
-            let e = self.pending.remove(at).expect("index just found");
-            return (e.from, Self::open(e));
-        }
-        loop {
-            let e = self.inbox.recv().expect("world kept alive during recv");
-            if e.tag == tag && (from == ANY_SOURCE || e.from == from) {
-                return (e.from, Self::open(e));
-            }
-            self.pending.push_back(e);
-        }
+        Ok(())
     }
 
     /// Broadcast from `root`: the root passes `Some(value)`, everyone else
     /// `None`; all ranks return the value.
-    pub fn broadcast<T: Any + Send + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+    pub fn broadcast<T: Any + Send + Clone>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T, CommError> {
+        self.preflight()?;
         if self.rank == root {
-            let v = value.expect("root must supply the broadcast value");
+            let v = match value {
+                Some(v) => v,
+                None => return Err(CommError::Protocol("root must supply the broadcast value")),
+            };
             for r in 0..self.size {
                 if r != root {
-                    self.send_raw(r, TAG_BCAST, v.clone());
+                    self.send_raw(r, TAG_BCAST, v.clone())?;
                 }
             }
-            v
+            Ok(v)
         } else {
-            assert!(value.is_none(), "non-root ranks must pass None");
-            self.recv_reserved::<T>(root, TAG_BCAST).1
+            if value.is_some() {
+                return Err(CommError::Protocol("non-root ranks must pass None"));
+            }
+            self.recv_match::<T>(root, TAG_BCAST, None).map(|(_, v)| v)
         }
     }
 
     /// Gather one value per rank at `root` (ordered by rank); other ranks
     /// get `None`.
-    pub fn gather<T: Any + Send>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+    pub fn gather<T: Any + Send>(
+        &mut self,
+        root: usize,
+        value: T,
+    ) -> Result<Option<Vec<T>>, CommError> {
+        self.preflight()?;
         if self.rank == root {
             let mut slots: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
             slots[root] = Some(value);
@@ -175,49 +322,61 @@ impl Communicator {
             #[allow(clippy::needless_range_loop)] // r is the message source, not just an index
             for r in 0..self.size {
                 if r != root {
-                    let (_, v) = self.recv_reserved::<T>(r, TAG_GATHER);
+                    let (_, v) = self.recv_match::<T>(r, TAG_GATHER, None)?;
                     slots[r] = Some(v);
                 }
             }
-            Some(slots.into_iter().map(|s| s.expect("every rank gathered")).collect())
+            let mut out = Vec::with_capacity(self.size);
+            for slot in slots {
+                match slot {
+                    Some(v) => out.push(v),
+                    None => return Err(CommError::Protocol("gather slot left unfilled")),
+                }
+            }
+            Ok(Some(out))
         } else {
-            self.send_raw(root, TAG_GATHER, value);
-            None
+            self.send_raw(root, TAG_GATHER, value)?;
+            Ok(None)
         }
     }
 
     /// Sum-reduce `value` at `root`.
-    pub fn reduce_sum(&mut self, root: usize, value: u64) -> Option<u64> {
+    pub fn reduce_sum(&mut self, root: usize, value: u64) -> Result<Option<u64>, CommError> {
+        self.preflight()?;
         if self.rank == root {
             let mut total = value;
             for r in 0..self.size {
                 if r != root {
-                    let (_, v) = self.recv_reserved::<u64>(r, TAG_REDUCE);
+                    let (_, v) = self.recv_match::<u64>(r, TAG_REDUCE, None)?;
                     total += v;
                 }
             }
-            Some(total)
+            Ok(Some(total))
         } else {
-            self.send_raw(root, TAG_REDUCE, value);
-            None
+            self.send_raw(root, TAG_REDUCE, value)?;
+            Ok(None)
         }
     }
 
     /// Sum-reduce to every rank.
-    pub fn all_reduce_sum(&mut self, value: u64) -> u64 {
-        let total = self.reduce_sum(0, value);
+    pub fn all_reduce_sum(&mut self, value: u64) -> Result<u64, CommError> {
+        let total = self.reduce_sum(0, value)?;
         self.broadcast(0, total)
     }
 
     /// Personalized all-to-all: `outgoing[r]` is sent to rank `r`; returns
     /// the messages received, indexed by source rank (`result[self.rank]`
     /// is this rank's own bucket, moved without copying).
-    pub fn all_to_all<T: Any + Send + Default>(&mut self, mut outgoing: Vec<T>) -> Vec<T> {
+    pub fn all_to_all<T: Any + Send + Default>(
+        &mut self,
+        mut outgoing: Vec<T>,
+    ) -> Result<Vec<T>, CommError> {
         assert_eq!(outgoing.len(), self.size, "one outgoing message per rank");
+        self.preflight()?;
         let mine = std::mem::take(&mut outgoing[self.rank]);
         for (r, msg) in outgoing.into_iter().enumerate() {
             if r != self.rank {
-                self.send_raw(r, TAG_ALLTOALL, msg);
+                self.send_raw(r, TAG_ALLTOALL, msg)?;
             }
         }
         let mut slots: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
@@ -225,22 +384,36 @@ impl Communicator {
         #[allow(clippy::needless_range_loop)] // r is the message source, not just an index
         for r in 0..self.size {
             if r != self.rank {
-                let (_, v) = self.recv_reserved::<T>(r, TAG_ALLTOALL);
+                let (_, v) = self.recv_match::<T>(r, TAG_ALLTOALL, None)?;
                 slots[r] = Some(v);
             }
         }
-        slots.into_iter().map(|s| s.expect("every rank contributes")).collect()
+        let mut out = Vec::with_capacity(self.size);
+        for slot in slots {
+            match slot {
+                Some(v) => out.push(v),
+                None => return Err(CommError::Protocol("all_to_all slot left unfilled")),
+            }
+        }
+        Ok(out)
     }
 }
 
-/// Run `f` on `p` ranks (one thread each) and collect each rank's return
-/// value, ordered by rank.
-pub fn run_spmd<R, F>(p: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(&mut Communicator) -> R + Sync,
-{
-    assert!(p >= 1, "need at least one rank");
+/// Outcome of one rank in a fault-injected SPMD run.
+pub type RankOutcome<R> = Result<R, RankFailure>;
+
+/// How a rank failed to produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankFailure {
+    /// The rank's closure panicked; the payload's message if it was a
+    /// string.
+    Panicked(String),
+}
+
+fn build_world(
+    p: usize,
+    injector: Arc<dyn FaultInjector>,
+) -> (Vec<Communicator>, Arc<Vec<AtomicBool>>) {
     let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(p);
     let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(p);
     for _ in 0..p {
@@ -248,7 +421,8 @@ where
         senders.push(tx);
         receivers.push(rx);
     }
-    let mut comms: Vec<Communicator> = receivers
+    let alive: Arc<Vec<AtomicBool>> = Arc::new((0..p).map(|_| AtomicBool::new(true)).collect());
+    let comms: Vec<Communicator> = receivers
         .into_iter()
         .enumerate()
         .map(|(rank, inbox)| Communicator {
@@ -257,23 +431,102 @@ where
             senders: senders.clone(),
             inbox,
             pending: VecDeque::new(),
+            alive: alive.clone(),
+            injector: injector.clone(),
+            events: 0,
+            edge_seq: vec![0; p],
+            holdback: Vec::new(),
         })
         .collect();
-    drop(senders);
+    (comms, alive)
+}
 
+/// Run `f` on `p` ranks (one thread each) under `injector`, tolerating
+/// rank failures: a rank that panics yields `Err(RankFailure)` in its slot
+/// instead of taking the world down, and is marked dead on the liveness
+/// board (so surviving ranks observe its death via
+/// [`Communicator::peer_alive`] and failed sends).
+pub fn run_spmd_faulty<R, F>(
+    p: usize,
+    injector: Arc<dyn FaultInjector>,
+    f: F,
+) -> Vec<RankOutcome<R>>
+where
+    R: Send,
+    F: Fn(&mut Communicator) -> R + Sync,
+{
+    assert!(p >= 1, "need at least one rank");
+    let (mut comms, alive) = build_world(p, injector);
     let f = &f;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
-        for comm in comms.iter_mut() {
-            handles.push(scope.spawn(move || f(comm)));
+        for (rank, comm) in comms.iter_mut().enumerate() {
+            let alive = alive.clone();
+            handles.push(scope.spawn(move || {
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                // Whatever happened, this rank is no longer running.
+                alive[rank].store(false, Ordering::SeqCst);
+                result
+            }));
         }
         handles
             .into_iter()
             .map(|h| match h.join() {
-                Ok(r) => r,
-                // Re-raise with the original payload so callers (and
-                // `should_panic` tests) see the rank's own message.
-                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(Ok(r)) => Ok(r),
+                Ok(Err(payload)) | Err(payload) => {
+                    Err(RankFailure::Panicked(panic_message(payload.as_ref())))
+                }
+            })
+            .collect()
+    })
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Run `f` on `p` ranks (one thread each) and collect each rank's return
+/// value, ordered by rank. No faults are injected; a rank panic propagates
+/// to the caller with its original payload (use [`run_spmd_faulty`] for
+/// failure containment).
+pub fn run_spmd<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Communicator) -> R + Sync,
+{
+    assert!(p >= 1, "need at least one rank");
+    let (mut comms, alive) = build_world(p, Arc::new(crate::fault::NoFaults));
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, comm) in comms.iter_mut().enumerate() {
+            let alive = alive.clone();
+            handles.push(scope.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                alive[rank].store(false, Ordering::SeqCst);
+                result
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                let joined = match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => Err(payload),
+                };
+                match joined {
+                    Ok(r) => r,
+                    // Re-raise with the original payload so callers (and
+                    // `should_panic` tests) see the rank's own message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             })
             .collect()
     })
@@ -282,18 +535,29 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultInjector, MessageFate};
+
+    /// Every comm call in the tests below goes through the fallible
+    /// surface; the tests run fault-free worlds, so `ok()`/`Ok` patterns
+    /// assert success explicitly rather than papering over errors.
+    fn must<T>(r: Result<T, CommError>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected comm error: {e}"),
+        }
+    }
 
     #[test]
     fn ring_pass_accumulates() {
         let results = run_spmd(5, |comm| {
             let (rank, size) = (comm.rank(), comm.size());
             if rank == 0 {
-                comm.send(1, 7, 1u64);
-                let (_, total) = comm.recv::<u64>(size - 1, 7);
+                must(comm.send(1, 7, 1u64));
+                let (_, total) = must(comm.recv::<u64>(size - 1, 7));
                 total
             } else {
-                let (_, v) = comm.recv::<u64>(rank - 1, 7);
-                comm.send((rank + 1) % size, 7, v + 1);
+                let (_, v) = must(comm.recv::<u64>(rank - 1, 7));
+                must(comm.send((rank + 1) % size, 7, v + 1));
                 v
             }
         });
@@ -305,11 +569,11 @@ mod tests {
         let results = run_spmd(2, |comm| {
             if comm.rank() == 0 {
                 for i in 0..100u32 {
-                    comm.send(1, 3, i);
+                    must(comm.send(1, 3, i));
                 }
                 Vec::new()
             } else {
-                (0..100).map(|_| comm.recv::<u32>(0, 3).1).collect::<Vec<u32>>()
+                (0..100).map(|_| must(comm.recv::<u32>(0, 3)).1).collect::<Vec<u32>>()
             }
         });
         assert_eq!(results[1], (0..100).collect::<Vec<u32>>());
@@ -319,13 +583,13 @@ mod tests {
     fn tags_keep_message_streams_apart() {
         let results = run_spmd(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, "tag-one");
-                comm.send(1, 2, "tag-two");
+                must(comm.send(1, 1, "tag-one"));
+                must(comm.send(1, 2, "tag-two"));
                 (String::new(), String::new())
             } else {
                 // Receive in the opposite order of sending.
-                let (_, b) = comm.recv::<&str>(0, 2);
-                let (_, a) = comm.recv::<&str>(0, 1);
+                let (_, b) = must(comm.recv::<&str>(0, 2));
+                let (_, a) = must(comm.recv::<&str>(0, 1));
                 (a.to_owned(), b.to_owned())
             }
         });
@@ -337,12 +601,12 @@ mod tests {
         let results = run_spmd(6, |comm| {
             if comm.rank() == 0 {
                 let mut got: Vec<usize> = (1..comm.size())
-                    .map(|_| comm.recv::<u64>(ANY_SOURCE, 9).0)
+                    .map(|_| must(comm.recv::<u64>(ANY_SOURCE, 9)).0)
                     .collect();
                 got.sort_unstable();
                 got
             } else {
-                comm.send(0, 9, comm.rank() as u64);
+                must(comm.send(0, 9, comm.rank() as u64));
                 Vec::new()
             }
         });
@@ -352,12 +616,11 @@ mod tests {
     #[test]
     fn broadcast_reaches_all() {
         let results = run_spmd(4, |comm| {
-            let v = if comm.rank() == 2 {
-                comm.broadcast(2, Some(vec![1u8, 2, 3]))
+            if comm.rank() == 2 {
+                must(comm.broadcast(2, Some(vec![1u8, 2, 3])))
             } else {
-                comm.broadcast::<Vec<u8>>(2, None)
-            };
-            v
+                must(comm.broadcast::<Vec<u8>>(2, None))
+            }
         });
         for r in results {
             assert_eq!(r, vec![1, 2, 3]);
@@ -366,7 +629,7 @@ mod tests {
 
     #[test]
     fn gather_ordered_by_rank() {
-        let results = run_spmd(4, |comm| comm.gather(0, comm.rank() as u32 * 10));
+        let results = run_spmd(4, |comm| must(comm.gather(0, comm.rank() as u32 * 10)));
         assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
         assert!(results[1..].iter().all(Option::is_none));
     }
@@ -374,8 +637,8 @@ mod tests {
     #[test]
     fn reduce_and_allreduce() {
         let results = run_spmd(8, |comm| {
-            let at_root = comm.reduce_sum(3, 1);
-            let everywhere = comm.all_reduce_sum(2);
+            let at_root = must(comm.reduce_sum(3, 1));
+            let everywhere = must(comm.all_reduce_sum(2));
             (at_root, everywhere)
         });
         for (rank, (at_root, everywhere)) in results.into_iter().enumerate() {
@@ -390,7 +653,7 @@ mod tests {
         let phase1 = AtomicUsize::new(0);
         let results = run_spmd(6, |comm| {
             phase1.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            must(comm.barrier());
             // After the barrier every rank must observe all 6 increments.
             phase1.load(Ordering::SeqCst)
         });
@@ -400,9 +663,9 @@ mod tests {
     #[test]
     fn single_rank_world() {
         let results = run_spmd(1, |comm| {
-            comm.barrier();
-            assert_eq!(comm.all_reduce_sum(7), 7);
-            assert_eq!(comm.gather(0, 42u8), Some(vec![42]));
+            must(comm.barrier());
+            assert_eq!(must(comm.all_reduce_sum(7)), 7);
+            assert_eq!(must(comm.gather(0, 42u8)), Some(vec![42]));
             comm.rank()
         });
         assert_eq!(results, vec![0]);
@@ -414,7 +677,7 @@ mod tests {
             let outgoing: Vec<Vec<u32>> = (0..comm.size())
                 .map(|to| vec![comm.rank() as u32 * 10 + to as u32])
                 .collect();
-            comm.all_to_all(outgoing)
+            must(comm.all_to_all(outgoing))
         });
         for (rank, incoming) in results.into_iter().enumerate() {
             for (from, msg) in incoming.into_iter().enumerate() {
@@ -431,7 +694,7 @@ mod tests {
         // the scope).
         run_spmd(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, u32::MAX - 1, 0u8);
+                let _ = comm.send(1, u32::MAX - 1, 0u8);
             }
         });
     }
@@ -440,17 +703,173 @@ mod tests {
     fn mixed_types_same_channel() {
         let results = run_spmd(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, 42u64);
-                comm.send(1, 2, "hello".to_owned());
-                comm.send(1, 3, vec![1.0f64, 2.0]);
+                must(comm.send(1, 1, 42u64));
+                must(comm.send(1, 2, "hello".to_owned()));
+                must(comm.send(1, 3, vec![1.0f64, 2.0]));
                 0.0
             } else {
-                let (_, n) = comm.recv::<u64>(0, 1);
-                let (_, s) = comm.recv::<String>(0, 2);
-                let (_, v) = comm.recv::<Vec<f64>>(0, 3);
+                let (_, n) = must(comm.recv::<u64>(0, 1));
+                let (_, s) = must(comm.recv::<String>(0, 2));
+                let (_, v) = must(comm.recv::<Vec<f64>>(0, 3));
                 n as f64 + s.len() as f64 + v.iter().sum::<f64>()
             }
         });
         assert_eq!(results[1], 42.0 + 5.0 + 3.0);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error_not_a_panic() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                must(comm.send(1, 1, 42u64));
+                true
+            } else {
+                matches!(
+                    comm.recv::<String>(0, 1),
+                    Err(CommError::TypeMismatch { tag: 1, from: 0, .. })
+                )
+            }
+        });
+        assert!(results[1]);
+    }
+
+    #[test]
+    fn recv_timeout_expires_without_a_message() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 1 {
+                comm.recv_timeout::<u8>(0, 5, Duration::from_millis(20)).err()
+            } else {
+                None // sends nothing
+            }
+        });
+        assert_eq!(results[1], Some(CommError::Timeout));
+    }
+
+    #[test]
+    fn recv_timeout_delivers_when_message_arrives() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                must(comm.send(1, 5, 99u8));
+                0
+            } else {
+                match comm.recv_timeout::<u8>(0, 5, Duration::from_secs(5)) {
+                    Ok((_, v)) => v,
+                    Err(e) => panic!("expected delivery, got {e}"),
+                }
+            }
+        });
+        assert_eq!(results[1], 99);
+    }
+
+    /// Kill rank 1 at its very first operation.
+    struct KillFirstOp;
+    impl FaultInjector for KillFirstOp {
+        fn kill_now(&self, rank: usize, event: u64) -> bool {
+            rank == 1 && event == 0
+        }
+    }
+
+    #[test]
+    fn killed_rank_sees_rank_killed_and_peers_observe_death() {
+        let results = run_spmd_faulty(2, Arc::new(KillFirstOp), |comm| {
+            if comm.rank() == 1 {
+                // First op dies; every later op dies too.
+                assert_eq!(comm.send(0, 1, 0u8), Err(CommError::RankKilled));
+                assert_eq!(comm.recv::<u8>(0, 1).err(), Some(CommError::RankKilled));
+                "killed"
+            } else {
+                // Wait for the liveness board to reflect the death, then
+                // observe that sends to the corpse fail.
+                while comm.peer_alive(1) {
+                    std::thread::yield_now();
+                }
+                assert_eq!(comm.send(1, 1, 0u8), Err(CommError::PeerExited { rank: 1 }));
+                "survivor"
+            }
+        });
+        assert_eq!(results[0], Ok("survivor"));
+        assert_eq!(results[1], Ok("killed"));
+    }
+
+    /// Drop the first message from 0 to 1 on tag 7.
+    struct DropFirst;
+    impl FaultInjector for DropFirst {
+        fn message_fate(&self, from: usize, to: usize, tag: u32, seq: u64) -> MessageFate {
+            if from == 0 && to == 1 && tag == 7 && seq == 0 {
+                MessageFate::Drop
+            } else {
+                MessageFate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_message_is_lost_but_send_succeeds() {
+        let results = run_spmd_faulty(2, Arc::new(DropFirst), |comm| {
+            if comm.rank() == 0 {
+                must(comm.send(1, 7, 1u32)); // dropped
+                must(comm.send(1, 7, 2u32)); // delivered
+                0
+            } else {
+                // Only the second message arrives.
+                must(comm.recv::<u32>(0, 7)).1
+            }
+        });
+        assert_eq!(results[1], Ok(2));
+    }
+
+    /// Delay the first message from 0→1 until one more has been sent.
+    struct DelayFirst;
+    impl FaultInjector for DelayFirst {
+        fn message_fate(&self, from: usize, to: usize, _tag: u32, seq: u64) -> MessageFate {
+            if from == 0 && to == 1 && seq == 0 {
+                MessageFate::Delay { hold: 0 } // deliver after the next send
+            } else {
+                MessageFate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_message_is_reordered_not_lost() {
+        let results = run_spmd_faulty(2, Arc::new(DelayFirst), |comm| {
+            if comm.rank() == 0 {
+                must(comm.send(1, 7, 1u32));
+                must(comm.send(1, 7, 2u32));
+                Vec::new()
+            } else {
+                vec![must(comm.recv::<u32>(0, 7)).1, must(comm.recv::<u32>(0, 7)).1]
+            }
+        });
+        assert_eq!(results[1], Ok(vec![2, 1]), "first message overtaken by the second");
+    }
+
+    #[test]
+    fn panicked_rank_is_contained_in_faulty_mode() {
+        let results = run_spmd_faulty(3, Arc::new(crate::fault::NoFaults), |comm| {
+            match comm.rank() {
+                1 => panic!("rank 1 exploded"),
+                r => r,
+            }
+        });
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(results[1], Err(RankFailure::Panicked("rank 1 exploded".to_owned())));
+        assert_eq!(results[2], Ok(2));
+    }
+
+    #[test]
+    fn exited_rank_is_marked_dead() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                // Rank 1 exits immediately; wait for the board to show it.
+                while comm.peer_alive(1) {
+                    std::thread::yield_now();
+                }
+                true
+            } else {
+                false
+            }
+        });
+        assert!(results[0]);
     }
 }

@@ -11,10 +11,11 @@
 //! ```
 //! use pfam_mpi::run_spmd;
 //!
-//! // Every rank sends its rank number to rank 0, which sums them.
+//! // Every rank sends its rank number to rank 0, which sums them. A
+//! // fault-free world never errors, so faults fold into `None` here.
 //! let results = run_spmd(4, |comm| {
-//!     let total = comm.reduce_sum(0, comm.rank() as u64);
-//!     comm.barrier();
+//!     let total = comm.reduce_sum(0, comm.rank() as u64).ok().flatten();
+//!     let _ = comm.barrier();
 //!     total
 //! });
 //! assert_eq!(results[0], Some(0 + 1 + 2 + 3));
@@ -23,11 +24,23 @@
 //!
 //! Semantics follow MPI where it matters:
 //! * messages between a fixed (sender, receiver, tag) triple arrive in
-//!   send order (non-overtaking);
-//! * `recv` blocks; `try_recv` polls;
+//!   send order (non-overtaking) — unless a fault injector reorders them;
+//! * `recv` blocks; `try_recv` polls; `recv_timeout` bounds the wait;
 //! * collectives must be called by every rank (they are built from
 //!   reserved-tag point-to-point messages).
+//!
+//! Unlike classic MPI, every operation is **fallible**: faults surface as
+//! [`CommError`] values (peer death, timeout, this rank's own injected
+//! kill) instead of aborting the job — the failure-containment model of
+//! ULFM-style fault-tolerant MPI. A shared liveness board
+//! ([`Communicator::peer_alive`]) plays the role of the failure detector,
+//! and [`run_spmd_faulty`] runs a world under a deterministic
+//! [`FaultInjector`] (schedules are generated in `pfam_sim::faults`).
 
 pub mod comm;
+pub mod error;
+pub mod fault;
 
-pub use comm::{run_spmd, Communicator, ANY_SOURCE};
+pub use comm::{run_spmd, run_spmd_faulty, Communicator, RankFailure, RankOutcome, ANY_SOURCE};
+pub use error::CommError;
+pub use fault::{FaultInjector, MessageFate, NoFaults};

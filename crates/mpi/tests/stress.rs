@@ -4,7 +4,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use pfam_mpi::{run_spmd, ANY_SOURCE};
+use pfam_mpi::{run_spmd, CommError, ANY_SOURCE};
+
+fn must<T>(r: Result<T, CommError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("unexpected comm error: {e}"),
+    }
+}
 
 #[test]
 fn random_point_to_point_traffic_is_lossless() {
@@ -19,12 +26,12 @@ fn random_point_to_point_traffic_is_lossless() {
     let results = run_spmd(p, move |comm| {
         let me = comm.rank();
         // Send phase.
-        for to in 0..comm.size() {
+        for (to, &count) in plan_ref[me].iter().enumerate() {
             if to == me {
                 continue;
             }
-            for i in 0..plan_ref[me][to] {
-                comm.send(to, 5, (me as u64) * 1000 + i as u64);
+            for i in 0..count {
+                must(comm.send(to, 5, (me as u64) * 1000 + i as u64));
             }
         }
         // Receive phase: expected count is known from the shared plan.
@@ -32,7 +39,7 @@ fn random_point_to_point_traffic_is_lossless() {
             (0..comm.size()).filter(|&f| f != me).map(|f| plan_ref[f][me]).sum();
         let mut sum = 0u64;
         for _ in 0..expected {
-            let (_, v) = comm.recv::<u64>(ANY_SOURCE, 5);
+            let (_, v) = must(comm.recv::<u64>(ANY_SOURCE, 5));
             sum += v;
         }
         sum
@@ -52,9 +59,9 @@ fn repeated_collectives_stay_in_step() {
     let results = run_spmd(5, |comm| {
         let mut checks = Vec::new();
         for round in 0..25u64 {
-            let total = comm.all_reduce_sum(round + comm.rank() as u64);
+            let total = must(comm.all_reduce_sum(round + comm.rank() as u64));
             checks.push(total);
-            comm.barrier();
+            must(comm.barrier());
         }
         checks
     });
@@ -73,8 +80,8 @@ fn interleaved_gathers_of_different_types() {
     let results = run_spmd(4, |comm| {
         let mut ok = true;
         for round in 0..20u32 {
-            let nums = comm.gather(0, round + comm.rank() as u32);
-            let texts = comm.gather(0, format!("r{}", comm.rank()));
+            let nums = must(comm.gather(0, round + comm.rank() as u32));
+            let texts = must(comm.gather(0, format!("r{}", comm.rank())));
             if comm.rank() == 0 {
                 let nums = nums.expect("root gathers");
                 let texts = texts.expect("root gathers");
@@ -94,12 +101,12 @@ fn wildcard_and_specific_receives_mix() {
             0 => {
                 // Specific receive from 2 first, then wildcard: the rank-1
                 // message must wait in the pending buffer.
-                let (_, two) = comm.recv::<u8>(2, 1);
-                let (from, one) = comm.recv::<u8>(ANY_SOURCE, 1);
+                let (_, two) = must(comm.recv::<u8>(2, 1));
+                let (from, one) = must(comm.recv::<u8>(ANY_SOURCE, 1));
                 (two, one, from)
             }
             r => {
-                comm.send(0, 1, r as u8);
+                must(comm.send(0, 1, r as u8));
                 (0, 0, 0)
             }
         }
@@ -110,6 +117,6 @@ fn wildcard_and_specific_receives_mix() {
 #[test]
 fn large_world() {
     let p = 32;
-    let results = run_spmd(p, |comm| comm.all_reduce_sum(1));
+    let results = run_spmd(p, |comm| must(comm.all_reduce_sum(1)));
     assert!(results.iter().all(|&v| v == p as u64));
 }

@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn pack_rejects_x_and_oversize() {
         assert!(pack_word(&codes("AXA")).is_none());
-        assert!(pack_word(&vec![0u8; MAX_PACKED_K + 1]).is_none());
+        assert!(pack_word(&[0u8; MAX_PACKED_K + 1]).is_none());
         assert!(pack_word(&[]).is_none());
     }
 

@@ -150,6 +150,8 @@ pub fn shingle_clusters(
 }
 
 #[cfg(test)]
+// Single-block clique graphs ([0..n]) are intentional, not mistyped vecs.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
     use pfam_graph::CsrGraph;

@@ -128,6 +128,8 @@ pub fn dense_subgraphs_of(
 }
 
 #[cfg(test)]
+// Single-block graphs ([0..n]) are intentional, not mistyped vecs.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
 

@@ -22,6 +22,15 @@ use crate::minwise::{shingle_set, HashFamily, Shingle};
 /// Pass-I tuple: (shingle id, elements, producing vertex).
 type Tuple = (u64, Vec<u32>, u32);
 
+/// This engine runs a fault-free world: any communicator error is a bug,
+/// not a tolerated fault, so it panics.
+fn healthy<T>(r: Result<T, pfam_mpi::CommError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("spmd world must stay healthy: {e}"),
+    }
+}
+
 /// Run the two-pass Shingle algorithm as an SPMD job on `n_ranks` ranks.
 /// Every rank participates in the compute; rank 0 performs the final
 /// union-find reporting and returns the clusters.
@@ -51,7 +60,7 @@ pub fn shingle_clusters_spmd(
         }
 
         // ---- Shuffle tuples to shingle owners. ----
-        let incoming = comm.all_to_all(outgoing);
+        let incoming = healthy(comm.all_to_all(outgoing));
 
         // ---- Group + pass II locally. ----
         use std::collections::HashMap;
@@ -80,7 +89,7 @@ pub fn shingle_clusters_spmd(
 
         // ---- Shuffle second-level tuples; owners emit merge edges. ----
         let mut second_in: Vec<(u64, u64)> =
-            comm.all_to_all(second_out).into_iter().flatten().collect();
+            healthy(comm.all_to_all(second_out)).into_iter().flatten().collect();
         second_in.sort_unstable();
         let mut edges: Vec<(u64, u64)> = Vec::new();
         let mut i = 0;
@@ -94,8 +103,8 @@ pub fn shingle_clusters_spmd(
         }
 
         // ---- Gather shingles + edges at rank 0 for reporting. ----
-        let gathered_shingles = comm.gather(0, shingles);
-        let gathered_edges = comm.gather(0, edges);
+        let gathered_shingles = healthy(comm.gather(0, shingles));
+        let gathered_edges = healthy(comm.gather(0, edges));
         let (Some(all_shingle_lists), Some(all_edge_lists)) =
             (gathered_shingles, gathered_edges)
         else {

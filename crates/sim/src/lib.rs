@@ -17,12 +17,14 @@
 //!   near-linear for the alignment-dominated RR phase, saturating for the
 //!   filter-dominated CCD phase.
 
+pub mod faults;
 pub mod machine;
 pub mod memory;
 pub mod replay;
 pub mod scheduler;
 pub mod topology;
 
+pub use faults::{FaultEvent, FaultSchedule};
 pub use machine::MachineModel;
 pub use memory::{MemoryModel, PhaseMemory};
 pub use replay::{simulate_phase, simulate_phases, speedup_sweep, SimBreakdown, SimReport};

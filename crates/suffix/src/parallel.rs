@@ -94,13 +94,17 @@ where
 /// Split `data` into chunks of `chunk_size` and run `f(offset, chunk)` on
 /// up to `threads` workers. Chunks are disjoint `&mut` slices, so no
 /// synchronisation beyond the work cursor is needed.
+/// A one-shot work item: the offset of a chunk plus the chunk itself,
+/// claimed exactly once through the mutex.
+type ChunkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+
 fn for_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, threads: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
     let chunk_size = chunk_size.max(1);
-    let chunks: Vec<Mutex<Option<(usize, &mut [T])>>> = data
+    let chunks: Vec<ChunkSlot<'_, T>> = data
         .chunks_mut(chunk_size)
         .enumerate()
         .map(|(i, c)| Mutex::new(Some((i * chunk_size, c))))
@@ -274,7 +278,9 @@ where
             }
             let src_ref = &src;
             let cmp_ref = &cmp;
-            let tasks: Vec<Mutex<Option<(usize, usize, usize, &mut [T])>>> =
+            // `(lo, mid, hi, out)` merge jobs, claimed once each.
+            type MergeSlot<'a, T> = Mutex<Option<(usize, usize, usize, &'a mut [T])>>;
+            let tasks: Vec<MergeSlot<'_, T>> =
                 pair_slices.into_iter().map(|t| Mutex::new(Some(t))).collect();
             let cursor = AtomicUsize::new(0);
             let tasks_ref = &tasks;
@@ -527,7 +533,8 @@ mod tests {
     fn parallel_sa_handles_degenerate_texts() {
         // All-equal symbols: every key collides, the tie-break does all
         // the work.
-        let text: Vec<u32> = std::iter::repeat(3u32).take(64).chain(std::iter::once(0)).collect();
+        let mut text = vec![3u32; 64];
+        text.push(0);
         assert_eq!(suffix_array_parallel(&text, 5, 4), sais::suffix_array(&text, 5));
         // Tiny texts.
         for text in [vec![0u32], vec![1, 0], vec![2, 1, 0]] {

@@ -17,7 +17,9 @@ fn main() {
     let ranks: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
 
     // A taste of the runtime itself: ring all-reduce across the world.
-    let sums = run_spmd(ranks, |comm| comm.all_reduce_sum(comm.rank() as u64 + 1));
+    let sums = run_spmd(ranks, |comm| {
+        comm.all_reduce_sum(comm.rank() as u64 + 1).expect("healthy world")
+    });
     println!(
         "mpi runtime up: {} ranks, all_reduce_sum(1..={}) = {}",
         ranks, ranks, sums[0]

@@ -1,12 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, root-package tests, workspace tests, and an
-# index-bench smoke pass (serial/parallel bit-identity check on a tiny
-# workload). Run from anywhere inside the repo.
+# Tier-1 gate: release build, lint wall, root-package tests, workspace
+# tests, an index-bench smoke pass (serial/parallel bit-identity check on
+# a tiny workload), the fault-injection suites, a no-unwrap grep gate on
+# the inter-rank communication paths, and a CLI checkpoint/resume smoke.
+# Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier1: cargo build --release =="
 cargo build --release
+
+echo "== tier1: cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== tier1: no unwrap/expect on inter-rank communication paths =="
+# Fault tolerance contract: crates/mpi and the threaded master-worker must
+# propagate CommError/MwError, never panic on a peer's failure.
+if grep -rn "unwrap(\|expect(" crates/mpi/src crates/cluster/src/master_worker.rs; then
+    echo "tier1 FAIL: unwrap/expect found on a communication path" >&2
+    exit 1
+fi
 
 echo "== tier1: cargo test -q (root package) =="
 cargo test -q
@@ -14,7 +27,21 @@ cargo test -q
 echo "== tier1: cargo test --workspace -q =="
 cargo test --workspace -q
 
+echo "== tier1: fault-injection + checkpoint/restart suites =="
+cargo test -q --test fault_tolerance --test checkpoint_resume --test degenerate_inputs
+
 echo "== tier1: index_bench --test (smoke + identity check) =="
 cargo run --release -p pfam-bench --bin index_bench -- --test
+
+echo "== tier1: CLI kill/resume smoke (byte-identical families.tsv) =="
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+./target/release/pfam generate --out "$SMOKE/reads.fasta" --families 3 --members 25 --seed 7
+./target/release/pfam run "$SMOKE/reads.fasta" --checkpoint-dir "$SMOKE/ck" \
+    --stop-after ccd --min-size 3 --out "$SMOKE/ignored.tsv"
+./target/release/pfam run "$SMOKE/reads.fasta" --checkpoint-dir "$SMOKE/ck" \
+    --resume --min-size 3 --out "$SMOKE/resumed.tsv"
+./target/release/pfam cluster "$SMOKE/reads.fasta" --min-size 3 --out "$SMOKE/straight.tsv"
+diff "$SMOKE/resumed.tsv" "$SMOKE/straight.tsv"
 
 echo "== tier1: OK =="

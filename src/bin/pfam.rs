@@ -15,7 +15,10 @@ use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use pfam::cluster::{run_ccd, run_redundancy_removal, ClusterConfig};
-use pfam::core::{run_pipeline, PipelineConfig, Reduction, TableOneRow};
+use pfam::core::{
+    run_pipeline, run_pipeline_checkpointed, CheckpointConfig, Phase, PipelineConfig,
+    PipelineResult, Reduction, TableOneRow,
+};
 use pfam::datagen::{DatasetConfig, SyntheticDataset};
 use pfam::seq::complexity::{masked_fraction, MaskParams};
 use pfam::seq::fasta::{read_fasta, write_fasta};
@@ -27,6 +30,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("cluster") => cmd_cluster(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("align") => cmd_align(&args[1..]),
@@ -55,6 +59,9 @@ fn print_usage() {
          \x20 pfam generate --out <fasta> [--families N] [--members N] [--seed N]\n\
          \x20 pfam cluster  <input.fasta> [--out <tsv>] [--tau F] [--domain W]\n\
          \x20               [--min-size N] [--mask] [--psi N]\n\
+         \x20 pfam run      <input.fasta> --checkpoint-dir <dir> [--resume]\n\
+         \x20               [--checkpoint-every N] [--stop-after rr|ccd|dsd]\n\
+         \x20               [+ all `cluster` flags]   (fault-tolerant cluster)\n\
          \x20 pfam simulate <input.fasta> [--procs 32,64,128,512]\n\
          \x20               [--save-trace PREFIX]\n\
          \x20 pfam replay   <trace.tsv> [--procs 32,64,128,512]\n\
@@ -81,9 +88,10 @@ fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Resul
 
 /// First free-standing argument: not a flag, and not the value of one.
 fn positional(args: &[String]) -> Option<&String> {
-    const VALUE_FLAGS: [&str; 10] = [
+    const VALUE_FLAGS: [&str; 13] = [
         "--out", "--tau", "--min-size", "--domain", "--psi", "--procs", "--families",
-        "--members", "--seed", "--save-trace",
+        "--members", "--seed", "--save-trace", "--checkpoint-dir", "--checkpoint-every",
+        "--stop-after",
     ];
     let mut skip_next = false;
     for a in args {
@@ -141,8 +149,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_cluster(args: &[String]) -> Result<(), String> {
-    let set = load_fasta(args)?;
+/// Build the validated pipeline configuration shared by `cluster` and
+/// `run` from the common flag set.
+fn pipeline_config(args: &[String]) -> Result<(PipelineConfig, usize), String> {
     let tau: f64 = parse(args, "--tau", 0.5)?;
     let min_size: usize = parse(args, "--min-size", 5usize)?;
     let domain_w: Option<usize> = flag_value(args, "--domain")
@@ -173,10 +182,18 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join("; "));
     }
-    let result = run_pipeline(&set, &config);
+    Ok((config, min_size))
+}
 
+/// Print the Table-I row and write `families.tsv`.
+fn report_families(
+    set: &SequenceSet,
+    result: &PipelineResult,
+    min_size: usize,
+    args: &[String],
+) -> Result<(), String> {
     println!("{}", TableOneRow::header());
-    println!("{}", TableOneRow::from_result(&result, min_size));
+    println!("{}", TableOneRow::from_result(result, min_size));
 
     let out = flag_value(args, "--out").unwrap_or_else(|| "families.tsv".to_owned());
     let mut w = BufWriter::new(
@@ -196,6 +213,44 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     }
     println!("{} families written to {out}", result.dense_subgraphs.len());
     Ok(())
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let set = load_fasta(args)?;
+    let (config, min_size) = pipeline_config(args)?;
+    let result = run_pipeline(&set, &config);
+    report_families(&set, &result, min_size, args)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let set = load_fasta(args)?;
+    let (config, min_size) = pipeline_config(args)?;
+    let dir = flag_value(args, "--checkpoint-dir")
+        .ok_or("run requires --checkpoint-dir <dir>")?;
+    let ckpt = CheckpointConfig {
+        dir: std::path::PathBuf::from(&dir),
+        every_batches: parse(args, "--checkpoint-every", 8usize)?,
+    };
+    let resume = flag_present(args, "--resume");
+    let stop_after = match flag_value(args, "--stop-after").as_deref() {
+        None => None,
+        Some("rr") => Some(Phase::Rr),
+        Some("ccd") => Some(Phase::Ccd),
+        Some("dsd") => Some(Phase::Dsd),
+        Some(other) => return Err(format!("invalid --stop-after: {other} (rr|ccd|dsd)")),
+    };
+    match run_pipeline_checkpointed(&set, &config, &ckpt, resume, stop_after)
+        .map_err(|e| e.to_string())?
+    {
+        Some(result) => report_families(&set, &result, min_size, args),
+        None => {
+            println!(
+                "stopped after the requested phase; checkpoints in {dir} — \
+                 rerun with --resume to continue"
+            );
+            Ok(())
+        }
+    }
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,156 @@
+//! Kill/resume integration tests: stop the checkpointed pipeline after
+//! every phase boundary (and mid-CCD), resume from disk, and require the
+//! final clustering — down to the rendered families.tsv text — to be
+//! identical to the uninterrupted run.
+
+use std::path::PathBuf;
+
+use pfam::core::checkpoint::{read_checkpoint, write_checkpoint, CcdState};
+use pfam::core::{
+    run_pipeline, run_pipeline_checkpointed, CheckpointConfig, Phase, PipelineConfig,
+    PipelineResult,
+};
+use pfam::datagen::{DatasetConfig, MutationModel, SyntheticDataset};
+use pfam::seq::SequenceSet;
+
+fn dataset(seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig {
+        n_families: 3,
+        n_members: 30,
+        n_noise: 4,
+        redundancy_frac: 0.1,
+        fragment_prob: 0.0,
+        mutation: MutationModel {
+            substitution_rate: 0.12,
+            conservative_fraction: 0.6,
+            insertion_rate: 0.0,
+            deletion_rate: 0.0,
+        },
+        seed,
+        ..DatasetConfig::tiny(seed)
+    })
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pfam-ckpt-test-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The families.tsv body the CLI writes, as a string — byte-identical
+/// output is the acceptance bar for resume.
+fn render_families(set: &SequenceSet, result: &PipelineResult) -> String {
+    let mut out = String::from("#family\tsize\tdensity\tmembers (FASTA headers)\n");
+    for (i, ds) in result.dense_subgraphs.iter().enumerate() {
+        let headers: Vec<&str> = ds.members.iter().map(|&id| set.header(id)).collect();
+        out.push_str(&format!(
+            "{i}\t{}\t{:.2}\t{}\n",
+            ds.members.len(),
+            ds.density.density,
+            headers.join(",")
+        ));
+    }
+    out
+}
+
+fn assert_same_result(set: &SequenceSet, resumed: &PipelineResult, straight: &PipelineResult) {
+    assert_eq!(resumed.non_redundant, straight.non_redundant);
+    assert_eq!(resumed.components, straight.components);
+    assert_eq!(resumed.dense_subgraphs, straight.dense_subgraphs);
+    assert_eq!(resumed.traces.0, straight.traces.0, "RR trace");
+    assert_eq!(resumed.traces.1, straight.traces.1, "CCD trace");
+    assert_eq!(resumed.traces.2, straight.traces.2, "BGG trace");
+    assert_eq!(
+        render_families(set, resumed),
+        render_families(set, straight),
+        "families.tsv must be byte-identical after resume"
+    );
+}
+
+#[test]
+fn kill_after_each_phase_then_resume_is_identical() {
+    let d = dataset(4870);
+    let config = PipelineConfig::for_tests();
+    let straight = run_pipeline(&d.set, &config);
+    for stop in [Phase::Rr, Phase::Ccd, Phase::Dsd] {
+        let ckpt = CheckpointConfig {
+            dir: scratch_dir(&format!("kill-{stop:?}")),
+            every_batches: 4,
+        };
+        let first = run_pipeline_checkpointed(&d.set, &config, &ckpt, false, Some(stop))
+            .expect("checkpointed run");
+        assert!(first.is_none(), "stop_after must end the run early");
+        let resumed = run_pipeline_checkpointed(&d.set, &config, &ckpt, true, None)
+            .expect("resumed run")
+            .expect("resumed run completes");
+        assert_same_result(&d.set, &resumed, &straight);
+        let _ = std::fs::remove_dir_all(&ckpt.dir);
+    }
+}
+
+#[test]
+fn resume_from_partial_ccd_cursor_is_identical() {
+    // Simulate a crash *mid-CCD*: complete RR, then plant a genuine
+    // partial cursor (complete = false) as ccd.ckpt and resume from it.
+    let d = dataset(4871);
+    let config = PipelineConfig::for_tests();
+    let straight = run_pipeline(&d.set, &config);
+
+    let ckpt = CheckpointConfig { dir: scratch_dir("mid-ccd"), every_batches: 1 };
+    run_pipeline_checkpointed(&d.set, &config, &ckpt, false, Some(Phase::Rr))
+        .expect("rr-only run");
+
+    // Replay CCD on the survivor set and capture its first cursor.
+    let (_, payload) = read_checkpoint(&Phase::Rr.path_in(&ckpt.dir)).expect("rr.ckpt");
+    let rr = pfam::core::checkpoint::RrState::decode(&payload).expect("decode rr");
+    let kept: Vec<pfam::seq::SeqId> = rr.kept.iter().map(|&i| pfam::seq::SeqId(i)).collect();
+    let (nr_set, _) = d.set.subset(&kept);
+    let mut first_cursor = None;
+    pfam::cluster::run_ccd_resumable(&nr_set, &config.cluster, None, 1, &mut |c| {
+        if first_cursor.is_none() {
+            first_cursor = Some(c.clone());
+        }
+    });
+    let cursor = first_cursor.expect("at least one CCD batch");
+    assert!(cursor.pairs_consumed > 0, "cursor must sit mid-phase");
+    let state = CcdState { complete: false, cursor };
+    write_checkpoint(&Phase::Ccd.path_in(&ckpt.dir), Phase::Ccd, &state.encode())
+        .expect("plant partial ccd.ckpt");
+
+    let resumed = run_pipeline_checkpointed(&d.set, &config, &ckpt, true, None)
+        .expect("resume from partial cursor")
+        .expect("completes");
+    assert_same_result(&d.set, &resumed, &straight);
+    let _ = std::fs::remove_dir_all(&ckpt.dir);
+}
+
+#[test]
+fn resume_without_checkpoints_just_runs() {
+    let d = dataset(4872);
+    let config = PipelineConfig::for_tests();
+    let ckpt = CheckpointConfig { dir: scratch_dir("fresh"), every_batches: 0 };
+    let r = run_pipeline_checkpointed(&d.set, &config, &ckpt, true, None)
+        .expect("run")
+        .expect("completes");
+    let straight = run_pipeline(&d.set, &config);
+    assert_same_result(&d.set, &r, &straight);
+    let _ = std::fs::remove_dir_all(&ckpt.dir);
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_not_trusted() {
+    let d = dataset(4873);
+    let config = PipelineConfig::for_tests();
+    let ckpt = CheckpointConfig { dir: scratch_dir("corrupt"), every_batches: 0 };
+    run_pipeline_checkpointed(&d.set, &config, &ckpt, false, Some(Phase::Rr)).expect("rr run");
+    let path = Phase::Rr.path_in(&ckpt.dir);
+    let mut bytes = std::fs::read(&path).expect("read rr.ckpt");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("corrupt rr.ckpt");
+    assert!(
+        run_pipeline_checkpointed(&d.set, &config, &ckpt, true, None).is_err(),
+        "a checksum-failing checkpoint must abort the resume"
+    );
+    let _ = std::fs::remove_dir_all(&ckpt.dir);
+}

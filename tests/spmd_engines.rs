@@ -28,7 +28,7 @@ fn three_engines_one_clustering() {
     let d = dataset(501);
     let config = ClusterConfig::default();
     let batched = run_ccd(&d.set, &config);
-    let (threaded, _) = run_ccd_master_worker(&d.set, &config, 3);
+    let (threaded, _) = run_ccd_master_worker(&d.set, &config, 3).expect("no worker panics");
     let spmd = run_ccd_spmd(&d.set, &config, 4);
     assert_eq!(batched.components, threaded.components);
     assert_eq!(batched.components, spmd.components);
@@ -54,21 +54,22 @@ fn mpi_supports_the_master_worker_conversation_shape() {
         if comm.rank() == 0 {
             let mut total = 0u64;
             for _ in 1..comm.size() {
-                let (from, batch) = comm.recv::<Vec<u64>>(ANY_SOURCE, 1);
-                comm.send(from, 2, batch.iter().sum::<u64>());
+                let (from, batch) =
+                    comm.recv::<Vec<u64>>(ANY_SOURCE, 1).expect("healthy world");
+                comm.send(from, 2, batch.iter().sum::<u64>()).expect("healthy world");
                 total += batch.len() as u64;
             }
             total
         } else {
             let batch: Vec<u64> = (0..comm.rank() as u64).collect();
-            comm.send(0, 1, batch);
-            let (_, sum) = comm.recv::<u64>(0, 2);
+            comm.send(0, 1, batch).expect("healthy world");
+            let (_, sum) = comm.recv::<u64>(0, 2).expect("healthy world");
             sum
         }
     });
-    assert_eq!(echoed[0], 0 + 1 + 2 + 3); // total items received
-    assert_eq!(echoed[2], 0 + 1); // sum of 0..2
-    assert_eq!(echoed[3], 0 + 1 + 2);
+    assert_eq!(echoed[0], 6); // total items received: 0 + 1 + 2 + 3
+    assert_eq!(echoed[2], 1); // sum of 0..2
+    assert_eq!(echoed[3], 3); // sum of 0..3
 }
 
 #[test]

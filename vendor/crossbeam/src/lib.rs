@@ -41,6 +41,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message available.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         not_empty: Condvar,
@@ -160,6 +169,36 @@ pub mod channel {
                     .not_empty
                     .wait(queue)
                     .expect("channel poisoned");
+            }
+        }
+
+        /// Dequeue a message, blocking at most `timeout` while the channel
+        /// is empty. Distinguishes an elapsed timeout from disconnect.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(queue, deadline - now)
+                    .expect("channel poisoned");
+                queue = guard;
             }
         }
 

@@ -406,7 +406,7 @@ mod tests {
 
         #[test]
         fn prop_map_applies(v in prop::collection::vec(0u8..10, 1..5).prop_map(|v| v.len())) {
-            prop_assert!(v >= 1 && v < 5);
+            prop_assert!((1..5).contains(&v));
         }
     }
 

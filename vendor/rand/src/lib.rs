@@ -505,7 +505,7 @@ mod tests {
             assert!(u <= 3);
             let f = rng.gen_range(0.85..1.0);
             assert!((0.85..1.0).contains(&f));
-            let z = rng.gen_range(0..1usize.max(1));
+            let z = rng.gen_range(0..1usize);
             assert_eq!(z, 0);
         }
     }

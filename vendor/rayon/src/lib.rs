@@ -100,7 +100,7 @@ impl<T: Send> ParIter<T> {
 
     /// Parallel for-each (order of side effects is unspecified, as in rayon).
     pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
-        let _ = parallel_map(self.items, |t| f(t));
+        let _ = parallel_map(self.items, &f);
     }
 
     /// Flatten nested iterables, preserving input order.
