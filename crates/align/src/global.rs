@@ -8,6 +8,7 @@
 use pfam_seq::ScoringScheme;
 
 use crate::alignment::{AlignOp, Alignment};
+use crate::engine::AlignScratch;
 
 /// Sentinel for "unreachable" DP states; far enough from `i32::MIN` that
 /// subtracting a gap penalty cannot overflow.
@@ -49,29 +50,46 @@ pub(crate) fn fill_affine(
     x_free: bool,
     y_free: bool,
 ) -> AffineMatrices {
+    let mut mat = AffineMatrices { w: 1, h: Vec::new(), e: Vec::new(), f: Vec::new() };
+    fill_affine_into(x, y, scheme, x_free, y_free, &mut mat);
+    mat
+}
+
+/// [`fill_affine`] into a caller-owned matrix arena. Only the borders are
+/// re-initialised; every interior cell is overwritten by the fill loop, so
+/// stale values from a previous (possibly larger) pair are harmless.
+pub(crate) fn fill_affine_into(
+    x: &[u8],
+    y: &[u8],
+    scheme: &ScoringScheme,
+    x_free: bool,
+    y_free: bool,
+    mat: &mut AffineMatrices,
+) {
     let (m, n) = (x.len(), y.len());
     let w = n + 1;
-    let mut mat = AffineMatrices {
-        w,
-        h: vec![NEG_INF; (m + 1) * w],
-        e: vec![NEG_INF; (m + 1) * w],
-        f: vec![NEG_INF; (m + 1) * w],
-    };
+    let len = (m + 1) * w;
+    mat.w = w;
+    if mat.h.len() < len {
+        mat.h.resize(len, NEG_INF);
+        mat.e.resize(len, NEG_INF);
+        mat.f.resize(len, NEG_INF);
+    }
     mat.h[0] = 0;
+    mat.e[0] = NEG_INF;
+    mat.f[0] = NEG_INF;
     for j in 1..=n {
         let v = if y_free { 0 } else { -gap_cost(scheme, j) };
         mat.h[j] = v;
-        if !y_free {
-            mat.e[j] = v;
-        }
+        mat.e[j] = if y_free { NEG_INF } else { v };
+        mat.f[j] = NEG_INF;
     }
     for i in 1..=m {
         let v = if x_free { 0 } else { -gap_cost(scheme, i) };
         let at = mat.idx(i, 0);
         mat.h[at] = v;
-        if !x_free {
-            mat.f[at] = v;
-        }
+        mat.e[at] = NEG_INF;
+        mat.f[at] = if x_free { NEG_INF } else { v };
     }
     for i in 1..=m {
         let xi = x[i - 1];
@@ -88,7 +106,6 @@ pub(crate) fn fill_affine(
             mat.h[at] = s.max(e).max(f);
         }
     }
-    mat
 }
 
 /// Which DP layer the traceback is currently in.
@@ -176,11 +193,23 @@ pub(crate) fn traceback_affine(
 
 /// Global alignment with affine gaps (Gotoh), full traceback.
 pub fn global_affine(x: &[u8], y: &[u8], scheme: &ScoringScheme) -> Alignment {
+    global_affine_with(x, y, scheme, &mut AlignScratch::new())
+}
+
+/// [`global_affine`] reusing a caller-owned [`AlignScratch`] arena, so hot
+/// loops pay no per-call matrix allocation.
+pub fn global_affine_with(
+    x: &[u8],
+    y: &[u8],
+    scheme: &ScoringScheme,
+    scratch: &mut AlignScratch,
+) -> Alignment {
     let (m, n) = (x.len(), y.len());
-    let mat = fill_affine(x, y, scheme, false, false);
+    fill_affine_into(x, y, scheme, false, false, &mut scratch.mat);
+    let mat = &scratch.mat;
     let score = mat.h[mat.idx(m, n)];
     let (ops, origin) =
-        traceback_affine(&mat, x, y, scheme, (m, n), |i, j| i == 0 && j == 0);
+        traceback_affine(mat, x, y, scheme, (m, n), |i, j| i == 0 && j == 0);
     debug_assert_eq!(origin, (0, 0));
     Alignment { score, ops, x_range: (0, m), y_range: (0, n) }
 }
@@ -233,15 +262,29 @@ pub fn global_linear(x: &[u8], y: &[u8], gap: i32, scheme: &ScoringScheme) -> Al
 
 /// Score-only global affine alignment in O(min(m,n)) space — used where the
 /// alignment path is not needed (e.g. quick cutoff pre-checks).
-#[allow(clippy::needless_range_loop)] // rolling-row DP indexes three arrays in lockstep
 pub fn global_score(x: &[u8], y: &[u8], scheme: &ScoringScheme) -> i32 {
+    global_score_with(x, y, scheme, &mut AlignScratch::new())
+}
+
+/// [`global_score`] reusing a caller-owned [`AlignScratch`] arena.
+#[allow(clippy::needless_range_loop)] // rolling-row DP indexes three arrays in lockstep
+pub fn global_score_with(
+    x: &[u8],
+    y: &[u8],
+    scheme: &ScoringScheme,
+    scratch: &mut AlignScratch,
+) -> i32 {
     // Keep the shorter sequence along the row to minimise memory.
     let (a, b) = if y.len() <= x.len() { (x, y) } else { (y, x) };
     let n = b.len();
-    let mut h = vec![0i32; n + 1];
+    let h = &mut scratch.row_h;
+    h.clear();
+    h.resize(n + 1, 0);
     // F depends on the cell above (previous row, same column) → carried per
     // column; E depends on the cell to the left (same row) → a scalar.
-    let mut f = vec![NEG_INF; n + 1];
+    let f = &mut scratch.row_f;
+    f.clear();
+    f.resize(n + 1, NEG_INF);
     for j in 1..=n {
         h[j] = -gap_cost(scheme, j);
     }

@@ -16,12 +16,17 @@
 //!   (Def. 1: ≥95 % similarity over the overlap, ≥95 % of the shorter
 //!   sequence covered) and `overlaps` (Def. 2: ≥30 % similarity covering
 //!   ≥80 % of the longer sequence).
+//! * [`engine`] — the tiered, vectorized alignment engine the clustering
+//!   hot path goes through: length screens, a SWAR/SSE2/AVX2 score-only
+//!   kernel, anchor-seeded banded probes, and a subrectangle traceback —
+//!   verdict-identical to [`criteria`] by construction.
 //!
 //! Scores use the [`pfam_seq::ScoringScheme`] type (BLOSUM62 by default).
 
 pub mod alignment;
 pub mod banded;
 pub mod criteria;
+pub mod engine;
 pub mod extend;
 pub mod global;
 pub mod hirschberg;
@@ -33,10 +38,11 @@ pub mod semiglobal;
 pub use alignment::{AlignOp, AlignStats, Alignment};
 pub use banded::banded_global_affine;
 pub use criteria::{is_contained, overlaps, ContainmentParams, OverlapParams};
+pub use engine::{AlignEngine, AlignEngineKind, AlignScratch, Anchor, EngineVerdict};
 pub use extend::{xdrop_extend, Extension};
-pub use global::{global_affine, global_linear, global_score};
+pub use global::{global_affine, global_linear, global_score, global_affine_with, global_score_with};
 pub use hirschberg::hirschberg;
-pub use local::{local_affine, local_score};
+pub use local::{local_affine, local_score, local_affine_with, local_score_with};
 pub use msa::{star_alignment, StarAlignment};
 pub use render::render_alignment;
 pub use semiglobal::semiglobal_affine;

@@ -7,6 +7,7 @@
 use pfam_seq::ScoringScheme;
 
 use crate::alignment::{AlignOp, Alignment};
+use crate::engine::AlignScratch;
 use crate::global::NEG_INF;
 
 /// Optimal local alignment (affine gaps) with full traceback.
@@ -14,11 +15,40 @@ use crate::global::NEG_INF;
 /// Returns an empty alignment (score 0) when no positively-scoring region
 /// exists.
 pub fn local_affine(x: &[u8], y: &[u8], scheme: &ScoringScheme) -> Alignment {
+    local_affine_with(x, y, scheme, &mut AlignScratch::new())
+}
+
+/// [`local_affine`] reusing a caller-owned [`AlignScratch`] arena, so hot
+/// loops pay no per-call matrix allocation. Only the DP borders are
+/// re-initialised; the interior is fully overwritten by the fill loop.
+pub fn local_affine_with(
+    x: &[u8],
+    y: &[u8],
+    scheme: &ScoringScheme,
+    scratch: &mut AlignScratch,
+) -> Alignment {
     let (m, n) = (x.len(), y.len());
     let w = n + 1;
-    let mut h = vec![0i32; (m + 1) * w];
-    let mut e = vec![NEG_INF; (m + 1) * w];
-    let mut f = vec![NEG_INF; (m + 1) * w];
+    let len = (m + 1) * w;
+    let mat = &mut scratch.mat;
+    mat.w = w;
+    if mat.h.len() < len {
+        mat.h.resize(len, 0);
+        mat.e.resize(len, NEG_INF);
+        mat.f.resize(len, NEG_INF);
+    }
+    let (h, e, f) = (&mut mat.h, &mut mat.e, &mut mat.f);
+    for j in 0..=n {
+        h[j] = 0;
+        e[j] = NEG_INF;
+        f[j] = NEG_INF;
+    }
+    for i in 1..=m {
+        let at = i * w;
+        h[at] = 0;
+        e[at] = NEG_INF;
+        f[at] = NEG_INF;
+    }
     let mut best = 0i32;
     let mut best_at = (0usize, 0usize);
     for i in 1..=m {
@@ -41,7 +71,24 @@ pub fn local_affine(x: &[u8], y: &[u8], scheme: &ScoringScheme) -> Alignment {
     if best == 0 {
         return Alignment { score: 0, ops: Vec::new(), x_range: (0, 0), y_range: (0, 0) };
     }
-    // Traceback from the best cell until a zero cell in layer H.
+    traceback_local(x, y, scheme, &scratch.mat, best, best_at)
+}
+
+/// Traceback of a filled local-alignment matrix set, from `best_at` back
+/// to the first zero cell in layer H. `mat` must hold the exact H/E/F
+/// values of the reference fill for every cell `(≤ best_at.0, ≤
+/// best_at.1)` (any fill producing those values may share this — it is
+/// what makes the vectorized engine fill reference-identical).
+pub(crate) fn traceback_local(
+    x: &[u8],
+    y: &[u8],
+    scheme: &ScoringScheme,
+    mat: &crate::global::AffineMatrices,
+    best: i32,
+    best_at: (usize, usize),
+) -> Alignment {
+    let w = mat.w;
+    let (h, e, f) = (&mat.h, &mat.e, &mat.f);
     #[derive(PartialEq, Clone, Copy)]
     enum Layer {
         H,
@@ -104,10 +151,24 @@ pub fn local_affine(x: &[u8], y: &[u8], scheme: &ScoringScheme) -> Alignment {
 
 /// Score-only Smith–Waterman in linear space.
 pub fn local_score(x: &[u8], y: &[u8], scheme: &ScoringScheme) -> i32 {
+    local_score_with(x, y, scheme, &mut AlignScratch::new())
+}
+
+/// [`local_score`] reusing a caller-owned [`AlignScratch`] arena.
+pub fn local_score_with(
+    x: &[u8],
+    y: &[u8],
+    scheme: &ScoringScheme,
+    scratch: &mut AlignScratch,
+) -> i32 {
     let (a, b) = if y.len() <= x.len() { (x, y) } else { (y, x) };
     let n = b.len();
-    let mut h = vec![0i32; n + 1];
-    let mut f = vec![NEG_INF; n + 1];
+    let h = &mut scratch.row_h;
+    h.clear();
+    h.resize(n + 1, 0);
+    let f = &mut scratch.row_f;
+    f.clear();
+    f.resize(n + 1, NEG_INF);
     let mut best = 0i32;
     for i in 1..=a.len() {
         let mut diag = h[0];

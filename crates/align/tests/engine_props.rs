@@ -1,0 +1,208 @@
+//! Property tests for the tiered alignment engine: every kernel must
+//! reproduce the scalar reference score *and* argmax cell exactly, and
+//! the tiered engine's accept/reject verdicts must be bit-identical to
+//! the reference full-DP criteria on realistically mutated pairs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pfam_align::engine::{available_kernels, local_affine_simd, local_score_ends_scalar};
+use pfam_align::{
+    banded_global_affine, is_contained, overlaps, AlignEngine, AlignEngineKind, AlignScratch,
+    Anchor, ContainmentParams, OverlapParams,
+};
+use pfam_datagen::{random_peptide, MutationModel};
+use pfam_seq::{ScoringScheme, SubstMatrix};
+
+fn residues(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..20, 0..max_len)
+}
+
+fn blosum() -> ScoringScheme {
+    ScoringScheme::blosum62_default()
+}
+
+/// A mutated homolog pair: ancestor-derived sequences whose similarity
+/// straddles the containment/overlap cutoffs (the interesting regime).
+fn mutated_pair(seed: u64, len: usize, rate: f64) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ancestor = random_peptide(&mut rng, len);
+    let model = MutationModel {
+        substitution_rate: rate,
+        conservative_fraction: 0.5,
+        insertion_rate: rate / 20.0,
+        deletion_rate: rate / 20.0,
+    };
+    let a = model.mutate(&ancestor, &mut rng);
+    let b = model.mutate(&ancestor, &mut rng);
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every available kernel (SWAR, SSE2, AVX2 where detected) returns
+    /// the scalar kernel's exact score and argmax coordinates.
+    #[test]
+    fn kernels_equal_scalar_on_random_sequences(x in residues(60), y in residues(60)) {
+        let s = blosum();
+        let mut scratch = AlignScratch::new();
+        let reference = local_score_ends_scalar(&x, &y, &s, &mut scratch);
+        for (name, kernel) in available_kernels() {
+            let got = kernel(&x, &y, &s, &mut scratch);
+            prop_assert_eq!(got, reference, "kernel {} diverged", name);
+        }
+    }
+
+    /// Tiered and reference engines agree on containment verdicts for
+    /// random (mostly dissimilar) sequence pairs.
+    #[test]
+    fn tiered_containment_matches_reference_on_random(x in residues(50), y in residues(50)) {
+        let s = blosum();
+        let cp = ContainmentParams::default();
+        let op = OverlapParams::default();
+        let engine = AlignEngine::new(AlignEngineKind::Tiered, s.clone(), cp, op);
+        prop_assert_eq!(engine.contained(&x, &y, None).accept, is_contained(&x, &y, &s, &cp));
+        prop_assert_eq!(engine.overlaps(&x, &y, None).accept, overlaps(&x, &y, &s, &op));
+    }
+
+    /// The vectorized full-matrix fill used by tiers 2/3 reproduces the
+    /// reference [`pfam_align::local_affine`] *Alignment* bit-for-bit —
+    /// score, operations, and both ranges, not just the verdict.
+    #[test]
+    fn simd_fill_alignment_equals_reference(x in residues(70), y in residues(70)) {
+        let s = blosum();
+        let mut scratch = AlignScratch::new();
+        prop_assert_eq!(
+            local_affine_simd(&x, &y, &s, &mut scratch),
+            pfam_align::local_affine(&x, &y, &s)
+        );
+    }
+
+    /// A banded global alignment whose band covers the whole matrix is
+    /// exactly the unbanded optimum (engine tier-2 soundness base case).
+    #[test]
+    fn banded_with_covering_band_is_exact(x in residues(30), y in residues(30)) {
+        let s = blosum();
+        let full = pfam_align::global_affine(&x, &y, &s).score;
+        let band = banded_global_affine(&x, &y, &s, 0, x.len().max(y.len()).max(1))
+            .expect("band covers everything");
+        prop_assert_eq!(band.score, full);
+    }
+}
+
+#[test]
+fn kernels_equal_scalar_on_degenerate_inputs() {
+    let s = blosum();
+    let mut scratch = AlignScratch::new();
+    let all_x = vec![20u8; 40]; // the masked/unknown residue code
+    let cases: Vec<(Vec<u8>, Vec<u8>)> = vec![
+        (Vec::new(), Vec::new()),
+        (Vec::new(), vec![3]),
+        (vec![7], Vec::new()),
+        (vec![0], vec![0]),
+        (vec![5], vec![9]),
+        (all_x.clone(), all_x.clone()),
+        (all_x, (0..20).collect()),
+        (vec![1; 300], vec![1; 7]),
+    ];
+    for (x, y) in cases {
+        let reference = local_score_ends_scalar(&x, &y, &s, &mut scratch);
+        for (name, kernel) in available_kernels() {
+            let got = kernel(&x, &y, &s, &mut scratch);
+            assert_eq!(got, reference, "kernel {name} diverged on |x|={} |y|={}", x.len(), y.len());
+        }
+    }
+}
+
+/// The heart of the identity guarantee: on datagen-mutated homolog pairs
+/// — exactly the population RR and CCD align — the tiered verdicts equal
+/// the reference full-DP verdicts, with and without a (possibly bogus)
+/// anchor hint.
+#[test]
+fn tiered_verdicts_match_reference_on_mutated_pairs() {
+    let s = blosum();
+    let cp = ContainmentParams::default();
+    let op = OverlapParams::default();
+    let tiered = AlignEngine::new(AlignEngineKind::Tiered, s.clone(), cp, op);
+    let reference = AlignEngine::new(AlignEngineKind::Reference, s.clone(), cp, op);
+    let mut n_accepts = 0usize;
+    for seed in 0..120u64 {
+        // Sweep mutation rates across the accept/reject boundary.
+        let rate = 0.02 + 0.4 * ((seed % 12) as f64 / 12.0);
+        let len = 30 + (seed % 7) as usize * 25;
+        let (a, b) = mutated_pair(seed, len, rate);
+        // Anchor hints: none, a plausible one, and a deliberately stale
+        // one — hints may change work done, never the verdict.
+        let anchors = [
+            None,
+            Some(Anchor { x_pos: 0, y_pos: 0, len: 8.min(a.len().min(b.len()) as u32) }),
+            Some(Anchor { x_pos: u32::MAX, y_pos: 0, len: 5 }),
+        ];
+        for anchor in anchors {
+            let t = tiered.contained(&a, &b, anchor);
+            let r = reference.contained(&a, &b, anchor);
+            assert_eq!(t.accept, r.accept, "containment diverged: seed {seed} rate {rate}");
+            let t = tiered.overlaps(&a, &b, anchor);
+            let r = reference.overlaps(&a, &b, anchor);
+            assert_eq!(t.accept, r.accept, "overlap diverged: seed {seed} rate {rate}");
+            if t.accept {
+                n_accepts += 1;
+            }
+        }
+    }
+    // The sweep must actually exercise both outcomes.
+    assert!(n_accepts > 0, "no accepting pairs generated — sweep is vacuous");
+}
+
+/// Gap-heavy regime: cheap gaps and indel-rich homologs force long E/F
+/// runs through the traceback; the vectorized fill must replay every one
+/// of them identically (alignment equality, not just score).
+#[test]
+fn simd_fill_matches_reference_under_cheap_gaps() {
+    let s = ScoringScheme {
+        matrix: SubstMatrix::blosum62().clone(),
+        gap_open: 4,
+        gap_extend: 1,
+    };
+    let mut scratch = AlignScratch::new();
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(0xbade ^ seed);
+        let ancestor = random_peptide(&mut rng, 90);
+        let model = MutationModel {
+            substitution_rate: 0.10,
+            conservative_fraction: 0.5,
+            insertion_rate: 0.06,
+            deletion_rate: 0.06,
+        };
+        let a = model.mutate(&ancestor, &mut rng);
+        let b = model.mutate(&ancestor, &mut rng);
+        assert_eq!(
+            local_affine_simd(&a, &b, &s, &mut scratch),
+            pfam_align::local_affine(&a, &b, &s),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Counter sanity on mutated pairs: computed + skipped never exceeds the
+/// full rectangle plus probe work, and the reference engine reports the
+/// full rectangle with nothing skipped.
+#[test]
+fn counters_are_coherent_on_mutated_pairs() {
+    let s = blosum();
+    let cp = ContainmentParams::default();
+    let op = OverlapParams::default();
+    let tiered = AlignEngine::new(AlignEngineKind::Tiered, s.clone(), cp, op);
+    let reference = AlignEngine::new(AlignEngineKind::Reference, s, cp, op);
+    for seed in 0..40u64 {
+        let (a, b) = mutated_pair(seed, 80, 0.15);
+        let full = (a.len() as u64) * (b.len() as u64);
+        let r = reference.overlaps(&a, &b, None);
+        assert_eq!(r.cells_computed, full);
+        assert_eq!(r.cells_skipped, 0);
+        let t = tiered.overlaps(&a, &b, None);
+        assert!(t.cells_skipped <= full, "skipped more than the rectangle");
+    }
+}

@@ -3,13 +3,15 @@
 //! machine-readable `BENCH_index.json`.
 //!
 //! ```sh
-//! cargo run --release -p pfam-bench --bin index_bench [scale] [threads]
+//! cargo run --release -p pfam-bench --bin index_bench [scale] [max_threads]
 //! cargo run --release -p pfam-bench --bin index_bench -- --test   # smoke
 //! ```
 //!
-//! `--test` runs a tiny single-rep smoke pass and prints the JSON to
-//! stdout instead of writing the file (so CI smoke runs never clobber a
-//! real measurement).
+//! The parallel path is measured at every power-of-two thread count up to
+//! `max_threads` (default 8), so the JSON carries a scaling table rather
+//! than a single point. `--test` runs a tiny single-rep smoke pass and
+//! prints the JSON to stdout instead of writing the file (so CI smoke
+//! runs never clobber a real measurement).
 
 use std::time::Instant;
 
@@ -35,18 +37,28 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--test");
     let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
     let scale = if smoke { 0.05 } else { positional.first().copied().unwrap_or(1.0) };
-    let threads = positional.get(1).map_or(8usize, |&t| t as usize);
+    let max_threads = positional.get(1).map_or(8usize, |&t| (t as usize).max(1));
     let reps = if smoke { 1 } else { 3 };
+    // Power-of-two scaling ladder: 1, 2, 4, … up to max_threads (shorter
+    // in smoke mode to keep CI fast).
+    let mut thread_counts = vec![1usize];
+    while *thread_counts.last().expect("non-empty") * 2 <= max_threads {
+        thread_counts.push(thread_counts.last().expect("non-empty") * 2);
+    }
+    if smoke {
+        thread_counts.truncate(2);
+    }
 
     // The paper's 40K performance point is a quarter of its 160K set.
     let data = dataset_160k_like(scale * 0.25, 0x40);
     let set = &data.set;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
-        "index_bench: {} ({} reads, {} residues), {} threads, {} rep(s)",
+        "index_bench: {} ({} reads, {} residues), threads {:?}, {} rep(s)",
         data.label,
         set.len(),
         set.total_residues(),
-        threads,
+        thread_counts,
         reps
     );
 
@@ -63,21 +75,59 @@ fn main() {
     let (serial_pairgen_s, pairs_serial) =
         time_min(reps, || all_pairs(&tree_serial, pair_config));
 
-    // Parallel path.
-    let (par_index_s, gsa_par) =
-        time_min(reps, || GeneralizedSuffixArray::build_parallel(set, threads));
-    let tree_par = SuffixTree::build(&gsa_par);
-    let (par_pairgen_s, (pairs_par, _stats)) =
-        time_min(reps, || parallel_pairs(&tree_par, pair_config, threads));
-
-    // Bit-identity check — the whole point of the design.
-    let identical = gsa_par.sa() == gsa_serial.sa()
-        && gsa_par.lcp() == gsa_serial.lcp()
-        && pairs_par == pairs_serial;
-    assert!(identical, "parallel output diverged from serial — this is a bug");
-
+    // Downstream alignment work the generated pairs represent: the sum of
+    // full DP rectangles `|a|·|b|`. Cells/sec rates pair generation by the
+    // verification work it feeds, making runs at different scales (and the
+    // align bench) comparable on one axis.
+    let total_cells: u64 = pairs_serial
+        .iter()
+        .map(|p| set.seq_len(p.a) as u64 * set.seq_len(p.b) as u64)
+        .sum();
     let serial_total = serial_index_s + serial_pairgen_s;
-    let par_total = par_index_s + par_pairgen_s;
+
+    // Parallel path at each thread count; every point must be bit-identical
+    // to the serial reference — the whole point of the design.
+    let mut rows = Vec::new();
+    for &threads in &thread_counts {
+        let (par_index_s, gsa_par) =
+            time_min(reps, || GeneralizedSuffixArray::build_parallel(set, threads));
+        let tree_par = SuffixTree::build(&gsa_par);
+        let (par_pairgen_s, (pairs_par, _stats)) =
+            time_min(reps, || parallel_pairs(&tree_par, pair_config, threads));
+        let identical = gsa_par.sa() == gsa_serial.sa()
+            && gsa_par.lcp() == gsa_serial.lcp()
+            && pairs_par == pairs_serial;
+        assert!(identical, "parallel output diverged from serial at {threads} threads");
+        let par_total = par_index_s + par_pairgen_s;
+        rows.push(format!(
+            concat!(
+                "    {{ \"threads\": {t}, \"index_s\": {pi:.6}, \"pairgen_s\": {pp:.6}, ",
+                "\"total_s\": {pt:.6}, \"cells_per_sec\": {cps:.0}, ",
+                "\"speedup\": {{ \"index\": {sx:.3}, \"pairgen\": {px:.3}, \"total\": {tx:.3} }} }}"
+            ),
+            t = threads,
+            pi = par_index_s,
+            pp = par_pairgen_s,
+            pt = par_total,
+            cps = total_cells as f64 / par_pairgen_s,
+            sx = serial_index_s / par_index_s,
+            px = serial_pairgen_s / par_pairgen_s,
+            tx = serial_total / par_total,
+        ));
+        eprintln!(
+            "index_bench: {threads} thread(s): total {par_total:.3}s ({:.2}x vs serial)",
+            serial_total / par_total
+        );
+    }
+
+    let caveat = if cores < max_threads {
+        format!(
+            "only {cores} core(s) available; speedups above {cores} thread(s) \
+             reflect overhead, not scaling"
+        )
+    } else {
+        String::from("thread counts within available cores")
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -85,40 +135,34 @@ fn main() {
             "  \"dataset\": \"{label}\",\n",
             "  \"n_seqs\": {n_seqs},\n",
             "  \"total_residues\": {residues},\n",
-            "  \"threads\": {threads},\n",
             "  \"available_cores\": {cores},\n",
+            "  \"core_caveat\": \"{caveat}\",\n",
             "  \"reps\": {reps},\n",
             "  \"n_pairs\": {n_pairs},\n",
+            "  \"total_cells\": {cells},\n",
             "  \"outputs_identical\": true,\n",
-            "  \"serial\": {{ \"index_s\": {si:.6}, \"pairgen_s\": {sp:.6}, \"total_s\": {st:.6} }},\n",
-            "  \"parallel\": {{ \"index_s\": {pi:.6}, \"pairgen_s\": {pp:.6}, \"total_s\": {pt:.6} }},\n",
-            "  \"speedup\": {{ \"index\": {sx:.3}, \"pairgen\": {px:.3}, \"total\": {tx:.3} }}\n",
+            "  \"serial\": {{ \"index_s\": {si:.6}, \"pairgen_s\": {sp:.6}, ",
+            "\"total_s\": {st:.6}, \"cells_per_sec\": {scps:.0} }},\n",
+            "  \"scaling\": [\n{rows}\n  ]\n",
             "}}\n"
         ),
         label = data.label,
         n_seqs = set.len(),
         residues = set.total_residues(),
-        threads = threads,
-        cores = std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cores = cores,
+        caveat = caveat,
         reps = reps,
         n_pairs = pairs_serial.len(),
+        cells = total_cells,
         si = serial_index_s,
         sp = serial_pairgen_s,
         st = serial_total,
-        pi = par_index_s,
-        pp = par_pairgen_s,
-        pt = par_total,
-        sx = serial_index_s / par_index_s,
-        px = serial_pairgen_s / par_pairgen_s,
-        tx = serial_total / par_total,
+        scps = total_cells as f64 / serial_pairgen_s,
+        rows = rows.join(",\n"),
     );
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if cores < threads {
-        eprintln!(
-            "index_bench: NOTE — only {cores} core(s) available; speedup at \
-             {threads} threads reflects overhead, not scaling"
-        );
+    if cores < max_threads {
+        eprintln!("index_bench: NOTE — {caveat}");
     }
     if smoke {
         println!("{json}");
@@ -127,9 +171,8 @@ fn main() {
         std::fs::write("BENCH_index.json", &json).expect("write BENCH_index.json");
         println!("{json}");
         eprintln!(
-            "index_bench: wrote BENCH_index.json (total speedup {:.2}x at {} threads)",
-            serial_total / par_total,
-            threads
+            "index_bench: wrote BENCH_index.json (scaling table up to {} threads)",
+            thread_counts.last().expect("non-empty")
         );
     }
 }

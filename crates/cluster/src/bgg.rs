@@ -10,7 +10,7 @@
 
 use rayon::prelude::*;
 
-use pfam_align::overlaps;
+use pfam_align::Anchor;
 use pfam_graph::CsrGraph;
 use pfam_seq::{SeqId, SequenceSet};
 use pfam_suffix::{
@@ -58,6 +58,8 @@ pub fn component_graph(
                 n_aligned: 0,
                 align_cells: 0,
                 task_cells: Vec::new(),
+                cells_computed: 0,
+                cells_skipped: 0,
             },
         );
     }
@@ -74,19 +76,27 @@ pub fn component_graph(
         },
     );
     let n_generated = pairs.len();
-    let verdicts: Vec<(u32, u32, bool, u64)> = pairs
+    let engine = config.engine();
+    let verdicts: Vec<(u32, u32, bool, u64, u64, u64)> = pairs
         .par_iter()
         .map(|p| {
             let x = subset.codes(p.a);
             let y = subset.codes(p.b);
             let cells = (x.len() as u64) * (y.len() as u64);
-            (p.a.0, p.b.0, overlaps(x, y, &config.scheme, &config.overlap), cells)
+            // Pairs and codes both live in the subset's id space, so the
+            // maximal-match anchor coordinates are valid as-is.
+            let anchor = Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len };
+            let v = engine.overlaps(x, y, Some(anchor));
+            (p.a.0, p.b.0, v.accept, cells, v.cells_computed, v.cells_skipped)
         })
         .collect();
     let mut edges = Vec::new();
     let mut task_cells = Vec::with_capacity(verdicts.len());
-    for (a, b, passed, cells) in verdicts {
+    let (mut cells_computed, mut cells_skipped) = (0u64, 0u64);
+    for (a, b, passed, cells, vc, vs) in verdicts {
         task_cells.push(cells);
+        cells_computed += vc;
+        cells_skipped += vs;
         if passed {
             edges.push((a, b));
         }
@@ -97,6 +107,8 @@ pub fn component_graph(
         n_aligned: task_cells.len(),
         align_cells: task_cells.iter().sum(),
         task_cells,
+        cells_computed,
+        cells_skipped,
     };
     (
         ComponentGraph { graph: CsrGraph::from_edges(sorted.len(), &edges), members: sorted },

@@ -11,7 +11,7 @@
 
 use rayon::prelude::*;
 
-use pfam_align::overlaps;
+use pfam_align::Anchor;
 use pfam_graph::UnionFind;
 use pfam_seq::{SeqId, SequenceSet};
 use pfam_suffix::{promising_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
@@ -217,6 +217,7 @@ fn ccd_over_pairs_with(
         ),
     };
     let mut batches_since_checkpoint = 0usize;
+    let engine = config.engine();
 
     loop {
         let mut batch = Vec::with_capacity(config.batch_size);
@@ -232,28 +233,32 @@ fn ccd_over_pairs_with(
         pairs_consumed += batch.len() as u64;
         let n_generated = batch.len();
         // Master: transitive-closure filter.
-        let candidates: Vec<(SeqId, SeqId)> = batch
+        let candidates: Vec<(SeqId, SeqId, Anchor)> = batch
             .iter()
             .filter(|p| !uf.same(p.a.0, p.b.0))
-            .map(|p| (p.a, p.b))
+            .map(|p| (p.a, p.b, Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len }))
             .collect();
         let n_filtered = n_generated - candidates.len();
 
         // Workers: overlap verification in parallel.
-        let verdicts: Vec<(SeqId, SeqId, bool, u64)> = candidates
+        let verdicts: Vec<(SeqId, SeqId, bool, u64, u64, u64)> = candidates
             .par_iter()
-            .map(|&(a, b)| {
+            .map(|&(a, b, anchor)| {
                 let x = set.codes(a);
                 let y = set.codes(b);
                 let cells = (x.len() as u64) * (y.len() as u64);
-                (a, b, overlaps(x, y, &config.scheme, &config.overlap), cells)
+                let v = engine.overlaps(x, y, Some(anchor));
+                (a, b, v.accept, cells, v.cells_computed, v.cells_skipped)
             })
             .collect();
 
         // Master: merge clusters for passing pairs.
         let mut task_cells = Vec::with_capacity(verdicts.len());
-        for (a, b, passed, cells) in verdicts {
+        let (mut cells_computed, mut cells_skipped) = (0u64, 0u64);
+        for (a, b, passed, cells, computed, skipped) in verdicts {
             task_cells.push(cells);
+            cells_computed += computed;
+            cells_skipped += skipped;
             if passed {
                 edges.push((a, b));
                 if uf.union(a.0, b.0) {
@@ -267,6 +272,8 @@ fn ccd_over_pairs_with(
             n_aligned: task_cells.len(),
             align_cells: task_cells.iter().sum(),
             task_cells,
+            cells_computed,
+            cells_skipped,
         });
         batches_since_checkpoint += 1;
         if checkpoint_every > 0 && batches_since_checkpoint >= checkpoint_every {

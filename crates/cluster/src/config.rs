@@ -2,7 +2,7 @@
 //! (footnote 3: "the cutoffs mentioned as part of our approach ... are
 //! values that can be specified by the user as software parameters").
 
-use pfam_align::{ContainmentParams, OverlapParams};
+use pfam_align::{AlignEngine, AlignEngineKind, ContainmentParams, OverlapParams};
 use pfam_seq::complexity::MaskParams;
 use pfam_seq::ScoringScheme;
 
@@ -40,6 +40,11 @@ pub struct ClusterConfig {
     /// safe because parallel construction is output-identical to serial;
     /// turn off to pin the serial code path (e.g. for ablation timing).
     pub parallel_index: bool,
+    /// Which alignment engine the verification alignments run through.
+    /// `Tiered` (default) screens/kernels/subrectangles; `Reference` pins
+    /// the full-matrix baseline. Verdicts — and therefore components and
+    /// `families.tsv` — are bit-identical for both.
+    pub align_engine: AlignEngineKind,
 }
 
 impl Default for ClusterConfig {
@@ -59,6 +64,7 @@ impl Default for ClusterConfig {
             mask: None,
             threads: 0,
             parallel_index: true,
+            align_engine: AlignEngineKind::default(),
         }
     }
 }
@@ -78,6 +84,12 @@ impl ClusterConfig {
         } else {
             1
         }
+    }
+
+    /// Build the alignment engine this config selects (one per phase run;
+    /// the engine is `Sync` and shared across worker threads).
+    pub fn engine(&self) -> AlignEngine {
+        AlignEngine::new(self.align_engine, self.scheme.clone(), self.containment, self.overlap)
     }
 }
 

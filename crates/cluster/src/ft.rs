@@ -35,7 +35,6 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pfam_align::overlaps;
 use pfam_graph::UnionFind;
 use pfam_mpi::{run_spmd_faulty, CommError, Communicator, FaultInjector, ANY_SOURCE};
 use pfam_seq::{SeqId, SequenceSet};
@@ -93,7 +92,8 @@ impl std::fmt::Display for FtError {
 
 impl std::error::Error for FtError {}
 
-type Verdicts = Vec<(u32, u32, bool, u64)>;
+/// `(a, b, passed, full_cells, cells_computed, cells_skipped)` per task.
+type Verdicts = Vec<(u32, u32, bool, u64, u64, u64)>;
 
 /// An outstanding candidate batch: which worker holds it, what it
 /// contains (for re-issue), and when it was leased (for timeout).
@@ -213,8 +213,11 @@ fn master(
                 // are discarded: each batch is applied exactly once.
                 if outstanding.remove(&lease_id).is_some() {
                     let mut task_cells = Vec::with_capacity(verdicts.len());
-                    for (a, b, passed, cells) in verdicts {
+                    let (mut computed, mut skipped) = (0u64, 0u64);
+                    for (a, b, passed, cells, vc, vs) in verdicts {
                         task_cells.push(cells);
+                        computed += vc;
+                        skipped += vs;
                         if passed {
                             edges.push((SeqId(a), SeqId(b)));
                             if uf.union(a, b) {
@@ -226,6 +229,8 @@ fn master(
                         last.n_aligned += task_cells.len();
                         last.align_cells += task_cells.iter().sum::<u64>();
                         last.task_cells.extend(task_cells);
+                        last.cells_computed += computed;
+                        last.cells_skipped += skipped;
                     }
                 }
                 continue;
@@ -322,6 +327,8 @@ fn next_fresh_batch(
             n_aligned: 0,
             align_cells: 0,
             task_cells: Vec::new(),
+            cells_computed: 0,
+            cells_skipped: 0,
         });
         if !candidates.is_empty() {
             return Some(candidates);
@@ -373,6 +380,9 @@ fn master_comm_error(e: CommError) -> FtError {
 /// repeat. Any communicator error — most importantly its own injected
 /// kill — ends the loop; the master recovers whatever this worker held.
 fn worker(comm: &mut Communicator, set: &SequenceSet, config: &ClusterConfig) {
+    // Leased candidate lists carry no anchors, so the engine probes from
+    // scratch (anchor `None`); verdicts are engine-independent either way.
+    let engine = config.engine();
     loop {
         if comm.send(0, TAG_REQUEST, ()).is_err() {
             return; // own kill, or the master is gone
@@ -395,7 +405,8 @@ fn worker(comm: &mut Communicator, set: &SequenceSet, config: &ClusterConfig) {
                             let x = set.codes(SeqId(a));
                             let y = set.codes(SeqId(b));
                             let cells = (x.len() as u64) * (y.len() as u64);
-                            (a, b, overlaps(x, y, &config.scheme, &config.overlap), cells)
+                            let v = engine.overlaps(x, y, None);
+                            (a, b, v.accept, cells, v.cells_computed, v.cells_skipped)
                         })
                         .collect();
                     if comm.send(0, TAG_RESULT, (lease_id, verdicts)).is_err() {

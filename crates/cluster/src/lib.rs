@@ -40,6 +40,7 @@ pub use ccd::{run_ccd, run_ccd_from_pairs, run_ccd_resumable, CcdCursor, CcdResu
 pub use ft::{run_ccd_ft, FtError};
 pub use master_worker::{run_ccd_master_worker, run_ccd_master_worker_with, MwError, MwStats};
 pub use config::ClusterConfig;
+pub use pfam_align::{AlignEngine, AlignEngineKind};
 pub use rr::{run_redundancy_removal, RrResult};
 pub use spmd::{run_ccd_spmd, run_rr_spmd};
 pub use trace::{BatchRecord, PhaseKind, PhaseTrace};

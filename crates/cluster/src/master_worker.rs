@@ -21,7 +21,6 @@ use std::panic::AssertUnwindSafe;
 
 use crossbeam::channel;
 
-use pfam_align::overlaps;
 use pfam_graph::UnionFind;
 use pfam_seq::{SeqId, SequenceSet};
 use pfam_suffix::{GeneralizedSuffixArray, MaximalMatchConfig, MaximalMatchGenerator, SuffixTree};
@@ -71,8 +70,12 @@ pub fn run_ccd_master_worker(
     config: &ClusterConfig,
     n_workers: usize,
 ) -> Result<(CcdResult, MwStats), MwError> {
-    run_ccd_master_worker_with(set, config, n_workers, &|x, y| {
-        overlaps(x, y, &config.scheme, &config.overlap)
+    // Streamed tasks carry no anchors, so the engine probes from scratch
+    // (anchor `None`); the engine is `Sync` and shared across workers,
+    // each using its own thread-local scratch arena.
+    let engine = config.engine();
+    run_ccd_master_worker_with(set, config, n_workers, &move |x, y| {
+        engine.overlaps(x, y, None).accept
     })
 }
 
@@ -227,6 +230,10 @@ where
             n_aligned: task_cells.len(),
             align_cells: task_cells.iter().sum(),
             task_cells,
+            // The injectable verify closure returns only a verdict, so
+            // per-tier engine counters cannot be recorded on this path.
+            cells_computed: 0,
+            cells_skipped: 0,
         }],
     };
     let components = uf
@@ -363,7 +370,7 @@ mod tests {
             if !fired.swap(true, Ordering::SeqCst) {
                 panic!("first task dies");
             }
-            overlaps(x, y, &config.scheme, &config.overlap)
+            pfam_align::overlaps(x, y, &config.scheme, &config.overlap)
         };
         match run_ccd_master_worker_with(&d.set, &config, 2, &boom_once) {
             Err(MwError::WorkerPanicked(msg)) => assert!(msg.contains("first task dies")),

@@ -11,9 +11,11 @@
 
 use rayon::prelude::*;
 
-use pfam_align::is_contained;
+use pfam_align::Anchor;
 use pfam_seq::{SeqId, SequenceSet};
-use pfam_suffix::{promising_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
+use pfam_suffix::{
+    promising_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, SuffixTree,
+};
 
 use crate::config::ClusterConfig;
 use crate::trace::{BatchRecord, PhaseTrace};
@@ -38,13 +40,14 @@ impl RrResult {
 
 /// Order a candidate pair: the sequence to test for containment (and mark
 /// redundant on success) is the shorter one, ties broken toward the higher
-/// id so results do not depend on generation order.
-fn orient(set: &SequenceSet, a: SeqId, b: SeqId) -> (SeqId, SeqId) {
-    let (la, lb) = (set.seq_len(a), set.seq_len(b));
-    if la < lb || (la == lb && a.0 > b.0) {
-        (a, b)
+/// id so results do not depend on generation order. The maximal-match
+/// anchor is carried along, its offsets swapped in tandem.
+fn orient(set: &SequenceSet, p: &MatchPair) -> (SeqId, SeqId, Anchor) {
+    let (la, lb) = (set.seq_len(p.a), set.seq_len(p.b));
+    if la < lb || (la == lb && p.a.0 > p.b.0) {
+        (p.a, p.b, Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len })
     } else {
-        (b, a)
+        (p.b, p.a, Anchor { x_pos: p.b_pos, y_pos: p.a_pos, len: p.len })
     }
 }
 
@@ -73,6 +76,7 @@ pub fn run_redundancy_removal(set: &SequenceSet, config: &ClusterConfig) -> RrRe
         ..PhaseTrace::default()
     };
     let mut removed = Vec::new();
+    let engine = config.engine();
 
     loop {
         // Master: pull the next batch of promising pairs.
@@ -82,31 +86,34 @@ pub fn run_redundancy_removal(set: &SequenceSet, config: &ClusterConfig) -> RrRe
         }
         let n_generated = batch.len();
         // Master: filter pairs whose candidate is already redundant.
-        let candidates: Vec<(SeqId, SeqId)> = batch
+        let candidates: Vec<(SeqId, SeqId, Anchor)> = batch
             .iter()
-            .map(|p| orient(set, p.a, p.b))
-            .filter(|&(cand, container)| {
+            .map(|p| orient(set, p))
+            .filter(|&(cand, container, _)| {
                 redundant[cand.index()].is_none() && redundant[container.index()].is_none()
             })
             .collect();
         let n_filtered = n_generated - candidates.len();
 
         // Workers: verify containment in parallel.
-        let verdicts: Vec<(SeqId, SeqId, bool, u64)> = candidates
+        let verdicts: Vec<(SeqId, SeqId, bool, u64, u64, u64)> = candidates
             .par_iter()
-            .map(|&(cand, container)| {
+            .map(|&(cand, container, anchor)| {
                 let x = set.codes(cand);
                 let y = set.codes(container);
                 let cells = (x.len() as u64) * (y.len() as u64);
-                let contained = is_contained(x, y, &config.scheme, &config.containment);
-                (cand, container, contained, cells)
+                let v = engine.contained(x, y, Some(anchor));
+                (cand, container, v.accept, cells, v.cells_computed, v.cells_skipped)
             })
             .collect();
 
         // Master: apply results in dispatch order.
         let mut task_cells = Vec::with_capacity(verdicts.len());
-        for (cand, container, contained, cells) in verdicts {
+        let (mut cells_computed, mut cells_skipped) = (0u64, 0u64);
+        for (cand, container, contained, cells, computed, skipped) in verdicts {
             task_cells.push(cells);
+            cells_computed += computed;
+            cells_skipped += skipped;
             if contained && redundant[cand.index()].is_none() {
                 redundant[cand.index()] = Some(container);
                 removed.push((cand, container));
@@ -118,6 +125,8 @@ pub fn run_redundancy_removal(set: &SequenceSet, config: &ClusterConfig) -> RrRe
             n_aligned: task_cells.len(),
             align_cells: task_cells.iter().sum(),
             task_cells,
+            cells_computed,
+            cells_skipped,
         });
     }
     trace.nodes_visited = generator.stats().nodes_visited as u64;

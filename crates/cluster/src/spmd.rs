@@ -15,7 +15,6 @@
 //! clustering is order-independent; see `crate::master_worker`), which the
 //! tests assert.
 
-use pfam_align::{is_contained, overlaps};
 use pfam_graph::UnionFind;
 use pfam_mpi::{run_spmd, Communicator, ANY_SOURCE};
 use pfam_seq::{SeqId, SequenceSet};
@@ -35,6 +34,10 @@ const TAG_WORKER_DONE: u32 = 4;
 
 /// Messages a worker sends with its pair batch: `(pairs, exhausted)`.
 type PairBatch = (Vec<(u32, u32)>, bool);
+
+/// Per-task verdict message:
+/// `(a, b, passed, full_cells, cells_computed, cells_skipped)`.
+type Verdicts = Vec<(u32, u32, bool, u64, u64, u64)>;
 
 /// The engines in this module run fault-free worlds, so any communicator
 /// error is a bug in the protocol, not a tolerated fault — it panics.
@@ -108,12 +111,15 @@ fn master(comm: &mut Communicator, set: &SequenceSet) -> CcdResult {
         // Verdicts and pair batches arrive interleaved; handle whichever
         // is ready (poll verdicts first to sharpen the filter).
         if let Some((from, verdicts)) =
-            healthy(comm.try_recv::<Vec<(u32, u32, bool, u64)>>(ANY_SOURCE, TAG_VERDICTS))
+            healthy(comm.try_recv::<Verdicts>(ANY_SOURCE, TAG_VERDICTS))
         {
             outstanding[from] -= 1;
             let mut task_cells = Vec::with_capacity(verdicts.len());
-            for (a, b, passed, cells) in verdicts {
+            let (mut computed, mut skipped) = (0u64, 0u64);
+            for (a, b, passed, cells, vc, vs) in verdicts {
                 task_cells.push(cells);
+                computed += vc;
+                skipped += vs;
                 if passed {
                     edges.push((SeqId(a), SeqId(b)));
                     if uf.union(a, b) {
@@ -125,6 +131,8 @@ fn master(comm: &mut Communicator, set: &SequenceSet) -> CcdResult {
                 last.n_aligned += task_cells.len();
                 last.align_cells += task_cells.iter().sum::<u64>();
                 last.task_cells.extend(task_cells);
+                last.cells_computed += computed;
+                last.cells_skipped += skipped;
             }
             continue;
         }
@@ -140,6 +148,8 @@ fn master(comm: &mut Communicator, set: &SequenceSet) -> CcdResult {
                 n_aligned: 0,
                 align_cells: 0,
                 task_cells: Vec::new(),
+                cells_computed: 0,
+                cells_skipped: 0,
             });
             if !candidates.is_empty() {
                 outstanding[from] += 1;
@@ -172,6 +182,22 @@ fn worker(
     tree: &SuffixTree<'_>,
     my_nodes: Vec<pfam_suffix::tree::NodeId>,
 ) {
+    // Candidate lists cross the wire without anchors, so the engine probes
+    // from scratch (anchor `None`); verdicts are engine-independent.
+    let engine = config.engine();
+    let overlap_verdicts = |candidates: Vec<(u32, u32)>| -> Verdicts {
+        candidates
+            .into_iter()
+            .map(|(a, b)| {
+                let x = set.codes(SeqId(a));
+                let y = set.codes(SeqId(b));
+                let cells = (x.len() as u64) * (y.len() as u64);
+                let v = engine.overlaps(x, y, None);
+                (a, b, v.accept, cells, v.cells_computed, v.cells_skipped)
+            })
+            .collect()
+    };
+
     let mut generator = MaximalMatchGenerator::with_nodes(
         tree,
         MaximalMatchConfig {
@@ -195,16 +221,7 @@ fn worker(
         // after the master has seen our exhausted flag.
         loop {
             if let Some((_, candidates)) = healthy(comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES)) {
-                let verdicts: Vec<(u32, u32, bool, u64)> = candidates
-                    .into_iter()
-                    .map(|(a, b)| {
-                        let x = set.codes(SeqId(a));
-                        let y = set.codes(SeqId(b));
-                        let cells = (x.len() as u64) * (y.len() as u64);
-                        (a, b, overlaps(x, y, &config.scheme, &config.overlap), cells)
-                    })
-                    .collect();
-                healthy(comm.send(0, TAG_VERDICTS, verdicts));
+                healthy(comm.send(0, TAG_VERDICTS, overlap_verdicts(candidates)));
                 continue;
             }
             if !exhausted {
@@ -216,16 +233,7 @@ fn worker(
                 while let Some((_, candidates)) =
                     healthy(comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES))
                 {
-                    let verdicts: Vec<(u32, u32, bool, u64)> = candidates
-                        .into_iter()
-                        .map(|(a, b)| {
-                            let x = set.codes(SeqId(a));
-                            let y = set.codes(SeqId(b));
-                            let cells = (x.len() as u64) * (y.len() as u64);
-                            (a, b, overlaps(x, y, &config.scheme, &config.overlap), cells)
-                        })
-                        .collect();
-                    healthy(comm.send(0, TAG_VERDICTS, verdicts));
+                    healthy(comm.send(0, TAG_VERDICTS, overlap_verdicts(candidates)));
                 }
                 healthy(comm.barrier());
                 return;
@@ -303,12 +311,15 @@ fn rr_master(comm: &mut Communicator, set: &SequenceSet) -> crate::rr::RrResult 
 
     while workers_done < n_workers || outstanding.iter().sum::<usize>() > 0 {
         if let Some((from, verdicts)) =
-            healthy(comm.try_recv::<Vec<(u32, u32, bool, u64)>>(ANY_SOURCE, TAG_VERDICTS))
+            healthy(comm.try_recv::<Verdicts>(ANY_SOURCE, TAG_VERDICTS))
         {
             outstanding[from] -= 1;
             let mut task_cells = Vec::with_capacity(verdicts.len());
-            for (cand, container, contained, cells) in verdicts {
+            let (mut computed, mut skipped) = (0u64, 0u64);
+            for (cand, container, contained, cells, vc, vs) in verdicts {
                 task_cells.push(cells);
+                computed += vc;
+                skipped += vs;
                 if contained && redundant[cand as usize].is_none() {
                     redundant[cand as usize] = Some(SeqId(container));
                     removed.push((SeqId(cand), SeqId(container)));
@@ -318,6 +329,8 @@ fn rr_master(comm: &mut Communicator, set: &SequenceSet) -> crate::rr::RrResult 
                 last.n_aligned += task_cells.len();
                 last.align_cells += task_cells.iter().sum::<u64>();
                 last.task_cells.extend(task_cells);
+                last.cells_computed += computed;
+                last.cells_skipped += skipped;
             }
             continue;
         }
@@ -339,6 +352,8 @@ fn rr_master(comm: &mut Communicator, set: &SequenceSet) -> crate::rr::RrResult 
                 n_aligned: 0,
                 align_cells: 0,
                 task_cells: Vec::new(),
+                cells_computed: 0,
+                cells_skipped: 0,
             });
             if !candidates.is_empty() {
                 outstanding[from] += 1;
@@ -368,19 +383,18 @@ fn rr_worker(
     tree: &SuffixTree<'_>,
     my_nodes: Vec<pfam_suffix::tree::NodeId>,
 ) {
-    let containment_verdicts = |candidates: Vec<(u32, u32)>| -> Vec<(u32, u32, bool, u64)> {
+    // Oriented candidate pairs arrive without anchors; the engine probes
+    // from scratch (anchor `None`) — verdicts are engine-independent.
+    let engine = config.engine();
+    let containment_verdicts = |candidates: Vec<(u32, u32)>| -> Verdicts {
         candidates
             .into_iter()
             .map(|(cand, container)| {
                 let x = set.codes(SeqId(cand));
                 let y = set.codes(SeqId(container));
                 let cells = (x.len() as u64) * (y.len() as u64);
-                (
-                    cand,
-                    container,
-                    is_contained(x, y, &config.scheme, &config.containment),
-                    cells,
-                )
+                let v = engine.contained(x, y, None);
+                (cand, container, v.accept, cells, v.cells_computed, v.cells_skipped)
             })
             .collect()
     };

@@ -33,8 +33,14 @@ pub struct BatchRecord {
     /// Total DP-cell cost of the dispatched alignments.
     pub align_cells: u64,
     /// Individual alignment costs (cells), in dispatch order — the unit of
-    /// work the simulator schedules.
+    /// work the simulator schedules. Always the full `m·n` rectangle, so
+    /// simulator replays are engine-independent.
     pub task_cells: Vec<u64>,
+    /// DP cells the alignment engine actually evaluated (all tiers).
+    pub cells_computed: u64,
+    /// Full-matrix DP cells the engine avoided (tier screens and
+    /// subrectangle traceback); zero under the reference engine.
+    pub cells_skipped: u64,
 }
 
 /// Complete trace of one phase run.
@@ -69,6 +75,16 @@ impl PhaseTrace {
         self.batches.iter().map(|b| b.align_cells).sum()
     }
 
+    /// Total DP cells the engine actually evaluated.
+    pub fn total_cells_computed(&self) -> u64 {
+        self.batches.iter().map(|b| b.cells_computed).sum()
+    }
+
+    /// Total full-matrix DP cells the engine avoided.
+    pub fn total_cells_skipped(&self) -> u64 {
+        self.batches.iter().map(|b| b.cells_skipped).sum()
+    }
+
     /// The filter's work-reduction ratio: filtered / generated
     /// (§V reports > 99.9 % for CCD on the 80K input).
     pub fn filter_ratio(&self) -> f64 {
@@ -90,15 +106,17 @@ impl PhaseTrace {
             "#index_residues={}\tnodes_visited={}\n",
             self.index_residues, self.nodes_visited
         );
-        out.push_str("#n_generated\tn_filtered\tn_aligned\ttask_cells\n");
+        out.push_str("#n_generated\tn_filtered\tn_aligned\ttask_cells\tcells_computed\tcells_skipped\n");
         for b in &self.batches {
             let cells: Vec<String> = b.task_cells.iter().map(u64::to_string).collect();
             out.push_str(&format!(
-                "{}\t{}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{}\t{}\n",
                 b.n_generated,
                 b.n_filtered,
                 b.n_aligned,
-                cells.join(",")
+                cells.join(","),
+                b.cells_computed,
+                b.cells_skipped
             ));
         }
         out
@@ -148,12 +166,24 @@ impl PhaseTrace {
                     task_cells.len()
                 ));
             }
+            // Engine counters: absent in traces written before the tiered
+            // engine existed — default to 0 for backward compatibility.
+            let mut next_u64 = |name: &str| -> Result<u64, String> {
+                match cols.next() {
+                    None => Ok(0),
+                    Some(v) => v.parse().map_err(|_| format!("bad {name} in: {line}")),
+                }
+            };
+            let cells_computed = next_u64("cells_computed")?;
+            let cells_skipped = next_u64("cells_skipped")?;
             batches.push(BatchRecord {
                 n_generated,
                 n_filtered,
                 n_aligned,
                 align_cells: task_cells.iter().sum(),
                 task_cells,
+                cells_computed,
+                cells_skipped,
             });
         }
         Ok(PhaseTrace { index_residues, nodes_visited, batches })
@@ -171,6 +201,8 @@ mod tests {
             n_aligned: cells.len(),
             align_cells: cells.iter().sum(),
             task_cells: cells.to_vec(),
+            cells_computed: cells.iter().sum(),
+            cells_skipped: 0,
         }
     }
 

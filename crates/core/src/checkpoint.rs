@@ -501,6 +501,8 @@ mod tests {
                 n_aligned: 2,
                 align_cells: 12,
                 task_cells: vec![5, 7],
+                cells_computed: 0,
+                cells_skipped: 0,
             }],
         }
     }

@@ -67,6 +67,15 @@ impl PipelineConfig {
         self.cluster.threads = threads;
         self
     }
+
+    /// Select the alignment engine every verification alignment runs
+    /// through (`Tiered` by default, `Reference` pins the full-matrix
+    /// baseline). Verdicts — and therefore components and `families.tsv`
+    /// — are bit-identical for both; only speed differs.
+    pub fn with_align_engine(mut self, kind: pfam_cluster::AlignEngineKind) -> PipelineConfig {
+        self.cluster.align_engine = kind;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -95,5 +104,14 @@ mod tests {
         let c = PipelineConfig::for_tests().with_threads(3);
         assert_eq!(c.cluster.threads, 3);
         assert_eq!(c.cluster.index_threads(), 3);
+    }
+
+    #[test]
+    fn with_align_engine_reaches_the_cluster_layer() {
+        use pfam_cluster::AlignEngineKind;
+        let c = PipelineConfig::for_tests();
+        assert_eq!(c.cluster.align_engine, AlignEngineKind::Tiered, "tiered is the default");
+        let c = c.with_align_engine(AlignEngineKind::Reference);
+        assert_eq!(c.cluster.align_engine, AlignEngineKind::Reference);
     }
 }

@@ -68,6 +68,8 @@ pub struct SimReport {
 ///         n_aligned: 600,
 ///         align_cells: 600 * 25_000,
 ///         task_cells: vec![25_000; 600],
+///         cells_computed: 0,
+///         cells_skipped: 0,
 ///     }],
 /// };
 /// let m = MachineModel::bluegene_l();
@@ -177,6 +179,8 @@ mod tests {
             n_aligned: 50,
             align_cells: 50 * 25_000,
             task_cells: vec![25_000; 50],
+            cells_computed: 0,
+            cells_skipped: 0,
         }
     }
 
@@ -188,6 +192,8 @@ mod tests {
             n_aligned: 18_000,
             align_cells: 18_000 * 25_000,
             task_cells: vec![25_000; 18_000],
+            cells_computed: 0,
+            cells_skipped: 0,
         }
     }
 

@@ -55,7 +55,13 @@ impl Hasher for PairKeyHasher {
 pub(crate) type PairKeySet = HashSet<u64, BuildHasherDefault<PairKeyHasher>>;
 
 /// A promising pair: two distinct sequences sharing a maximal match.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Besides the pair identity, the record carries the *anchor* — the start
+/// offsets of the maximal-match occurrence in each sequence — so downstream
+/// alignment can seed a banded/x-drop probe instead of rediscovering the
+/// matching region. Equality and hashing deliberately ignore the anchor:
+/// a pair is the same pair regardless of which occurrence produced it.
+#[derive(Debug, Clone, Copy)]
 pub struct MatchPair {
     /// Smaller sequence id.
     pub a: SeqId,
@@ -63,15 +69,40 @@ pub struct MatchPair {
     pub b: SeqId,
     /// Length of the maximal match that produced the pair.
     pub len: u32,
+    /// Start offset of the match occurrence within sequence `a`.
+    pub a_pos: u32,
+    /// Start offset of the match occurrence within sequence `b`.
+    pub b_pos: u32,
+}
+
+impl PartialEq for MatchPair {
+    fn eq(&self, other: &Self) -> bool {
+        self.a == other.a && self.b == other.b && self.len == other.len
+    }
+}
+
+impl Eq for MatchPair {}
+
+impl std::hash::Hash for MatchPair {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.a.hash(state);
+        self.b.hash(state);
+        self.len.hash(state);
+    }
 }
 
 impl MatchPair {
-    /// Canonicalise so that `a < b`.
+    /// Canonicalise so that `a < b` (anchor offsets default to 0).
     pub fn new(x: SeqId, y: SeqId, len: u32) -> MatchPair {
+        Self::with_anchor(x, y, len, 0, 0)
+    }
+
+    /// Canonicalise so that `a < b`, swapping the anchor offsets in tandem.
+    pub fn with_anchor(x: SeqId, y: SeqId, len: u32, x_pos: u32, y_pos: u32) -> MatchPair {
         if x.0 <= y.0 {
-            MatchPair { a: x, b: y, len }
+            MatchPair { a: x, b: y, len, a_pos: x_pos, b_pos: y_pos }
         } else {
-            MatchPair { a: y, b: x, len }
+            MatchPair { a: y, b: x, len, a_pos: y_pos, b_pos: x_pos }
         }
     }
 
@@ -135,8 +166,9 @@ pub(crate) fn collect_node_pairs(
     let depth = tree.depth(node);
 
     let groups = tree.child_groups(node);
-    // Entries seen in earlier groups: (sequence, left residue or None).
-    let mut prev: Vec<(SeqId, Option<u8>)> = Vec::new();
+    // Entries seen in earlier groups: (sequence, left residue or None,
+    // occurrence offset within the sequence — the alignment anchor).
+    let mut prev: Vec<(SeqId, Option<u8>, u32)> = Vec::new();
     let mut candidates_here = 0usize;
     let mut capped = 0usize;
     'groups: for (gl, gr) in groups {
@@ -145,8 +177,9 @@ pub(crate) fn collect_node_pairs(
             let pos = sa[rank as usize] as usize;
             let seq = gsa.seq_at(pos);
             let left = gsa.left_residue(pos);
+            let off = gsa.offset_at(pos);
             // Pair with all entries from previous groups.
-            for &(pseq, pleft) in &prev[..group_start] {
+            for &(pseq, pleft, poff) in &prev[..group_start] {
                 if pseq == seq {
                     continue; // self-match within one sequence
                 }
@@ -164,9 +197,9 @@ pub(crate) fn collect_node_pairs(
                     continue;
                 }
                 candidates_here += 1;
-                out.push(MatchPair::new(pseq, seq, depth));
+                out.push(MatchPair::with_anchor(pseq, seq, depth, poff, off));
             }
-            prev.push((seq, left));
+            prev.push((seq, left, off));
         }
         if candidates_here >= max_pairs_per_node && capped > 0 && prev.len() > 4096 {
             // Node is saturated and very large: stop scanning it.

@@ -58,7 +58,7 @@ proptest! {
         let g = GeneralizedSuffixArray::build(&set);
         let t = SuffixTree::build(&g);
         let pairs = all_pairs(&t, MaximalMatchConfig { min_len: 2, ..Default::default() });
-        for MatchPair { a, b, len } in pairs {
+        for MatchPair { a, b, len, .. } in pairs {
             let x = set.codes(a);
             let y = set.codes(b);
             let shared = x

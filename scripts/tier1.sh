@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, lint wall, root-package tests, workspace
-# tests, an index-bench smoke pass (serial/parallel bit-identity check on
-# a tiny workload), the fault-injection suites, a no-unwrap grep gate on
-# the inter-rank communication paths, and a CLI checkpoint/resume smoke.
+# tests, index-bench and align-bench smoke passes (bit-identity checks on
+# tiny workloads), the alignment-engine identity suites, the
+# fault-injection suites, a no-unwrap grep gate on the inter-rank
+# communication paths, and a CLI checkpoint/resume smoke.
 # Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,8 +31,21 @@ cargo test --workspace -q
 echo "== tier1: fault-injection + checkpoint/restart suites =="
 cargo test -q --test fault_tolerance --test checkpoint_resume --test degenerate_inputs
 
+echo "== tier1: alignment-engine identity suites =="
+# The tiered engine must be verdict- and output-identical to the reference
+# criteria: kernel/property tests plus the end-to-end RR/CCD/SPMD/FT runs.
+cargo test -q -p pfam-align --test engine_props
+cargo test -q --test align_engine
+
 echo "== tier1: index_bench --test (smoke + identity check) =="
 cargo run --release -p pfam-bench --bin index_bench -- --test
+
+echo "== tier1: align_bench --test (smoke + verdict-identity check) =="
+ALIGN_SMOKE=$(cargo run --release -p pfam-bench --bin align_bench -- --test)
+echo "$ALIGN_SMOKE" | grep -q '"outputs_identical": true' || {
+    echo "tier1 FAIL: align_bench smoke did not report identical outputs" >&2
+    exit 1
+}
 
 echo "== tier1: CLI kill/resume smoke (byte-identical families.tsv) =="
 SMOKE=$(mktemp -d)

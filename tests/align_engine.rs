@@ -1,0 +1,114 @@
+//! End-to-end identity of the tiered alignment engine: with
+//! `align_engine = Tiered` every phase — RR, CCD (batched, resumable,
+//! SPMD, fault-tolerant), BGG — must produce outputs bit-identical to
+//! `align_engine = Reference`, because the tiers only re-route *work*,
+//! never change a verdict.
+
+use std::sync::Arc;
+
+use pfam::cluster::{
+    all_component_graphs, run_ccd, run_ccd_ft, run_ccd_spmd, run_redundancy_removal,
+    AlignEngineKind, ClusterConfig,
+};
+use pfam::datagen::{DatasetConfig, MutationModel, SyntheticDataset};
+use pfam::sim::FaultSchedule;
+
+fn dataset(seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig {
+        n_families: 3,
+        n_members: 20,
+        n_noise: 5,
+        mutation: MutationModel {
+            substitution_rate: 0.12,
+            conservative_fraction: 0.6,
+            insertion_rate: 0.002,
+            deletion_rate: 0.002,
+        },
+        ..DatasetConfig::tiny(seed)
+    })
+}
+
+fn config(kind: AlignEngineKind) -> ClusterConfig {
+    ClusterConfig { align_engine: kind, batch_size: 16, ..ClusterConfig::default() }
+}
+
+#[test]
+fn rr_is_bit_identical_across_engines() {
+    let d = dataset(4201);
+    let reference = run_redundancy_removal(&d.set, &config(AlignEngineKind::Reference));
+    let tiered = run_redundancy_removal(&d.set, &config(AlignEngineKind::Tiered));
+    assert_eq!(tiered.kept, reference.kept);
+    assert_eq!(tiered.removed, reference.removed);
+    // Work accounting: the simulator-facing task costs are identical
+    // (engine-independent by construction); the reference engine skips
+    // nothing and the tiered engine avoids full-precision cells via
+    // screens and subrectangle tracebacks. (Tiered `cells_computed` may
+    // exceed the reference on accept-heavy RR — accepted pairs pay a
+    // score pass plus a traceback pass — but the score pass runs on the
+    // vectorized kernel, so cheaper per cell.)
+    assert_eq!(tiered.trace.total_cells(), reference.trace.total_cells());
+    assert_eq!(reference.trace.total_cells_skipped(), 0);
+    assert_eq!(
+        reference.trace.total_cells_computed(),
+        reference.trace.total_cells(),
+        "reference computes exactly the full rectangles"
+    );
+    assert!(
+        tiered.trace.total_cells_skipped() > 0,
+        "tiered RR never skipped a full-precision cell"
+    );
+}
+
+#[test]
+fn ccd_is_bit_identical_across_engines() {
+    let d = dataset(4202);
+    let reference = run_ccd(&d.set, &config(AlignEngineKind::Reference));
+    let tiered = run_ccd(&d.set, &config(AlignEngineKind::Tiered));
+    assert_eq!(tiered.components, reference.components);
+    assert_eq!(tiered.edges, reference.edges);
+    assert_eq!(tiered.n_merges, reference.n_merges);
+    assert_eq!(tiered.trace.total_cells(), reference.trace.total_cells());
+}
+
+#[test]
+fn bgg_graphs_are_bit_identical_across_engines() {
+    let d = dataset(4203);
+    let components = run_ccd(&d.set, &config(AlignEngineKind::Tiered)).components;
+    let (ref_graphs, _) =
+        all_component_graphs(&d.set, &components, 2, &config(AlignEngineKind::Reference));
+    let (tiered_graphs, _) =
+        all_component_graphs(&d.set, &components, 2, &config(AlignEngineKind::Tiered));
+    assert_eq!(tiered_graphs.len(), ref_graphs.len());
+    for (t, r) in tiered_graphs.iter().zip(&ref_graphs) {
+        assert_eq!(t.members, r.members);
+        assert_eq!(t.graph.n_edges(), r.graph.n_edges());
+        for v in 0..t.graph.n_vertices() as u32 {
+            assert_eq!(t.graph.neighbors(v), r.graph.neighbors(v), "vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn spmd_engines_are_bit_identical_across_engines() {
+    let d = dataset(4204);
+    let reference = run_ccd_spmd(&d.set, &config(AlignEngineKind::Reference), 3);
+    let tiered = run_ccd_spmd(&d.set, &config(AlignEngineKind::Tiered), 3);
+    assert_eq!(tiered.components, reference.components);
+}
+
+#[test]
+fn ft_under_injected_faults_matches_reference_engine() {
+    let d = dataset(4205);
+    let reference = run_ccd(&d.set, &config(AlignEngineKind::Reference));
+    for seed in 0..8u64 {
+        let schedule = Arc::new(FaultSchedule::seeded(seed, 4, 2));
+        let killed = schedule.killed_ranks();
+        let r = run_ccd_ft(&d.set, &config(AlignEngineKind::Tiered), 4, schedule)
+            .unwrap_or_else(|e| panic!("seed {seed} (killed {killed:?}): {e}"));
+        assert_eq!(
+            r.components, reference.components,
+            "tiered FT under fault seed {seed} (killed {killed:?}) changed the clustering"
+        );
+        assert_eq!(r.n_merges, reference.n_merges, "seed {seed} merge count");
+    }
+}
