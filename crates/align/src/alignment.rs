@@ -179,12 +179,8 @@ mod tests {
         // I vs V scores +3 in BLOSUM62: a positive but not a match.
         let x = codes("I");
         let y = codes("V");
-        let aln = Alignment {
-            score: 3,
-            ops: vec![AlignOp::Subst],
-            x_range: (0, 1),
-            y_range: (0, 1),
-        };
+        let aln =
+            Alignment { score: 3, ops: vec![AlignOp::Subst], x_range: (0, 1), y_range: (0, 1) };
         let st = aln.stats(&x, &y, pfam_seq::SubstMatrix::blosum62());
         assert_eq!(st.matches, 0);
         assert_eq!(st.positives, 1);
@@ -196,12 +192,8 @@ mod tests {
     fn x_residues_never_match() {
         let x = codes("X");
         let y = codes("X");
-        let aln = Alignment {
-            score: -1,
-            ops: vec![AlignOp::Subst],
-            x_range: (0, 1),
-            y_range: (0, 1),
-        };
+        let aln =
+            Alignment { score: -1, ops: vec![AlignOp::Subst], x_range: (0, 1), y_range: (0, 1) };
         let st = aln.stats(&x, &y, pfam_seq::SubstMatrix::blosum62());
         assert_eq!(st.matches, 0);
         assert_eq!(st.positives, 0);
@@ -218,7 +210,14 @@ mod tests {
 
     #[test]
     fn coverage_helper() {
-        let st = AlignStats { columns: 10, matches: 9, positives: 9, gap_cols: 0, x_span: 10, y_span: 10 };
+        let st = AlignStats {
+            columns: 10,
+            matches: 9,
+            positives: 9,
+            gap_cols: 0,
+            x_span: 10,
+            y_span: 10,
+        };
         assert!((st.coverage_of(st.x_span, 20) - 0.5).abs() < 1e-12);
         assert_eq!(st.coverage_of(st.x_span, 0), 0.0);
     }

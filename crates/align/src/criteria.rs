@@ -77,11 +77,8 @@ pub fn overlaps(x: &[u8], y: &[u8], scheme: &ScoringScheme, p: &OverlapParams) -
         return false;
     }
     let st = aln.stats(x, y, &scheme.matrix);
-    let (long_span, long_len) = if x.len() >= y.len() {
-        (st.x_span, x.len())
-    } else {
-        (st.y_span, y.len())
-    };
+    let (long_span, long_len) =
+        if x.len() >= y.len() { (st.x_span, x.len()) } else { (st.y_span, y.len()) };
     st.similarity() >= p.min_similarity
         && st.coverage_of(long_span, long_len) >= p.min_longer_coverage
 }

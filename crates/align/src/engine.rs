@@ -442,12 +442,7 @@ impl AlignEngine {
                     && st.coverage_of(long_span, long_len) >= self.overlap.min_longer_coverage
             }
         };
-        EngineVerdict {
-            accept,
-            tier: 3,
-            cells_computed: computed + sub,
-            cells_skipped: full - sub,
-        }
+        EngineVerdict { accept, tier: 3, cells_computed: computed + sub, cells_skipped: full - sub }
     }
 
     /// `κ·mc·L` screen threshold: every accepted pair has `S* ≥` this.
@@ -486,11 +481,8 @@ impl AlignEngine {
                     && st.coverage_of(st.x_span, x.len()) >= self.containment.min_coverage
             }
             Mode::Overlap => {
-                let (long_span, long_len) = if x.len() >= y.len() {
-                    (st.x_span, x.len())
-                } else {
-                    (st.y_span, y.len())
-                };
+                let (long_span, long_len) =
+                    if x.len() >= y.len() { (st.x_span, x.len()) } else { (st.y_span, y.len()) };
                 st.similarity() >= self.overlap.min_similarity
                     && st.coverage_of(long_span, long_len) >= self.overlap.min_longer_coverage
             }
@@ -500,14 +492,7 @@ impl AlignEngine {
     /// Gap-free x-drop extension of the anchor along its diagonal. The
     /// returned value is the score of an actual (substitution-only) local
     /// alignment, hence a lower bound on `S*`; clamped at 0.
-    fn diag_probe(
-        &self,
-        x: &[u8],
-        y: &[u8],
-        xs: usize,
-        ys: usize,
-        len: usize,
-    ) -> (i32, u64) {
+    fn diag_probe(&self, x: &[u8], y: &[u8], xs: usize, ys: usize, len: usize) -> (i32, u64) {
         let matrix = &self.scheme.matrix;
         let mut seed = 0i32;
         for k in 0..len {
@@ -573,9 +558,9 @@ impl AlignEngine {
             let xi = x[i as usize - 1];
             let mut e = NEG_INF;
             let mut left_h = NEG_INF; // H(i, j−1) within this row's band
-            // Diagonal (i−1, j−1) sits at the same slot of the previous row;
-            // vertical (i−1, j) at slot s+1. Sweep s ascending, rewriting
-            // bh/bf in place: bh[s] still holds row i−1 when we visit s.
+                                      // Diagonal (i−1, j−1) sits at the same slot of the previous row;
+                                      // vertical (i−1, j) at slot s+1. Sweep s ascending, rewriting
+                                      // bh/bf in place: bh[s] still holds row i−1 when we visit s.
             for s in 0..slots {
                 let j = i + d0 - w as isize + s as isize;
                 let hdiag = bh[s];
@@ -749,9 +734,7 @@ pub fn local_score_ends_swar(
     scratch: &mut AlignScratch,
 ) -> (i32, usize, usize) {
     let (mat_max, mat_min) = matrix_bounds(scheme);
-    if x.is_empty()
-        || y.is_empty()
-        || !vector_eligible(scheme, mat_max, mat_min, x.len(), y.len())
+    if x.is_empty() || y.is_empty() || !vector_eligible(scheme, mat_max, mat_min, x.len(), y.len())
     {
         return score_ends_scalar(x, y, scheme, scratch);
     }
@@ -781,10 +764,8 @@ pub type ScoreEndsFn = fn(&[u8], &[u8], &ScoringScheme, &mut AlignScratch) -> (i
 /// Every kernel available on this host, labelled — for equivalence tests
 /// and benches. The scalar kernel is always first.
 pub fn available_kernels() -> Vec<(&'static str, ScoreEndsFn)> {
-    let mut v: Vec<(&'static str, ScoreEndsFn)> = vec![
-        ("scalar", local_score_ends_scalar),
-        ("swar", local_score_ends_swar),
-    ];
+    let mut v: Vec<(&'static str, ScoreEndsFn)> =
+        vec![("scalar", local_score_ends_scalar), ("swar", local_score_ends_swar)];
     #[cfg(target_arch = "x86_64")]
     {
         v.push(("sse2", local_score_ends_sse2));
@@ -816,9 +797,7 @@ pub fn local_score_ends_sse2(
     scratch: &mut AlignScratch,
 ) -> (i32, usize, usize) {
     let (mat_max, mat_min) = matrix_bounds(scheme);
-    if x.is_empty()
-        || y.is_empty()
-        || !vector_eligible(scheme, mat_max, mat_min, x.len(), y.len())
+    if x.is_empty() || y.is_empty() || !vector_eligible(scheme, mat_max, mat_min, x.len(), y.len())
     {
         return score_ends_scalar(x, y, scheme, scratch);
     }
@@ -840,9 +819,7 @@ pub fn local_score_ends_avx2(
 ) -> (i32, usize, usize) {
     assert!(std::arch::is_x86_feature_detected!("avx2"), "AVX2 kernel on a non-AVX2 host");
     let (mat_max, mat_min) = matrix_bounds(scheme);
-    if x.is_empty()
-        || y.is_empty()
-        || !vector_eligible(scheme, mat_max, mat_min, x.len(), y.len())
+    if x.is_empty() || y.is_empty() || !vector_eligible(scheme, mat_max, mat_min, x.len(), y.len())
     {
         return score_ends_scalar(x, y, scheme, scratch);
     }
@@ -1173,15 +1150,11 @@ mod x86 {
             carry = _mm256_insert_epi16(zero, top, 0);
             let fv = _mm256_max_epi16(
                 _mm256_sub_epi16(h, open16),
-                _mm256_sub_epi16(
-                    _mm256_loadu_si256(f.as_ptr().add(o) as *const __m256i),
-                    ext16,
-                ),
+                _mm256_sub_epi16(_mm256_loadu_si256(f.as_ptr().add(o) as *const __m256i), ext16),
             );
             _mm256_storeu_si256(f.as_mut_ptr().add(o) as *mut __m256i, fv);
             let p = _mm256_loadu_si256(prow.as_ptr().add(o) as *const __m256i);
-            let hpv =
-                _mm256_max_epi16(_mm256_max_epi16(_mm256_add_epi16(diag, p), fv), zero);
+            let hpv = _mm256_max_epi16(_mm256_max_epi16(_mm256_add_epi16(diag, p), fv), zero);
             _mm256_storeu_si256(hp.as_mut_ptr().add(o) as *mut __m256i, hpv);
         }
     }
@@ -1261,11 +1234,11 @@ mod tests {
             OverlapParams::default(),
         );
         let pairs = [
-            ("MKVLWAAK", "PPMKVLWAAKPP"),       // exact containment
-            ("MKVLWAAK", "PPMKVLWAEKPP"),       // one substitution
-            ("ACDEFGHIKLMN", "WWWWYYYY"),       // unrelated
-            ("MKVLW", "MKVLW"),                 // identical
-            ("AAAAAAAAAA", "AAAA"),             // x longer than y
+            ("MKVLWAAK", "PPMKVLWAAKPP"), // exact containment
+            ("MKVLWAAK", "PPMKVLWAEKPP"), // one substitution
+            ("ACDEFGHIKLMN", "WWWWYYYY"), // unrelated
+            ("MKVLW", "MKVLW"),           // identical
+            ("AAAAAAAAAA", "AAAA"),       // x longer than y
         ];
         for (a, b) in pairs {
             let (x, y) = (codes(a), codes(b));
@@ -1297,10 +1270,7 @@ mod tests {
         let x = codes("MKVLWAAK");
         let y = codes("PPMKVLWAAKPP");
         let bogus = Some(Anchor { x_pos: 100, y_pos: 0, len: 50 });
-        assert_eq!(
-            engine.contained(&x, &y, bogus).accept,
-            engine.contained(&x, &y, None).accept
-        );
+        assert_eq!(engine.contained(&x, &y, bogus).accept, engine.contained(&x, &y, None).accept);
     }
 
     #[test]
@@ -1344,10 +1314,7 @@ mod tests {
                 local_affine(&x, &y, &s),
                 "{a} vs {b}"
             );
-            assert_eq!(
-                local_affine_simd(&y, &x, &s, &mut scratch),
-                local_affine(&y, &x, &s)
-            );
+            assert_eq!(local_affine_simd(&y, &x, &s, &mut scratch), local_affine(&y, &x, &s));
         }
     }
 

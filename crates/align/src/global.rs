@@ -208,8 +208,7 @@ pub fn global_affine_with(
     fill_affine_into(x, y, scheme, false, false, &mut scratch.mat);
     let mat = &scratch.mat;
     let score = mat.h[mat.idx(m, n)];
-    let (ops, origin) =
-        traceback_affine(mat, x, y, scheme, (m, n), |i, j| i == 0 && j == 0);
+    let (ops, origin) = traceback_affine(mat, x, y, scheme, (m, n), |i, j| i == 0 && j == 0);
     debug_assert_eq!(origin, (0, 0));
     Alignment { score, ops, x_range: (0, m), y_range: (0, n) }
 }
@@ -352,11 +351,8 @@ mod tests {
         // separate gaps (cost 10); alignment should group the gap columns.
         let x = codes("AADDAA");
         let y = codes("AAAA");
-        let scheme = ScoringScheme {
-            matrix: SubstMatrix::uniform(2, -4),
-            gap_open: 5,
-            gap_extend: 1,
-        };
+        let scheme =
+            ScoringScheme { matrix: SubstMatrix::uniform(2, -4), gap_open: 5, gap_extend: 1 };
         let aln = global_affine(&x, &y, &scheme);
         assert_eq!(aln.score, 4 * 2 - 6);
         let gap_positions: Vec<usize> = aln

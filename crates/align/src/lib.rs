@@ -40,9 +40,11 @@ pub use banded::banded_global_affine;
 pub use criteria::{is_contained, overlaps, ContainmentParams, OverlapParams};
 pub use engine::{AlignEngine, AlignEngineKind, AlignScratch, Anchor, EngineVerdict};
 pub use extend::{xdrop_extend, Extension};
-pub use global::{global_affine, global_linear, global_score, global_affine_with, global_score_with};
+pub use global::{
+    global_affine, global_affine_with, global_linear, global_score, global_score_with,
+};
 pub use hirschberg::hirschberg;
-pub use local::{local_affine, local_score, local_affine_with, local_score_with};
+pub use local::{local_affine, local_affine_with, local_score, local_score_with};
 pub use msa::{star_alignment, StarAlignment};
 pub use render::render_alignment;
 pub use semiglobal::semiglobal_affine;

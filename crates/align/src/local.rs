@@ -107,10 +107,7 @@ pub(crate) fn traceback_local(
                     break;
                 }
                 let diag = at - w - 1;
-                if i > 0
-                    && j > 0
-                    && hv == h[diag] + scheme.matrix.score_codes(x[i - 1], y[j - 1])
-                {
+                if i > 0 && j > 0 && hv == h[diag] + scheme.matrix.score_codes(x[i - 1], y[j - 1]) {
                     ops.push(AlignOp::Subst);
                     i -= 1;
                     j -= 1;
@@ -254,12 +251,9 @@ mod tests {
     fn local_handles_gap_in_middle() {
         let x = codes("MKVLWAAK");
         let y = codes("MKVLWGGGAAK"); // GGG inserted
-        // Cheap gaps so bridging the insert strictly beats stopping early.
-        let s = ScoringScheme {
-            matrix: SubstMatrix::blosum62().clone(),
-            gap_open: 4,
-            gap_extend: 1,
-        };
+                                      // Cheap gaps so bridging the insert strictly beats stopping early.
+        let s =
+            ScoringScheme { matrix: SubstMatrix::blosum62().clone(), gap_open: 4, gap_extend: 1 };
         let aln = local_affine(&x, &y, &s);
         let gap_cols = aln.ops.iter().filter(|&&op| op == AlignOp::InsertY).count();
         assert_eq!(gap_cols, 3);

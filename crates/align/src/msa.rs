@@ -109,15 +109,16 @@ pub fn star_alignment(members: &[&[u8]], scheme: &ScoringScheme) -> StarAlignmen
     //    member needs *before* center position p (p == center_len means
     //    trailing).
     let center_seq = members[center];
-    let alignments: Vec<_> = (0..k)
-        .map(|i| {
-            if i == center {
-                None
-            } else {
-                Some(global_affine(members[i], center_seq, scheme))
-            }
-        })
-        .collect();
+    let alignments: Vec<_> =
+        (0..k)
+            .map(|i| {
+                if i == center {
+                    None
+                } else {
+                    Some(global_affine(members[i], center_seq, scheme))
+                }
+            })
+            .collect();
     let mut insertions = vec![0usize; center_seq.len() + 1];
     for aln in alignments.iter().flatten() {
         let mut cpos = 0usize;
@@ -160,10 +161,7 @@ pub fn star_alignment(members: &[&[u8]], scheme: &ScoringScheme) -> StarAlignmen
                         AlignOp::Subst | AlignOp::InsertY => {
                             // Flush the pending insertion block, padded to
                             // this slot's width.
-                            row.extend(std::iter::repeat_n(
-                                ROW_GAP,
-                                insertions[cpos] - run.len(),
-                            ));
+                            row.extend(std::iter::repeat_n(ROW_GAP, insertions[cpos] - run.len()));
                             row.append(&mut run);
                             if op == AlignOp::Subst {
                                 row.push(seq[mpos]);
@@ -181,9 +179,7 @@ pub fn star_alignment(members: &[&[u8]], scheme: &ScoringScheme) -> StarAlignmen
         }
         row
     };
-    let rows: Vec<Vec<u8>> = (0..k)
-        .map(|i| project(alignments[i].as_ref(), members[i]))
-        .collect();
+    let rows: Vec<Vec<u8>> = (0..k).map(|i| project(alignments[i].as_ref(), members[i])).collect();
     debug_assert!(rows.iter().all(|r| r.len() == rows[0].len()), "ragged MSA");
     StarAlignment { center, rows }
 }

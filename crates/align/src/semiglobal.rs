@@ -61,12 +61,7 @@ pub fn semiglobal_affine(
         }
     };
     let (ops, origin) = traceback_affine(&mat, x, y, scheme, best, stop);
-    Alignment {
-        score: best_score,
-        ops,
-        x_range: (origin.0, best.0),
-        y_range: (origin.1, best.1),
-    }
+    Alignment { score: best_score, ops, x_range: (origin.0, best.0), y_range: (origin.1, best.1) }
 }
 
 #[cfg(test)]

@@ -161,11 +161,7 @@ fn tiered_verdicts_match_reference_on_mutated_pairs() {
 /// of them identically (alignment equality, not just score).
 #[test]
 fn simd_fill_matches_reference_under_cheap_gaps() {
-    let s = ScoringScheme {
-        matrix: SubstMatrix::blosum62().clone(),
-        gap_open: 4,
-        gap_extend: 1,
-    };
+    let s = ScoringScheme { matrix: SubstMatrix::blosum62().clone(), gap_open: 4, gap_extend: 1 };
     let mut scratch = AlignScratch::new();
     for seed in 0..60u64 {
         let mut rng = StdRng::seed_from_u64(0xbade ^ seed);

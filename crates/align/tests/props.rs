@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use pfam_align::{
-    banded_global_affine, global_affine, global_linear, global_score, hirschberg,
-    local_affine, local_score, semiglobal_affine, xdrop_extend,
+    banded_global_affine, global_affine, global_linear, global_score, hirschberg, local_affine,
+    local_score, semiglobal_affine, xdrop_extend,
 };
 use pfam_seq::{ScoringScheme, SubstMatrix};
 

@@ -20,9 +20,8 @@ fn bench_masking(c: &mut Criterion) {
     let data = dataset_160k_like(SCALE, 0xAB);
     for (name, mask) in [("unmasked", None), ("masked", Some(MaskParams::default()))] {
         let config = ClusterConfig { mask, ..ClusterConfig::default() };
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run_ccd(black_box(&data.set), &config)))
-        });
+        group
+            .bench_function(name, |b| b.iter(|| black_box(run_ccd(black_box(&data.set), &config))));
     }
     group.finish();
 }
@@ -36,13 +35,9 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| black_box(run_ccd(black_box(&data.set), &config)))
     });
     for workers in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("master_worker", workers),
-            &workers,
-            |b, &w| {
-                b.iter(|| black_box(run_ccd_master_worker(black_box(&data.set), &config, w)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("master_worker", workers), &workers, |b, &w| {
+            b.iter(|| black_box(run_ccd_master_worker(black_box(&data.set), &config, w)))
+        });
     }
     for ranks in [3usize, 5] {
         group.bench_with_input(BenchmarkId::new("spmd", ranks), &ranks, |b, &r| {
@@ -82,8 +77,7 @@ fn bench_distributed_shingle(c: &mut Criterion) {
     let data = dataset_160k_like(SCALE, 0xAE);
     let config = ClusterConfig::default();
     let ccd = run_ccd(&data.set, &config);
-    let (graphs, _) =
-        pfam_cluster::all_component_graphs(&data.set, &ccd.components, 5, &config);
+    let (graphs, _) = pfam_cluster::all_component_graphs(&data.set, &ccd.components, 5, &config);
     let Some(biggest) = graphs.iter().max_by_key(|g| g.graph.n_vertices()) else {
         return;
     };

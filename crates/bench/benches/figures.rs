@@ -39,10 +39,7 @@ fn bench_fig5(c: &mut Criterion) {
     group.bench_function("size_histogram", |b| {
         b.iter(|| {
             let result = run_pipeline(black_box(&data.set), &config);
-            black_box(Histogram::new(
-                5,
-                result.dense_subgraphs.iter().map(|d| d.members.len()),
-            ))
+            black_box(Histogram::new(5, result.dense_subgraphs.iter().map(|d| d.members.len())))
         })
     });
     group.finish();

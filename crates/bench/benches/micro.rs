@@ -32,10 +32,8 @@ fn bench_suffix(c: &mut Criterion) {
     let mut group = c.benchmark_group("suffix");
     for n in [10_000usize, 50_000] {
         let mut rng = StdRng::seed_from_u64(1);
-        let text: Vec<u32> = (0..n)
-            .map(|_| rng.gen_range(0..21u32) + 1)
-            .chain(std::iter::once(0))
-            .collect();
+        let text: Vec<u32> =
+            (0..n).map(|_| rng.gen_range(0..21u32) + 1).chain(std::iter::once(0)).collect();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("sais", n), &text, |b, text| {
             b.iter(|| black_box(suffix_array(black_box(text), 22)))
@@ -106,9 +104,7 @@ fn bench_align(c: &mut Criterion) {
             b.iter(|| black_box(global_score(black_box(&x), black_box(&y), &scheme)))
         });
         group.bench_with_input(BenchmarkId::new("banded_w16", len), &(), |b, _| {
-            b.iter(|| {
-                black_box(banded_global_affine(black_box(&x), black_box(&y), &scheme, 0, 16))
-            })
+            b.iter(|| black_box(banded_global_affine(black_box(&x), black_box(&y), &scheme, 0, 16)))
         });
     }
     group.finish();
@@ -211,12 +207,5 @@ fn bench_extensions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    micro,
-    bench_suffix,
-    bench_align,
-    bench_graph,
-    bench_shingle,
-    bench_extensions
-);
+criterion_group!(micro, bench_suffix, bench_align, bench_graph, bench_shingle, bench_extensions);
 criterion_main!(micro);

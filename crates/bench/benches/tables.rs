@@ -11,9 +11,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use pfam_bench::{dataset_160k_like, dataset_22k_like};
-use pfam_cluster::{
-    run_all_pairs_baseline, run_ccd, run_redundancy_removal, ClusterConfig,
-};
+use pfam_cluster::{run_all_pairs_baseline, run_ccd, run_redundancy_removal, ClusterConfig};
 use pfam_core::{evaluate, run_pipeline, PipelineConfig, TableOneRow};
 use pfam_sim::{simulate_phase, MachineModel};
 

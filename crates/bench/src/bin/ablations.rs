@@ -16,15 +16,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use pfam_bench::dataset_160k_like;
-use pfam_cluster::{
-    run_all_pairs_baseline, run_ccd, run_ccd_from_pairs, ClusterConfig,
-};
+use pfam_cluster::{run_all_pairs_baseline, run_ccd, run_ccd_from_pairs, ClusterConfig};
 use pfam_core::{evaluate, run_pipeline, PipelineConfig, Reduction};
 use pfam_seq::complexity::MaskParams;
 use pfam_shingle::ShingleParams;
-use pfam_suffix::{
-    maximal::all_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree,
-};
+use pfam_suffix::{maximal::all_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
 
 fn main() {
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
@@ -104,8 +100,7 @@ fn main() {
 
     // ---------- 5. masking ----------
     println!("\n== 5. low-complexity masking ==");
-    let masked_config =
-        ClusterConfig { mask: Some(MaskParams::default()), ..config.clone() };
+    let masked_config = ClusterConfig { mask: Some(MaskParams::default()), ..config.clone() };
     let masked = run_ccd(&data.set, &masked_config);
     println!(
         "pairs generated: unmasked {} vs masked {} (components identical: {})",
@@ -119,11 +114,7 @@ fn main() {
     println!("batch\tfilter%\taligned");
     for batch in [16usize, 128, 1024, 8192] {
         let r = run_ccd(&data.set, &ClusterConfig { batch_size: batch, ..config.clone() });
-        println!(
-            "{batch}\t{:.2}\t{}",
-            r.trace.filter_ratio() * 100.0,
-            r.trace.total_aligned()
-        );
+        println!("{batch}\t{:.2}\t{}", r.trace.filter_ratio() * 100.0, r.trace.total_aligned());
     }
 
     // ---------- 7. Shingle vs greedy densest-subgraph peeling ----------
@@ -142,10 +133,7 @@ fn main() {
                 .iter()
                 .map(|&l| {
                     let id = cg.original_id(l);
-                    data.benchmark
-                        .iter()
-                        .position(|c| c.contains(&id))
-                        .map(|f| f as u32)
+                    data.benchmark.iter().position(|c| c.contains(&id)).map(|f| f as u32)
                 })
                 .collect();
             peel_pure &= fams.len() <= 1;

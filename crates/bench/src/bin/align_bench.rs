@@ -117,10 +117,8 @@ fn main() {
         }
     }
     let n_rr = tasks.iter().filter(|t| t.3).count();
-    let total_cells: u64 = tasks
-        .iter()
-        .map(|&(a, b, _, _)| set.seq_len(a) as u64 * set.seq_len(b) as u64)
-        .sum();
+    let total_cells: u64 =
+        tasks.iter().map(|&(a, b, _, _)| set.seq_len(a) as u64 * set.seq_len(b) as u64).sum();
     eprintln!(
         "align_bench: {} tasks ({} containment, {} overlap), {} full-matrix cells",
         tasks.len(),

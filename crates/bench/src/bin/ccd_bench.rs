@@ -1,0 +1,166 @@
+//! CCD driver benchmark: every clustering driver — all now thin
+//! compositions over the shared `ClusterCore` state machine — timed on
+//! the same paper-like workload, emitting a machine-readable
+//! `BENCH_ccd.json` with pairs-per-second per driver.
+//!
+//! ```sh
+//! cargo run --release -p pfam-bench --bin ccd_bench [scale]
+//! cargo run --release -p pfam-bench --bin ccd_bench -- --test   # smoke
+//! ```
+//!
+//! `--test` runs a tiny single-rep smoke pass and prints the JSON to
+//! stdout instead of writing the file. The bench asserts — and records —
+//! that every driver returns identical connected components.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pfam_bench::dataset_160k_like;
+use pfam_cluster::{
+    run_ccd, run_ccd_from_pairs, run_ccd_master_worker, run_ccd_spmd, CcdResult, ClusterConfig,
+};
+use pfam_mpi::NoFaults;
+use pfam_seq::SequenceSet;
+use pfam_suffix::{
+    maximal::all_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, SuffixTree,
+};
+
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// One driver's timing row.
+struct Row {
+    driver: &'static str,
+    seconds: f64,
+    pairs: u64,
+    result: CcdResult,
+}
+
+impl Row {
+    fn pairs_per_sec(&self) -> f64 {
+        self.pairs as f64 / self.seconds
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let scale = if smoke { 0.02 } else { positional.first().copied().unwrap_or(0.15) };
+    let reps = if smoke { 1 } else { 3 };
+
+    let data = dataset_160k_like(scale, 0xccd);
+    let set = &data.set;
+    let config = ClusterConfig::default();
+    eprintln!(
+        "ccd_bench: {} ({} reads, {} residues), {} rep(s)",
+        data.label,
+        set.len(),
+        set.total_residues(),
+        reps
+    );
+
+    // The explicit pair stream for the ablation driver (identical to what
+    // the mined sources produce with the default, mask-free config).
+    let pairs = mine_pairs(set, &config);
+    eprintln!("ccd_bench: {} promising pairs", pairs.len());
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut push = |driver: &'static str, seconds: f64, result: CcdResult| {
+        let pairs = result.trace.total_generated() as u64;
+        rows.push(Row { driver, seconds, pairs, result });
+    };
+
+    let (s, r) = time_min(reps, || run_ccd(set, &config));
+    push("batched", s, r);
+    let (s, r) = time_min(reps, || run_ccd_from_pairs(set, pairs.clone(), &config));
+    push("from_pairs", s, r);
+    let (s, r) =
+        time_min(reps, || run_ccd_master_worker(set, &config, 2).expect("no injected faults").0);
+    push("master_worker", s, r);
+    let (s, r) = time_min(reps, || run_ccd_spmd(set, &config, 3));
+    push("spmd", s, r);
+    let (s, r) = time_min(reps, || {
+        pfam_cluster::run_ccd_ft(set, &config, 3, Arc::new(NoFaults)).expect("fault-free world")
+    });
+    push("ft", s, r);
+
+    // Identical components — the whole point of the ClusterCore refactor.
+    let reference = &rows[0].result.components;
+    let identical = rows.iter().all(|row| &row.result.components == reference);
+    assert!(identical, "a driver diverged from the batched components — this is a bug");
+
+    let driver_rows: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "    {{ \"driver\": \"{}\", \"seconds\": {:.6}, \"pairs\": {}, \"pairs_per_sec\": {:.0}, \"n_components\": {} }}",
+                row.driver,
+                row.seconds,
+                row.pairs,
+                row.pairs_per_sec(),
+                row.result.components.len()
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"ccd\",\n",
+            "  \"dataset\": \"{label}\",\n",
+            "  \"n_seqs\": {n_seqs},\n",
+            "  \"n_pairs\": {n_pairs},\n",
+            "  \"reps\": {reps},\n",
+            "  \"components_identical\": {identical},\n",
+            "  \"drivers\": [\n{rows}\n  ]\n",
+            "}}\n"
+        ),
+        label = data.label,
+        n_seqs = set.len(),
+        n_pairs = pairs.len(),
+        reps = reps,
+        identical = identical,
+        rows = driver_rows.join(",\n"),
+    );
+
+    if smoke {
+        println!("{json}");
+        eprintln!("ccd_bench: smoke mode OK (components identical across drivers)");
+    } else {
+        std::fs::write("BENCH_ccd.json", &json).expect("write BENCH_ccd.json");
+        println!("{json}");
+        let best = rows
+            .iter()
+            .max_by(|a, b| a.pairs_per_sec().total_cmp(&b.pairs_per_sec()))
+            .expect("at least one driver");
+        eprintln!(
+            "ccd_bench: wrote BENCH_ccd.json (fastest driver: {} at {:.0} pairs/sec)",
+            best.driver,
+            best.pairs_per_sec()
+        );
+    }
+}
+
+/// Mine the full promising-pair stream once (no masking in the default
+/// config, so the raw index view matches the drivers' own supply).
+fn mine_pairs(set: &SequenceSet, config: &ClusterConfig) -> Vec<MatchPair> {
+    let gsa = GeneralizedSuffixArray::build(set);
+    let tree = SuffixTree::build(&gsa);
+    all_pairs(
+        &tree,
+        MaximalMatchConfig {
+            min_len: config.psi_ccd,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+    )
+}

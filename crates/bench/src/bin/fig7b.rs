@@ -30,7 +30,12 @@ fn main() {
         let bds: Vec<BipartiteGraph> =
             graphs.iter().map(|g| BipartiteGraph::duplicate_from(&g.graph)).collect();
         let n_vertices: usize = bds.iter().map(|b| b.n_right()).sum();
-        eprintln!("prepared {} components / {} vertices for n={}", bds.len(), n_vertices, data.set.len());
+        eprintln!(
+            "prepared {} components / {} vertices for n={}",
+            bds.len(),
+            n_vertices,
+            data.set.len()
+        );
         inputs.push((data.set.len(), bds));
     }
 

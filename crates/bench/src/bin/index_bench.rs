@@ -69,20 +69,16 @@ fn main() {
     };
 
     // Serial reference.
-    let (serial_index_s, gsa_serial) =
-        time_min(reps, || GeneralizedSuffixArray::build(set));
+    let (serial_index_s, gsa_serial) = time_min(reps, || GeneralizedSuffixArray::build(set));
     let tree_serial = SuffixTree::build(&gsa_serial);
-    let (serial_pairgen_s, pairs_serial) =
-        time_min(reps, || all_pairs(&tree_serial, pair_config));
+    let (serial_pairgen_s, pairs_serial) = time_min(reps, || all_pairs(&tree_serial, pair_config));
 
     // Downstream alignment work the generated pairs represent: the sum of
     // full DP rectangles `|a|·|b|`. Cells/sec rates pair generation by the
     // verification work it feeds, making runs at different scales (and the
     // align bench) comparable on one axis.
-    let total_cells: u64 = pairs_serial
-        .iter()
-        .map(|p| set.seq_len(p.a) as u64 * set.seq_len(p.b) as u64)
-        .sum();
+    let total_cells: u64 =
+        pairs_serial.iter().map(|p| set.seq_len(p.a) as u64 * set.seq_len(p.b) as u64).sum();
     let serial_total = serial_index_s + serial_pairgen_s;
 
     // Parallel path at each thread count; every point must be bit-identical

@@ -23,11 +23,8 @@ fn main() {
         // whole GOS cluster); our subfamily benchmark is evaluated too.
         let n = data.set.len();
         let test = labels_from_clusters(n, &result.subgraph_clusters());
-        let bench_lists: Vec<Vec<u32>> = data
-            .benchmark
-            .iter()
-            .map(|c| c.iter().map(|id| id.0).collect())
-            .collect();
+        let bench_lists: Vec<Vec<u32>> =
+            data.benchmark.iter().map(|c| c.iter().map(|id| id.0).collect()).collect();
         let bench = labels_from_clusters(n, &bench_lists);
         let m = QualityMeasures::from_confusion(&pair_confusion(&test, &bench));
         let sm = pfam_metrics::set_measures(&test, &bench);

@@ -78,8 +78,7 @@ pub fn dataset_22k_like(scale: f64, seed: u64) -> PaperDataset {
         deletion_rate: 0.002,
     };
 
-    let ancestor =
-        pfam_datagen::random_peptide(&mut rng, WINDOW + STRIDE * (n_subfamilies - 1));
+    let ancestor = pfam_datagen::random_peptide(&mut rng, WINDOW + STRIDE * (n_subfamilies - 1));
     let window_of = |i: usize| &ancestor[i * STRIDE..i * STRIDE + WINDOW];
 
     let sizes = pfam_datagen::skewed_sizes(n_subfamilies, n_members, 1.0);
@@ -96,9 +95,8 @@ pub fn dataset_22k_like(scale: f64, seed: u64) -> PaperDataset {
                 let start = rng.gen_range(0..=codes.len() - keep);
                 codes = codes[start..start + keep].to_vec();
             }
-            let id = builder
-                .push_codes(format!("sf{sf}_m{m}"), codes)
-                .expect("members are non-empty");
+            let id =
+                builder.push_codes(format!("sf{sf}_m{m}"), codes).expect("members are non-empty");
             benchmark[sf].push(id);
         }
     }
@@ -111,9 +109,7 @@ pub fn dataset_22k_like(scale: f64, seed: u64) -> PaperDataset {
         let start = sf * STRIDE + STRIDE / 2;
         let span = &ancestor[start..start + WINDOW];
         let codes = member_divergence.mutate(span, &mut rng);
-        let id = builder
-            .push_codes(format!("bridge{sf}"), codes)
-            .expect("bridges are non-empty");
+        let id = builder.push_codes(format!("bridge{sf}"), codes).expect("bridges are non-empty");
         benchmark[sf].push(id);
     }
     let set = builder.finish();

@@ -12,10 +12,8 @@ fn bridge_reads_are_articulation_points_of_the_giant_component() {
     let config = ClusterConfig::default();
     let ccd = run_ccd(&data.set, &config);
     let (graphs, _) = all_component_graphs(&data.set, &ccd.components, 5, &config);
-    let giant = graphs
-        .iter()
-        .max_by_key(|g| g.graph.n_vertices())
-        .expect("the giant component exists");
+    let giant =
+        graphs.iter().max_by_key(|g| g.graph.n_vertices()).expect("the giant component exists");
     assert!(
         giant.graph.n_vertices() as f64 > data.set.len() as f64 * 0.8,
         "giant must cover most reads"

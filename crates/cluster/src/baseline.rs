@@ -31,9 +31,8 @@ pub struct BaselineResult {
 /// Run the all-versus-all baseline over `set`.
 pub fn run_all_pairs_baseline(set: &SequenceSet, config: &ClusterConfig) -> BaselineResult {
     let n = set.len();
-    let pairs: Vec<(u32, u32)> = (0..n as u32)
-        .flat_map(|a| (a + 1..n as u32).map(move |b| (a, b)))
-        .collect();
+    let pairs: Vec<(u32, u32)> =
+        (0..n as u32).flat_map(|a| (a + 1..n as u32).map(move |b| (a, b))).collect();
     let verdicts: Vec<(u32, u32, bool, u64)> = pairs
         .par_iter()
         .map(|&(a, b)| {

@@ -13,11 +13,10 @@ use rayon::prelude::*;
 use pfam_align::Anchor;
 use pfam_graph::CsrGraph;
 use pfam_seq::{SeqId, SequenceSet};
-use pfam_suffix::{
-    maximal::all_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree,
-};
+use pfam_suffix::{maximal::all_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
 
 use crate::config::ClusterConfig;
+use crate::core::{Candidate, CorePhase, Verifier};
 use crate::trace::{BatchRecord, PhaseTrace};
 
 /// The similarity graph of one connected component.
@@ -48,10 +47,7 @@ pub fn component_graph(
     sorted.sort_unstable();
     if sorted.len() <= 1 {
         return (
-            ComponentGraph {
-                graph: CsrGraph::from_edges(sorted.len(), &[]),
-                members: sorted,
-            },
+            ComponentGraph { graph: CsrGraph::from_edges(sorted.len(), &[]), members: sorted },
             BatchRecord {
                 n_generated: 0,
                 n_filtered: 0,
@@ -76,29 +72,27 @@ pub fn component_graph(
         },
     );
     let n_generated = pairs.len();
-    let engine = config.engine();
-    let verdicts: Vec<(u32, u32, bool, u64, u64, u64)> = pairs
-        .par_iter()
-        .map(|p| {
-            let x = subset.codes(p.a);
-            let y = subset.codes(p.b);
-            let cells = (x.len() as u64) * (y.len() as u64);
-            // Pairs and codes both live in the subset's id space, so the
-            // maximal-match anchor coordinates are valid as-is.
-            let anchor = Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len };
-            let v = engine.overlaps(x, y, Some(anchor));
-            (p.a.0, p.b.0, v.accept, cells, v.cells_computed, v.cells_skipped)
+    // Pairs and codes both live in the subset's id space, so the
+    // maximal-match anchor coordinates are valid as-is.
+    let candidates: Vec<Candidate> = pairs
+        .iter()
+        .map(|p| Candidate {
+            a: p.a,
+            b: p.b,
+            anchor: Some(Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len }),
         })
         .collect();
+    let verifier = Verifier::new(config, CorePhase::Ccd);
+    let verdicts = verifier.verify_par(&subset, &candidates);
     let mut edges = Vec::new();
     let mut task_cells = Vec::with_capacity(verdicts.len());
     let (mut cells_computed, mut cells_skipped) = (0u64, 0u64);
-    for (a, b, passed, cells, vc, vs) in verdicts {
-        task_cells.push(cells);
-        cells_computed += vc;
-        cells_skipped += vs;
-        if passed {
-            edges.push((a, b));
+    for v in verdicts {
+        task_cells.push(v.cells);
+        cells_computed += v.cells_computed;
+        cells_skipped += v.cells_skipped;
+        if v.accept {
+            edges.push((v.a, v.b));
         }
     }
     let record = BatchRecord {
@@ -110,10 +104,7 @@ pub fn component_graph(
         cells_computed,
         cells_skipped,
     };
-    (
-        ComponentGraph { graph: CsrGraph::from_edges(sorted.len(), &edges), members: sorted },
-        record,
-    )
+    (ComponentGraph { graph: CsrGraph::from_edges(sorted.len(), &edges), members: sorted }, record)
 }
 
 /// Build similarity graphs for every component with ≥ `min_size` members,
@@ -125,12 +116,9 @@ pub fn all_component_graphs(
     min_size: usize,
     config: &ClusterConfig,
 ) -> (Vec<ComponentGraph>, PhaseTrace) {
-    let selected: Vec<&Vec<SeqId>> =
-        components.iter().filter(|c| c.len() >= min_size).collect();
-    let results: Vec<(ComponentGraph, BatchRecord)> = selected
-        .par_iter()
-        .map(|members| component_graph(set, members, config))
-        .collect();
+    let selected: Vec<&Vec<SeqId>> = components.iter().filter(|c| c.len() >= min_size).collect();
+    let results: Vec<(ComponentGraph, BatchRecord)> =
+        selected.par_iter().map(|members| component_graph(set, members, config)).collect();
     let mut graphs = Vec::with_capacity(results.len());
     let mut trace = PhaseTrace {
         index_residues: selected
@@ -181,10 +169,7 @@ mod tests {
         // CCD stops aligning once merged; BGG must find *all* edges.
         let seqs = vec![FAM; 8];
         let set = set_of(&seqs);
-        let ccd = crate::ccd::run_ccd(
-            &set,
-            &crate::ClusterConfig { batch_size: 4, ..config() },
-        );
+        let ccd = crate::ccd::run_ccd(&set, &crate::ClusterConfig { batch_size: 4, ..config() });
         assert_eq!(ccd.components.len(), 1);
         let (cg, _) = component_graph(&set, &ccd.components[0], &config());
         assert_eq!(cg.graph.n_edges(), 28, "all C(8,2) edges");

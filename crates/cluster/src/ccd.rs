@@ -8,16 +8,20 @@
 //! for the paper's 99 %+ alignment-work reduction — and dispatches the
 //! rest to workers, which evaluate the Definition-2 overlap test in
 //! parallel. Passing pairs merge clusters.
+//!
+//! The loop itself lives in [`crate::core::ClusterCore`] driven by
+//! [`crate::policy::BatchedPush`]; the entry points here are thin
+//! compositions of core + [`crate::source::PairSource`] + policy.
 
-use rayon::prelude::*;
-
-use pfam_align::Anchor;
-use pfam_graph::UnionFind;
 use pfam_seq::{SeqId, SequenceSet};
-use pfam_suffix::{promising_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
+
+pub use crate::core::CcdCursor;
 
 use crate::config::ClusterConfig;
-use crate::trace::{BatchRecord, PhaseTrace};
+use crate::core::{ClusterCore, CorePhase, Verifier};
+use crate::policy::{BatchedPush, WorkPolicy};
+use crate::source::{with_mined_source, IterSource, PairSource};
+use crate::trace::PhaseTrace;
 
 /// Outcome of the CCD phase.
 #[derive(Debug, Clone)]
@@ -55,57 +59,7 @@ impl CcdResult {
 /// assert_eq!(result.components.len(), 2); // {a, b} and {c}
 /// ```
 pub fn run_ccd(set: &SequenceSet, config: &ClusterConfig) -> CcdResult {
-    if set.is_empty() {
-        return CcdResult {
-            components: Vec::new(),
-            edges: Vec::new(),
-            n_merges: 0,
-            trace: PhaseTrace::default(),
-        };
-    }
-    let index_set = crate::mask::index_view(set, &config.mask);
-    let threads = config.index_threads();
-    let gsa = GeneralizedSuffixArray::build_parallel(&index_set, threads);
-    let tree = SuffixTree::build(&gsa);
-    let mut generator = promising_pairs(
-        &tree,
-        MaximalMatchConfig {
-            min_len: config.psi_ccd,
-            max_pairs_per_node: config.max_pairs_per_node,
-            dedup: true,
-        },
-        threads,
-    );
-    let mut result = ccd_over_pairs(set, config, &mut generator);
-    result.trace.nodes_visited = generator.stats().nodes_visited as u64;
-    result
-}
-
-/// Mid-phase CCD state at a batch boundary: everything the master loop
-/// needs to resume and reach a final clustering identical to the
-/// uninterrupted run.
-///
-/// Resume works by *deterministic replay*: the pair generator's order is
-/// bit-identical across runs (the parallel generator preserves the serial
-/// order), so skipping the first `pairs_consumed` pairs after an index
-/// rebuild lands exactly where the checkpointed run stopped. The
-/// union-find is restored verbatim (including incidental path-compression
-/// state), so every subsequent filter decision — and therefore every
-/// alignment, merge and trace record — repeats exactly.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CcdCursor {
-    /// Pairs already drawn from the generator (a batch boundary).
-    pub pairs_consumed: u64,
-    /// Union-find parent array ([`UnionFind::parts`]).
-    pub uf_parent: Vec<u32>,
-    /// Union-find rank array.
-    pub uf_rank: Vec<u8>,
-    /// Accepted edges so far, in verification order.
-    pub edges: Vec<(u32, u32)>,
-    /// Merges so far.
-    pub n_merges: usize,
-    /// Work trace accumulated so far.
-    pub trace: PhaseTrace,
+    run_ccd_resumable(set, config, None, 0, &mut |_| {})
 }
 
 /// [`run_ccd`] with checkpoint/restart hooks: optionally resume from a
@@ -121,36 +75,31 @@ pub fn run_ccd_resumable(
     on_checkpoint: &mut dyn FnMut(&CcdCursor),
 ) -> CcdResult {
     if set.is_empty() {
-        return CcdResult {
-            components: Vec::new(),
-            edges: Vec::new(),
-            n_merges: 0,
-            trace: PhaseTrace::default(),
-        };
+        return CcdResult::empty();
     }
-    let index_set = crate::mask::index_view(set, &config.mask);
-    let threads = config.index_threads();
-    let gsa = GeneralizedSuffixArray::build_parallel(&index_set, threads);
-    let tree = SuffixTree::build(&gsa);
-    let mut generator = promising_pairs(
-        &tree,
-        MaximalMatchConfig {
-            min_len: config.psi_ccd,
-            max_pairs_per_node: config.max_pairs_per_node,
-            dedup: true,
-        },
-        threads,
-    );
-    let mut result = ccd_over_pairs_with(
-        set,
-        config,
-        &mut generator,
-        resume,
-        checkpoint_every,
-        on_checkpoint,
-    );
-    result.trace.nodes_visited = generator.stats().nodes_visited as u64;
-    result
+    with_mined_source(set, config, config.psi_ccd, config.index_threads(), |source| {
+        let mut core = match resume {
+            Some(cursor) => {
+                // Deterministic replay: advance the generator past the
+                // pairs the checkpointed run already consumed.
+                source.skip(cursor.pairs_consumed);
+                ClusterCore::resume_ccd(set, cursor)
+            }
+            None => ClusterCore::new_ccd(set),
+        };
+        let verifier = Verifier::new(config, CorePhase::Ccd);
+        BatchedPush {
+            source: &mut *source,
+            verifier: &verifier,
+            batch_size: config.batch_size,
+            checkpoint_every,
+            on_checkpoint,
+        }
+        .drive(&mut core)
+        .expect("the batched in-process policy cannot fail");
+        core.set_nodes_visited(source.nodes_visited());
+        CcdResult::from_core(core)
+    })
 }
 
 /// Run the CCD master loop over an explicit pair stream — the ablation
@@ -162,140 +111,21 @@ pub fn run_ccd_from_pairs(
     config: &ClusterConfig,
 ) -> CcdResult {
     if set.is_empty() {
-        return CcdResult {
-            components: Vec::new(),
-            edges: Vec::new(),
-            n_merges: 0,
-            trace: PhaseTrace::default(),
-        };
+        return CcdResult::empty();
     }
-    ccd_over_pairs(set, config, &mut pairs.into_iter())
-}
-
-fn ccd_over_pairs(
-    set: &SequenceSet,
-    config: &ClusterConfig,
-    pairs: &mut dyn Iterator<Item = pfam_suffix::MatchPair>,
-) -> CcdResult {
-    ccd_over_pairs_with(set, config, pairs, None, 0, &mut |_| {})
-}
-
-fn ccd_over_pairs_with(
-    set: &SequenceSet,
-    config: &ClusterConfig,
-    pairs: &mut dyn Iterator<Item = pfam_suffix::MatchPair>,
-    resume: Option<CcdCursor>,
-    checkpoint_every: usize,
-    on_checkpoint: &mut dyn FnMut(&CcdCursor),
-) -> CcdResult {
-    let (mut uf, mut edges, mut n_merges, mut trace, mut pairs_consumed) = match resume {
-        Some(cursor) => {
-            // Deterministic replay: advance the generator past the pairs
-            // the checkpointed run already consumed.
-            for _ in 0..cursor.pairs_consumed {
-                if pairs.next().is_none() {
-                    break;
-                }
-            }
-            (
-                UnionFind::from_parts(cursor.uf_parent, cursor.uf_rank),
-                cursor.edges.iter().map(|&(a, b)| (SeqId(a), SeqId(b))).collect(),
-                cursor.n_merges,
-                cursor.trace,
-                cursor.pairs_consumed,
-            )
-        }
-        None => (
-            UnionFind::new(set.len()),
-            Vec::new(),
-            0usize,
-            PhaseTrace {
-                index_residues: set.total_residues() as u64,
-                ..PhaseTrace::default()
-            },
-            0u64,
-        ),
-    };
-    let mut batches_since_checkpoint = 0usize;
-    let engine = config.engine();
-
-    loop {
-        let mut batch = Vec::with_capacity(config.batch_size);
-        while batch.len() < config.batch_size {
-            match pairs.next() {
-                Some(p) => batch.push(p),
-                None => break,
-            }
-        }
-        if batch.is_empty() {
-            break;
-        }
-        pairs_consumed += batch.len() as u64;
-        let n_generated = batch.len();
-        // Master: transitive-closure filter.
-        let candidates: Vec<(SeqId, SeqId, Anchor)> = batch
-            .iter()
-            .filter(|p| !uf.same(p.a.0, p.b.0))
-            .map(|p| (p.a, p.b, Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len }))
-            .collect();
-        let n_filtered = n_generated - candidates.len();
-
-        // Workers: overlap verification in parallel.
-        let verdicts: Vec<(SeqId, SeqId, bool, u64, u64, u64)> = candidates
-            .par_iter()
-            .map(|&(a, b, anchor)| {
-                let x = set.codes(a);
-                let y = set.codes(b);
-                let cells = (x.len() as u64) * (y.len() as u64);
-                let v = engine.overlaps(x, y, Some(anchor));
-                (a, b, v.accept, cells, v.cells_computed, v.cells_skipped)
-            })
-            .collect();
-
-        // Master: merge clusters for passing pairs.
-        let mut task_cells = Vec::with_capacity(verdicts.len());
-        let (mut cells_computed, mut cells_skipped) = (0u64, 0u64);
-        for (a, b, passed, cells, computed, skipped) in verdicts {
-            task_cells.push(cells);
-            cells_computed += computed;
-            cells_skipped += skipped;
-            if passed {
-                edges.push((a, b));
-                if uf.union(a.0, b.0) {
-                    n_merges += 1;
-                }
-            }
-        }
-        trace.batches.push(BatchRecord {
-            n_generated,
-            n_filtered,
-            n_aligned: task_cells.len(),
-            align_cells: task_cells.iter().sum(),
-            task_cells,
-            cells_computed,
-            cells_skipped,
-        });
-        batches_since_checkpoint += 1;
-        if checkpoint_every > 0 && batches_since_checkpoint >= checkpoint_every {
-            batches_since_checkpoint = 0;
-            let (parent, rank) = uf.parts();
-            on_checkpoint(&CcdCursor {
-                pairs_consumed,
-                uf_parent: parent.to_vec(),
-                uf_rank: rank.to_vec(),
-                edges: edges.iter().map(|&(a, b)| (a.0, b.0)).collect(),
-                n_merges,
-                trace: trace.clone(),
-            });
-        }
+    let mut source = IterSource::new(pairs.into_iter());
+    let mut core = ClusterCore::new_ccd(set);
+    let verifier = Verifier::new(config, CorePhase::Ccd);
+    BatchedPush {
+        source: &mut source,
+        verifier: &verifier,
+        batch_size: config.batch_size,
+        checkpoint_every: 0,
+        on_checkpoint: &mut |_| {},
     }
-
-    let components = uf
-        .groups()
-        .into_iter()
-        .map(|g| g.into_iter().map(SeqId).collect())
-        .collect();
-    CcdResult { components, edges, n_merges, trace }
+    .drive(&mut core)
+    .expect("the batched in-process policy cannot fail");
+    CcdResult::from_core(core)
 }
 
 #[cfg(test)]
@@ -405,10 +235,7 @@ mod tests {
         assert!(plain.trace.total_generated() > 0, "poly-A should produce candidates");
         let masked = run_ccd(
             &set,
-            &ClusterConfig {
-                mask: Some(pfam_seq::complexity::MaskParams::default()),
-                ..config()
-            },
+            &ClusterConfig { mask: Some(pfam_seq::complexity::MaskParams::default()), ..config() },
         );
         // Masking erodes the poly-A run (a boundary remnant shorter than
         // the entropy window can survive), so require a strict reduction
@@ -434,8 +261,7 @@ mod tests {
 
         // Capture a cursor at every batch boundary.
         let mut cursors = Vec::new();
-        let observed =
-            run_ccd_resumable(&d.set, &cfg, None, 1, &mut |c| cursors.push(c.clone()));
+        let observed = run_ccd_resumable(&d.set, &cfg, None, 1, &mut |c| cursors.push(c.clone()));
         assert_eq!(observed.components, full.components);
         assert_eq!(observed.edges, full.edges);
         assert_eq!(observed.trace, full.trace);
@@ -444,8 +270,7 @@ mod tests {
         // Resuming from any of them must replay to the identical result.
         let step = (cursors.len() / 4).max(1);
         for cursor in cursors.into_iter().step_by(step) {
-            let resumed =
-                run_ccd_resumable(&d.set, &cfg, Some(cursor), 0, &mut |_| {});
+            let resumed = run_ccd_resumable(&d.set, &cfg, Some(cursor), 0, &mut |_| {});
             assert_eq!(resumed.components, full.components);
             assert_eq!(resumed.edges, full.edges);
             assert_eq!(resumed.n_merges, full.n_merges);
@@ -481,8 +306,12 @@ mod tests {
         }
         // And the components should reunite each family exactly.
         let big = r.components_of_size(2);
-        assert_eq!(big.len(), 3, "three families expected: {:?}",
-            r.components.iter().map(|c| c.len()).collect::<Vec<_>>());
+        assert_eq!(
+            big.len(),
+            3,
+            "three families expected: {:?}",
+            r.components.iter().map(|c| c.len()).collect::<Vec<_>>()
+        );
         let mut sizes: Vec<usize> = big.iter().map(|c| c.len()).collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(sizes, vec![13, 7, 4], "Zipf family sizes recovered");

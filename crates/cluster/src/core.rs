@@ -1,0 +1,567 @@
+//! `ClusterCore` — the one state machine behind every RR/CCD driver.
+//!
+//! The paper's clustering loop is a single algorithm: consume promising
+//! pairs in decreasing maximal-match order, *filter* pairs the current
+//! state already resolves (co-clustered endpoints in CCD, already-redundant
+//! sequences in RR), verify the survivors by alignment, and fold the
+//! verdicts back into the state. Before this module the repository
+//! implemented that loop eight times — six CCD drivers and two RR drivers —
+//! each re-wiring the union-find, the filter, the trace bookkeeping and the
+//! checkpoint cursor by hand.
+//!
+//! `ClusterCore` owns all of that mutable state exactly once:
+//!
+//! * the **clustering state** — a union-find forest (CCD) or the
+//!   redundancy marks (RR); no other module in this crate mutates a
+//!   [`UnionFind`] (`scripts/tier1.sh` greps for violations);
+//! * the **pair filter** — [`ClusterCore::admit_batch`] /
+//!   [`ClusterCore::admit_one`] apply the transitive-closure (CCD) or
+//!   redundancy (RR) filter and record the generated/filtered counts;
+//! * the **accept/reject bookkeeping** — [`ClusterCore::absorb`] applies
+//!   verdicts (merges, redundancy marks, accepted edges) and the per-batch
+//!   work trace in one place;
+//! * the **checkpoint cursor** — [`ClusterCore::cursor`] snapshots the
+//!   exact mid-phase state that [`CcdCursor`] serializes, and
+//!   [`ClusterCore::resume_ccd`] restores it for deterministic replay.
+//!
+//! Execution substrates plug in around the core through three traits:
+//! [`crate::source::PairSource`] (where pairs come from),
+//! [`crate::transport::Transport`] (how candidate batches and verdicts
+//! travel), and [`crate::policy::WorkPolicy`] (who drives the loop). Every
+//! public `run_*` entry point is a thin composition of those pieces; a new
+//! execution mode is one new trait impl, not a new driver.
+
+use pfam_align::Anchor;
+use pfam_graph::UnionFind;
+use pfam_seq::{SeqId, SequenceSet};
+use pfam_suffix::MatchPair;
+
+use crate::ccd::CcdResult;
+use crate::config::ClusterConfig;
+use crate::rr::RrResult;
+use crate::trace::{BatchRecord, PhaseTrace};
+
+/// Which phase of the paper a core instance runs: the filter, the
+/// verification criterion and the accept action all key off this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorePhase {
+    /// Redundancy removal (Definition-1 containment test).
+    Rr,
+    /// Connected-component detection (Definition-2 overlap test).
+    Ccd,
+}
+
+/// A pair that survived the filter and awaits verification.
+///
+/// In CCD mode `a`/`b` are the pair as generated; in RR mode the core has
+/// *oriented* the pair so `a` is the candidate-to-remove and `b` its
+/// potential container. The maximal-match anchor rides along when the
+/// execution substrate preserves it (in-process drivers); candidates that
+/// crossed a wire carry `None` and the engine probes from scratch —
+/// verdicts are identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// First sequence (CCD: lower id of the pair; RR: removal candidate).
+    pub a: SeqId,
+    /// Second sequence (CCD: higher id; RR: potential container).
+    pub b: SeqId,
+    /// Maximal-match seed for the alignment probe, if it survived.
+    pub anchor: Option<Anchor>,
+}
+
+/// The outcome of verifying one [`Candidate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// First sequence id (matches the candidate's `a`).
+    pub a: u32,
+    /// Second sequence id (matches the candidate's `b`).
+    pub b: u32,
+    /// Whether the phase's acceptance criterion passed.
+    pub accept: bool,
+    /// Full `m·n` DP rectangle of the pair (the simulator's work unit).
+    pub cells: u64,
+    /// DP cells the alignment engine actually evaluated.
+    pub cells_computed: u64,
+    /// Full-matrix DP cells the engine avoided.
+    pub cells_skipped: u64,
+}
+
+/// Mode-specific clustering state: exactly one of these exists per run,
+/// and all mutation goes through [`ClusterCore`].
+#[derive(Debug)]
+enum ModeState {
+    Ccd { uf: UnionFind, edges: Vec<(SeqId, SeqId)>, n_merges: usize },
+    Rr { redundant: Vec<Option<SeqId>>, removed: Vec<(SeqId, SeqId)> },
+}
+
+/// Mid-phase CCD state at a batch boundary: everything the clustering loop
+/// needs to resume and reach a final clustering identical to the
+/// uninterrupted run.
+///
+/// Resume works by *deterministic replay*: the pair generator's order is
+/// bit-identical across runs (the parallel generator preserves the serial
+/// order), so skipping the first `pairs_consumed` pairs after an index
+/// rebuild lands exactly where the checkpointed run stopped. The
+/// union-find is restored verbatim (including incidental path-compression
+/// state), so every subsequent filter decision — and therefore every
+/// alignment, merge and trace record — repeats exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcdCursor {
+    /// Pairs already drawn from the generator (a batch boundary).
+    pub pairs_consumed: u64,
+    /// Union-find parent array (`UnionFind::parts`).
+    pub uf_parent: Vec<u32>,
+    /// Union-find rank array.
+    pub uf_rank: Vec<u8>,
+    /// Accepted edges so far, in verification order.
+    pub edges: Vec<(u32, u32)>,
+    /// Merges so far.
+    pub n_merges: usize,
+    /// Work trace accumulated so far.
+    pub trace: PhaseTrace,
+}
+
+impl CcdCursor {
+    /// The canonical completed-phase cursor for `result` over `n`
+    /// sequences: the forest is rebuilt from the accepted edges, so the
+    /// snapshot is independent of incidental path-compression state while
+    /// still yielding the identical partition.
+    pub fn from_result(result: &CcdResult, n: usize) -> CcdCursor {
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &result.edges {
+            uf.union(a.0, b.0);
+        }
+        let (parent, rank) = uf.parts();
+        CcdCursor {
+            pairs_consumed: result.trace.total_generated() as u64,
+            uf_parent: parent.to_vec(),
+            uf_rank: rank.to_vec(),
+            edges: result.edges.iter().map(|&(a, b)| (a.0, b.0)).collect(),
+            n_merges: result.n_merges,
+            trace: result.trace.clone(),
+        }
+    }
+}
+
+/// The clustering state machine. See the module docs for the contract.
+#[derive(Debug)]
+pub struct ClusterCore<'s> {
+    set: &'s SequenceSet,
+    state: ModeState,
+    trace: PhaseTrace,
+    pairs_consumed: u64,
+}
+
+impl<'s> ClusterCore<'s> {
+    /// Fresh CCD state: every sequence a singleton cluster.
+    pub fn new_ccd(set: &'s SequenceSet) -> ClusterCore<'s> {
+        ClusterCore {
+            set,
+            state: ModeState::Ccd { uf: UnionFind::new(set.len()), edges: Vec::new(), n_merges: 0 },
+            trace: PhaseTrace {
+                index_residues: set.total_residues() as u64,
+                ..PhaseTrace::default()
+            },
+            pairs_consumed: 0,
+        }
+    }
+
+    /// Fresh RR state: no sequence marked redundant.
+    pub fn new_rr(set: &'s SequenceSet) -> ClusterCore<'s> {
+        ClusterCore {
+            set,
+            state: ModeState::Rr { redundant: vec![None; set.len()], removed: Vec::new() },
+            trace: PhaseTrace {
+                index_residues: set.total_residues() as u64,
+                ..PhaseTrace::default()
+            },
+            pairs_consumed: 0,
+        }
+    }
+
+    /// Restore a CCD core from a checkpoint cursor (deterministic replay:
+    /// the caller must also skip `cursor.pairs_consumed` pairs on its
+    /// [`crate::source::PairSource`]).
+    pub fn resume_ccd(set: &'s SequenceSet, cursor: CcdCursor) -> ClusterCore<'s> {
+        ClusterCore {
+            set,
+            state: ModeState::Ccd {
+                uf: UnionFind::from_parts(cursor.uf_parent, cursor.uf_rank),
+                edges: cursor.edges.iter().map(|&(a, b)| (SeqId(a), SeqId(b))).collect(),
+                n_merges: cursor.n_merges,
+            },
+            trace: cursor.trace,
+            pairs_consumed: cursor.pairs_consumed,
+        }
+    }
+
+    /// Which phase this core runs.
+    pub fn phase(&self) -> CorePhase {
+        match self.state {
+            ModeState::Ccd { .. } => CorePhase::Ccd,
+            ModeState::Rr { .. } => CorePhase::Rr,
+        }
+    }
+
+    /// The sequence set the core clusters.
+    pub fn set(&self) -> &'s SequenceSet {
+        self.set
+    }
+
+    /// Pairs drawn from the pair supply so far (the cursor position).
+    pub fn pairs_consumed(&self) -> u64 {
+        self.pairs_consumed
+    }
+
+    /// Filter one pair against the current state, without recording
+    /// anything. `None` means the pair is already resolved.
+    fn filter(state: &mut ModeState, set: &SequenceSet, p: &MatchPair) -> Option<Candidate> {
+        match state {
+            ModeState::Ccd { uf, .. } => {
+                if uf.same(p.a.0, p.b.0) {
+                    None
+                } else {
+                    Some(Candidate {
+                        a: p.a,
+                        b: p.b,
+                        anchor: Some(Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len }),
+                    })
+                }
+            }
+            ModeState::Rr { redundant, .. } => {
+                // Orient: the containment candidate is the shorter sequence,
+                // ties toward the higher id so results do not depend on
+                // generation order; the anchor offsets swap in tandem.
+                let (la, lb) = (set.seq_len(p.a), set.seq_len(p.b));
+                let (cand, container, anchor) = if la < lb || (la == lb && p.a.0 > p.b.0) {
+                    (p.a, p.b, Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len })
+                } else {
+                    (p.b, p.a, Anchor { x_pos: p.b_pos, y_pos: p.a_pos, len: p.len })
+                };
+                if redundant[cand.index()].is_some() || redundant[container.index()].is_some() {
+                    None
+                } else {
+                    Some(Candidate { a: cand, b: container, anchor: Some(anchor) })
+                }
+            }
+        }
+    }
+
+    /// Admit a generated batch: open a new trace record with the
+    /// generated/filtered counts and return the candidates that survive
+    /// the filter (orientation included, in RR mode).
+    pub fn admit_batch(&mut self, pairs: &[MatchPair]) -> Vec<Candidate> {
+        self.pairs_consumed += pairs.len() as u64;
+        let candidates: Vec<Candidate> =
+            pairs.iter().filter_map(|p| Self::filter(&mut self.state, self.set, p)).collect();
+        self.trace.batches.push(BatchRecord {
+            n_generated: pairs.len(),
+            n_filtered: pairs.len() - candidates.len(),
+            n_aligned: 0,
+            align_cells: 0,
+            task_cells: Vec::new(),
+            cells_computed: 0,
+            cells_skipped: 0,
+        });
+        candidates
+    }
+
+    /// Open one accumulating trace record for a streaming driver that
+    /// admits pairs one at a time ([`ClusterCore::admit_one`]).
+    pub fn open_stream(&mut self) {
+        self.trace.batches.push(BatchRecord {
+            n_generated: 0,
+            n_filtered: 0,
+            n_aligned: 0,
+            align_cells: 0,
+            task_cells: Vec::new(),
+            cells_computed: 0,
+            cells_skipped: 0,
+        });
+    }
+
+    /// Admit a single pair into the open stream record (see
+    /// [`ClusterCore::open_stream`]).
+    pub fn admit_one(&mut self, p: &MatchPair) -> Option<Candidate> {
+        self.pairs_consumed += 1;
+        let candidate = Self::filter(&mut self.state, self.set, p);
+        if let Some(last) = self.trace.batches.last_mut() {
+            last.n_generated += 1;
+            if candidate.is_none() {
+                last.n_filtered += 1;
+            }
+        }
+        candidate
+    }
+
+    /// Fold a verdict set into the state: record the alignment work on the
+    /// most recent trace record, and apply every accepted verdict (cluster
+    /// merge in CCD, redundancy mark in RR).
+    pub fn absorb(&mut self, verdicts: impl IntoIterator<Item = Verdict>) {
+        let mut task_cells = Vec::new();
+        let (mut computed, mut skipped) = (0u64, 0u64);
+        for v in verdicts {
+            task_cells.push(v.cells);
+            computed += v.cells_computed;
+            skipped += v.cells_skipped;
+            if v.accept {
+                match &mut self.state {
+                    ModeState::Ccd { uf, edges, n_merges } => {
+                        edges.push((SeqId(v.a), SeqId(v.b)));
+                        if uf.union(v.a, v.b) {
+                            *n_merges += 1;
+                        }
+                    }
+                    ModeState::Rr { redundant, removed } => {
+                        // First containment wins; later verdicts against an
+                        // already-removed candidate are no-ops.
+                        if redundant[v.a as usize].is_none() {
+                            redundant[v.a as usize] = Some(SeqId(v.b));
+                            removed.push((SeqId(v.a), SeqId(v.b)));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(last) = self.trace.batches.last_mut() {
+            last.n_aligned += task_cells.len();
+            last.align_cells += task_cells.iter().sum::<u64>();
+            last.task_cells.extend(task_cells);
+            last.cells_computed += computed;
+            last.cells_skipped += skipped;
+        }
+    }
+
+    /// Snapshot the mid-phase state as a checkpoint cursor (CCD only).
+    pub fn cursor(&self) -> CcdCursor {
+        match &self.state {
+            ModeState::Ccd { uf, edges, n_merges } => {
+                let (parent, rank) = uf.parts();
+                CcdCursor {
+                    pairs_consumed: self.pairs_consumed,
+                    uf_parent: parent.to_vec(),
+                    uf_rank: rank.to_vec(),
+                    edges: edges.iter().map(|&(a, b)| (a.0, b.0)).collect(),
+                    n_merges: *n_merges,
+                    trace: self.trace.clone(),
+                }
+            }
+            ModeState::Rr { .. } => panic!("checkpoint cursors exist only for the CCD phase"),
+        }
+    }
+
+    /// Record the suffix-tree nodes the pair supply visited.
+    pub fn set_nodes_visited(&mut self, n: u64) {
+        self.trace.nodes_visited = n;
+    }
+}
+
+impl CcdResult {
+    /// The empty clustering (empty input short-circuit).
+    pub fn empty() -> CcdResult {
+        CcdResult {
+            components: Vec::new(),
+            edges: Vec::new(),
+            n_merges: 0,
+            trace: PhaseTrace::default(),
+        }
+    }
+
+    /// Assemble the phase result from a finished core — the single
+    /// constructor every CCD driver funnels through.
+    pub fn from_core(core: ClusterCore<'_>) -> CcdResult {
+        match core.state {
+            ModeState::Ccd { mut uf, edges, n_merges } => CcdResult {
+                components: uf
+                    .groups()
+                    .into_iter()
+                    .map(|g| g.into_iter().map(SeqId).collect())
+                    .collect(),
+                edges,
+                n_merges,
+                trace: core.trace,
+            },
+            ModeState::Rr { .. } => panic!("CcdResult::from_core on an RR core"),
+        }
+    }
+
+    /// Rebuild a completed phase's result from its stored cursor — no
+    /// index rebuild, no realignment (the checkpoint fast path).
+    pub fn from_cursor(cursor: CcdCursor) -> CcdResult {
+        let mut uf = UnionFind::from_parts(cursor.uf_parent, cursor.uf_rank);
+        CcdResult {
+            components: uf
+                .groups()
+                .into_iter()
+                .map(|g| g.into_iter().map(SeqId).collect())
+                .collect(),
+            edges: cursor.edges.iter().map(|&(a, b)| (SeqId(a), SeqId(b))).collect(),
+            n_merges: cursor.n_merges,
+            trace: cursor.trace,
+        }
+    }
+}
+
+impl RrResult {
+    /// The empty RR outcome (empty input short-circuit).
+    pub fn empty() -> RrResult {
+        RrResult { kept: Vec::new(), removed: Vec::new(), trace: PhaseTrace::default() }
+    }
+
+    /// Assemble the phase result from a finished core.
+    pub fn from_core(core: ClusterCore<'_>) -> RrResult {
+        match core.state {
+            ModeState::Rr { redundant, removed } => RrResult {
+                kept: core.set.ids().filter(|id| redundant[id.index()].is_none()).collect(),
+                removed,
+                trace: core.trace,
+            },
+            ModeState::Ccd { .. } => panic!("RrResult::from_core on a CCD core"),
+        }
+    }
+}
+
+/// Verdict computation for one phase: the single place the alignment
+/// engine is consulted. `Sync`, so policies may share it across worker
+/// threads; each thread uses its own scratch arena inside the engine.
+pub struct Verifier {
+    engine: pfam_align::AlignEngine,
+    phase: CorePhase,
+}
+
+impl Verifier {
+    /// Build the verifier `config` selects for `phase`.
+    pub fn new(config: &ClusterConfig, phase: CorePhase) -> Verifier {
+        Verifier { engine: config.engine(), phase }
+    }
+
+    /// Verify one candidate.
+    pub fn verdict(&self, set: &SequenceSet, c: &Candidate) -> Verdict {
+        let x = set.codes(c.a);
+        let y = set.codes(c.b);
+        let cells = (x.len() as u64) * (y.len() as u64);
+        let v = match self.phase {
+            CorePhase::Ccd => self.engine.overlaps(x, y, c.anchor),
+            CorePhase::Rr => self.engine.contained(x, y, c.anchor),
+        };
+        Verdict {
+            a: c.a.0,
+            b: c.b.0,
+            accept: v.accept,
+            cells,
+            cells_computed: v.cells_computed,
+            cells_skipped: v.cells_skipped,
+        }
+    }
+
+    /// Verify a candidate batch across the rayon pool (dispatch order is
+    /// preserved in the output).
+    pub fn verify_par(&self, set: &SequenceSet, candidates: &[Candidate]) -> Vec<Verdict> {
+        use rayon::prelude::*;
+        candidates.par_iter().map(|c| self.verdict(set, c)).collect()
+    }
+
+    /// Verify a candidate batch sequentially (worker ranks).
+    pub fn verify_seq(&self, set: &SequenceSet, candidates: &[Candidate]) -> Vec<Verdict> {
+        candidates.iter().map(|c| self.verdict(set, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_seq::SequenceSetBuilder;
+
+    fn set_of(seqs: &[&str]) -> SequenceSet {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+        }
+        b.finish()
+    }
+
+    fn pair(a: u32, b: u32) -> MatchPair {
+        MatchPair::new(SeqId(a), SeqId(b), 10)
+    }
+
+    fn accept(a: u32, b: u32) -> Verdict {
+        Verdict { a, b, accept: true, cells: 4, cells_computed: 4, cells_skipped: 0 }
+    }
+
+    #[test]
+    fn ccd_filter_skips_co_clustered_pairs() {
+        let set = set_of(&["MKVLW", "MKVLW", "MKVLW"]);
+        let mut core = ClusterCore::new_ccd(&set);
+        let c = core.admit_batch(&[pair(0, 1)]);
+        assert_eq!(c.len(), 1);
+        core.absorb(vec![accept(0, 1)]);
+        // 0 and 1 are now co-clustered: the pair is filtered, 0–2 is not.
+        let c = core.admit_batch(&[pair(0, 1), pair(0, 2)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].a, SeqId(0));
+        assert_eq!(c[0].b, SeqId(2));
+        let r = CcdResult::from_core(core);
+        assert_eq!(r.trace.total_generated(), 3);
+        assert_eq!(r.trace.total_filtered(), 1);
+        assert_eq!(r.n_merges, 1);
+    }
+
+    #[test]
+    fn rr_orientation_marks_the_shorter_sequence() {
+        let set = set_of(&["MKVLWAAKND", "MKVLW"]);
+        let mut core = ClusterCore::new_rr(&set);
+        let c = core.admit_batch(&[pair(0, 1)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].a, SeqId(1), "shorter sequence is the removal candidate");
+        assert_eq!(c[0].b, SeqId(0));
+        core.absorb(vec![accept(1, 0)]);
+        let r = RrResult::from_core(core);
+        assert_eq!(r.kept, vec![SeqId(0)]);
+        assert_eq!(r.removed, vec![(SeqId(1), SeqId(0))]);
+    }
+
+    #[test]
+    fn cursor_round_trips_through_resume() {
+        let set = set_of(&["MKVLW", "MKVLW", "GGHHW"]);
+        let mut core = ClusterCore::new_ccd(&set);
+        core.admit_batch(&[pair(0, 1)]);
+        core.absorb(vec![accept(0, 1)]);
+        let cursor = core.cursor();
+        assert_eq!(cursor.pairs_consumed, 1);
+
+        let resumed = ClusterCore::resume_ccd(&set, cursor.clone());
+        assert_eq!(resumed.pairs_consumed(), 1);
+        assert_eq!(resumed.cursor(), cursor);
+        let (a, b) = (CcdResult::from_core(core), CcdResult::from_core(resumed));
+        assert_eq!(a.components, b.components);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn completed_cursor_rebuilds_identical_result() {
+        let set = set_of(&["MKVLW", "MKVLW", "GGHHW"]);
+        let mut core = ClusterCore::new_ccd(&set);
+        core.admit_batch(&[pair(0, 1), pair(1, 2)]);
+        core.absorb(vec![accept(0, 1)]);
+        let result = CcdResult::from_core(core);
+        let rebuilt = CcdResult::from_cursor(CcdCursor::from_result(&result, set.len()));
+        assert_eq!(rebuilt.components, result.components);
+        assert_eq!(rebuilt.edges, result.edges);
+        assert_eq!(rebuilt.n_merges, result.n_merges);
+        assert_eq!(rebuilt.trace, result.trace);
+    }
+
+    #[test]
+    fn stream_mode_accumulates_one_record() {
+        let set = set_of(&["MKVLW", "MKVLW", "MKVLW"]);
+        let mut core = ClusterCore::new_ccd(&set);
+        core.open_stream();
+        assert!(core.admit_one(&pair(0, 1)).is_some());
+        core.absorb(vec![accept(0, 1)]);
+        assert!(core.admit_one(&pair(0, 1)).is_none(), "filtered after the merge");
+        let r = CcdResult::from_core(core);
+        assert_eq!(r.trace.batches.len(), 1);
+        assert_eq!(r.trace.total_generated(), 2);
+        assert_eq!(r.trace.total_filtered(), 1);
+    }
+}

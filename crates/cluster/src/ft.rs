@@ -30,44 +30,24 @@
 //! one worker alive, the clustering is identical to the batched
 //! reference — the fault-tolerance property test sweeps seeded schedules
 //! to check exactly this.
+//!
+//! The lease bookkeeping itself lives in [`crate::policy::LeasedPull`] /
+//! [`crate::policy::serve_pull_worker`] over the [`crate::transport`]
+//! seam; this module assembles the faulty world around them and maps
+//! scheduler errors onto [`FtError`].
 
-use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-use pfam_graph::UnionFind;
-use pfam_mpi::{run_spmd_faulty, CommError, Communicator, FaultInjector, ANY_SOURCE};
-use pfam_seq::{SeqId, SequenceSet};
-use pfam_suffix::{
-    promising_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, SuffixTree,
-};
+use pfam_mpi::{run_spmd_faulty, FaultInjector};
+use pfam_seq::SequenceSet;
+use pfam_suffix::{GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
 
 use crate::ccd::CcdResult;
 use crate::config::ClusterConfig;
-use crate::trace::{BatchRecord, PhaseTrace};
-
-/// Worker → master: "I am idle, lease me a batch."
-const TAG_REQUEST: u32 = 10;
-/// Master → worker: a leased candidate batch `(lease, Vec<(a, b)>)`.
-const TAG_TASK: u32 = 11;
-/// Worker → master: `(lease, Vec<(a, b, passed, cells)>)`.
-const TAG_RESULT: u32 = 12;
-/// Master → worker: no more work, exit after acknowledging.
-const TAG_SHUTDOWN: u32 = 13;
-/// Worker → master: shutdown acknowledged.
-const TAG_BYE: u32 = 14;
-
-/// How long a lease may stay outstanding before the master assumes its
-/// task or verdict message was lost and re-enqueues the batch. Re-leasing
-/// a batch that is merely slow is harmless: the overlap test is pure and
-/// stale verdicts are discarded by lease id.
-const LEASE_TIMEOUT: Duration = Duration::from_millis(250);
-/// How long a worker waits for a task before re-sending its request
-/// (covers dropped request or task messages).
-const REQUEST_TIMEOUT: Duration = Duration::from_millis(25);
-/// How long the master waits for a shutdown acknowledgement before
-/// re-sending the shutdown message.
-const BYE_TIMEOUT: Duration = Duration::from_millis(25);
+use crate::core::{ClusterCore, CorePhase, Verifier};
+use crate::policy::{serve_pull_worker, DriveError, LeasedPull, WorkPolicy};
+use crate::source::{MinedSource, PairSource};
+use crate::transport::{MpiTransport, MpiWorkerPort};
 
 /// Why a fault-tolerant run could not produce a clustering.
 #[derive(Debug)]
@@ -92,17 +72,6 @@ impl std::fmt::Display for FtError {
 
 impl std::error::Error for FtError {}
 
-/// `(a, b, passed, full_cells, cells_computed, cells_skipped)` per task.
-type Verdicts = Vec<(u32, u32, bool, u64, u64, u64)>;
-
-/// An outstanding candidate batch: which worker holds it, what it
-/// contains (for re-issue), and when it was leased (for timeout).
-struct Lease {
-    worker: usize,
-    candidates: Vec<(u32, u32)>,
-    issued: Instant,
-}
-
 /// Run CCD on `n_ranks` ranks (1 master + workers) under `injector`,
 /// recovering from worker failures. Returns the clustering — identical
 /// components to [`crate::ccd::run_ccd`] — as long as the master and at
@@ -115,12 +84,7 @@ pub fn run_ccd_ft(
 ) -> Result<CcdResult, FtError> {
     assert!(n_ranks >= 2, "need a master and at least one worker");
     if set.is_empty() {
-        return Ok(CcdResult {
-            components: Vec::new(),
-            edges: Vec::new(),
-            n_merges: 0,
-            trace: PhaseTrace::default(),
-        });
+        return Ok(CcdResult::empty());
     }
 
     // The index is built once, before the world starts: in MPI terms this
@@ -131,300 +95,47 @@ pub fn run_ccd_ft(
     let gsa = GeneralizedSuffixArray::build_parallel(&index_set, threads);
     let tree = SuffixTree::build(&gsa);
 
-    let outcomes = run_spmd_faulty(n_ranks, injector, |comm| -> Option<Result<CcdResult, FtError>> {
-        if comm.rank() == 0 {
-            let mut generator = promising_pairs(
-                &tree,
-                MaximalMatchConfig {
-                    min_len: config.psi_ccd,
-                    max_pairs_per_node: config.max_pairs_per_node,
-                    dedup: true,
-                },
-                threads,
-            );
-            let mut result = master(comm, set, config, &mut generator);
-            if let Ok(r) = &mut result {
-                r.trace.nodes_visited = generator.stats().nodes_visited as u64;
+    let outcomes =
+        run_spmd_faulty(n_ranks, injector, |comm| -> Option<Result<CcdResult, FtError>> {
+            if comm.rank() == 0 {
+                let mut source = MinedSource::new(
+                    &tree,
+                    MaximalMatchConfig {
+                        min_len: config.psi_ccd,
+                        max_pairs_per_node: config.max_pairs_per_node,
+                        dedup: true,
+                    },
+                    threads,
+                );
+                let mut core = ClusterCore::new_ccd(set);
+                let mut transport = MpiTransport::master(comm);
+                let outcome = LeasedPull {
+                    transport: &mut transport,
+                    source: &mut source,
+                    batch_size: config.batch_size,
+                }
+                .drive(&mut core);
+                Some(match outcome {
+                    Ok(()) => {
+                        core.set_nodes_visited(source.nodes_visited());
+                        Ok(CcdResult::from_core(core))
+                    }
+                    Err(DriveError::NoWorkersLeft) => Err(FtError::NoWorkersLeft),
+                    Err(e) => Err(FtError::MasterFailed(format!("{e}"))),
+                })
+            } else {
+                let verifier = Verifier::new(config, CorePhase::Ccd);
+                let mut port = MpiWorkerPort::new(comm);
+                serve_pull_worker(&mut port, &verifier, set);
+                None
             }
-            Some(result)
-        } else {
-            worker(comm, set, config);
-            None
-        }
-    });
+        });
     let mut outcomes = outcomes.into_iter();
     match outcomes.next() {
         Some(Ok(Some(result))) => result,
         Some(Ok(None)) => Err(FtError::MasterFailed("master returned no result".into())),
         Some(Err(failure)) => Err(FtError::MasterFailed(format!("{failure:?}"))),
         None => Err(FtError::MasterFailed("empty world".into())),
-    }
-}
-
-fn master(
-    comm: &mut Communicator,
-    set: &SequenceSet,
-    config: &ClusterConfig,
-    generator: &mut dyn Iterator<Item = MatchPair>,
-) -> Result<CcdResult, FtError> {
-    let mut uf = UnionFind::new(set.len());
-    let mut edges: Vec<(SeqId, SeqId)> = Vec::new();
-    let mut n_merges = 0usize;
-    let mut trace = PhaseTrace {
-        index_residues: set.total_residues() as u64,
-        ..PhaseTrace::default()
-    };
-
-    let mut exhausted = false;
-    let mut next_lease: u64 = 0;
-    let mut outstanding: HashMap<u64, Lease> = HashMap::new();
-    // Recovered batches waiting to be re-leased, ahead of fresh pairs.
-    let mut requeued: Vec<Vec<(u32, u32)>> = Vec::new();
-
-    loop {
-        // Recover leases held by dead workers, then stale leases (their
-        // task or verdict message may have been dropped).
-        let now = Instant::now();
-        let recover: Vec<u64> = outstanding
-            .iter()
-            .filter(|(_, l)| {
-                !comm.peer_alive(l.worker) || now.duration_since(l.issued) > LEASE_TIMEOUT
-            })
-            .map(|(&id, _)| id)
-            .collect();
-        for id in recover {
-            if let Some(lease) = outstanding.remove(&id) {
-                requeued.push(lease.candidates);
-            }
-        }
-
-        let work_remains = !exhausted || !requeued.is_empty() || !outstanding.is_empty();
-        if !work_remains {
-            break;
-        }
-        if (1..comm.size()).all(|r| !comm.peer_alive(r)) {
-            return Err(FtError::NoWorkersLeft);
-        }
-
-        // Verdicts first: they sharpen the transitive-closure filter.
-        match comm.try_recv::<(u64, Verdicts)>(ANY_SOURCE, TAG_RESULT) {
-            Ok(Some((_, (lease_id, verdicts)))) => {
-                // Stale verdicts (lease already recovered and re-issued)
-                // are discarded: each batch is applied exactly once.
-                if outstanding.remove(&lease_id).is_some() {
-                    let mut task_cells = Vec::with_capacity(verdicts.len());
-                    let (mut computed, mut skipped) = (0u64, 0u64);
-                    for (a, b, passed, cells, vc, vs) in verdicts {
-                        task_cells.push(cells);
-                        computed += vc;
-                        skipped += vs;
-                        if passed {
-                            edges.push((SeqId(a), SeqId(b)));
-                            if uf.union(a, b) {
-                                n_merges += 1;
-                            }
-                        }
-                    }
-                    if let Some(last) = trace.batches.last_mut() {
-                        last.n_aligned += task_cells.len();
-                        last.align_cells += task_cells.iter().sum::<u64>();
-                        last.task_cells.extend(task_cells);
-                        last.cells_computed += computed;
-                        last.cells_skipped += skipped;
-                    }
-                }
-                continue;
-            }
-            Ok(None) => {}
-            Err(e) => return Err(master_comm_error(e)),
-        }
-
-        // Work requests: lease a recovered batch first, else generate a
-        // fresh one.
-        match comm.try_recv::<()>(ANY_SOURCE, TAG_REQUEST) {
-            Ok(Some((from, ()))) => {
-                if !comm.peer_alive(from) {
-                    continue;
-                }
-                let candidates = match requeued.pop() {
-                    Some(batch) => Some(batch),
-                    None => next_fresh_batch(
-                        generator,
-                        config,
-                        &mut uf,
-                        &mut trace,
-                        &mut exhausted,
-                    ),
-                };
-                if let Some(candidates) = candidates {
-                    let lease_id = next_lease;
-                    next_lease += 1;
-                    match comm.send(from, TAG_TASK, (lease_id, candidates.clone())) {
-                        Ok(()) => {
-                            outstanding.insert(
-                                lease_id,
-                                Lease { worker: from, candidates, issued: Instant::now() },
-                            );
-                        }
-                        // The worker died between requesting and being
-                        // served: keep the batch for a survivor.
-                        Err(CommError::PeerExited { .. }) => requeued.push(candidates),
-                        Err(e) => return Err(master_comm_error(e)),
-                    }
-                }
-                // No work available right now (all in flight): stay
-                // silent — the worker re-requests after its timeout.
-                continue;
-            }
-            Ok(None) => {}
-            Err(e) => return Err(master_comm_error(e)),
-        }
-
-        std::thread::yield_now();
-    }
-
-    shutdown_workers(comm)?;
-
-    let components = uf
-        .groups()
-        .into_iter()
-        .map(|g| g.into_iter().map(SeqId).collect())
-        .collect();
-    Ok(CcdResult { components, edges, n_merges, trace })
-}
-
-/// Pull pairs from the generator until a batch survives the
-/// transitive-closure filter (or the generator runs dry). Each generated
-/// batch is recorded in the trace exactly once, whether or not any
-/// candidate survives.
-fn next_fresh_batch(
-    generator: &mut dyn Iterator<Item = MatchPair>,
-    config: &ClusterConfig,
-    uf: &mut UnionFind,
-    trace: &mut PhaseTrace,
-    exhausted: &mut bool,
-) -> Option<Vec<(u32, u32)>> {
-    while !*exhausted {
-        let mut batch: Vec<(u32, u32)> = Vec::with_capacity(config.batch_size);
-        while batch.len() < config.batch_size {
-            match generator.next() {
-                Some(MatchPair { a, b, .. }) => batch.push((a.0, b.0)),
-                None => break,
-            }
-        }
-        if batch.len() < config.batch_size {
-            *exhausted = true;
-        }
-        if batch.is_empty() {
-            return None;
-        }
-        let n_generated = batch.len();
-        let candidates: Vec<(u32, u32)> =
-            batch.into_iter().filter(|&(a, b)| !uf.same(a, b)).collect();
-        trace.batches.push(BatchRecord {
-            n_generated,
-            n_filtered: n_generated - candidates.len(),
-            n_aligned: 0,
-            align_cells: 0,
-            task_cells: Vec::new(),
-            cells_computed: 0,
-            cells_skipped: 0,
-        });
-        if !candidates.is_empty() {
-            return Some(candidates);
-        }
-    }
-    None
-}
-
-/// Tell every surviving worker to exit and wait for acknowledgements,
-/// re-sending on timeout so dropped shutdown messages cannot strand a
-/// worker (fault schedules are finite, so retries eventually land).
-fn shutdown_workers(comm: &mut Communicator) -> Result<(), FtError> {
-    let mut pending: Vec<usize> = (1..comm.size()).filter(|&r| comm.peer_alive(r)).collect();
-    while !pending.is_empty() {
-        for &w in &pending {
-            match comm.send(w, TAG_SHUTDOWN, ()) {
-                Ok(()) | Err(CommError::PeerExited { .. }) => {}
-                Err(e) => return Err(master_comm_error(e)),
-            }
-        }
-        let deadline = Instant::now() + BYE_TIMEOUT;
-        while Instant::now() < deadline && !pending.is_empty() {
-            match comm.try_recv::<()>(ANY_SOURCE, TAG_BYE) {
-                Ok(Some((from, ()))) => pending.retain(|&w| w != from),
-                Ok(None) => {
-                    // A worker that never saw the shutdown may still be
-                    // re-requesting work: answer with another shutdown.
-                    match comm.try_recv::<()>(ANY_SOURCE, TAG_REQUEST) {
-                        Ok(Some(_)) | Ok(None) => {}
-                        Err(e) => return Err(master_comm_error(e)),
-                    }
-                    std::thread::yield_now();
-                }
-                Err(e) => return Err(master_comm_error(e)),
-            }
-            pending.retain(|&w| comm.peer_alive(w));
-        }
-        pending.retain(|&w| comm.peer_alive(w));
-    }
-    // Late stale verdicts are abandoned with the world; nothing to drain.
-    Ok(())
-}
-
-fn master_comm_error(e: CommError) -> FtError {
-    FtError::MasterFailed(format!("{e}"))
-}
-
-/// A worker is a stateless alignment server: request, align, answer,
-/// repeat. Any communicator error — most importantly its own injected
-/// kill — ends the loop; the master recovers whatever this worker held.
-fn worker(comm: &mut Communicator, set: &SequenceSet, config: &ClusterConfig) {
-    // Leased candidate lists carry no anchors, so the engine probes from
-    // scratch (anchor `None`); verdicts are engine-independent either way.
-    let engine = config.engine();
-    loop {
-        if comm.send(0, TAG_REQUEST, ()).is_err() {
-            return; // own kill, or the master is gone
-        }
-        let deadline = Instant::now() + REQUEST_TIMEOUT;
-        loop {
-            match comm.try_recv::<()>(0, TAG_SHUTDOWN) {
-                Ok(Some(_)) => {
-                    let _ = comm.send(0, TAG_BYE, ());
-                    return;
-                }
-                Ok(None) => {}
-                Err(_) => return,
-            }
-            match comm.try_recv::<(u64, Vec<(u32, u32)>)>(0, TAG_TASK) {
-                Ok(Some((_, (lease_id, candidates)))) => {
-                    let verdicts: Verdicts = candidates
-                        .into_iter()
-                        .map(|(a, b)| {
-                            let x = set.codes(SeqId(a));
-                            let y = set.codes(SeqId(b));
-                            let cells = (x.len() as u64) * (y.len() as u64);
-                            let v = engine.overlaps(x, y, None);
-                            (a, b, v.accept, cells, v.cells_computed, v.cells_skipped)
-                        })
-                        .collect();
-                    if comm.send(0, TAG_RESULT, (lease_id, verdicts)).is_err() {
-                        return;
-                    }
-                    break; // back to requesting
-                }
-                Ok(None) => {}
-                Err(_) => return,
-            }
-            if !comm.peer_alive(0) {
-                return;
-            }
-            if Instant::now() >= deadline {
-                break; // re-send the request (it may have been dropped)
-            }
-            std::thread::yield_now();
-        }
     }
 }
 
@@ -465,8 +176,7 @@ mod tests {
         let config = ClusterConfig::default();
         let reference = run_ccd(&d.set, &config);
         for ranks in [2usize, 4] {
-            let ft = run_ccd_ft(&d.set, &config, ranks, Arc::new(NoFaults))
-                .expect("healthy world");
+            let ft = run_ccd_ft(&d.set, &config, ranks, Arc::new(NoFaults)).expect("healthy world");
             assert_eq!(ft.components, reference.components, "{ranks} ranks");
             assert_eq!(ft.n_merges, reference.n_merges);
         }
@@ -478,8 +188,7 @@ mod tests {
         let config = ClusterConfig { batch_size: 16, ..ClusterConfig::default() };
         let reference = run_ccd(&d.set, &config);
         // Kill worker 1 early and worker 3 later; 2 survives.
-        let script =
-            Arc::new(Script { kills: vec![(1, 4), (3, 30)], drops: Vec::new() });
+        let script = Arc::new(Script { kills: vec![(1, 4), (3, 30)], drops: Vec::new() });
         let ft = run_ccd_ft(&d.set, &config, 4, script).expect("a worker survives");
         assert_eq!(ft.components, reference.components);
     }
@@ -502,8 +211,7 @@ mod tests {
     fn all_workers_dead_is_an_error_not_a_hang() {
         let d = dataset(144);
         let config = ClusterConfig::default();
-        let script =
-            Arc::new(Script { kills: vec![(1, 0), (2, 0)], drops: Vec::new() });
+        let script = Arc::new(Script { kills: vec![(1, 0), (2, 0)], drops: Vec::new() });
         match run_ccd_ft(&d.set, &config, 3, script) {
             Err(FtError::NoWorkersLeft) => {}
             other => panic!("expected NoWorkersLeft, got {other:?}"),

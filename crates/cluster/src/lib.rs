@@ -4,6 +4,13 @@
 //! The parallel heart of the pipeline (Sections IV-A to IV-C of the
 //! paper):
 //!
+//! * [`core`] — the one `ClusterCore` state machine behind every RR/CCD
+//!   driver: union-find + pair filter + accept/reject bookkeeping +
+//!   checkpoint cursor + trace hooks, mutated nowhere else.
+//! * [`source`] / [`transport`] / [`policy`] — the three pluggable axes
+//!   around the core: where pairs come from, how candidate batches and
+//!   verdicts travel, and who drives the loop. Every public `run_*`
+//!   entry point is a thin composition of these.
 //! * [`rr`] — redundancy removal: drop sequences ≥95 %-contained in
 //!   another, candidates from the maximal-match generator, containment
 //!   verified by alignment in parallel batches.
@@ -27,20 +34,34 @@ pub mod baseline;
 pub mod bgg;
 pub mod ccd;
 pub mod config;
+pub mod core;
 pub mod ft;
 pub(crate) mod mask;
 pub mod master_worker;
+pub mod policy;
 pub mod rr;
+pub mod source;
 pub mod spmd;
 pub mod trace;
+pub mod transport;
 
+pub use crate::core::{Candidate, ClusterCore, CorePhase, Verdict, Verifier};
 pub use baseline::{core_set_clusters, run_all_pairs_baseline, BaselineResult};
 pub use bgg::{all_component_graphs, component_graph, ComponentGraph};
 pub use ccd::{run_ccd, run_ccd_from_pairs, run_ccd_resumable, CcdCursor, CcdResult};
+pub use config::ClusterConfig;
 pub use ft::{run_ccd_ft, FtError};
 pub use master_worker::{run_ccd_master_worker, run_ccd_master_worker_with, MwError, MwStats};
-pub use config::ClusterConfig;
 pub use pfam_align::{AlignEngine, AlignEngineKind};
+pub use policy::{
+    serve_pull_worker, serve_push_worker, BatchedPush, DriveError, LeasedPull, MwDispatch,
+    SpmdPush, WorkPolicy,
+};
 pub use rr::{run_redundancy_removal, RrResult};
+pub use source::{with_mined_source, IterSource, MinedSource, PairSource};
 pub use spmd::{run_ccd_spmd, run_rr_spmd};
 pub use trace::{BatchRecord, PhaseKind, PhaseTrace};
+pub use transport::{
+    LocalPort, LocalTransport, MasterMsg, MpiTransport, MpiWorkerPort, Transport, TransportError,
+    WorkerMsg, WorkerPort,
+};

@@ -16,18 +16,18 @@
 //! function is caught on the worker thread and reported to the master as
 //! a failure message, so the run returns [`MwError::WorkerPanicked`]
 //! instead of deadlocking on a lost task or unwinding through the scope.
+//!
+//! The dispatch loop itself is [`crate::policy::MwDispatch`] over the
+//! in-process [`crate::transport::LocalTransport`]; this entry point
+//! resolves the pool size and maps scheduler errors onto [`MwError`].
 
-use std::panic::AssertUnwindSafe;
-
-use crossbeam::channel;
-
-use pfam_graph::UnionFind;
-use pfam_seq::{SeqId, SequenceSet};
-use pfam_suffix::{GeneralizedSuffixArray, MaximalMatchConfig, MaximalMatchGenerator, SuffixTree};
+use pfam_seq::SequenceSet;
 
 use crate::ccd::CcdResult;
 use crate::config::ClusterConfig;
-use crate::trace::{BatchRecord, PhaseTrace};
+use crate::core::ClusterCore;
+use crate::policy::{DriveError, MwDispatch, WorkPolicy};
+use crate::source::{with_mined_source, PairSource};
 
 /// Statistics specific to the threaded run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,12 +55,6 @@ impl std::fmt::Display for MwError {
 }
 
 impl std::error::Error for MwError {}
-
-/// What a worker reports back: a verdict, or its own death.
-enum WorkerMsg {
-    Verdict(SeqId, SeqId, bool, u64),
-    Failed(String),
-}
 
 /// Run CCD with `n_workers` real worker threads and a streaming master.
 ///
@@ -98,164 +92,26 @@ where
         n_workers
     };
     if set.is_empty() {
-        return Ok((
-            CcdResult {
-                components: Vec::new(),
-                edges: Vec::new(),
-                n_merges: 0,
-                trace: PhaseTrace::default(),
-            },
-            MwStats { n_workers, peak_in_flight: 0 },
-        ));
+        return Ok((CcdResult::empty(), MwStats { n_workers, peak_in_flight: 0 }));
     }
 
-    let index_set = crate::mask::index_view(set, &config.mask);
-    let gsa = GeneralizedSuffixArray::build(&index_set);
-    let tree = SuffixTree::build(&gsa);
-    let mut generator = MaximalMatchGenerator::new(
-        &tree,
-        MaximalMatchConfig {
-            min_len: config.psi_ccd,
-            max_pairs_per_node: config.max_pairs_per_node,
-            dedup: true,
-        },
-    );
-
-    let mut uf = UnionFind::new(set.len());
-    let mut edges = Vec::new();
-    let mut n_merges = 0usize;
-    let mut n_generated = 0usize;
-    let mut n_filtered = 0usize;
-    let mut task_cells: Vec<u64> = Vec::new();
-    let mut peak_in_flight = 0usize;
-    let mut failure: Option<String> = None;
-
-    // Bounded task queue applies back-pressure on the master; results are
-    // unbounded (workers never block on reporting).
-    let (task_tx, task_rx) = channel::bounded::<(SeqId, SeqId)>(4 * n_workers);
-    let (result_tx, result_rx) = channel::unbounded::<WorkerMsg>();
-
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            let task_rx = task_rx.clone();
-            let result_tx = result_tx.clone();
-            scope.spawn(move || {
-                for (a, b) in task_rx.iter() {
-                    // Contain panics on the worker: report and exit the
-                    // thread cleanly instead of unwinding through the
-                    // scope (which would lose the in-flight task and
-                    // abort every other worker's progress).
-                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        let x = set.codes(a);
-                        let y = set.codes(b);
-                        let cells = (x.len() as u64) * (y.len() as u64);
-                        (verify(x, y), cells)
-                    }));
-                    let msg = match outcome {
-                        Ok((verdict, cells)) => WorkerMsg::Verdict(a, b, verdict, cells),
-                        Err(payload) => {
-                            let _ = result_tx
-                                .send(WorkerMsg::Failed(panic_message(payload.as_ref())));
-                            break;
-                        }
-                    };
-                    if result_tx.send(msg).is_err() {
-                        break;
-                    }
-                }
-            });
+    // The streaming master consumes pairs one at a time from the serial
+    // generator (threads = 1): parallelism lives in the worker pool here,
+    // not in the mining.
+    with_mined_source(set, config, config.psi_ccd, 1, |source| {
+        let mut core = ClusterCore::new_ccd(set);
+        let mut policy = MwDispatch { source: &mut *source, verify, n_workers, peak_in_flight: 0 };
+        let outcome = policy.drive(&mut core);
+        let peak_in_flight = policy.peak_in_flight;
+        match outcome {
+            Ok(()) => {
+                core.set_nodes_visited(source.nodes_visited());
+                Ok((CcdResult::from_core(core), MwStats { n_workers, peak_in_flight }))
+            }
+            Err(DriveError::WorkerPanicked(msg)) => Err(MwError::WorkerPanicked(msg)),
+            Err(e) => unreachable!("the in-process transport cannot fail: {e}"),
         }
-        drop(task_rx);
-        drop(result_tx);
-
-        // The master loop: feed tasks, absorb results as they arrive.
-        let mut in_flight = 0usize;
-        let mut apply = |msg: WorkerMsg,
-                         uf: &mut UnionFind,
-                         failure: &mut Option<String>,
-                         task_cells: &mut Vec<u64>| {
-            match msg {
-                WorkerMsg::Verdict(a, b, passed, cells) => {
-                    task_cells.push(cells);
-                    if passed {
-                        edges.push((a, b));
-                        if uf.union(a.0, b.0) {
-                            n_merges += 1;
-                        }
-                    }
-                }
-                WorkerMsg::Failed(msg) => {
-                    failure.get_or_insert(msg);
-                }
-            }
-        };
-        for pair in generator.by_ref() {
-            n_generated += 1;
-            // Absorb any finished results first — they sharpen the filter.
-            while let Ok(msg) = result_rx.try_recv() {
-                in_flight -= 1;
-                apply(msg, &mut uf, &mut failure, &mut task_cells);
-            }
-            if failure.is_some() {
-                break; // stop feeding a failing pool
-            }
-            if uf.same(pair.a.0, pair.b.0) {
-                n_filtered += 1;
-                continue;
-            }
-            if task_tx.send((pair.a, pair.b)).is_err() {
-                // Every worker has exited — possible only after a panic;
-                // the drain below picks up the failure message.
-                break;
-            }
-            in_flight += 1;
-            peak_in_flight = peak_in_flight.max(in_flight);
-        }
-        drop(task_tx);
-        for msg in result_rx.iter() {
-            apply(msg, &mut uf, &mut failure, &mut task_cells);
-        }
-    });
-
-    if let Some(msg) = failure {
-        return Err(MwError::WorkerPanicked(msg));
-    }
-
-    let trace = PhaseTrace {
-        index_residues: set.total_residues() as u64,
-        nodes_visited: generator.stats().nodes_visited as u64,
-        batches: vec![BatchRecord {
-            n_generated,
-            n_filtered,
-            n_aligned: task_cells.len(),
-            align_cells: task_cells.iter().sum(),
-            task_cells,
-            // The injectable verify closure returns only a verdict, so
-            // per-tier engine counters cannot be recorded on this path.
-            cells_computed: 0,
-            cells_skipped: 0,
-        }],
-    };
-    let components = uf
-        .groups()
-        .into_iter()
-        .map(|g| g.into_iter().map(SeqId).collect())
-        .collect();
-    Ok((
-        CcdResult { components, edges, n_merges, trace },
-        MwStats { n_workers, peak_in_flight },
-    ))
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_string()
-    }
+    })
 }
 
 #[cfg(test)]
@@ -320,8 +176,7 @@ mod tests {
         const FAM: &str = "MKVLWAAKNDCQEGHILKMFPSTWYV";
         let seqs = vec![FAM; 10];
         let set = set_of(&seqs);
-        let (r, stats) =
-            ok(run_ccd_master_worker(&set, &ClusterConfig::for_short_sequences(), 4));
+        let (r, stats) = ok(run_ccd_master_worker(&set, &ClusterConfig::for_short_sequences(), 4));
         assert_eq!(r.components.len(), 1);
         assert!(stats.peak_in_flight >= 1);
         // The streaming filter's savings depend on how fast verdicts come
@@ -334,8 +189,7 @@ mod tests {
     #[test]
     fn zero_workers_uses_available_parallelism() {
         let set = set_of(&["MKVLWAAKND", "MKVLWAAKND"]);
-        let (r, stats) =
-            ok(run_ccd_master_worker(&set, &ClusterConfig::for_short_sequences(), 0));
+        let (r, stats) = ok(run_ccd_master_worker(&set, &ClusterConfig::for_short_sequences(), 0));
         assert!(stats.n_workers >= 1);
         assert_eq!(r.components.len(), 1);
     }

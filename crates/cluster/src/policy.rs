@@ -1,0 +1,611 @@
+//! Who drives the clustering loop — the third pluggable axis around
+//! [`ClusterCore`].
+//!
+//! A [`WorkPolicy`] owns the control flow of one phase run: it pulls from
+//! a [`PairSource`], routes candidates through the core's filter, gets
+//! them verified (locally or across a [`Transport`]), and folds verdicts
+//! back into the core. Four policies cover every driver in this crate:
+//!
+//! * [`BatchedPush`] — the deterministic reference loop: batch, filter,
+//!   verify across the rayon pool, absorb; optional checkpoint cursor
+//!   emission at batch boundaries.
+//! * [`MwDispatch`] — the streaming threaded master–worker engine: a
+//!   bounded shared task queue with back-pressure, per-pair dispatch,
+//!   panic containment on the workers.
+//! * [`SpmdPush`] — the paper's Section IV-B protocol: workers own
+//!   rank-partitioned slices of the suffix space and push pair batches to
+//!   the master, which filters and returns the survivors to the same
+//!   worker for alignment.
+//! * [`LeasedPull`] — the fault-tolerant scheduler: the master owns the
+//!   source, workers pull leases; leases held by dead or silent workers
+//!   are re-enqueued, stale verdicts are discarded by lease id.
+//!
+//! The worker halves of the distributed policies are free functions
+//! ([`serve_push_worker`], [`serve_pull_worker`]) run on worker ranks or
+//! threads against any [`WorkerPort`].
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::time::{Duration, Instant};
+
+use pfam_seq::{SeqId, SequenceSet};
+use pfam_suffix::MatchPair;
+
+use crate::core::{Candidate, CcdCursor, ClusterCore, Verdict, Verifier};
+use crate::source::PairSource;
+use crate::transport::{MasterMsg, Transport, TransportError, WorkerMsg, WorkerPort};
+
+/// How long a lease may stay outstanding before the master assumes its
+/// task or verdict message was lost and re-enqueues the batch. Re-leasing
+/// a batch that is merely slow is harmless: verification is pure and
+/// stale verdicts are discarded by lease id.
+pub const LEASE_TIMEOUT: Duration = Duration::from_millis(250);
+/// How long a pull worker waits for a task before re-sending its request
+/// (covers dropped request or task messages).
+pub const REQUEST_TIMEOUT: Duration = Duration::from_millis(25);
+/// How long the master waits for a shutdown acknowledgement before
+/// re-sending the shutdown message.
+pub const BYE_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Why a policy could not drive its phase to completion.
+#[derive(Debug)]
+pub enum DriveError {
+    /// Every worker died while leased or queued work remained.
+    NoWorkersLeft,
+    /// A worker thread panicked while verifying a pair.
+    WorkerPanicked(String),
+    /// The transport failed fatally (own rank killed, world torn down).
+    Transport(String),
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::NoWorkersLeft => {
+                write!(f, "all workers died with work still outstanding")
+            }
+            DriveError::WorkerPanicked(msg) => write!(f, "worker thread panicked: {msg}"),
+            DriveError::Transport(msg) => write!(f, "transport failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+fn fatal(e: TransportError) -> DriveError {
+    DriveError::Transport(format!("{e}"))
+}
+
+/// One execution strategy for a phase run: pulls pairs, verifies the
+/// survivors, and folds verdicts into `core` until the supply is dry.
+pub trait WorkPolicy {
+    /// Drive `core` to completion.
+    fn drive(&mut self, core: &mut ClusterCore<'_>) -> Result<(), DriveError>;
+}
+
+/// The deterministic batched reference loop (rayon-parallel verification,
+/// optional checkpoint emission). This is the policy whose trace and
+/// cursor semantics the checkpoint-resume suites pin down.
+pub struct BatchedPush<'a, S: PairSource + ?Sized> {
+    /// Where pairs come from.
+    pub source: &'a mut S,
+    /// Verdict computation for this phase.
+    pub verifier: &'a Verifier,
+    /// Pairs per master round.
+    pub batch_size: usize,
+    /// Emit a cursor every this many batches (0 disables; CCD only).
+    pub checkpoint_every: usize,
+    /// Checkpoint sink.
+    pub on_checkpoint: &'a mut dyn FnMut(&CcdCursor),
+}
+
+impl<S: PairSource + ?Sized> WorkPolicy for BatchedPush<'_, S> {
+    fn drive(&mut self, core: &mut ClusterCore<'_>) -> Result<(), DriveError> {
+        let mut batches_since_checkpoint = 0usize;
+        loop {
+            let batch = self.source.next_batch(self.batch_size);
+            if batch.is_empty() {
+                break;
+            }
+            let candidates = core.admit_batch(&batch);
+            let verdicts = self.verifier.verify_par(core.set(), &candidates);
+            core.absorb(verdicts);
+            batches_since_checkpoint += 1;
+            if self.checkpoint_every > 0 && batches_since_checkpoint >= self.checkpoint_every {
+                batches_since_checkpoint = 0;
+                (self.on_checkpoint)(&core.cursor());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The streaming threaded master–worker engine: `n_workers` scoped
+/// threads pull single-pair tasks from a bounded shared queue (bound
+/// `4 × n_workers` — back-pressure on the master), verdicts stream back
+/// asynchronously, and a panic inside `verify` is caught on the worker
+/// and surfaced as [`DriveError::WorkerPanicked`] instead of deadlocking
+/// the pool.
+pub struct MwDispatch<'a, S: PairSource + ?Sized, V: Fn(&[u8], &[u8]) -> bool + Sync> {
+    /// Where pairs come from (consumed one at a time).
+    pub source: &'a mut S,
+    /// The verification function (injectable for fault tests).
+    pub verify: &'a V,
+    /// Worker thread count (must be ≥ 1; resolve 0 before constructing).
+    pub n_workers: usize,
+    /// Out-parameter: maximum tasks in flight at once.
+    pub peak_in_flight: usize,
+}
+
+impl<S, V> WorkPolicy for MwDispatch<'_, S, V>
+where
+    S: PairSource + ?Sized,
+    V: Fn(&[u8], &[u8]) -> bool + Sync,
+{
+    fn drive(&mut self, core: &mut ClusterCore<'_>) -> Result<(), DriveError> {
+        let set = core.set();
+        let verify = self.verify;
+        let (mut transport, ports) =
+            crate::transport::LocalTransport::new(self.n_workers, 4 * self.n_workers);
+        core.open_stream();
+        let mut failure: Option<String> = None;
+        let mut peak = 0usize;
+
+        std::thread::scope(|scope| {
+            for mut port in ports {
+                scope.spawn(move || {
+                    while let Some(MasterMsg::Task { candidates, .. }) = port.recv_shared() {
+                        let (a, b) = candidates[0];
+                        // Contain panics on the worker: report and exit
+                        // the thread cleanly instead of unwinding through
+                        // the scope (which would lose the in-flight task
+                        // and abort every other worker's progress).
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let x = set.codes(SeqId(a));
+                            let y = set.codes(SeqId(b));
+                            let cells = (x.len() as u64) * (y.len() as u64);
+                            (verify(x, y), cells)
+                        }));
+                        let msg = match outcome {
+                            Ok((accept, cells)) => WorkerMsg::Verdicts {
+                                lease: 0,
+                                verdicts: vec![Verdict {
+                                    a,
+                                    b,
+                                    accept,
+                                    cells,
+                                    // The injectable verify closure returns
+                                    // only a verdict, so per-tier engine
+                                    // counters cannot be recorded here.
+                                    cells_computed: 0,
+                                    cells_skipped: 0,
+                                }],
+                            },
+                            Err(payload) => {
+                                let _ = WorkerPort::send(
+                                    &mut port,
+                                    WorkerMsg::Failed(panic_message(payload.as_ref())),
+                                );
+                                break;
+                            }
+                        };
+                        if WorkerPort::send(&mut port, msg).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            let mut in_flight = 0usize;
+            let apply = |msg: WorkerMsg,
+                         core: &mut ClusterCore<'_>,
+                         failure: &mut Option<String>| {
+                match msg {
+                    WorkerMsg::Verdicts { verdicts, .. } => core.absorb(verdicts),
+                    WorkerMsg::Failed(msg) => {
+                        failure.get_or_insert(msg);
+                    }
+                    _ => {}
+                }
+            };
+            while let Some(pair) = self.source.next_batch(1).pop() {
+                // Absorb finished results first — they sharpen the filter.
+                while let Ok(Some((_, msg))) = transport.try_recv() {
+                    in_flight -= 1;
+                    apply(msg, core, &mut failure);
+                }
+                if failure.is_some() {
+                    break; // stop feeding a failing pool
+                }
+                let candidate = match core.admit_one(&pair) {
+                    Some(c) => c,
+                    None => continue,
+                };
+                if transport
+                    .send_shared(MasterMsg::Task {
+                        lease: 0,
+                        candidates: vec![(candidate.a.0, candidate.b.0)],
+                    })
+                    .is_err()
+                {
+                    // Every worker has exited — possible only after a
+                    // panic; the drain below picks up the failure message.
+                    break;
+                }
+                in_flight += 1;
+                peak = peak.max(in_flight);
+            }
+            transport.close_shared();
+            while let Some((_, msg)) = transport.recv_blocking() {
+                apply(msg, core, &mut failure);
+            }
+        });
+
+        self.peak_in_flight = peak;
+        match failure {
+            Some(msg) => Err(DriveError::WorkerPanicked(msg)),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Reconstruct filterable pairs from their wire form (anchors do not
+/// cross the wire; match lengths are not needed by the filter).
+fn wire_pairs(pairs: &[(u32, u32)]) -> Vec<MatchPair> {
+    pairs.iter().map(|&(a, b)| MatchPair::new(SeqId(a), SeqId(b), 0)).collect()
+}
+
+/// Strip candidates to their wire form.
+fn wire_candidates(candidates: &[Candidate]) -> Vec<(u32, u32)> {
+    candidates.iter().map(|c| (c.a.0, c.b.0)).collect()
+}
+
+/// The master half of the paper's push protocol: workers mine their own
+/// slice of the suffix space and push pair batches; the master filters
+/// each batch against the live clustering and returns the survivors to
+/// the *same* worker for verification. Assumes a healthy world — any
+/// transport fault is an error, not a tolerated event.
+pub struct SpmdPush<'a, T: Transport + ?Sized> {
+    /// The worker pool.
+    pub transport: &'a mut T,
+}
+
+impl<T: Transport + ?Sized> WorkPolicy for SpmdPush<'_, T> {
+    fn drive(&mut self, core: &mut ClusterCore<'_>) -> Result<(), DriveError> {
+        let t = &mut *self.transport;
+        let n_workers = t.n_workers();
+        let mut workers_done = 0usize;
+        // Per-worker: how many candidate batches are still in flight.
+        let mut outstanding = vec![0usize; n_workers];
+
+        while workers_done < n_workers || outstanding.iter().sum::<usize>() > 0 {
+            match t.try_recv().map_err(fatal)? {
+                Some((w, WorkerMsg::Verdicts { verdicts, .. })) => {
+                    outstanding[w] -= 1;
+                    core.absorb(verdicts);
+                }
+                Some((w, WorkerMsg::Pairs { pairs, exhausted })) => {
+                    // Every pushed batch is recorded, even when all of its
+                    // pairs are filtered (or it is the empty final batch).
+                    let candidates = core.admit_batch(&wire_pairs(&pairs));
+                    if !candidates.is_empty() {
+                        outstanding[w] += 1;
+                        t.send(
+                            w,
+                            MasterMsg::Task { lease: 0, candidates: wire_candidates(&candidates) },
+                        )
+                        .map_err(fatal)?;
+                    }
+                    if exhausted {
+                        workers_done += 1;
+                        t.send(w, MasterMsg::SourceDone).map_err(fatal)?;
+                    }
+                }
+                Some(_) => {}
+                None => std::thread::yield_now(),
+            }
+        }
+        // Release workers: they exit after the SourceDone message once no
+        // more candidate batches can arrive (outstanding drained above).
+        t.barrier().map_err(fatal)?;
+        Ok(())
+    }
+}
+
+/// The worker half of the push protocol: mine a batch from `source`,
+/// push it, serve candidate tasks while waiting, leave after the
+/// master's [`MasterMsg::SourceDone`]. Panics on transport faults — the
+/// push protocol assumes a healthy world (fault tolerance lives in
+/// [`LeasedPull`]).
+pub fn serve_push_worker<P, S>(
+    port: &mut P,
+    source: &mut S,
+    verifier: &Verifier,
+    set: &SequenceSet,
+    batch_size: usize,
+) where
+    P: WorkerPort + ?Sized,
+    S: PairSource + ?Sized,
+{
+    fn healthy<X>(r: Result<X, TransportError>) -> X {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("spmd world must stay healthy: {e}"),
+        }
+    }
+    let answer = |port: &mut P, candidates: Vec<(u32, u32)>| {
+        let verdicts = verify_wire(verifier, set, &candidates);
+        healthy(port.send(WorkerMsg::Verdicts { lease: 0, verdicts }));
+    };
+
+    let mut exhausted = false;
+    while !exhausted {
+        // Mine the next batch from this worker's slice.
+        let batch = source.next_batch(batch_size);
+        exhausted = batch.len() < batch_size;
+        let pairs = batch.iter().map(|p| (p.a.0, p.b.0)).collect();
+        healthy(port.send(WorkerMsg::Pairs { pairs, exhausted }));
+        // Serve candidate tasks while waiting; the SourceDone ack only
+        // comes after the master has seen our exhausted flag.
+        loop {
+            match healthy(port.try_recv()) {
+                Some(MasterMsg::Task { candidates, .. }) => {
+                    answer(port, candidates);
+                    continue;
+                }
+                Some(MasterMsg::SourceDone) => {
+                    // Final drain: answer any candidates still queued.
+                    while let Some(MasterMsg::Task { candidates, .. }) = healthy(port.try_recv()) {
+                        answer(port, candidates);
+                    }
+                    healthy(port.barrier());
+                    return;
+                }
+                Some(MasterMsg::Shutdown) | None => {}
+            }
+            if !exhausted {
+                // Produce the next pair batch eagerly.
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+    unreachable!("worker exits via the SourceDone path");
+}
+
+/// An outstanding candidate batch: which worker holds it, what it
+/// contains (for re-issue), and when it was leased (for timeout).
+struct Lease {
+    worker: usize,
+    candidates: Vec<(u32, u32)>,
+    issued: Instant,
+}
+
+/// The fault-tolerant pull scheduler: the master owns the pair source and
+/// all work state; workers are stateless verification servers that pull
+/// leases. A lease is recovered — re-enqueued for any surviving worker —
+/// when its worker is observed dead on the liveness board or when it
+/// times out (covers dropped task/verdict messages). Stale verdicts are
+/// discarded by lease id, so no batch is ever applied twice.
+pub struct LeasedPull<'a, T: Transport + ?Sized, S: PairSource + ?Sized> {
+    /// The worker pool (fallible).
+    pub transport: &'a mut T,
+    /// The master-owned pair supply.
+    pub source: &'a mut S,
+    /// Pairs per fresh lease.
+    pub batch_size: usize,
+}
+
+impl<T, S> LeasedPull<'_, T, S>
+where
+    T: Transport + ?Sized,
+    S: PairSource + ?Sized,
+{
+    /// Pull pairs from the source until a batch survives the filter (or
+    /// the source runs dry). Each fresh batch is recorded in the trace
+    /// exactly once, whether or not any candidate survives.
+    fn next_fresh_batch(
+        &mut self,
+        core: &mut ClusterCore<'_>,
+        exhausted: &mut bool,
+    ) -> Option<Vec<(u32, u32)>> {
+        while !*exhausted {
+            let batch = self.source.next_batch(self.batch_size);
+            if batch.len() < self.batch_size {
+                *exhausted = true;
+            }
+            if batch.is_empty() {
+                return None;
+            }
+            let candidates = core.admit_batch(&batch);
+            if !candidates.is_empty() {
+                return Some(wire_candidates(&candidates));
+            }
+        }
+        None
+    }
+
+    /// Tell every surviving worker to exit and wait for acknowledgements,
+    /// re-sending on timeout so dropped shutdown messages cannot strand a
+    /// worker (fault schedules are finite, so retries eventually land).
+    fn shutdown_workers(&mut self) -> Result<(), DriveError> {
+        let t = &mut *self.transport;
+        let mut pending: Vec<usize> = (0..t.n_workers()).filter(|&w| t.worker_alive(w)).collect();
+        while !pending.is_empty() {
+            for &w in &pending {
+                match t.send(w, MasterMsg::Shutdown) {
+                    Ok(()) | Err(TransportError::PeerGone) => {}
+                    Err(e) => return Err(fatal(e)),
+                }
+            }
+            let deadline = Instant::now() + BYE_TIMEOUT;
+            while Instant::now() < deadline && !pending.is_empty() {
+                match t.try_recv() {
+                    Ok(Some((w, WorkerMsg::Bye))) => pending.retain(|&x| x != w),
+                    // Re-requests from workers that never saw the shutdown
+                    // get another shutdown on the next outer round; stale
+                    // verdicts are abandoned with the world.
+                    Ok(Some(_)) => {}
+                    Ok(None) => std::thread::yield_now(),
+                    Err(TransportError::PeerGone) => {}
+                    Err(e) => return Err(fatal(e)),
+                }
+                pending.retain(|&w| t.worker_alive(w));
+            }
+            pending.retain(|&w| t.worker_alive(w));
+        }
+        Ok(())
+    }
+}
+
+impl<T, S> WorkPolicy for LeasedPull<'_, T, S>
+where
+    T: Transport + ?Sized,
+    S: PairSource + ?Sized,
+{
+    fn drive(&mut self, core: &mut ClusterCore<'_>) -> Result<(), DriveError> {
+        let mut exhausted = false;
+        let mut next_lease: u64 = 0;
+        let mut outstanding: HashMap<u64, Lease> = HashMap::new();
+        // Recovered batches waiting to be re-leased, ahead of fresh pairs.
+        let mut requeued: Vec<Vec<(u32, u32)>> = Vec::new();
+
+        loop {
+            // Recover leases held by dead workers, then stale leases
+            // (their task or verdict message may have been dropped).
+            let now = Instant::now();
+            let recover: Vec<u64> = outstanding
+                .iter()
+                .filter(|(_, l)| {
+                    !self.transport.worker_alive(l.worker)
+                        || now.duration_since(l.issued) > LEASE_TIMEOUT
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in recover {
+                if let Some(lease) = outstanding.remove(&id) {
+                    requeued.push(lease.candidates);
+                }
+            }
+
+            let work_remains = !exhausted || !requeued.is_empty() || !outstanding.is_empty();
+            if !work_remains {
+                break;
+            }
+            if (0..self.transport.n_workers()).all(|w| !self.transport.worker_alive(w)) {
+                return Err(DriveError::NoWorkersLeft);
+            }
+
+            match self.transport.try_recv() {
+                Ok(Some((_, WorkerMsg::Verdicts { lease, verdicts }))) => {
+                    // Stale verdicts (lease already recovered and
+                    // re-issued) are discarded: each batch is applied
+                    // exactly once.
+                    if outstanding.remove(&lease).is_some() {
+                        core.absorb(verdicts);
+                    }
+                    continue;
+                }
+                Ok(Some((from, WorkerMsg::Request))) => {
+                    if !self.transport.worker_alive(from) {
+                        continue;
+                    }
+                    // Lease a recovered batch first, else generate fresh.
+                    let candidates = match requeued.pop() {
+                        Some(batch) => Some(batch),
+                        None => self.next_fresh_batch(core, &mut exhausted),
+                    };
+                    if let Some(candidates) = candidates {
+                        let lease = next_lease;
+                        next_lease += 1;
+                        match self
+                            .transport
+                            .send(from, MasterMsg::Task { lease, candidates: candidates.clone() })
+                        {
+                            Ok(()) => {
+                                outstanding.insert(
+                                    lease,
+                                    Lease { worker: from, candidates, issued: Instant::now() },
+                                );
+                            }
+                            // The worker died between requesting and being
+                            // served: keep the batch for a survivor.
+                            Err(TransportError::PeerGone) => requeued.push(candidates),
+                            Err(e) => return Err(fatal(e)),
+                        }
+                    }
+                    // No work available right now (all in flight): stay
+                    // silent — the worker re-requests after its timeout.
+                    continue;
+                }
+                Ok(Some(_)) => continue,
+                Ok(None) => {}
+                Err(e) => return Err(fatal(e)),
+            }
+
+            std::thread::yield_now();
+        }
+
+        self.shutdown_workers()
+    }
+}
+
+/// Verify a wire-form candidate batch (anchor-free probes) sequentially.
+fn verify_wire(verifier: &Verifier, set: &SequenceSet, candidates: &[(u32, u32)]) -> Vec<Verdict> {
+    candidates
+        .iter()
+        .map(|&(a, b)| verifier.verdict(set, &Candidate { a: SeqId(a), b: SeqId(b), anchor: None }))
+        .collect()
+}
+
+/// The worker half of the pull protocol: a stateless verification server
+/// — request, verify the leased batch, answer, repeat. Any transport
+/// error (most importantly its own injected kill) ends the loop; the
+/// master recovers whatever this worker held.
+pub fn serve_pull_worker<P: WorkerPort + ?Sized>(
+    port: &mut P,
+    verifier: &Verifier,
+    set: &SequenceSet,
+) {
+    loop {
+        if port.send(WorkerMsg::Request).is_err() {
+            return; // own kill, or the master is gone
+        }
+        let deadline = Instant::now() + REQUEST_TIMEOUT;
+        loop {
+            match port.try_recv() {
+                Ok(Some(MasterMsg::Shutdown)) => {
+                    let _ = port.send(WorkerMsg::Bye);
+                    return;
+                }
+                Ok(Some(MasterMsg::Task { lease, candidates })) => {
+                    let verdicts = verify_wire(verifier, set, &candidates);
+                    if port.send(WorkerMsg::Verdicts { lease, verdicts }).is_err() {
+                        return;
+                    }
+                    break; // back to requesting
+                }
+                Ok(Some(MasterMsg::SourceDone)) | Ok(None) => {}
+                Err(_) => return,
+            }
+            if !port.master_alive() {
+                return;
+            }
+            if Instant::now() >= deadline {
+                break; // re-send the request (it may have been dropped)
+            }
+            std::thread::yield_now();
+        }
+    }
+}

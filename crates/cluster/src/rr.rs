@@ -8,17 +8,19 @@
 //! similarity level the containment test demands), and alignments are
 //! verified batch-wise: the master filters pairs whose candidate is
 //! already marked redundant, workers align the survivors in parallel.
+//!
+//! Pair orientation (shorter sequence is the removal candidate, ties to
+//! the higher id) and the already-redundant filter live in
+//! [`crate::core::ClusterCore`]'s RR mode; this entry point is the
+//! batched in-process composition around it.
 
-use rayon::prelude::*;
-
-use pfam_align::Anchor;
 use pfam_seq::{SeqId, SequenceSet};
-use pfam_suffix::{
-    promising_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, SuffixTree,
-};
 
 use crate::config::ClusterConfig;
-use crate::trace::{BatchRecord, PhaseTrace};
+use crate::core::{ClusterCore, CorePhase, Verifier};
+use crate::policy::{BatchedPush, WorkPolicy};
+use crate::source::{with_mined_source, PairSource};
+use crate::trace::PhaseTrace;
 
 /// Outcome of the RR phase.
 #[derive(Debug, Clone)]
@@ -38,104 +40,26 @@ impl RrResult {
     }
 }
 
-/// Order a candidate pair: the sequence to test for containment (and mark
-/// redundant on success) is the shorter one, ties broken toward the higher
-/// id so results do not depend on generation order. The maximal-match
-/// anchor is carried along, its offsets swapped in tandem.
-fn orient(set: &SequenceSet, p: &MatchPair) -> (SeqId, SeqId, Anchor) {
-    let (la, lb) = (set.seq_len(p.a), set.seq_len(p.b));
-    if la < lb || (la == lb && p.a.0 > p.b.0) {
-        (p.a, p.b, Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len })
-    } else {
-        (p.b, p.a, Anchor { x_pos: p.b_pos, y_pos: p.a_pos, len: p.len })
-    }
-}
-
 /// Run redundancy removal over `set`.
 pub fn run_redundancy_removal(set: &SequenceSet, config: &ClusterConfig) -> RrResult {
     if set.is_empty() {
-        return RrResult { kept: Vec::new(), removed: Vec::new(), trace: PhaseTrace::default() };
+        return RrResult::empty();
     }
-    let index_set = crate::mask::index_view(set, &config.mask);
-    let threads = config.index_threads();
-    let gsa = GeneralizedSuffixArray::build_parallel(&index_set, threads);
-    let tree = SuffixTree::build(&gsa);
-    let mut generator = promising_pairs(
-        &tree,
-        MaximalMatchConfig {
-            min_len: config.psi_rr,
-            max_pairs_per_node: config.max_pairs_per_node,
-            dedup: true,
-        },
-        threads,
-    );
-
-    let mut redundant: Vec<Option<SeqId>> = vec![None; set.len()];
-    let mut trace = PhaseTrace {
-        index_residues: set.total_residues() as u64,
-        ..PhaseTrace::default()
-    };
-    let mut removed = Vec::new();
-    let engine = config.engine();
-
-    loop {
-        // Master: pull the next batch of promising pairs.
-        let batch: Vec<_> = generator.by_ref().take(config.batch_size).collect();
-        if batch.is_empty() {
-            break;
+    with_mined_source(set, config, config.psi_rr, config.index_threads(), |source| {
+        let mut core = ClusterCore::new_rr(set);
+        let verifier = Verifier::new(config, CorePhase::Rr);
+        BatchedPush {
+            source: &mut *source,
+            verifier: &verifier,
+            batch_size: config.batch_size,
+            checkpoint_every: 0,
+            on_checkpoint: &mut |_| {},
         }
-        let n_generated = batch.len();
-        // Master: filter pairs whose candidate is already redundant.
-        let candidates: Vec<(SeqId, SeqId, Anchor)> = batch
-            .iter()
-            .map(|p| orient(set, p))
-            .filter(|&(cand, container, _)| {
-                redundant[cand.index()].is_none() && redundant[container.index()].is_none()
-            })
-            .collect();
-        let n_filtered = n_generated - candidates.len();
-
-        // Workers: verify containment in parallel.
-        let verdicts: Vec<(SeqId, SeqId, bool, u64, u64, u64)> = candidates
-            .par_iter()
-            .map(|&(cand, container, anchor)| {
-                let x = set.codes(cand);
-                let y = set.codes(container);
-                let cells = (x.len() as u64) * (y.len() as u64);
-                let v = engine.contained(x, y, Some(anchor));
-                (cand, container, v.accept, cells, v.cells_computed, v.cells_skipped)
-            })
-            .collect();
-
-        // Master: apply results in dispatch order.
-        let mut task_cells = Vec::with_capacity(verdicts.len());
-        let (mut cells_computed, mut cells_skipped) = (0u64, 0u64);
-        for (cand, container, contained, cells, computed, skipped) in verdicts {
-            task_cells.push(cells);
-            cells_computed += computed;
-            cells_skipped += skipped;
-            if contained && redundant[cand.index()].is_none() {
-                redundant[cand.index()] = Some(container);
-                removed.push((cand, container));
-            }
-        }
-        trace.batches.push(BatchRecord {
-            n_generated,
-            n_filtered,
-            n_aligned: task_cells.len(),
-            align_cells: task_cells.iter().sum(),
-            task_cells,
-            cells_computed,
-            cells_skipped,
-        });
-    }
-    trace.nodes_visited = generator.stats().nodes_visited as u64;
-
-    let kept = set
-        .ids()
-        .filter(|id| redundant[id.index()].is_none())
-        .collect();
-    RrResult { kept, removed, trace }
+        .drive(&mut core)
+        .expect("the batched in-process policy cannot fail");
+        core.set_nodes_visited(source.nodes_visited());
+        RrResult::from_core(core)
+    })
 }
 
 #[cfg(test)]
@@ -177,11 +101,7 @@ mod tests {
 
     #[test]
     fn unrelated_sequences_all_kept() {
-        let set = set_of(&[
-            "MKVLWAAKNDCQEGHILKMF",
-            "PSTWYVARNDCQEGHAAAAA",
-            "WWWWHHHHGGGGCCCCDDDD",
-        ]);
+        let set = set_of(&["MKVLWAAKNDCQEGHILKMF", "PSTWYVARNDCQEGHAAAAA", "WWWWHHHHGGGGCCCCDDDD"]);
         let r = run_redundancy_removal(&set, &config());
         assert_eq!(r.n_kept(), 3);
         assert!(r.removed.is_empty());

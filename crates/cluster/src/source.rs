@@ -1,0 +1,187 @@
+//! Where promising pairs come from — the first of the three pluggable
+//! axes around [`crate::core::ClusterCore`].
+//!
+//! A [`PairSource`] yields batches of [`MatchPair`]s in the order the
+//! clustering loop should consume them (decreasing maximal-match length —
+//! the paper's "longest match first" discipline). Three implementations
+//! cover every driver in this crate:
+//!
+//! * [`MinedSource`] — the suffix-index generator: serial when
+//!   `threads == 1` (the reference path), eagerly mined across threads
+//!   otherwise, with identical output either way. The rank-partitioned
+//!   SPMD variant is [`MinedSource::partitioned`].
+//! * [`IterSource`] — any explicit pair stream; the ablation hook
+//!   (`run_ccd_from_pairs`) and the pre-collected sources in the
+//!   driver-equivalence matrix tests.
+//!
+//! The suffix index borrows the sequence set transitively (set → GSA →
+//! tree → generator), so [`with_mined_source`] owns that borrow chain and
+//! lends the finished source to a closure.
+
+use pfam_seq::SequenceSet;
+use pfam_suffix::{
+    promising_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, MaximalMatchGenerator,
+    SuffixTree,
+};
+
+use crate::config::ClusterConfig;
+
+/// A stream of promising pairs, drawn batch-wise by a
+/// [`crate::policy::WorkPolicy`]. An empty batch means the source is
+/// exhausted (sources never yield an empty batch mid-stream).
+pub trait PairSource {
+    /// Pull up to `max` pairs.
+    fn next_batch(&mut self, max: usize) -> Vec<MatchPair>;
+
+    /// Suffix-tree nodes visited producing the stream so far (0 for
+    /// sources that never touched an index).
+    fn nodes_visited(&self) -> u64 {
+        0
+    }
+
+    /// Discard the next `n` pairs — deterministic checkpoint replay:
+    /// the generation order is bit-identical across runs, so skipping the
+    /// consumed prefix lands exactly where a checkpointed run stopped.
+    fn skip(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.next_batch(1).is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// Pairs mined from the generalized suffix tree.
+pub struct MinedSource<'a> {
+    inner: pfam_suffix::PairSource<'a>,
+}
+
+impl<'a> MinedSource<'a> {
+    /// Mine the whole tree: serial generation when `threads == 1`, eager
+    /// parallel mining otherwise (`0` = all cores); output order and
+    /// content are identical in both modes.
+    pub fn new(tree: &'a SuffixTree<'a>, config: MaximalMatchConfig, threads: usize) -> Self {
+        MinedSource { inner: promising_pairs(tree, config, threads) }
+    }
+
+    /// Mine only `nodes` — one rank's slice of a prefix-partitioned
+    /// suffix space (the SPMD workers' source).
+    pub fn partitioned(
+        tree: &'a SuffixTree<'a>,
+        config: MaximalMatchConfig,
+        nodes: Vec<pfam_suffix::tree::NodeId>,
+    ) -> Self {
+        MinedSource {
+            inner: pfam_suffix::PairSource::Serial(MaximalMatchGenerator::with_nodes(
+                tree, config, nodes,
+            )),
+        }
+    }
+}
+
+impl PairSource for MinedSource<'_> {
+    fn next_batch(&mut self, max: usize) -> Vec<MatchPair> {
+        self.inner.by_ref().take(max).collect()
+    }
+
+    fn nodes_visited(&self) -> u64 {
+        self.inner.stats().nodes_visited as u64
+    }
+}
+
+/// An explicit pair stream (ablations, tests, replay from a recording).
+pub struct IterSource<I> {
+    inner: I,
+}
+
+impl<I: Iterator<Item = MatchPair>> IterSource<I> {
+    /// Wrap any pair iterator.
+    pub fn new(inner: I) -> Self {
+        IterSource { inner }
+    }
+}
+
+impl<I: Iterator<Item = MatchPair>> PairSource for IterSource<I> {
+    fn next_batch(&mut self, max: usize) -> Vec<MatchPair> {
+        self.inner.by_ref().take(max).collect()
+    }
+}
+
+/// Build the suffix index for `set` (masked view, GSA, tree), open a
+/// [`MinedSource`] over it with match cutoff `psi`, and lend it to `f`.
+///
+/// `threads` controls both index construction and mining (`1` pins the
+/// serial reference path, `0` uses all cores); every value is
+/// output-identical.
+pub fn with_mined_source<R>(
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    psi: u32,
+    threads: usize,
+    f: impl FnOnce(&mut MinedSource<'_>) -> R,
+) -> R {
+    let index_set = crate::mask::index_view(set, &config.mask);
+    let gsa = GeneralizedSuffixArray::build_parallel(&index_set, threads);
+    let tree = SuffixTree::build(&gsa);
+    let mut source = MinedSource::new(
+        &tree,
+        MaximalMatchConfig {
+            min_len: psi,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+        threads,
+    );
+    f(&mut source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_seq::{SeqId, SequenceSetBuilder};
+
+    fn set_of(seqs: &[&str]) -> SequenceSet {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn iter_source_batches_and_exhausts() {
+        let pairs: Vec<MatchPair> =
+            (1..=5).map(|i| MatchPair::new(SeqId(0), SeqId(i), 10)).collect();
+        let mut s = IterSource::new(pairs.into_iter());
+        assert_eq!(s.next_batch(2).len(), 2);
+        assert_eq!(s.next_batch(10).len(), 3);
+        assert!(s.next_batch(1).is_empty(), "exhausted");
+        assert_eq!(s.nodes_visited(), 0);
+    }
+
+    #[test]
+    fn skip_is_prefix_discard() {
+        let pairs: Vec<MatchPair> =
+            (1..=5).map(|i| MatchPair::new(SeqId(0), SeqId(i), 10)).collect();
+        let mut s = IterSource::new(pairs.clone().into_iter());
+        s.skip(3);
+        assert_eq!(s.next_batch(10), pairs[3..].to_vec());
+        // Skipping past the end is harmless.
+        s.skip(100);
+        assert!(s.next_batch(1).is_empty());
+    }
+
+    #[test]
+    fn mined_source_is_thread_count_invariant() {
+        let set = set_of(&[
+            "MKVLWAAKNDCQEGHILKMFPSTWYV",
+            "MKVLWAAKNDCQEGHILKMFPSTWYV",
+            "GHILPWYVRNDAAKCCQQEEGGHHII",
+        ]);
+        let config = ClusterConfig::for_short_sequences();
+        let serial = with_mined_source(&set, &config, config.psi_ccd, 1, |s| s.next_batch(10_000));
+        let mined = with_mined_source(&set, &config, config.psi_ccd, 2, |s| s.next_batch(10_000));
+        assert!(!serial.is_empty());
+        assert_eq!(serial, mined, "mining must be output-identical across thread counts");
+    }
+}

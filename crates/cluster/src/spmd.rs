@@ -11,42 +11,90 @@
 //!    candidates to the *same* worker for alignment;
 //! 3. workers send alignment verdicts back; the master merges clusters.
 //!
+//! The protocol lives in [`crate::policy::SpmdPush`] /
+//! [`crate::policy::serve_push_worker`] over the [`crate::transport`]
+//! seam; this module only assembles the topology: the partitioned pair
+//! sources, the rank-0 master core, and the result plumbing.
+//!
 //! The final components are identical to the shared-memory engines' (the
 //! clustering is order-independent; see `crate::master_worker`), which the
 //! tests assert.
 
-use pfam_graph::UnionFind;
-use pfam_mpi::{run_spmd, Communicator, ANY_SOURCE};
-use pfam_seq::{SeqId, SequenceSet};
+use pfam_mpi::run_spmd;
+use pfam_seq::SequenceSet;
 use pfam_suffix::distributed::PartitionedSuffixSpace;
-use pfam_suffix::{
-    GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, MaximalMatchGenerator, SuffixTree,
-};
+use pfam_suffix::{GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
 
 use crate::ccd::CcdResult;
 use crate::config::ClusterConfig;
-use crate::trace::{BatchRecord, PhaseTrace};
+use crate::core::{ClusterCore, CorePhase, Verifier};
+use crate::policy::{serve_push_worker, SpmdPush, WorkPolicy};
+use crate::rr::RrResult;
+use crate::source::MinedSource;
+use crate::transport::{MpiTransport, MpiWorkerPort};
 
-const TAG_PAIRS: u32 = 1;
-const TAG_CANDIDATES: u32 = 2;
-const TAG_VERDICTS: u32 = 3;
-const TAG_WORKER_DONE: u32 = 4;
+/// Partition prefix length (suffix-space ownership granularity).
+const PREFIX_LEN: u32 = 3;
 
-/// Messages a worker sends with its pair batch: `(pairs, exhausted)`.
-type PairBatch = (Vec<(u32, u32)>, bool);
+/// Run one phase's push protocol across `n_ranks` ranks: rank 0 drives
+/// `core` with [`SpmdPush`], every other rank mines its own slice of the
+/// suffix space and serves the master. The world must stay healthy — any
+/// communicator fault panics (fault tolerance lives in [`crate::ft`]).
+fn run_push_spmd(
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    n_ranks: usize,
+    phase: CorePhase,
+    psi: u32,
+) -> ClusterCoreOutcome {
+    assert!(n_ranks >= 2, "need a master and at least one worker");
+    assert!(psi >= PREFIX_LEN, "ψ must cover the partition prefix");
 
-/// Per-task verdict message:
-/// `(a, b, passed, full_cells, cells_computed, cells_skipped)`.
-type Verdicts = Vec<(u32, u32, bool, u64, u64, u64)>;
+    // Shared read-only state, built once (in MPI this would be the
+    // distributed construction; the partition assigns subtree ownership).
+    let index_set = crate::mask::index_view(set, &config.mask);
+    let gsa = GeneralizedSuffixArray::build(&index_set);
+    let tree = SuffixTree::build(&gsa);
+    let partition = PartitionedSuffixSpace::new(&gsa, n_ranks - 1, PREFIX_LEN);
+    let nodes_per_worker = partition.nodes_per_rank(&tree, psi);
 
-/// The engines in this module run fault-free worlds, so any communicator
-/// error is a bug in the protocol, not a tolerated fault — it panics.
-/// Fault-tolerant CCD with worker recovery lives in [`crate::ft`].
-fn healthy<T>(r: Result<T, pfam_mpi::CommError>) -> T {
-    match r {
-        Ok(v) => v,
-        Err(e) => panic!("spmd world must stay healthy: {e}"),
-    }
+    let results = run_spmd(n_ranks, |comm| -> Option<ClusterCoreOutcome> {
+        if comm.rank() == 0 {
+            let mut core = match phase {
+                CorePhase::Ccd => ClusterCore::new_ccd(set),
+                CorePhase::Rr => ClusterCore::new_rr(set),
+            };
+            let mut transport = MpiTransport::master(comm);
+            if let Err(e) = (SpmdPush { transport: &mut transport }).drive(&mut core) {
+                panic!("spmd world must stay healthy: {e}");
+            }
+            Some(match phase {
+                CorePhase::Ccd => ClusterCoreOutcome::Ccd(CcdResult::from_core(core)),
+                CorePhase::Rr => ClusterCoreOutcome::Rr(RrResult::from_core(core)),
+            })
+        } else {
+            let mut source = MinedSource::partitioned(
+                &tree,
+                MaximalMatchConfig {
+                    min_len: psi,
+                    max_pairs_per_node: config.max_pairs_per_node,
+                    dedup: true,
+                },
+                nodes_per_worker[comm.rank() - 1].clone(),
+            );
+            let verifier = Verifier::new(config, phase);
+            let mut port = MpiWorkerPort::new(comm);
+            serve_push_worker(&mut port, &mut source, &verifier, set, config.batch_size);
+            None
+        }
+    });
+    results.into_iter().next().flatten().expect("rank 0 returns the result")
+}
+
+/// The phase result rank 0 carries out of the SPMD world.
+enum ClusterCoreOutcome {
+    Ccd(CcdResult),
+    Rr(RrResult),
 }
 
 /// Run CCD as an SPMD job on `n_ranks` ranks (1 master + `n_ranks − 1`
@@ -55,389 +103,27 @@ fn healthy<T>(r: Result<T, pfam_mpi::CommError>) -> T {
 pub fn run_ccd_spmd(set: &SequenceSet, config: &ClusterConfig, n_ranks: usize) -> CcdResult {
     assert!(n_ranks >= 2, "need a master and at least one worker");
     if set.is_empty() {
-        return CcdResult {
-            components: Vec::new(),
-            edges: Vec::new(),
-            n_merges: 0,
-            trace: PhaseTrace::default(),
-        };
+        return CcdResult::empty();
     }
-    const PREFIX_LEN: u32 = 3;
-    assert!(config.psi_ccd >= PREFIX_LEN, "ψ must cover the partition prefix");
-
-    // Shared read-only state, built once (in MPI this would be the
-    // distributed construction; the partition assigns subtree ownership).
-    let index_set = crate::mask::index_view(set, &config.mask);
-    let gsa = GeneralizedSuffixArray::build(&index_set);
-    let tree = SuffixTree::build(&gsa);
-    let partition = PartitionedSuffixSpace::new(&gsa, n_ranks - 1, PREFIX_LEN);
-    let nodes_per_worker = partition.nodes_per_rank(&tree, config.psi_ccd);
-
-    let results = run_spmd(n_ranks, |comm| -> Option<CcdResult> {
-        if comm.rank() == 0 {
-            Some(master(comm, set))
-        } else {
-            worker(
-                comm,
-                set,
-                config,
-                &tree,
-                nodes_per_worker[comm.rank() - 1].clone(),
-            );
-            None
-        }
-    });
-    results
-        .into_iter()
-        .next()
-        .flatten()
-        .expect("rank 0 returns the clustering")
-}
-
-fn master(comm: &mut Communicator, set: &SequenceSet) -> CcdResult {
-    let n_workers = comm.size() - 1;
-    let mut uf = UnionFind::new(set.len());
-    let mut edges = Vec::new();
-    let mut n_merges = 0usize;
-    let mut trace = PhaseTrace {
-        index_residues: set.total_residues() as u64,
-        ..PhaseTrace::default()
-    };
-    let mut workers_done = 0usize;
-    // Per-worker: how many candidate batches are still in flight.
-    let mut outstanding = vec![0usize; comm.size()];
-
-    while workers_done < n_workers || outstanding.iter().sum::<usize>() > 0 {
-        // Verdicts and pair batches arrive interleaved; handle whichever
-        // is ready (poll verdicts first to sharpen the filter).
-        if let Some((from, verdicts)) =
-            healthy(comm.try_recv::<Verdicts>(ANY_SOURCE, TAG_VERDICTS))
-        {
-            outstanding[from] -= 1;
-            let mut task_cells = Vec::with_capacity(verdicts.len());
-            let (mut computed, mut skipped) = (0u64, 0u64);
-            for (a, b, passed, cells, vc, vs) in verdicts {
-                task_cells.push(cells);
-                computed += vc;
-                skipped += vs;
-                if passed {
-                    edges.push((SeqId(a), SeqId(b)));
-                    if uf.union(a, b) {
-                        n_merges += 1;
-                    }
-                }
-            }
-            if let Some(last) = trace.batches.last_mut() {
-                last.n_aligned += task_cells.len();
-                last.align_cells += task_cells.iter().sum::<u64>();
-                last.task_cells.extend(task_cells);
-                last.cells_computed += computed;
-                last.cells_skipped += skipped;
-            }
-            continue;
-        }
-        if let Some((from, (pairs, exhausted))) =
-            healthy(comm.try_recv::<PairBatch>(ANY_SOURCE, TAG_PAIRS))
-        {
-            let n_generated = pairs.len();
-            let candidates: Vec<(u32, u32)> =
-                pairs.into_iter().filter(|&(a, b)| !uf.same(a, b)).collect();
-            trace.batches.push(BatchRecord {
-                n_generated,
-                n_filtered: n_generated - candidates.len(),
-                n_aligned: 0,
-                align_cells: 0,
-                task_cells: Vec::new(),
-                cells_computed: 0,
-                cells_skipped: 0,
-            });
-            if !candidates.is_empty() {
-                outstanding[from] += 1;
-                healthy(comm.send(from, TAG_CANDIDATES, candidates));
-            }
-            if exhausted {
-                workers_done += 1;
-                healthy(comm.send(from, TAG_WORKER_DONE, ()));
-            }
-            continue;
-        }
-        std::thread::yield_now();
+    match run_push_spmd(set, config, n_ranks, CorePhase::Ccd, config.psi_ccd) {
+        ClusterCoreOutcome::Ccd(r) => r,
+        ClusterCoreOutcome::Rr(_) => unreachable!("CCD phase returns a CCD result"),
     }
-    // Release workers: they exit after the DONE message once no more
-    // candidate batches can arrive (outstanding drained above).
-    healthy(comm.barrier());
-
-    let components = uf
-        .groups()
-        .into_iter()
-        .map(|g| g.into_iter().map(SeqId).collect())
-        .collect();
-    CcdResult { components, edges, n_merges, trace }
-}
-
-fn worker(
-    comm: &mut Communicator,
-    set: &SequenceSet,
-    config: &ClusterConfig,
-    tree: &SuffixTree<'_>,
-    my_nodes: Vec<pfam_suffix::tree::NodeId>,
-) {
-    // Candidate lists cross the wire without anchors, so the engine probes
-    // from scratch (anchor `None`); verdicts are engine-independent.
-    let engine = config.engine();
-    let overlap_verdicts = |candidates: Vec<(u32, u32)>| -> Verdicts {
-        candidates
-            .into_iter()
-            .map(|(a, b)| {
-                let x = set.codes(SeqId(a));
-                let y = set.codes(SeqId(b));
-                let cells = (x.len() as u64) * (y.len() as u64);
-                let v = engine.overlaps(x, y, None);
-                (a, b, v.accept, cells, v.cells_computed, v.cells_skipped)
-            })
-            .collect()
-    };
-
-    let mut generator = MaximalMatchGenerator::with_nodes(
-        tree,
-        MaximalMatchConfig {
-            min_len: config.psi_ccd,
-            max_pairs_per_node: config.max_pairs_per_node,
-            dedup: true,
-        },
-        my_nodes,
-    );
-    let mut exhausted = false;
-    while !exhausted {
-        // Generate the next batch from this worker's subtrees.
-        let batch: Vec<(u32, u32)> = generator
-            .by_ref()
-            .take(config.batch_size)
-            .map(|MatchPair { a, b, .. }| (a.0, b.0))
-            .collect();
-        exhausted = batch.len() < config.batch_size;
-        healthy(comm.send(0, TAG_PAIRS, (batch, exhausted)));
-        // Serve candidate batches while waiting; the DONE ack only comes
-        // after the master has seen our exhausted flag.
-        loop {
-            if let Some((_, candidates)) = healthy(comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES)) {
-                healthy(comm.send(0, TAG_VERDICTS, overlap_verdicts(candidates)));
-                continue;
-            }
-            if !exhausted {
-                // Produce the next pair batch eagerly.
-                break;
-            }
-            if healthy(comm.try_recv::<()>(0, TAG_WORKER_DONE)).is_some() {
-                // Final drain: answer any candidates still queued.
-                while let Some((_, candidates)) =
-                    healthy(comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES))
-                {
-                    healthy(comm.send(0, TAG_VERDICTS, overlap_verdicts(candidates)));
-                }
-                healthy(comm.barrier());
-                return;
-            }
-            std::thread::yield_now();
-        }
-    }
-    unreachable!("worker exits via the DONE path");
 }
 
 /// Run redundancy removal as an SPMD job (same topology and protocol as
 /// [`run_ccd_spmd`]; the master marks contained sequences redundant
 /// instead of merging clusters, and candidates are *oriented* — the first
 /// id of each candidate pair is the one to test for containment).
-pub fn run_rr_spmd(
-    set: &SequenceSet,
-    config: &ClusterConfig,
-    n_ranks: usize,
-) -> crate::rr::RrResult {
+pub fn run_rr_spmd(set: &SequenceSet, config: &ClusterConfig, n_ranks: usize) -> RrResult {
     assert!(n_ranks >= 2, "need a master and at least one worker");
     if set.is_empty() {
-        return crate::rr::RrResult {
-            kept: Vec::new(),
-            removed: Vec::new(),
-            trace: PhaseTrace::default(),
-        };
+        return RrResult::empty();
     }
-    const PREFIX_LEN: u32 = 3;
-    assert!(config.psi_rr >= PREFIX_LEN, "ψ must cover the partition prefix");
-
-    let index_set = crate::mask::index_view(set, &config.mask);
-    let gsa = GeneralizedSuffixArray::build(&index_set);
-    let tree = SuffixTree::build(&gsa);
-    let partition = PartitionedSuffixSpace::new(&gsa, n_ranks - 1, PREFIX_LEN);
-    let nodes_per_worker = partition.nodes_per_rank(&tree, config.psi_rr);
-
-    let results = run_spmd(n_ranks, |comm| -> Option<crate::rr::RrResult> {
-        if comm.rank() == 0 {
-            Some(rr_master(comm, set))
-        } else {
-            rr_worker(
-                comm,
-                set,
-                config,
-                &tree,
-                nodes_per_worker[comm.rank() - 1].clone(),
-            );
-            None
-        }
-    });
-    results.into_iter().next().flatten().expect("rank 0 returns the result")
-}
-
-/// Orient a pair as (candidate-to-remove, container): shorter first, ties
-/// toward the higher id — identical to the shared-memory RR engine.
-fn orient(set: &SequenceSet, a: u32, b: u32) -> (u32, u32) {
-    let (la, lb) = (set.seq_len(SeqId(a)), set.seq_len(SeqId(b)));
-    if la < lb || (la == lb && a > b) {
-        (a, b)
-    } else {
-        (b, a)
+    match run_push_spmd(set, config, n_ranks, CorePhase::Rr, config.psi_rr) {
+        ClusterCoreOutcome::Rr(r) => r,
+        ClusterCoreOutcome::Ccd(_) => unreachable!("RR phase returns an RR result"),
     }
-}
-
-fn rr_master(comm: &mut Communicator, set: &SequenceSet) -> crate::rr::RrResult {
-    let n_workers = comm.size() - 1;
-    let mut redundant: Vec<Option<SeqId>> = vec![None; set.len()];
-    let mut removed = Vec::new();
-    let mut trace = PhaseTrace {
-        index_residues: set.total_residues() as u64,
-        ..PhaseTrace::default()
-    };
-    let mut workers_done = 0usize;
-    let mut outstanding = vec![0usize; comm.size()];
-
-    while workers_done < n_workers || outstanding.iter().sum::<usize>() > 0 {
-        if let Some((from, verdicts)) =
-            healthy(comm.try_recv::<Verdicts>(ANY_SOURCE, TAG_VERDICTS))
-        {
-            outstanding[from] -= 1;
-            let mut task_cells = Vec::with_capacity(verdicts.len());
-            let (mut computed, mut skipped) = (0u64, 0u64);
-            for (cand, container, contained, cells, vc, vs) in verdicts {
-                task_cells.push(cells);
-                computed += vc;
-                skipped += vs;
-                if contained && redundant[cand as usize].is_none() {
-                    redundant[cand as usize] = Some(SeqId(container));
-                    removed.push((SeqId(cand), SeqId(container)));
-                }
-            }
-            if let Some(last) = trace.batches.last_mut() {
-                last.n_aligned += task_cells.len();
-                last.align_cells += task_cells.iter().sum::<u64>();
-                last.task_cells.extend(task_cells);
-                last.cells_computed += computed;
-                last.cells_skipped += skipped;
-            }
-            continue;
-        }
-        if let Some((from, (pairs, exhausted))) =
-            healthy(comm.try_recv::<PairBatch>(ANY_SOURCE, TAG_PAIRS))
-        {
-            let n_generated = pairs.len();
-            let candidates: Vec<(u32, u32)> = pairs
-                .into_iter()
-                .map(|(a, b)| orient(set, a, b))
-                .filter(|&(cand, container)| {
-                    redundant[cand as usize].is_none()
-                        && redundant[container as usize].is_none()
-                })
-                .collect();
-            trace.batches.push(BatchRecord {
-                n_generated,
-                n_filtered: n_generated - candidates.len(),
-                n_aligned: 0,
-                align_cells: 0,
-                task_cells: Vec::new(),
-                cells_computed: 0,
-                cells_skipped: 0,
-            });
-            if !candidates.is_empty() {
-                outstanding[from] += 1;
-                healthy(comm.send(from, TAG_CANDIDATES, candidates));
-            }
-            if exhausted {
-                workers_done += 1;
-                healthy(comm.send(from, TAG_WORKER_DONE, ()));
-            }
-            continue;
-        }
-        std::thread::yield_now();
-    }
-    healthy(comm.barrier());
-
-    let kept = set
-        .ids()
-        .filter(|id| redundant[id.index()].is_none())
-        .collect();
-    crate::rr::RrResult { kept, removed, trace }
-}
-
-fn rr_worker(
-    comm: &mut Communicator,
-    set: &SequenceSet,
-    config: &ClusterConfig,
-    tree: &SuffixTree<'_>,
-    my_nodes: Vec<pfam_suffix::tree::NodeId>,
-) {
-    // Oriented candidate pairs arrive without anchors; the engine probes
-    // from scratch (anchor `None`) — verdicts are engine-independent.
-    let engine = config.engine();
-    let containment_verdicts = |candidates: Vec<(u32, u32)>| -> Verdicts {
-        candidates
-            .into_iter()
-            .map(|(cand, container)| {
-                let x = set.codes(SeqId(cand));
-                let y = set.codes(SeqId(container));
-                let cells = (x.len() as u64) * (y.len() as u64);
-                let v = engine.contained(x, y, None);
-                (cand, container, v.accept, cells, v.cells_computed, v.cells_skipped)
-            })
-            .collect()
-    };
-
-    let mut generator = MaximalMatchGenerator::with_nodes(
-        tree,
-        MaximalMatchConfig {
-            min_len: config.psi_rr,
-            max_pairs_per_node: config.max_pairs_per_node,
-            dedup: true,
-        },
-        my_nodes,
-    );
-    let mut exhausted = false;
-    while !exhausted {
-        let batch: Vec<(u32, u32)> = generator
-            .by_ref()
-            .take(config.batch_size)
-            .map(|MatchPair { a, b, .. }| (a.0, b.0))
-            .collect();
-        exhausted = batch.len() < config.batch_size;
-        healthy(comm.send(0, TAG_PAIRS, (batch, exhausted)));
-        loop {
-            if let Some((_, candidates)) = healthy(comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES)) {
-                healthy(comm.send(0, TAG_VERDICTS, containment_verdicts(candidates)));
-                continue;
-            }
-            if !exhausted {
-                break;
-            }
-            if healthy(comm.try_recv::<()>(0, TAG_WORKER_DONE)).is_some() {
-                while let Some((_, candidates)) =
-                    healthy(comm.try_recv::<Vec<(u32, u32)>>(0, TAG_CANDIDATES))
-                {
-                    healthy(comm.send(0, TAG_VERDICTS, containment_verdicts(candidates)));
-                }
-                healthy(comm.barrier());
-                return;
-            }
-            std::thread::yield_now();
-        }
-    }
-    unreachable!("worker exits via the DONE path");
 }
 
 #[cfg(test)]

@@ -106,7 +106,9 @@ impl PhaseTrace {
             "#index_residues={}\tnodes_visited={}\n",
             self.index_residues, self.nodes_visited
         );
-        out.push_str("#n_generated\tn_filtered\tn_aligned\ttask_cells\tcells_computed\tcells_skipped\n");
+        out.push_str(
+            "#n_generated\tn_filtered\tn_aligned\ttask_cells\tcells_computed\tcells_skipped\n",
+        );
         for b in &self.batches {
             let cells: Vec<String> = b.task_cells.iter().map(u64::to_string).collect();
             out.push_str(&format!(

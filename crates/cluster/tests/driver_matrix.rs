@@ -1,0 +1,243 @@
+//! Driver-equivalence matrix: every [`PairSource`] × [`WorkPolicy`]
+//! combination must produce the same connected components as the batched
+//! reference driver.
+//!
+//! CCD components are invariant under execution order, pair partitioning
+//! and filter sharpness: a pair is only skipped when its endpoints are
+//! already connected (so verifying it could not change reachability), and
+//! every verified verdict is a pure function of the two sequences. The
+//! matrix below pins that invariant across the real composition space —
+//! the same axes the public `run_*` drivers are built from.
+
+use pfam_cluster::{
+    run_ccd, serve_pull_worker, serve_push_worker, BatchedPush, ClusterConfig, ClusterCore,
+    CorePhase, IterSource, LeasedPull, LocalTransport, MinedSource, MwDispatch, PairSource,
+    SpmdPush, Verifier, WorkPolicy,
+};
+use pfam_cluster::{CcdCursor, CcdResult};
+use pfam_datagen::{DatasetConfig, SyntheticDataset};
+use pfam_seq::{SeqId, SequenceSet, SequenceSetBuilder};
+use pfam_suffix::{GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, SuffixTree};
+
+/// The pair-supply axis.
+#[derive(Clone, Copy, Debug)]
+enum SourceKind {
+    /// Suffix-index mining on the serial reference path (`threads == 1`).
+    MinedSerial,
+    /// Eager parallel mining (`threads == 2`; output-identical to serial).
+    MinedParallel,
+    /// Pairs pre-collected into an explicit [`IterSource`] stream.
+    Collected,
+}
+
+/// The scheduling axis (the transport is implied: rayon in-process for
+/// `Batched`, the local channel transport for the other three).
+#[derive(Clone, Copy, Debug)]
+enum PolicyKind {
+    /// [`BatchedPush`] — the deterministic reference loop.
+    Batched,
+    /// [`MwDispatch`] — streaming threaded master–worker.
+    Streaming,
+    /// [`SpmdPush`] — workers own source slices and push pair batches.
+    Push,
+    /// [`LeasedPull`] — master owns the source, workers pull leases.
+    Pull,
+}
+
+const SOURCES: [SourceKind; 3] =
+    [SourceKind::MinedSerial, SourceKind::MinedParallel, SourceKind::Collected];
+const POLICIES: [PolicyKind; 4] =
+    [PolicyKind::Batched, PolicyKind::Streaming, PolicyKind::Push, PolicyKind::Pull];
+
+fn mining_threads(kind: SourceKind) -> usize {
+    match kind {
+        SourceKind::MinedParallel => 2,
+        _ => 1,
+    }
+}
+
+/// Mine the full promising-pair stream without the index-borrow dance
+/// (the integration test cannot reach the crate-private masked view, so
+/// it indexes the raw set — every driver below shares this supply, which
+/// is all the equivalence matrix needs).
+fn collect_pairs(set: &SequenceSet, config: &ClusterConfig, threads: usize) -> Vec<MatchPair> {
+    if set.is_empty() {
+        return Vec::new();
+    }
+    let gsa = GeneralizedSuffixArray::build_parallel(set, threads);
+    let tree = SuffixTree::build(&gsa);
+    let mut source = MinedSource::new(&tree, match_config(config), threads);
+    source.next_batch(usize::MAX)
+}
+
+fn match_config(config: &ClusterConfig) -> MaximalMatchConfig {
+    MaximalMatchConfig {
+        min_len: config.psi_ccd,
+        max_pairs_per_node: config.max_pairs_per_node,
+        dedup: true,
+    }
+}
+
+/// Drive one (source, policy) cell and return its components.
+fn run_cell(
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    source: SourceKind,
+    policy: PolicyKind,
+) -> Vec<Vec<SeqId>> {
+    let threads = mining_threads(source);
+    // The push protocol's sources live on the workers, not the master.
+    if matches!(policy, PolicyKind::Push) {
+        let pairs = collect_pairs(set, config, threads);
+        // Split the supply across two workers; for the `Collected`
+        // flavour, hand everything to one worker and leave the other
+        // idle (the degenerate partition).
+        let (left, right) = match source {
+            SourceKind::Collected => (pairs.clone(), Vec::new()),
+            _ => {
+                let mid = pairs.len() / 2;
+                (pairs[..mid].to_vec(), pairs[mid..].to_vec())
+            }
+        };
+        return drive_push(set, config, vec![left, right]);
+    }
+    if set.is_empty() || matches!(source, SourceKind::Collected) {
+        let pairs = collect_pairs(set, config, threads);
+        let mut src = IterSource::new(pairs.into_iter());
+        drive_master_side(set, config, &mut src, policy)
+    } else {
+        let gsa = GeneralizedSuffixArray::build_parallel(set, threads);
+        let tree = SuffixTree::build(&gsa);
+        let mut src = MinedSource::new(&tree, match_config(config), threads);
+        drive_master_side(set, config, &mut src, policy)
+    }
+}
+
+/// Run a policy whose source is owned by the master.
+fn drive_master_side(
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    source: &mut dyn PairSource,
+    policy: PolicyKind,
+) -> Vec<Vec<SeqId>> {
+    let verifier = Verifier::new(config, CorePhase::Ccd);
+    let mut core = ClusterCore::new_ccd(set);
+    match policy {
+        PolicyKind::Batched => {
+            let mut sink = |_: &CcdCursor| {};
+            BatchedPush {
+                source,
+                verifier: &verifier,
+                batch_size: config.batch_size,
+                checkpoint_every: 0,
+                on_checkpoint: &mut sink,
+            }
+            .drive(&mut core)
+            .expect("the in-process loop cannot fail");
+        }
+        PolicyKind::Streaming => {
+            let engine = config.engine();
+            let verify = move |x: &[u8], y: &[u8]| engine.overlaps(x, y, None).accept;
+            MwDispatch { source, verify: &verify, n_workers: 2, peak_in_flight: 0 }
+                .drive(&mut core)
+                .expect("no injected panics");
+        }
+        PolicyKind::Pull => {
+            let (mut transport, ports) = LocalTransport::new(2, 8);
+            std::thread::scope(|scope| {
+                for mut port in ports {
+                    let verifier = &verifier;
+                    scope.spawn(move || serve_pull_worker(&mut port, verifier, set));
+                }
+                LeasedPull { transport: &mut transport, source, batch_size: config.batch_size }
+                    .drive(&mut core)
+                    .expect("healthy local world");
+            });
+        }
+        PolicyKind::Push => unreachable!("push sources live on the workers"),
+    }
+    CcdResult::from_core(core).components
+}
+
+/// Run the push protocol with one [`IterSource`] slice per worker.
+fn drive_push(
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    worker_pairs: Vec<Vec<MatchPair>>,
+) -> Vec<Vec<SeqId>> {
+    let n = worker_pairs.len();
+    let (mut transport, ports) = LocalTransport::new(n, 2 * n);
+    let mut core = ClusterCore::new_ccd(set);
+    std::thread::scope(|scope| {
+        for (port, pairs) in ports.into_iter().zip(worker_pairs) {
+            scope.spawn(move || {
+                let mut port = port;
+                let verifier = Verifier::new(config, CorePhase::Ccd);
+                let mut source = IterSource::new(pairs.into_iter());
+                serve_push_worker(&mut port, &mut source, &verifier, set, config.batch_size);
+            });
+        }
+        SpmdPush { transport: &mut transport }.drive(&mut core).expect("healthy local world");
+    });
+    CcdResult::from_core(core).components
+}
+
+/// Assert every matrix cell reproduces the reference components.
+fn assert_matrix_agrees(set: &SequenceSet, config: &ClusterConfig) {
+    let reference = run_ccd(set, config).components;
+    for source in SOURCES {
+        for policy in POLICIES {
+            let got = run_cell(set, config, source, policy);
+            assert_eq!(
+                got, reference,
+                "{source:?} × {policy:?} diverged from the reference components"
+            );
+        }
+    }
+}
+
+fn set_of(seqs: &[&str]) -> SequenceSet {
+    let mut b = SequenceSetBuilder::new();
+    for (i, s) in seqs.iter().enumerate() {
+        b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+    }
+    b.finish()
+}
+
+#[test]
+fn matrix_agrees_on_random_datagen_inputs() {
+    for seed in [11u64, 12, 13] {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(seed));
+        assert_matrix_agrees(&d.set, &ClusterConfig::default());
+    }
+}
+
+#[test]
+fn matrix_agrees_on_empty_set() {
+    assert_matrix_agrees(&SequenceSet::new(), &ClusterConfig::default());
+}
+
+#[test]
+fn matrix_agrees_on_single_sequence_set() {
+    let set = set_of(&["MKVLWAAKNDCQEGHILKMFPSTWYV"]);
+    assert_matrix_agrees(&set, &ClusterConfig::for_short_sequences());
+}
+
+#[test]
+fn matrix_agrees_on_identical_family() {
+    const FAM: &str = "MKVLWAAKNDCQEGHILKMFPSTWYV";
+    let seqs = vec![FAM; 6];
+    let set = set_of(&seqs);
+    assert_matrix_agrees(&set, &ClusterConfig::for_short_sequences());
+}
+
+#[test]
+fn small_batch_sizes_do_not_change_components() {
+    // Batch boundaries shift which pairs the filter sees together; the
+    // final partition must not care.
+    let d = SyntheticDataset::generate(&DatasetConfig::tiny(14));
+    for batch_size in [1usize, 3, 64] {
+        let config = ClusterConfig { batch_size, ..ClusterConfig::default() };
+        assert_matrix_agrees(&d.set, &config);
+    }
+}

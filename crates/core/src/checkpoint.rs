@@ -153,8 +153,8 @@ pub fn write_checkpoint(path: &Path, phase: Phase, payload: &[u8]) -> Result<(),
 
 /// Read and validate a checkpoint, returning its phase and payload.
 pub fn read_checkpoint(path: &Path) -> Result<(Phase, Vec<u8>), CkptError> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| CkptError::Io(format!("{}: {e}", path.display())))?;
+    let bytes =
+        std::fs::read(path).map_err(|e| CkptError::Io(format!("{}: {e}", path.display())))?;
     if bytes.len() < 24 {
         return Err(CkptError::Corrupt("file shorter than header"));
     }
@@ -170,13 +170,11 @@ pub fn read_checkpoint(path: &Path) -> Result<(Phase, Vec<u8>), CkptError> {
     }
     let phase = Phase::from_code(word(8)).ok_or(CkptError::BadPhase(word(8)))?;
     let len = u64::from_le_bytes([
-        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18],
-        bytes[19],
+        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
     ]) as usize;
     let checksum = word(20);
-    let payload = bytes
-        .get(24..24 + len)
-        .ok_or(CkptError::Corrupt("payload shorter than header claims"))?;
+    let payload =
+        bytes.get(24..24 + len).ok_or(CkptError::Corrupt("payload shorter than header claims"))?;
     if bytes.len() != 24 + len {
         return Err(CkptError::Corrupt("trailing bytes after payload"));
     }
@@ -272,10 +270,8 @@ impl<'a> Dec<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
-        let slice = self
-            .buf
-            .get(self.at..self.at + n)
-            .ok_or(CkptError::Corrupt("payload truncated"))?;
+        let slice =
+            self.buf.get(self.at..self.at + n).ok_or(CkptError::Corrupt("payload truncated"))?;
         self.at += n;
         Ok(slice)
     }

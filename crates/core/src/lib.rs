@@ -40,8 +40,7 @@ pub mod validate;
 pub use checkpoint::{CkptError, Phase};
 pub use config::{PipelineConfig, Reduction};
 pub use pipeline::{
-    run_pipeline, run_pipeline_checkpointed, CheckpointConfig, DenseSubgraph,
-    PipelineResult,
+    run_pipeline, run_pipeline_checkpointed, CheckpointConfig, DenseSubgraph, PipelineResult,
 };
 pub use quality::{evaluate, QualityReport};
 pub use report::TableOneRow;

@@ -6,18 +6,15 @@ use std::path::PathBuf;
 use rayon::prelude::*;
 
 use pfam_cluster::{
-    all_component_graphs, component_graph, run_ccd, run_ccd_resumable,
-    run_redundancy_removal, CcdCursor, CcdResult, ComponentGraph, PhaseTrace,
+    all_component_graphs, component_graph, run_ccd, run_ccd_resumable, run_redundancy_removal,
+    CcdCursor, CcdResult, ComponentGraph, PhaseTrace,
 };
-use pfam_graph::{subgraph_density, BipartiteGraph, CsrGraph, SubgraphDensity, UnionFind};
+use pfam_graph::{subgraph_density, BipartiteGraph, CsrGraph, SubgraphDensity};
 use pfam_seq::{SeqId, SequenceSet};
-use pfam_shingle::{
-    detect_dense_subgraphs, DenseSubgraphConfig, ReductionMode, ShingleStats,
-};
+use pfam_shingle::{detect_dense_subgraphs, DenseSubgraphConfig, ReductionMode, ShingleStats};
 
 use crate::checkpoint::{
-    read_checkpoint, write_checkpoint, CcdState, CkptError, DsdComponent, DsdState, Phase,
-    RrState,
+    read_checkpoint, write_checkpoint, CcdState, CkptError, DsdComponent, DsdState, Phase, RrState,
 };
 use crate::config::{PipelineConfig, Reduction};
 
@@ -65,10 +62,7 @@ impl PipelineResult {
 
     /// The dense subgraphs as a clustering (id lists) for the metrics.
     pub fn subgraph_clusters(&self) -> Vec<Vec<u32>> {
-        self.dense_subgraphs
-            .iter()
-            .map(|d| d.members.iter().map(|id| id.0).collect())
-            .collect()
+        self.dense_subgraphs.iter().map(|d| d.members.iter().map(|id| id.0).collect()).collect()
     }
 }
 
@@ -90,19 +84,13 @@ pub fn run_pipeline(input: &SequenceSet, config: &PipelineConfig) -> PipelineRes
         .collect();
 
     // ---- Phase 3: bipartite graph generation (per large component). ----
-    let (graphs, bgg_trace) = all_component_graphs(
-        input,
-        &components,
-        config.min_component_size,
-        &config.cluster,
-    );
+    let (graphs, bgg_trace) =
+        all_component_graphs(input, &components, config.min_component_size, &config.cluster);
 
     // ---- Phase 4: dense subgraph detection (parallel over components). ----
     let dsd_config = dsd_config_of(config);
-    let per_component: Vec<(Vec<Vec<u32>>, ShingleStats)> = graphs
-        .par_iter()
-        .map(|cg| dsd_for_component(input, cg, config, &dsd_config))
-        .collect();
+    let per_component: Vec<(Vec<Vec<u32>>, ShingleStats)> =
+        graphs.par_iter().map(|cg| dsd_for_component(input, cg, config, &dsd_config)).collect();
 
     let mut dense_subgraphs = Vec::new();
     let mut shingle_stats = ShingleStats::default();
@@ -119,9 +107,8 @@ pub fn run_pipeline(input: &SequenceSet, config: &PipelineConfig) -> PipelineRes
         }
     }
     // Deterministic output order: biggest first, then by first member.
-    dense_subgraphs.sort_by(|a, b| {
-        b.members.len().cmp(&a.members.len()).then(a.members.cmp(&b.members))
-    });
+    dense_subgraphs
+        .sort_by(|a, b| b.members.len().cmp(&a.members.len()).then(a.members.cmp(&b.members)));
 
     PipelineResult {
         n_input: input.len(),
@@ -259,22 +246,7 @@ pub fn run_pipeline_checkpointed(
         Some(state) if state.complete => {
             // Phase already finished: rebuild the result from the stored
             // forest — no index rebuild, no realignment.
-            let mut uf = UnionFind::from_parts(state.cursor.uf_parent, state.cursor.uf_rank);
-            CcdResult {
-                components: uf
-                    .groups()
-                    .into_iter()
-                    .map(|g| g.into_iter().map(SeqId).collect())
-                    .collect(),
-                edges: state
-                    .cursor
-                    .edges
-                    .iter()
-                    .map(|&(a, b)| (SeqId(a), SeqId(b)))
-                    .collect(),
-                n_merges: state.cursor.n_merges,
-                trace: state.cursor.trace,
-            }
+            CcdResult::from_cursor(state.cursor)
         }
         prior => {
             let cursor = prior.map(|s| s.cursor);
@@ -300,22 +272,8 @@ pub fn run_pipeline_checkpointed(
             }
             // Final snapshot: the forest rebuilt from the accepted edges
             // yields the same partition the master loop ended with.
-            let mut uf = UnionFind::new(nr_set.len());
-            for &(a, b) in &result.edges {
-                uf.union(a.0, b.0);
-            }
-            let (parent, rank) = uf.parts();
-            let state = CcdState {
-                complete: true,
-                cursor: CcdCursor {
-                    pairs_consumed: result.trace.total_generated() as u64,
-                    uf_parent: parent.to_vec(),
-                    uf_rank: rank.to_vec(),
-                    edges: result.edges.iter().map(|&(a, b)| (a.0, b.0)).collect(),
-                    n_merges: result.n_merges,
-                    trace: result.trace.clone(),
-                },
-            };
+            let state =
+                CcdState { complete: true, cursor: CcdCursor::from_result(&result, nr_set.len()) };
             write_checkpoint(&ccd_path, Phase::Ccd, &state.encode())?;
             result
         }
@@ -348,11 +306,8 @@ pub fn run_pipeline_checkpointed(
             return Err(CkptError::Corrupt("dsd checkpoint is for a different input"));
         }
     }
-    state.trace.index_residues = selected
-        .iter()
-        .flat_map(|c| c.iter())
-        .map(|&id| input.seq_len(id) as u64)
-        .sum();
+    state.trace.index_residues =
+        selected.iter().flat_map(|c| c.iter()).map(|&id| input.seq_len(id) as u64).sum();
     let dsd_config = dsd_config_of(config);
     for members in selected.iter().skip(state.done.len()) {
         let (cg, record) = component_graph(input, members.as_slice(), &config.cluster);
@@ -395,9 +350,8 @@ pub fn run_pipeline_checkpointed(
             dense_subgraphs.push(DenseSubgraph { members, component: ci, density });
         }
     }
-    dense_subgraphs.sort_by(|a, b| {
-        b.members.len().cmp(&a.members.len()).then(a.members.cmp(&b.members))
-    });
+    dense_subgraphs
+        .sort_by(|a, b| b.members.len().cmp(&a.members.len()).then(a.members.cmp(&b.members)));
 
     Ok(Some(PipelineResult {
         n_input: input.len(),

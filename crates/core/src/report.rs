@@ -29,8 +29,7 @@ impl TableOneRow {
     pub fn from_result(result: &PipelineResult, cc_min: usize) -> TableOneRow {
         let n_ds = result.dense_subgraphs.len();
         let covered = result.sequences_in_subgraphs();
-        let largest =
-            result.dense_subgraphs.iter().map(|d| d.members.len()).max().unwrap_or(0);
+        let largest = result.dense_subgraphs.iter().map(|d| d.members.len()).max().unwrap_or(0);
         let mean_degree = if covered == 0 {
             0.0
         } else {

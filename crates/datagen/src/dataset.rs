@@ -175,10 +175,10 @@ impl SyntheticDataset {
         let mut builder = SequenceSetBuilder::new();
         let mut provenance = Vec::new();
         let push = |builder: &mut SequenceSetBuilder,
-                        provenance: &mut Vec<Provenance>,
-                        header: String,
-                        codes: Vec<u8>,
-                        p: Provenance|
+                    provenance: &mut Vec<Provenance>,
+                    header: String,
+                    codes: Vec<u8>,
+                    p: Provenance|
          -> SeqId {
             let id = builder.push_codes(header, codes).expect("generator never emits empties");
             provenance.push(p);
@@ -272,8 +272,7 @@ impl SyntheticDataset {
     /// redundant copies together), noise excluded. Plays the role of the
     /// GOS clustering in the paper's quality comparison.
     pub fn benchmark_clusters(&self) -> Vec<Vec<SeqId>> {
-        let n_fams =
-            self.provenance.iter().filter_map(|p| p.family()).max().map_or(0, |m| m + 1);
+        let n_fams = self.provenance.iter().filter_map(|p| p.family()).max().map_or(0, |m| m + 1);
         let mut clusters = vec![Vec::new(); n_fams as usize];
         for (i, p) in self.provenance.iter().enumerate() {
             if let Some(f) = p.family() {
@@ -321,10 +320,8 @@ pub fn skewed_sizes(n_families: usize, total: usize, skew: f64) -> Vec<usize> {
     assert!(n_families >= 1);
     let weights: Vec<f64> = (0..n_families).map(|i| 1.0 / ((i + 1) as f64).powf(skew)).collect();
     let wsum: f64 = weights.iter().sum();
-    let mut sizes: Vec<usize> = weights
-        .iter()
-        .map(|w| ((w / wsum) * total as f64).round().max(1.0) as usize)
-        .collect();
+    let mut sizes: Vec<usize> =
+        weights.iter().map(|w| ((w / wsum) * total as f64).round().max(1.0) as usize).collect();
     // Adjust the largest family so totals match exactly.
     let assigned: usize = sizes.iter().sum();
     if assigned < total {
@@ -363,14 +360,10 @@ mod tests {
     fn counts_add_up() {
         let config = DatasetConfig::tiny(1);
         let d = SyntheticDataset::generate(&config);
-        let members = d
-            .provenance
-            .iter()
-            .filter(|p| matches!(p, Provenance::Member { .. }))
-            .count();
+        let members =
+            d.provenance.iter().filter(|p| matches!(p, Provenance::Member { .. })).count();
         let redundant = d.redundant_ids().len();
-        let noise =
-            d.provenance.iter().filter(|p| matches!(p, Provenance::Noise)).count();
+        let noise = d.provenance.iter().filter(|p| matches!(p, Provenance::Noise)).count();
         assert_eq!(members + redundant + noise, d.len());
         assert_eq!(noise, config.n_noise);
         assert!(members >= config.n_members - 2 && members <= config.n_members + 2);
@@ -396,9 +389,7 @@ mod tests {
     fn redundant_reads_are_contained_in_their_original() {
         let d = SyntheticDataset::generate(&DatasetConfig::tiny(3));
         for id in d.redundant_ids() {
-            let Provenance::Redundant { of, .. } = d.provenance[id.index()] else {
-                unreachable!()
-            };
+            let Provenance::Redundant { of, .. } = d.provenance[id.index()] else { unreachable!() };
             let copy = d.set.codes(id);
             let original = d.set.codes(of);
             // The copy is a verbatim window of the original.
@@ -440,8 +431,7 @@ mod tests {
     fn benchmark_clusters_cover_non_noise() {
         let d = SyntheticDataset::generate(&DatasetConfig::tiny(6));
         let covered: usize = d.benchmark_clusters().iter().map(|c| c.len()).sum();
-        let non_noise =
-            d.provenance.iter().filter(|p| !matches!(p, Provenance::Noise)).count();
+        let non_noise = d.provenance.iter().filter(|p| !matches!(p, Provenance::Noise)).count();
         assert_eq!(covered, non_noise);
     }
 
@@ -461,8 +451,7 @@ mod tests {
         // ancestors shares a 25-window.
         let mut found = false;
         'outer: for i in 0..d.ancestors.len() {
-            let set: std::collections::HashSet<&[u8]> =
-                d.ancestors[i].windows(25).collect();
+            let set: std::collections::HashSet<&[u8]> = d.ancestors[i].windows(25).collect();
             for j in i + 1..d.ancestors.len() {
                 if d.ancestors[j].windows(25).any(|w| set.contains(w)) {
                     found = true;

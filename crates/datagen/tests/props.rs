@@ -6,11 +6,11 @@ use pfam_datagen::{skewed_sizes, DatasetConfig, MutationModel, Provenance, Synth
 
 fn small_config() -> impl Strategy<Value = DatasetConfig> {
     (
-        1usize..6,    // n_families
-        4usize..40,   // n_members
-        0usize..8,    // n_noise
-        0.0f64..0.3,  // redundancy_frac
-        0..1000u64,   // seed
+        1usize..6,   // n_families
+        4usize..40,  // n_members
+        0usize..8,   // n_noise
+        0.0f64..0.3, // redundancy_frac
+        0..1000u64,  // seed
     )
         .prop_map(|(n_families, n_members, n_noise, redundancy_frac, seed)| DatasetConfig {
             n_families,

@@ -75,9 +75,8 @@ pub fn cut_structure(g: &CsrGraph) -> CutStructure {
         }
     }
 
-    let mut articulation_points: Vec<u32> = (0..n as u32)
-        .filter(|&v| is_articulation[v as usize])
-        .collect();
+    let mut articulation_points: Vec<u32> =
+        (0..n as u32).filter(|&v| is_articulation[v as usize]).collect();
     articulation_points.sort_unstable();
     bridges.sort_unstable();
     CutStructure { articulation_points, bridges }
@@ -160,9 +159,8 @@ mod tests {
         for trial in 0..30 {
             let n = rng.gen_range(1..16);
             let m = rng.gen_range(0..28);
-            let edges: Vec<(u32, u32)> = (0..m)
-                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
-                .collect();
+            let edges: Vec<(u32, u32)> =
+                (0..m).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect();
             let g = CsrGraph::from_edges(n, &edges);
             assert_eq!(cut_structure(&g), naive(&g), "trial {trial}: {edges:?}");
         }

@@ -30,10 +30,7 @@ impl BipartiteGraph {
     pub fn from_edges(n_left: usize, n_right: usize, edges: &[(u32, u32)]) -> BipartiteGraph {
         let mut pairs: Vec<(u32, u32)> = edges.to_vec();
         for &(l, r) in &pairs {
-            assert!(
-                (l as usize) < n_left && (r as usize) < n_right,
-                "edge ({l},{r}) out of range"
-            );
+            assert!((l as usize) < n_left && (r as usize) < n_right, "edge ({l},{r}) out of range");
         }
         pairs.sort_unstable();
         pairs.dedup();
@@ -175,10 +172,8 @@ mod tests {
         let set = builder.finish();
         let b = BipartiteGraph::word_based(&set, None, 5);
         // Words of length 5 in >= 2 sequences: MKVLW only.
-        let mkvlw = pfam_seq::kmer::pack_word(
-            &pfam_seq::alphabet::encode(b"MKVLW").unwrap(),
-        )
-        .unwrap();
+        let mkvlw =
+            pfam_seq::kmer::pack_word(&pfam_seq::alphabet::encode(b"MKVLW").unwrap()).unwrap();
         assert_eq!(b.n_left(), 1);
         assert_eq!(b.left_word(0), Some(mkvlw));
         assert_eq!(b.out_links(0), &[0, 1]);
@@ -193,8 +188,7 @@ mod tests {
         let set = builder.finish();
         let all = BipartiteGraph::word_based(&set, None, 5);
         assert_eq!(all.out_links(0), &[0, 1, 2]);
-        let restricted =
-            BipartiteGraph::word_based(&set, Some(&[SeqId(0), SeqId(2)]), 5);
+        let restricted = BipartiteGraph::word_based(&set, Some(&[SeqId(0), SeqId(2)]), 5);
         assert_eq!(restricted.out_links(0), &[0, 2]);
     }
 

@@ -77,8 +77,7 @@ pub fn densest_subgraph_peeling(g: &CsrGraph) -> (Vec<u32>, f64) {
 
     // Peel min-degree vertices; record the removal order.
     use std::collections::BTreeSet;
-    let mut queue: BTreeSet<(i64, u32)> =
-        (0..n as u32).map(|v| (degree[v as usize], v)).collect();
+    let mut queue: BTreeSet<(i64, u32)> = (0..n as u32).map(|v| (degree[v as usize], v)).collect();
     let mut removal = Vec::with_capacity(n);
     let mut best_density = edges_left as f64 / n as f64;
     let mut best_remaining = n;
@@ -133,9 +132,7 @@ pub fn greedy_dense_decomposition(
         let members: Vec<u32> = local.iter().map(|&l| mapping[l as usize]).collect();
         let member_set: std::collections::HashSet<u32> = local.iter().copied().collect();
         out.push(members);
-        remaining = (0..current.n_vertices() as u32)
-            .filter(|v| !member_set.contains(v))
-            .collect();
+        remaining = (0..current.n_vertices() as u32).filter(|v| !member_set.contains(v)).collect();
         if remaining.len() < min_size {
             break;
         }
@@ -171,11 +168,8 @@ mod tests {
                 let mut changed = false;
                 for v in 0..n as u32 {
                     if alive[v as usize] {
-                        let d = g
-                            .neighbors(v)
-                            .iter()
-                            .filter(|&&u| alive[u as usize])
-                            .count() as u32;
+                        let d =
+                            g.neighbors(v).iter().filter(|&&u| alive[u as usize]).count() as u32;
                         if d < k {
                             alive[v as usize] = false;
                             changed = true;
@@ -215,9 +209,8 @@ mod tests {
         for _ in 0..20 {
             let n = rng.gen_range(1..25);
             let m = rng.gen_range(0..60);
-            let edges: Vec<(u32, u32)> = (0..m)
-                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
-                .collect();
+            let edges: Vec<(u32, u32)> =
+                (0..m).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect();
             let g = CsrGraph::from_edges(n, &edges);
             assert_eq!(core_numbers(&g), core_numbers_naive(&g));
         }
@@ -283,9 +276,8 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(92);
         let n = 40;
-        let edges: Vec<(u32, u32)> = (0..200)
-            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            (0..200).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect();
         let g = CsrGraph::from_edges(n, &edges);
         let parts = greedy_dense_decomposition(&g, 2, 1.0);
         let mut seen = std::collections::HashSet::new();

@@ -66,11 +66,8 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (hi, lo) =
+            if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[lo as usize] = hi;
         if self.rank[hi as usize] == self.rank[lo as usize] {
             self.rank[hi as usize] += 1;
@@ -96,8 +93,7 @@ impl UnionFind {
     /// `n_sets` is recomputed by counting roots.
     pub fn from_parts(parent: Vec<u32>, rank: Vec<u8>) -> UnionFind {
         assert_eq!(parent.len(), rank.len(), "parent/rank length mismatch");
-        let n_sets =
-            parent.iter().enumerate().filter(|&(i, &p)| p == i as u32).count();
+        let n_sets = parent.iter().enumerate().filter(|&(i, &p)| p == i as u32).count();
         UnionFind { parent, rank, n_sets }
     }
 

@@ -66,10 +66,7 @@ pub fn labels_from_clusters(n: usize, clusters: &[Vec<u32>]) -> Vec<Option<u32>>
     let mut labels = vec![None; n];
     for (ci, cluster) in clusters.iter().enumerate() {
         for &v in cluster {
-            assert!(
-                labels[v as usize].is_none(),
-                "element {v} appears in multiple clusters"
-            );
+            assert!(labels[v as usize].is_none(), "element {v} appears in multiple clusters");
             labels[v as usize] = Some(ci as u32);
         }
     }
@@ -139,13 +136,7 @@ mod tests {
             let n = rng.gen_range(0..60);
             let gen = |rng: &mut StdRng| -> Vec<Option<u32>> {
                 (0..n)
-                    .map(|_| {
-                        if rng.gen_bool(0.2) {
-                            None
-                        } else {
-                            Some(rng.gen_range(0..5))
-                        }
-                    })
+                    .map(|_| if rng.gen_bool(0.2) { None } else { Some(rng.gen_range(0..5)) })
                     .collect()
             };
             let test = gen(&mut rng);

@@ -57,9 +57,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| {
-                (format!("{}-{}", i * self.width, (i + 1) * self.width - 1), c)
-            })
+            .map(|(i, &c)| (format!("{}-{}", i * self.width, (i + 1) * self.width - 1), c))
             .collect()
     }
 

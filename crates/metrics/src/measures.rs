@@ -99,12 +99,8 @@ mod tests {
     #[test]
     fn large_counts_no_overflow() {
         // Counts at the 160K-sequence scale: ~1.9e9 pairs.
-        let c = PairConfusion {
-            tp: 900_000_000,
-            fp: 40_000_000,
-            fn_: 700_000_000,
-            tn: 18_000_000_000,
-        };
+        let c =
+            PairConfusion { tp: 900_000_000, fp: 40_000_000, fn_: 700_000_000, tn: 18_000_000_000 };
         let m = QualityMeasures::from_confusion(&c);
         assert!(m.precision > 0.95);
         assert!(m.correlation.is_finite());

@@ -129,9 +129,7 @@ impl Communicator {
             MessageFate::Deliver => {}
         }
         let result = if self.alive[to].load(Ordering::SeqCst) {
-            self.senders[to]
-                .send(envelope)
-                .map_err(|_| CommError::PeerExited { rank: to })
+            self.senders[to].send(envelope).map_err(|_| CommError::PeerExited { rank: to })
         } else {
             Err(CommError::PeerExited { rank: to })
         };
@@ -164,11 +162,9 @@ impl Communicator {
         let tag = e.tag;
         match e.payload.downcast::<T>() {
             Ok(value) => Ok((from, *value)),
-            Err(_) => Err(CommError::TypeMismatch {
-                tag,
-                from,
-                expected: std::any::type_name::<T>(),
-            }),
+            Err(_) => {
+                Err(CommError::TypeMismatch { tag, from, expected: std::any::type_name::<T>() })
+            }
         }
     }
 
@@ -203,9 +199,7 @@ impl Communicator {
                     match self.inbox.recv_timeout(t - now) {
                         Ok(e) => e,
                         Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout),
-                        Err(RecvTimeoutError::Disconnected) => {
-                            return Err(CommError::Disconnected)
-                        }
+                        Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
                     }
                 }
             };
@@ -463,8 +457,7 @@ where
         for (rank, comm) in comms.iter_mut().enumerate() {
             let alive = alive.clone();
             handles.push(scope.spawn(move || {
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
                 // Whatever happened, this rank is no longer running.
                 alive[rank].store(false, Ordering::SeqCst);
                 result
@@ -600,9 +593,8 @@ mod tests {
     fn any_source_receives_from_everyone() {
         let results = run_spmd(6, |comm| {
             if comm.rank() == 0 {
-                let mut got: Vec<usize> = (1..comm.size())
-                    .map(|_| must(comm.recv::<u64>(ANY_SOURCE, 9)).0)
-                    .collect();
+                let mut got: Vec<usize> =
+                    (1..comm.size()).map(|_| must(comm.recv::<u64>(ANY_SOURCE, 9)).0).collect();
                 got.sort_unstable();
                 got
             } else {
@@ -674,9 +666,8 @@ mod tests {
     #[test]
     fn all_to_all_routes_by_destination() {
         let results = run_spmd(4, |comm| {
-            let outgoing: Vec<Vec<u32>> = (0..comm.size())
-                .map(|to| vec![comm.rank() as u32 * 10 + to as u32])
-                .collect();
+            let outgoing: Vec<Vec<u32>> =
+                (0..comm.size()).map(|to| vec![comm.rank() as u32 * 10 + to as u32]).collect();
             must(comm.all_to_all(outgoing))
         });
         for (rank, incoming) in results.into_iter().enumerate() {
@@ -846,12 +837,11 @@ mod tests {
 
     #[test]
     fn panicked_rank_is_contained_in_faulty_mode() {
-        let results = run_spmd_faulty(3, Arc::new(crate::fault::NoFaults), |comm| {
-            match comm.rank() {
+        let results =
+            run_spmd_faulty(3, Arc::new(crate::fault::NoFaults), |comm| match comm.rank() {
                 1 => panic!("rank 1 exploded"),
                 r => r,
-            }
-        });
+            });
         assert_eq!(results[0], Ok(0));
         assert_eq!(results[1], Err(RankFailure::Panicked("rank 1 exploded".to_owned())));
         assert_eq!(results[2], Ok(2));

@@ -35,8 +35,7 @@ fn random_point_to_point_traffic_is_lossless() {
             }
         }
         // Receive phase: expected count is known from the shared plan.
-        let expected: usize =
-            (0..comm.size()).filter(|&f| f != me).map(|f| plan_ref[f][me]).sum();
+        let expected: usize = (0..comm.size()).filter(|&f| f != me).map(|f| plan_ref[f][me]).sum();
         let mut sum = 0u64;
         for _ in 0..expected {
             let (_, v) = must(comm.recv::<u64>(ANY_SOURCE, 5));

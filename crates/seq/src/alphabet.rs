@@ -14,8 +14,8 @@ pub const ALPHABET_SIZE: usize = 21;
 ///
 /// Index in this array == internal residue code.
 pub const RESIDUE_LETTERS: [u8; ALPHABET_SIZE] = [
-    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P',
-    b'S', b'T', b'W', b'Y', b'V', b'X',
+    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P', b'S',
+    b'T', b'W', b'Y', b'V', b'X',
 ];
 
 /// One amino-acid residue, stored as its internal code (`0..=20`).

@@ -91,11 +91,7 @@ pub fn mask_low_complexity(codes: &[u8], params: &MaskParams) -> Vec<u8> {
         }
     }
     let _ = e;
-    codes
-        .iter()
-        .zip(&masked)
-        .map(|(&c, &m)| if m { x } else { c })
-        .collect()
+    codes.iter().zip(&masked).map(|(&c, &m)| if m { x } else { c }).collect()
 }
 
 /// Fraction of residues a masking pass would hide, without allocating the

@@ -18,8 +18,8 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<SequenceSet, SeqError> {
     let mut residues: Vec<u8> = Vec::new();
 
     let flush = |header: &mut Option<String>,
-                     residues: &mut Vec<u8>,
-                     builder: &mut SequenceSetBuilder|
+                 residues: &mut Vec<u8>,
+                 builder: &mut SequenceSetBuilder|
      -> Result<(), SeqError> {
         if let Some(h) = header.take() {
             builder.push_letters(h, residues)?;
@@ -39,9 +39,7 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<SequenceSet, SeqError> {
             header = Some(h.trim().to_owned());
         } else {
             if header.is_none() {
-                return Err(SeqError::Format(
-                    "sequence data before first '>' header".to_owned(),
-                ));
+                return Err(SeqError::Format("sequence data before first '>' header".to_owned()));
             }
             residues.extend_from_slice(line.trim().as_bytes());
         }

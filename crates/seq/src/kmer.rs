@@ -115,9 +115,8 @@ mod tests {
         let c = codes("MKVLWAARNDCQEGH");
         for k in 1..=6 {
             let rolled: Vec<_> = KmerIter::new(&c, k).collect();
-            let direct: Vec<_> = (0..=c.len() - k)
-                .filter_map(|i| pack_word(&c[i..i + k]).map(|v| (i, v)))
-                .collect();
+            let direct: Vec<_> =
+                (0..=c.len() - k).filter_map(|i| pack_word(&c[i..i + k]).map(|v| (i, v))).collect();
             assert_eq!(rolled, direct, "k={k}");
         }
     }

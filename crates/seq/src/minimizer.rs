@@ -71,10 +71,7 @@ pub fn minimizers(codes: &[u8], w: usize, k: usize) -> Vec<Minimizer> {
             }
             if j + 1 >= w {
                 let &min_idx = deque.front().expect("window is non-empty");
-                let m = Minimizer {
-                    position: stretch[min_idx].0 as u32,
-                    kmer: stretch[min_idx].1,
-                };
+                let m = Minimizer { position: stretch[min_idx].0 as u32, kmer: stretch[min_idx].1 };
                 if out.last() != Some(&m) {
                     out.push(m);
                 }
@@ -83,10 +80,8 @@ pub fn minimizers(codes: &[u8], w: usize, k: usize) -> Vec<Minimizer> {
         // Short stretches (< w k-mers) still contribute their overall
         // minimum, so no stretch is left unseeded.
         if !stretch.is_empty() && stretch.len() < w {
-            let &(pos, kmer) = stretch
-                .iter()
-                .min_by_key(|&&(p, km)| (mix(km), p))
-                .expect("non-empty");
+            let &(pos, kmer) =
+                stretch.iter().min_by_key(|&&(p, km)| (mix(km), p)).expect("non-empty");
             let m = Minimizer { position: pos as u32, kmer };
             if out.last() != Some(&m) {
                 out.push(m);
@@ -115,16 +110,14 @@ mod tests {
                 return;
             }
             if stretch.len() < w {
-                let &(p, km) =
-                    stretch.iter().min_by_key(|&&(p, km)| (super::mix(km), p)).unwrap();
+                let &(p, km) = stretch.iter().min_by_key(|&&(p, km)| (super::mix(km), p)).unwrap();
                 let m = Minimizer { position: p as u32, kmer: km };
                 if out.last() != Some(&m) {
                     out.push(m);
                 }
             } else {
                 for win in stretch.windows(w) {
-                    let &(p, km) =
-                        win.iter().min_by_key(|&&(p, km)| (super::mix(km), p)).unwrap();
+                    let &(p, km) = win.iter().min_by_key(|&&(p, km)| (super::mix(km), p)).unwrap();
                     let m = Minimizer { position: p as u32, kmer: km };
                     if out.last() != Some(&m) {
                         out.push(m);

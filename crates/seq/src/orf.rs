@@ -230,10 +230,7 @@ mod tests {
     #[test]
     fn n_codon_is_unknown() {
         let c = dna("ANT");
-        assert_eq!(
-            translate_codon([c[0], c[1], c[2]]),
-            Translation::Residue(AminoAcid::UNKNOWN)
-        );
+        assert_eq!(translate_codon([c[0], c[1], c[2]]), Translation::Residue(AminoAcid::UNKNOWN));
     }
 
     #[test]
@@ -289,8 +286,7 @@ mod tests {
         // Reverse complement of ATGAAATGA codes for something on frames 3..6.
         let d = dna("TCATTTCAT"); // revcomp = ATGAAATGA -> frame 3: M K (stop)
         let orfs = find_orfs(&d, OrfMode::StartToStop, 2);
-        assert!(orfs.iter().any(|o| o.frame >= 3 && decode(&o.peptide) == "MK"),
-            "orfs: {orfs:?}");
+        assert!(orfs.iter().any(|o| o.frame >= 3 && decode(&o.peptide) == "MK"), "orfs: {orfs:?}");
     }
 
     #[test]

@@ -192,11 +192,7 @@ mod tests {
         for c in &clusters {
             let low = c.b.iter().filter(|&&v| v < 10).count();
             let high = c.b.len() - low;
-            assert!(
-                low == 0 || high == 0,
-                "cluster mixes disjoint cliques: {:?}",
-                c.b
-            );
+            assert!(low == 0 || high == 0, "cluster mixes disjoint cliques: {:?}", c.b);
         }
         // Both cliques should be recovered as the two largest clusters.
         assert!(clusters.len() >= 2);

@@ -104,8 +104,7 @@ pub fn detect_dense_subgraphs(
         let mut claimed = std::collections::HashSet::new();
         let mut disjoint = Vec::with_capacity(subgraphs.len());
         for sg in subgraphs {
-            let remaining: Vec<u32> =
-                sg.into_iter().filter(|v| !claimed.contains(v)).collect();
+            let remaining: Vec<u32> = sg.into_iter().filter(|v| !claimed.contains(v)).collect();
             if !remaining.is_empty() {
                 claimed.extend(remaining.iter().copied());
                 disjoint.push(remaining);

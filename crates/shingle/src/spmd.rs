@@ -51,9 +51,7 @@ pub fn shingle_clusters_spmd(
         let mut outgoing: Vec<Vec<Tuple>> = vec![Vec::new(); p];
         let mut v = rank as u32;
         while (v as usize) < graph.n_left() {
-            for Shingle { id, elements } in
-                shingle_set(graph.out_links(v), &fam1, params.s1)
-            {
+            for Shingle { id, elements } in shingle_set(graph.out_links(v), &fam1, params.s1) {
                 outgoing[owner(id)].push((id, elements, v));
             }
             v += p as u32;
@@ -105,8 +103,7 @@ pub fn shingle_clusters_spmd(
         // ---- Gather shingles + edges at rank 0 for reporting. ----
         let gathered_shingles = healthy(comm.gather(0, shingles));
         let gathered_edges = healthy(comm.gather(0, edges));
-        let (Some(all_shingle_lists), Some(all_edge_lists)) =
-            (gathered_shingles, gathered_edges)
+        let (Some(all_shingle_lists), Some(all_edge_lists)) = (gathered_shingles, gathered_edges)
         else {
             return None;
         };
@@ -115,8 +112,8 @@ pub fn shingle_clusters_spmd(
             all_shingle_lists.into_iter().flatten().collect();
         all.sort_unstable_by_key(|&(id, _, _)| id);
         let index_of = |id: u64| -> u32 {
-            all.binary_search_by_key(&id, |&(i, _, _)| i)
-                .expect("edge references an owned shingle") as u32
+            all.binary_search_by_key(&id, |&(i, _, _)| i).expect("edge references an owned shingle")
+                as u32
         };
         let mut uf = UnionFind::new(all.len());
         for (a, b) in all_edge_lists.into_iter().flatten() {
@@ -143,11 +140,7 @@ pub fn shingle_clusters_spmd(
         clusters.sort_by(|x, y| y.b.len().cmp(&x.b.len()).then(x.a.cmp(&y.a)));
         Some(clusters)
     });
-    results
-        .into_iter()
-        .next()
-        .flatten()
-        .expect("rank 0 returns the clusters")
+    results.into_iter().next().flatten().expect("rank 0 returns the clusters")
 }
 
 #[cfg(test)]

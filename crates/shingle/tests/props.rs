@@ -4,8 +4,8 @@ use proptest::prelude::*;
 
 use pfam_graph::{BipartiteGraph, CsrGraph};
 use pfam_shingle::{
-    jaccard, shingle_clusters, shingle_clusters_distributed, DenseSubgraphConfig,
-    ReductionMode, ShingleParams,
+    jaccard, shingle_clusters, shingle_clusters_distributed, DenseSubgraphConfig, ReductionMode,
+    ShingleParams,
 };
 
 fn bipartite(n_left: usize, n_right: usize) -> impl Strategy<Value = BipartiteGraph> {

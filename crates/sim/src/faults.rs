@@ -278,9 +278,7 @@ mod tests {
             // Ranks 0 and 2 talk to each other and observe 1's death.
             let peer = 2 - comm.rank();
             comm.send(peer, 7, 1u8).ok();
-            let got = comm
-                .recv_timeout::<u8>(peer, 7, Duration::from_millis(500))
-                .is_ok();
+            let got = comm.recv_timeout::<u8>(peer, 7, Duration::from_millis(500)).is_ok();
             got && !comm.peer_alive(1)
         });
         for (rank, outcome) in outcomes.iter().enumerate() {

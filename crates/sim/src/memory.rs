@@ -143,10 +143,7 @@ mod tests {
         // thousands of vertices, not hundreds or millions).
         let m = MemoryModel::default();
         let bound = m.max_component_vertices(512.0 * MB, 300, 0.76);
-        assert!(
-            (2_000..200_000).contains(&bound),
-            "bound {bound} out of the plausible range"
-        );
+        assert!((2_000..200_000).contains(&bound), "bound {bound} out of the plausible range");
     }
 
     #[test]

@@ -103,18 +103,17 @@ pub fn simulate_phase(trace: &PhaseTrace, machine: &MachineModel, p: usize) -> S
         b.generation += batch.n_generated as f64 * machine.pair_gen_time / workers;
         // Messages: pair gather + task scatter + result gather per round.
         if batch.n_generated > 0 {
-            b.communication += round_latency
-                + batch.n_generated as f64 * machine.pair_bytes * machine.byte_time;
+            b.communication +=
+                round_latency + batch.n_generated as f64 * machine.pair_bytes * machine.byte_time;
         }
         // Master: filter every pair, dispatch and apply the survivors.
         master += batch.n_generated as f64 * machine.master_filter_time;
         if batch.n_aligned > 0 {
-            master += batch.n_aligned as f64
-                * (machine.master_dispatch_time + machine.master_apply_time);
+            master +=
+                batch.n_aligned as f64 * (machine.master_dispatch_time + machine.master_apply_time);
             b.communication += 2.0 * round_latency
                 + 2.0 * batch.n_aligned as f64 * machine.task_bytes * machine.byte_time;
-            all_tasks
-                .extend(batch.task_cells.iter().map(|&c| c as f64 * machine.cell_time));
+            all_tasks.extend(batch.task_cells.iter().map(|&c| c as f64 * machine.cell_time));
         }
     }
     // Workers: alignment compute, list-scheduled over the whole run (the
@@ -231,10 +230,7 @@ mod tests {
         let t32 = simulate_phase(&trace, &m, 32).seconds;
         let t512 = simulate_phase(&trace, &m, 512).seconds;
         let speedup = t32 / t512;
-        assert!(
-            speedup < 4.0,
-            "filter-dominated phase should saturate, got speedup {speedup:.2}"
-        );
+        assert!(speedup < 4.0, "filter-dominated phase should saturate, got speedup {speedup:.2}");
     }
 
     #[test]
@@ -264,8 +260,7 @@ mod tests {
         let c = trace_of(vec![filter_dominated_batch()]);
         let m = MachineModel::bluegene_l();
         let combined = simulate_phases(&[&a, &c], &m, 64).seconds;
-        let separate =
-            simulate_phase(&a, &m, 64).seconds + simulate_phase(&c, &m, 64).seconds;
+        let separate = simulate_phase(&a, &m, 64).seconds + simulate_phase(&c, &m, 64).seconds;
         assert!((combined - separate).abs() < 1e-9);
     }
 

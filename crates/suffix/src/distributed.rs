@@ -58,8 +58,7 @@ impl PartitionedSuffixSpace {
         let mut load = vec![0u64; p];
         let mut rank_of_bucket = vec![0u32; n_buckets];
         for b in order {
-            let (rank, _) =
-                load.iter().enumerate().min_by_key(|&(_, &l)| l).expect("p >= 1");
+            let (rank, _) = load.iter().enumerate().min_by_key(|&(_, &l)| l).expect("p >= 1");
             rank_of_bucket[b] = rank as u32;
             load[rank] += size(b) as u64;
         }
@@ -102,11 +101,7 @@ impl PartitionedSuffixSpace {
     ///
     /// Requires `config.min_len >= self.prefix_len` — shallower nodes may
     /// straddle buckets.
-    pub fn nodes_per_rank(
-        &self,
-        tree: &SuffixTree<'_>,
-        min_len: u32,
-    ) -> Vec<Vec<NodeId>> {
+    pub fn nodes_per_rank(&self, tree: &SuffixTree<'_>, min_len: u32) -> Vec<Vec<NodeId>> {
         assert!(
             min_len >= self.prefix_len,
             "ψ (={min_len}) must be at least the partition prefix length (={})",
@@ -144,9 +139,7 @@ impl PartitionedSuffixSpace {
         let nodes = self.nodes_per_rank(tree, config.min_len);
         nodes
             .into_par_iter()
-            .map(|rank_nodes| {
-                MaximalMatchGenerator::with_nodes(tree, config, rank_nodes).collect()
-            })
+            .map(|rank_nodes| MaximalMatchGenerator::with_nodes(tree, config, rank_nodes).collect())
             .collect()
     }
 }

@@ -373,9 +373,7 @@ mod tests {
         let set = set_of(&["MKXXXXXMK", "WVXXXXXWV"]);
         let g = GeneralizedSuffixArray::build(&set);
         let max_cross_lcp = (1..g.sa().len())
-            .filter(|&r| {
-                g.seq_at(g.sa()[r - 1] as usize) != g.seq_at(g.sa()[r] as usize)
-            })
+            .filter(|&r| g.seq_at(g.sa()[r - 1] as usize) != g.seq_at(g.sa()[r] as usize))
             .map(|r| g.lcp()[r])
             .max()
             .unwrap_or(0);

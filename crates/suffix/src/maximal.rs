@@ -268,12 +268,8 @@ impl<'a> MaximalMatchGenerator<'a> {
     fn process_node(&mut self, node: NodeId) {
         self.stats.nodes_visited += 1;
         self.scratch.clear();
-        self.stats.pairs_capped += collect_node_pairs(
-            self.tree,
-            node,
-            self.config.max_pairs_per_node,
-            &mut self.scratch,
-        );
+        self.stats.pairs_capped +=
+            collect_node_pairs(self.tree, node, self.config.max_pairs_per_node, &mut self.scratch);
         for &pair in &self.scratch {
             if self.config.dedup && !self.seen.insert(pair.key()) {
                 self.stats.pairs_deduped += 1;
@@ -329,10 +325,8 @@ mod tests {
         let set = set_of(seqs);
         let gsa = GeneralizedSuffixArray::build(&set);
         let tree = SuffixTree::build(&gsa);
-        let mut g = MaximalMatchGenerator::new(
-            &tree,
-            MaximalMatchConfig { min_len, ..Default::default() },
-        );
+        let mut g =
+            MaximalMatchGenerator::new(&tree, MaximalMatchConfig { min_len, ..Default::default() });
         let pairs: Vec<_> = g.by_ref().collect();
         (pairs, g.stats())
     }
@@ -354,9 +348,9 @@ mod tests {
     fn pairs_arrive_in_decreasing_length() {
         let (pairs, _) = pairs_of(
             &[
-                "MKVLWAAKND",      // shares length-10 with s1
-                "MKVLWAAKND",      //
-                "GGMKVLWGG",       // shares length-5 "MKVLW" with s0/s1
+                "MKVLWAAKND", // shares length-10 with s1
+                "MKVLWAAKND", //
+                "GGMKVLWGG",  // shares length-5 "MKVLW" with s0/s1
             ],
             5,
         );
@@ -371,10 +365,7 @@ mod tests {
     fn dedup_keeps_longest_occurrence() {
         // s0 and s1 share both a length-8 match and a separate length-5
         // match; with dedup only the length-8 pair survives.
-        let (pairs, stats) = pairs_of(
-            &["MKVLWAAKXXXXDEFGH", "MKVLWAAKYYYYDEFGH"],
-            5,
-        );
+        let (pairs, stats) = pairs_of(&["MKVLWAAKXXXXDEFGH", "MKVLWAAKYYYYDEFGH"], 5);
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].len, 8);
         assert!(stats.pairs_deduped >= 1);
@@ -385,10 +376,8 @@ mod tests {
         let set = set_of(&["MKVLWAAKXXXXDEFGH", "MKVLWAAKYYYYDEFGH"]);
         let gsa = GeneralizedSuffixArray::build(&set);
         let tree = SuffixTree::build(&gsa);
-        let pairs = all_pairs(
-            &tree,
-            MaximalMatchConfig { min_len: 5, dedup: false, ..Default::default() },
-        );
+        let pairs =
+            all_pairs(&tree, MaximalMatchConfig { min_len: 5, dedup: false, ..Default::default() });
         let lens: Vec<u32> = pairs.iter().map(|p| p.len).collect();
         assert!(lens.contains(&8), "length-8 match: {lens:?}");
         assert!(lens.contains(&5), "length-5 match: {lens:?}");
@@ -426,10 +415,7 @@ mod tests {
 
     #[test]
     fn three_way_sharing_yields_all_pairs() {
-        let (pairs, _) = pairs_of(
-            &["AAMKVLWAA", "CCMKVLWCC", "DDMKVLWDD"],
-            5,
-        );
+        let (pairs, _) = pairs_of(&["AAMKVLWAA", "CCMKVLWCC", "DDMKVLWDD"], 5);
         let mut seen: Vec<(u32, u32)> = pairs.iter().map(|p| (p.a.0, p.b.0)).collect();
         seen.sort_unstable();
         assert_eq!(seen, vec![(0, 1), (0, 2), (1, 2)]);

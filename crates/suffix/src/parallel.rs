@@ -83,11 +83,7 @@ where
     }
     slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("job slot poisoned")
-                .expect("every job produced a result")
-        })
+        .map(|m| m.into_inner().expect("job slot poisoned").expect("every job produced a result"))
         .collect()
 }
 
@@ -217,7 +213,12 @@ impl KeyScheme {
 }
 
 /// Merge two runs already ordered by `cmp` into `dst`.
-fn merge_runs<T: Copy>(a: &[T], b: &[T], dst: &mut [T], cmp: &(impl Fn(&T, &T) -> Ordering + Sync)) {
+fn merge_runs<T: Copy>(
+    a: &[T],
+    b: &[T],
+    dst: &mut [T],
+    cmp: &(impl Fn(&T, &T) -> Ordering + Sync),
+) {
     debug_assert_eq!(a.len() + b.len(), dst.len());
     let (mut i, mut j) = (0, 0);
     for slot in dst.iter_mut() {
@@ -548,8 +549,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..10 {
             let n = rng.gen_range(2..200);
-            let mut text: Vec<u32> =
-                (0..n).map(|_| rng.gen_range(0..200_000u32) + 1).collect();
+            let mut text: Vec<u32> = (0..n).map(|_| rng.gen_range(0..200_000u32) + 1).collect();
             text.push(0);
             let k = 200_002usize;
             assert_eq!(suffix_array_parallel(&text, k, 4), sais::suffix_array(&text, k));

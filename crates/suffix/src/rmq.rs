@@ -131,10 +131,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(72);
         for _ in 0..20 {
             let n = rng.gen_range(2..120);
-            let text: Vec<u32> = (0..n)
-                .map(|_| rng.gen_range(1..5))
-                .chain(std::iter::once(0))
-                .collect();
+            let text: Vec<u32> =
+                (0..n).map(|_| rng.gen_range(1..5)).chain(std::iter::once(0)).collect();
             let sa = suffix_array(&text, 5);
             let lcp = lcp_array(&text, &sa);
             let oracle = LcpOracle::new(&sa, &lcp);

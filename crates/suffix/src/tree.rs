@@ -46,10 +46,10 @@ impl<'a> SuffixTree<'a> {
         let mut stack: Vec<Open> = vec![Open { depth: 0, lb: 0, children: Vec::new() }];
 
         let close = |open: Open,
-                         rb: u32,
-                         nodes_depth: &mut Vec<u32>,
-                         nodes_range: &mut Vec<(u32, u32)>,
-                         nodes_children: &mut Vec<Vec<NodeId>>|
+                     rb: u32,
+                     nodes_depth: &mut Vec<u32>,
+                     nodes_range: &mut Vec<(u32, u32)>,
+                     nodes_children: &mut Vec<Vec<NodeId>>|
          -> NodeId {
             let id = nodes_depth.len() as NodeId;
             nodes_depth.push(open.depth);
@@ -66,13 +66,8 @@ impl<'a> SuffixTree<'a> {
             while l < stack.last().expect("root never popped").depth {
                 let top = stack.pop().expect("checked non-empty");
                 lb = top.lb;
-                let id = close(
-                    top,
-                    i as u32,
-                    &mut nodes_depth,
-                    &mut nodes_range,
-                    &mut nodes_children,
-                );
+                let id =
+                    close(top, i as u32, &mut nodes_depth, &mut nodes_range, &mut nodes_children);
                 let parent_depth = stack.last().expect("root remains").depth;
                 if l <= parent_depth {
                     stack.last_mut().expect("root remains").children.push(id);
@@ -395,9 +390,7 @@ mod tests {
             for _ in 0..20 {
                 let len = rng.gen_range(1..6);
                 let pat: Vec<u8> = (0..len)
-                    .map(|_| {
-                        encode(&[letters[rng.gen_range(0..letters.len())]]).unwrap()[0]
-                    })
+                    .map(|_| encode(&[letters[rng.gen_range(0..letters.len())]]).unwrap()[0])
                     .collect();
                 assert_eq!(t.find(&pat), g.find(&pat));
             }

@@ -3,18 +3,14 @@
 use proptest::prelude::*;
 
 use pfam_seq::{SequenceSet, SequenceSetBuilder};
+use pfam_suffix::distributed::PartitionedSuffixSpace;
 use pfam_suffix::maximal::{all_pairs, MatchPair};
 use pfam_suffix::tree::SuffixTree;
 use pfam_suffix::ukkonen::UkkonenTree;
 use pfam_suffix::{GeneralizedSuffixArray, LcpOracle, MaximalMatchConfig};
-use pfam_suffix::distributed::PartitionedSuffixSpace;
 
 fn seq_set(max_seqs: usize, max_len: usize) -> impl Strategy<Value = SequenceSet> {
-    prop::collection::vec(
-        prop::collection::vec(0u8..6, 1..max_len),
-        1..max_seqs,
-    )
-    .prop_map(|seqs| {
+    prop::collection::vec(prop::collection::vec(0u8..6, 1..max_len), 1..max_seqs).prop_map(|seqs| {
         let mut b = SequenceSetBuilder::new();
         for (i, s) in seqs.into_iter().enumerate() {
             b.push_codes(format!("s{i}"), s).expect("non-empty by construction");

@@ -17,13 +17,9 @@ fn main() {
     let ranks: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
 
     // A taste of the runtime itself: ring all-reduce across the world.
-    let sums = run_spmd(ranks, |comm| {
-        comm.all_reduce_sum(comm.rank() as u64 + 1).expect("healthy world")
-    });
-    println!(
-        "mpi runtime up: {} ranks, all_reduce_sum(1..={}) = {}",
-        ranks, ranks, sums[0]
-    );
+    let sums =
+        run_spmd(ranks, |comm| comm.all_reduce_sum(comm.rank() as u64 + 1).expect("healthy world"));
+    println!("mpi runtime up: {} ranks, all_reduce_sum(1..={}) = {}", ranks, ranks, sums[0]);
 
     // The distributed clustering, checked against the shared-memory engine.
     let data = SyntheticDataset::generate(&DatasetConfig {
@@ -50,10 +46,7 @@ fn main() {
         reference.components.len(),
         reference.trace.total_generated()
     );
-    println!(
-        "clusterings identical: {}",
-        spmd.components == reference.components
-    );
+    println!("clusterings identical: {}", spmd.components == reference.components);
     println!(
         "\nNote: workers dedup only their own subtrees, so the SPMD run may\n\
          generate more raw pairs than the globally-deduped single generator;\n\

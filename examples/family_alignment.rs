@@ -29,11 +29,7 @@ fn main() {
         ..DatasetConfig::default()
     });
     let result = run_pipeline(&data.set, &PipelineConfig::default());
-    println!(
-        "{} families detected from {} reads",
-        result.dense_subgraphs.len(),
-        data.set.len()
-    );
+    println!("{} families detected from {} reads", result.dense_subgraphs.len(), data.set.len());
 
     let Some(family) = result.dense_subgraphs.first() else {
         println!("no family large enough to render");
@@ -43,13 +39,11 @@ fn main() {
         "\n== partial alignment of the largest family ({} members, showing 8) ==\n",
         family.members.len()
     );
-    let shown: Vec<&[u8]> =
-        family.members.iter().take(8).map(|&id| data.set.codes(id)).collect();
+    let shown: Vec<&[u8]> = family.members.iter().take(8).map(|&id| data.set.codes(id)).collect();
     let msa = star_alignment(&shown, &ScoringScheme::blosum62_default());
     print!("{}", msa.render());
 
-    let conserved =
-        (0..msa.n_columns()).filter(|&c| msa.conservation(c) >= 1.0).count();
+    let conserved = (0..msa.n_columns()).filter(|&c| msa.conservation(c) >= 1.0).count();
     println!(
         "\n{} of {} columns fully conserved; '*' marks the star center row.",
         conserved,

@@ -55,10 +55,7 @@ fn main() {
     let (sub, _) = data.set.subset(&sample);
     let base = run_all_pairs_baseline(&sub, &config.cluster);
     let ours = pfam::cluster::run_ccd(&sub, &config.cluster);
-    println!(
-        "\n== work reduction on a {}-read subsample ==",
-        sub.len()
-    );
+    println!("\n== work reduction on a {}-read subsample ==", sub.len());
     println!("baseline alignments : {}", base.n_alignments);
     println!("pipeline alignments : {}", ours.trace.total_aligned());
     println!(

@@ -119,6 +119,10 @@ fn main() {
         result.dense_subgraphs.len()
     );
     for ds in result.dense_subgraphs.iter().take(8) {
-        println!("  family of {} ORFs, density {:.0}%", ds.members.len(), ds.density.density * 100.0);
+        println!(
+            "  family of {} ORFs, density {:.0}%",
+            ds.members.len(),
+            ds.density.density * 100.0
+        );
     }
 }

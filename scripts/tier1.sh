@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, lint wall, root-package tests, workspace
-# tests, index-bench and align-bench smoke passes (bit-identity checks on
-# tiny workloads), the alignment-engine identity suites, the
-# fault-injection suites, a no-unwrap grep gate on the inter-rank
-# communication paths, and a CLI checkpoint/resume smoke.
+# Tier-1 gate: release build, rustfmt check, lint wall, root-package
+# tests, workspace tests, the driver-equivalence matrix, index-bench and
+# align-bench smoke passes (bit-identity checks on tiny workloads), the
+# alignment-engine identity suites, the fault-injection suites, grep
+# gates (no unwrap on inter-rank communication paths; no UnionFind
+# mutation outside ClusterCore), and a CLI checkpoint/resume smoke.
 # Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,8 +12,24 @@ cd "$(dirname "$0")/.."
 echo "== tier1: cargo build --release =="
 cargo build --release
 
+echo "== tier1: cargo fmt --check =="
+cargo fmt --check
+
 echo "== tier1: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== tier1: union-find mutation stays inside ClusterCore =="
+# Refactor contract: clustering state mutates only in the ClusterCore
+# state machine (crates/cluster/src/core.rs). The GOS-style all-pairs
+# baseline (baseline.rs) is a different algorithm and keeps its own
+# forest; everything else — drivers, policies, the pipeline — must go
+# through the core.
+if grep -rn "UnionFind" crates/cluster/src crates/core/src/pipeline.rs \
+    | grep -v "^crates/cluster/src/core\.rs:" \
+    | grep -v "^crates/cluster/src/baseline\.rs:"; then
+    echo "tier1 FAIL: direct UnionFind use outside ClusterCore" >&2
+    exit 1
+fi
 
 echo "== tier1: no unwrap/expect on inter-rank communication paths =="
 # Fault tolerance contract: crates/mpi and the threaded master-worker must
@@ -30,6 +47,9 @@ cargo test --workspace -q
 
 echo "== tier1: fault-injection + checkpoint/restart suites =="
 cargo test -q --test fault_tolerance --test checkpoint_resume --test degenerate_inputs
+
+echo "== tier1: driver-equivalence matrix (PairSource x WorkPolicy) =="
+cargo test -q -p pfam-cluster --test driver_matrix
 
 echo "== tier1: alignment-engine identity suites =="
 # The tiered engine must be verdict- and output-identical to the reference

@@ -89,8 +89,18 @@ fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Resul
 /// First free-standing argument: not a flag, and not the value of one.
 fn positional(args: &[String]) -> Option<&String> {
     const VALUE_FLAGS: [&str; 13] = [
-        "--out", "--tau", "--min-size", "--domain", "--psi", "--procs", "--families",
-        "--members", "--seed", "--save-trace", "--checkpoint-dir", "--checkpoint-every",
+        "--out",
+        "--tau",
+        "--min-size",
+        "--domain",
+        "--psi",
+        "--procs",
+        "--families",
+        "--members",
+        "--seed",
+        "--save-trace",
+        "--checkpoint-dir",
+        "--checkpoint-every",
         "--stop-after",
     ];
     let mut skip_next = false;
@@ -142,10 +152,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         let fam = p.family().map_or("-".to_owned(), |f| f.to_string());
         writeln!(truth, "{i}\t{fam}").map_err(|e| e.to_string())?;
     }
-    println!(
-        "wrote {} reads to {out} (ground truth: {truth_path})",
-        data.set.len()
-    );
+    println!("wrote {} reads to {out} (ground truth: {truth_path})", data.set.len());
     Ok(())
 }
 
@@ -176,11 +183,7 @@ fn pipeline_config(args: &[String]) -> Result<(PipelineConfig, usize), String> {
     };
     let problems = pfam::core::validate(&config);
     if !problems.is_empty() {
-        return Err(problems
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join("; "));
+        return Err(problems.iter().map(ToString::to_string).collect::<Vec<_>>().join("; "));
     }
     Ok((config, min_size))
 }
@@ -196,20 +199,13 @@ fn report_families(
     println!("{}", TableOneRow::from_result(result, min_size));
 
     let out = flag_value(args, "--out").unwrap_or_else(|| "families.tsv".to_owned());
-    let mut w = BufWriter::new(
-        File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?,
-    );
+    let mut w =
+        BufWriter::new(File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?);
     writeln!(w, "#family\tsize\tdensity\tmembers (FASTA headers)").map_err(|e| e.to_string())?;
     for (i, ds) in result.dense_subgraphs.iter().enumerate() {
         let headers: Vec<&str> = ds.members.iter().map(|&id| set.header(id)).collect();
-        writeln!(
-            w,
-            "{i}\t{}\t{:.2}\t{}",
-            ds.members.len(),
-            ds.density.density,
-            headers.join(",")
-        )
-        .map_err(|e| e.to_string())?;
+        writeln!(w, "{i}\t{}\t{:.2}\t{}", ds.members.len(), ds.density.density, headers.join(","))
+            .map_err(|e| e.to_string())?;
     }
     println!("{} families written to {out}", result.dense_subgraphs.len());
     Ok(())
@@ -225,8 +221,7 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let set = load_fasta(args)?;
     let (config, min_size) = pipeline_config(args)?;
-    let dir = flag_value(args, "--checkpoint-dir")
-        .ok_or("run requires --checkpoint-dir <dir>")?;
+    let dir = flag_value(args, "--checkpoint-dir").ok_or("run requires --checkpoint-dir <dir>")?;
     let ckpt = CheckpointConfig {
         dir: std::path::PathBuf::from(&dir),
         every_batches: parse(args, "--checkpoint-every", 8usize)?,
@@ -293,8 +288,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     let path = positional(args).ok_or("missing trace path (from simulate --save-trace)")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let trace = pfam::cluster::PhaseTrace::from_tsv(&text)?;
     let procs: Vec<usize> = flag_value(args, "--procs")
         .unwrap_or_else(|| "32,64,128,512".to_owned())
@@ -330,10 +324,7 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
         return Err(format!("indices out of range (set has {} sequences)", set.len()));
     }
     let scheme = pfam::seq::ScoringScheme::blosum62_default();
-    let (x, y) = (
-        set.codes(pfam::seq::SeqId(i as u32)),
-        set.codes(pfam::seq::SeqId(j as u32)),
-    );
+    let (x, y) = (set.codes(pfam::seq::SeqId(i as u32)), set.codes(pfam::seq::SeqId(j as u32)));
     let aln = pfam::align::local_affine(x, y, &scheme);
     let st = aln.stats(x, y, &scheme.matrix);
     println!(
@@ -353,11 +344,9 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let set = load_fasta(args)?;
     println!("{}", LengthStats::of(&set));
     let params = MaskParams::default();
-    let masked: f64 = set
-        .iter()
-        .map(|s| masked_fraction(s.codes, &params) * s.codes.len() as f64)
-        .sum::<f64>()
-        / set.total_residues() as f64;
+    let masked: f64 =
+        set.iter().map(|s| masked_fraction(s.codes, &params) * s.codes.len() as f64).sum::<f64>()
+            / set.total_residues() as f64;
     println!("low-complexity residues: {:.2}%", masked * 100.0);
     let comp = pfam::seq::Composition::of(&set);
     println!(

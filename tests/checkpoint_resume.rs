@@ -73,10 +73,8 @@ fn kill_after_each_phase_then_resume_is_identical() {
     let config = PipelineConfig::for_tests();
     let straight = run_pipeline(&d.set, &config);
     for stop in [Phase::Rr, Phase::Ccd, Phase::Dsd] {
-        let ckpt = CheckpointConfig {
-            dir: scratch_dir(&format!("kill-{stop:?}")),
-            every_batches: 4,
-        };
+        let ckpt =
+            CheckpointConfig { dir: scratch_dir(&format!("kill-{stop:?}")), every_batches: 4 };
         let first = run_pipeline_checkpointed(&d.set, &config, &ckpt, false, Some(stop))
             .expect("checkpointed run");
         assert!(first.is_none(), "stop_after must end the run early");
@@ -97,8 +95,7 @@ fn resume_from_partial_ccd_cursor_is_identical() {
     let straight = run_pipeline(&d.set, &config);
 
     let ckpt = CheckpointConfig { dir: scratch_dir("mid-ccd"), every_batches: 1 };
-    run_pipeline_checkpointed(&d.set, &config, &ckpt, false, Some(Phase::Rr))
-        .expect("rr-only run");
+    run_pipeline_checkpointed(&d.set, &config, &ckpt, false, Some(Phase::Rr)).expect("rr-only run");
 
     // Replay CCD on the survivor set and capture its first cursor.
     let (_, payload) = read_checkpoint(&Phase::Rr.path_in(&ckpt.dir)).expect("rr.ckpt");

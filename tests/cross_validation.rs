@@ -32,8 +32,7 @@ fn tree_pattern_search_agrees_with_ukkonen_per_sequence() {
         let gsa = GeneralizedSuffixArray::build(&set);
         let tree = SuffixTree::build(&gsa);
         // Per-sequence Ukkonen trees.
-        let ukk: Vec<UkkonenTree> =
-            set.iter().map(|s| UkkonenTree::build(s.codes)).collect();
+        let ukk: Vec<UkkonenTree> = set.iter().map(|s| UkkonenTree::build(s.codes)).collect();
         for _ in 0..30 {
             let plen = rng.gen_range(1..6);
             let pattern: Vec<u8> = (0..plen).map(|_| rng.gen_range(0..5u8)).collect();
@@ -100,13 +99,11 @@ fn maximal_match_pairs_complete_vs_brute_force() {
         let gsa = GeneralizedSuffixArray::build(&set);
         let tree = SuffixTree::build(&gsa);
         let min_len = rng.gen_range(2..5u32);
-        let generated: std::collections::HashSet<(u32, u32)> = all_pairs(
-            &tree,
-            MaximalMatchConfig { min_len, dedup: true, ..Default::default() },
-        )
-        .into_iter()
-        .map(|MatchPair { a, b, .. }| (a.0, b.0))
-        .collect();
+        let generated: std::collections::HashSet<(u32, u32)> =
+            all_pairs(&tree, MaximalMatchConfig { min_len, dedup: true, ..Default::default() })
+                .into_iter()
+                .map(|MatchPair { a, b, .. }| (a.0, b.0))
+                .collect();
         let expected = brute_force_pairs(&set, min_len);
         assert_eq!(generated, expected, "trial {trial}, ψ = {min_len}");
     }
@@ -124,9 +121,8 @@ fn maximal_match_lengths_are_genuine() {
         for p in all_pairs(&tree, MaximalMatchConfig { min_len: 3, ..Default::default() }) {
             let x = set.codes(p.a);
             let y = set.codes(p.b);
-            let found = x.windows(p.len as usize).any(|w| {
-                y.windows(p.len as usize).any(|v| v == w)
-            });
+            let found =
+                x.windows(p.len as usize).any(|w| y.windows(p.len as usize).any(|v| v == w));
             assert!(found, "reported match of length {} does not exist", p.len);
         }
     }

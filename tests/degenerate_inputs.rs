@@ -68,10 +68,7 @@ fn all_unknown_residues() {
     // they must neither match spuriously nor crash the index.
     let set = set_of(&["XXXXXXXXXXXXXXXXXXXXXXXXXXXXXX"; 3]);
     rr_and_ccd(&set, &ClusterConfig::default());
-    let mixed = set_of(&[
-        "XXXXXXXXXXXXXXXXXXXXXXXXXXXXXX",
-        "MKVLWAAKNDCQEGHILKMFPSTWYVRRRR",
-    ]);
+    let mixed = set_of(&["XXXXXXXXXXXXXXXXXXXXXXXXXXXXXX", "MKVLWAAKNDCQEGHILKMFPSTWYVRRRR"]);
     rr_and_ccd(&mixed, &ClusterConfig::default());
 }
 
@@ -108,9 +105,5 @@ fn long_identical_sequences_cluster() {
     let (nr, _) = set.subset(&rr.kept);
     let ccd = run_ccd(&nr, &config);
     assert_partition(&nr, &ccd.components);
-    assert_eq!(
-        ccd.components.len(),
-        1,
-        "identical survivors must form a single component"
-    );
+    assert_eq!(ccd.components.len(), 1, "identical survivors must form a single component");
 }

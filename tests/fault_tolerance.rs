@@ -56,8 +56,8 @@ fn fault_free_ft_engine_matches_reference_exactly() {
     let d = dataset(815);
     let config = config();
     let reference = run_ccd(&d.set, &config);
-    let r = run_ccd_ft(&d.set, &config, 3, Arc::new(FaultSchedule::new()))
-        .expect("fault-free world");
+    let r =
+        run_ccd_ft(&d.set, &config, 3, Arc::new(FaultSchedule::new())).expect("fault-free world");
     assert_eq!(r.components, reference.components);
     assert_eq!(r.n_merges, reference.n_merges);
 }

@@ -43,8 +43,7 @@ fn heuristic_components_refine_baseline_components() {
         }
     }
     for comp in &ours.components {
-        let targets: std::collections::HashSet<usize> =
-            comp.iter().map(|m| base_of[m]).collect();
+        let targets: std::collections::HashSet<usize> = comp.iter().map(|m| base_of[m]).collect();
         assert_eq!(
             targets.len(),
             1,
@@ -101,9 +100,6 @@ fn core_set_heuristic_is_stricter_than_components() {
         let clusters = pfam::cluster::core_set_clusters(&base.graph, k);
         let n_k = clusters.len();
         let n_cc = base.components.len();
-        assert!(
-            n_k >= n_cc,
-            "k={k}: core-set clustering must refine plain connectivity"
-        );
+        assert!(n_k >= n_cc, "k={k}: core-set clustering must refine plain connectivity");
     }
 }

@@ -7,16 +7,10 @@ use pfam::core::{run_pipeline, PipelineConfig};
 use pfam::datagen::{DatasetConfig, SyntheticDataset};
 
 fn configs_under_test() -> Vec<(&'static str, ClusterConfig)> {
-    let serial = ClusterConfig {
-        parallel_index: false,
-        ..ClusterConfig::for_short_sequences()
-    };
+    let serial = ClusterConfig { parallel_index: false, ..ClusterConfig::for_short_sequences() };
     let mut out = vec![("serial", serial.clone())];
     for threads in [2usize, 3, 8] {
-        out.push((
-            "parallel",
-            ClusterConfig { parallel_index: true, threads, ..serial.clone() },
-        ));
+        out.push(("parallel", ClusterConfig { parallel_index: true, threads, ..serial.clone() }));
     }
     out
 }
@@ -38,11 +32,7 @@ fn ccd_is_thread_count_invariant() {
     let reference = run_ccd(&data.set, &configs_under_test()[0].1);
     for (name, config) in &configs_under_test()[1..] {
         let result = run_ccd(&data.set, config);
-        assert_eq!(
-            result.components, reference.components,
-            "{name} threads={}",
-            config.threads
-        );
+        assert_eq!(result.components, reference.components, "{name} threads={}", config.threads);
     }
 }
 
@@ -65,9 +55,6 @@ fn full_pipeline_is_thread_count_invariant() {
         };
         let result = run_pipeline(&data.set, &cfg);
         assert_eq!(result.components, reference.components, "threads={threads}");
-        assert_eq!(
-            result.dense_subgraphs, reference.dense_subgraphs,
-            "threads={threads}"
-        );
+        assert_eq!(result.dense_subgraphs, reference.dense_subgraphs, "threads={threads}");
     }
 }

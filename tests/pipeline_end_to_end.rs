@@ -72,14 +72,9 @@ fn noise_reads_never_enter_family_subgraphs_with_members() {
             .members
             .iter()
             .any(|&id| matches!(d.provenance[id.index()], Provenance::Member { .. }));
-        let has_noise = ds
-            .members
-            .iter()
-            .any(|&id| matches!(d.provenance[id.index()], Provenance::Noise));
-        assert!(
-            !(has_member && has_noise),
-            "noise clustered together with family members"
-        );
+        let has_noise =
+            ds.members.iter().any(|&id| matches!(d.provenance[id.index()], Provenance::Noise));
+        assert!(!(has_member && has_noise), "noise clustered together with family members");
     }
 }
 
@@ -108,14 +103,11 @@ fn table_row_is_internally_consistent() {
 #[test]
 fn both_reductions_agree_on_family_purity() {
     let d = dataset(107);
-    for reduction in
-        [Reduction::GlobalSimilarity { tau: 0.3 }, Reduction::DomainBased { w: 10 }]
-    {
+    for reduction in [Reduction::GlobalSimilarity { tau: 0.3 }, Reduction::DomainBased { w: 10 }] {
         let config = PipelineConfig { reduction, ..PipelineConfig::for_tests() };
         let r = run_pipeline(&d.set, &config);
         for ds in &r.dense_subgraphs {
-            let fams: HashSet<_> =
-                ds.members.iter().filter_map(|&id| d.family_of(id)).collect();
+            let fams: HashSet<_> = ds.members.iter().filter_map(|&id| d.family_of(id)).collect();
             assert!(fams.len() <= 1, "{reduction:?} mixed families {fams:?}");
         }
     }

@@ -30,10 +30,7 @@ fn rr_dominates_ccd_run_time() {
     for p in [32usize, 128, 512] {
         let rr_t = simulate_phase(&rr, &m, p).seconds;
         let ccd_t = simulate_phase(&ccd, &m, p).seconds;
-        assert!(
-            rr_t > ccd_t,
-            "p={p}: RR ({rr_t:.4}s) should dominate CCD ({ccd_t:.4}s)"
-        );
+        assert!(rr_t > ccd_t, "p={p}: RR ({rr_t:.4}s) should dominate CCD ({ccd_t:.4}s)");
     }
 }
 
@@ -42,9 +39,8 @@ fn rr_scales_better_than_ccd() {
     // Table II: RR 32→512 ≈ 7.9×, CCD ≈ 1.6×.
     let (rr, ccd) = traces(160, 302);
     let m = MachineModel::bluegene_l();
-    let speedup = |t: &PhaseTrace| {
-        simulate_phase(t, &m, 32).seconds / simulate_phase(t, &m, 512).seconds
-    };
+    let speedup =
+        |t: &PhaseTrace| simulate_phase(t, &m, 32).seconds / simulate_phase(t, &m, 512).seconds;
     let rr_speedup = speedup(&rr);
     let ccd_speedup = speedup(&ccd);
     assert!(

@@ -54,8 +54,7 @@ fn mpi_supports_the_master_worker_conversation_shape() {
         if comm.rank() == 0 {
             let mut total = 0u64;
             for _ in 1..comm.size() {
-                let (from, batch) =
-                    comm.recv::<Vec<u64>>(ANY_SOURCE, 1).expect("healthy world");
+                let (from, batch) = comm.recv::<Vec<u64>>(ANY_SOURCE, 1).expect("healthy world");
                 comm.send(from, 2, batch.iter().sum::<u64>()).expect("healthy world");
                 total += batch.len() as u64;
             }
@@ -80,10 +79,7 @@ fn spmd_work_is_partitioned_not_replicated() {
     let reference = run_ccd(&d.set, &config);
     // Cross-rank duplicates exist but are bounded: the SPMD pair count
     // stays within a small factor of the deduped reference.
-    let ratio = spmd.trace.total_generated() as f64
-        / reference.trace.total_generated().max(1) as f64;
-    assert!(
-        (1.0..4.0).contains(&ratio),
-        "pair inflation {ratio:.2} out of the expected range"
-    );
+    let ratio =
+        spmd.trace.total_generated() as f64 / reference.trace.total_generated().max(1) as f64;
+    assert!((1.0..4.0).contains(&ratio), "pair inflation {ratio:.2} out of the expected range");
 }

@@ -182,10 +182,8 @@ impl<'a> BenchmarkGroup<'a> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher {
-            samples: Vec::new(),
-            sample_size: configured_samples(self.sample_size),
-        };
+        let mut bencher =
+            Bencher { samples: Vec::new(), sample_size: configured_samples(self.sample_size) };
         f(&mut bencher);
         report(&self.name, &id.id, self.throughput, &mut bencher.samples);
         self
@@ -202,10 +200,8 @@ impl<'a> BenchmarkGroup<'a> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut bencher = Bencher {
-            samples: Vec::new(),
-            sample_size: configured_samples(self.sample_size),
-        };
+        let mut bencher =
+            Bencher { samples: Vec::new(), sample_size: configured_samples(self.sample_size) };
         f(&mut bencher, input);
         report(&self.name, &id.id, self.throughput, &mut bencher.samples);
         self
@@ -233,12 +229,7 @@ impl Criterion {
 
     /// Open a named benchmark group.
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            name: name.into(),
-            sample_size: 10,
-            throughput: None,
-            _criterion: self,
-        }
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _criterion: self }
     }
 
     /// Run a single ungrouped benchmark.

@@ -134,11 +134,7 @@ pub mod channel {
                 }
                 match self.shared.cap {
                     Some(cap) if queue.len() >= cap => {
-                        queue = self
-                            .shared
-                            .not_full
-                            .wait(queue)
-                            .expect("channel poisoned");
+                        queue = self.shared.not_full.wait(queue).expect("channel poisoned");
                     }
                     _ => break,
                 }
@@ -164,20 +160,13 @@ pub mod channel {
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
                     return Err(RecvError);
                 }
-                queue = self
-                    .shared
-                    .not_empty
-                    .wait(queue)
-                    .expect("channel poisoned");
+                queue = self.shared.not_empty.wait(queue).expect("channel poisoned");
             }
         }
 
         /// Dequeue a message, blocking at most `timeout` while the channel
         /// is empty. Distinguishes an elapsed timeout from disconnect.
-        pub fn recv_timeout(
-            &self,
-            timeout: std::time::Duration,
-        ) -> Result<T, RecvTimeoutError> {
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
             let deadline = std::time::Instant::now() + timeout;
             let mut queue = self.shared.queue.lock().expect("channel poisoned");
             loop {
@@ -308,18 +297,14 @@ pub mod channel {
             let mut consumers = Vec::new();
             for _ in 0..3 {
                 let rx = rx.clone();
-                consumers.push(std::thread::spawn(move || {
-                    rx.iter().collect::<Vec<usize>>()
-                }));
+                consumers.push(std::thread::spawn(move || rx.iter().collect::<Vec<usize>>()));
             }
             drop(rx);
             for p in producers {
                 p.join().unwrap();
             }
-            let mut all: Vec<usize> = consumers
-                .into_iter()
-                .flat_map(|c| c.join().unwrap())
-                .collect();
+            let mut all: Vec<usize> =
+                consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
             all.sort_unstable();
             assert_eq!(all, (0..n).collect::<Vec<_>>());
         }

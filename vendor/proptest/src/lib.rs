@@ -424,11 +424,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failures_report_case_and_seed() {
-        crate::test_runner::run(
-            ProptestConfig::with_cases(4),
-            "f",
-            "t",
-            |_| Err("boom".into()),
-        );
+        crate::test_runner::run(ProptestConfig::with_cases(4), "f", "t", |_| Err("boom".into()));
     }
 }

@@ -73,11 +73,7 @@ mod uniform {
     /// range, mirroring `rand 0.8`'s widening-multiply rejection sampler.
     pub trait SampleUniform: Copy + PartialOrd {
         fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
-        fn sample_range_inclusive<R: RngCore + ?Sized>(
-            rng: &mut R,
-            low: Self,
-            high: Self,
-        ) -> Self;
+        fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
     }
 
     /// Widening multiply of two u32s.
@@ -384,14 +380,12 @@ pub mod rngs {
                 qr(&mut w, 2, 7, 8, 13);
                 qr(&mut w, 3, 4, 9, 14);
             }
-            for (out, (&work, &init)) in
-                self.block.iter_mut().zip(w.iter().zip(self.state.iter()))
+            for (out, (&work, &init)) in self.block.iter_mut().zip(w.iter().zip(self.state.iter()))
             {
                 *out = work.wrapping_add(init);
             }
             // 64-bit counter in words 12..14.
-            let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32))
-                .wrapping_add(1);
+            let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
             self.state[12] = counter as u32;
             self.state[13] = (counter >> 32) as u32;
             self.index = 0;

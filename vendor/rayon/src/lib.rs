@@ -233,10 +233,7 @@ mod tests {
     fn skewed_workloads_complete() {
         // One huge item among many tiny ones — exercises the work counter.
         let work: Vec<usize> = (0..64).map(|i| if i == 0 { 1_000_000 } else { 10 }).collect();
-        let sums: Vec<u64> = work
-            .into_par_iter()
-            .map(|n| (0..n as u64).sum::<u64>())
-            .collect();
+        let sums: Vec<u64> = work.into_par_iter().map(|n| (0..n as u64).sum::<u64>()).collect();
         assert_eq!(sums.len(), 64);
         assert!(sums[0] > sums[1]);
     }
