@@ -1,0 +1,180 @@
+//! BGG→DSD back-half benchmark: the barrier data flow (all component
+//! graphs, then all dense-subgraph detection) vs the fused streaming
+//! executor, plus the scalar vs batched min-wise rank kernel on the same
+//! component population — emitting a machine-readable `BENCH_bgg_dsd.json`
+//! alongside `BENCH_index.json` and `BENCH_align.json`.
+//!
+//! ```sh
+//! cargo run --release -p pfam-bench --bin bgg_dsd_bench [scale]
+//! cargo run --release -p pfam-bench --bin bgg_dsd_bench -- --test   # smoke
+//! ```
+//!
+//! `--test` runs a tiny single-rep smoke pass and prints the JSON to
+//! stdout instead of writing the file. The bench asserts — and records —
+//! that streaming and barrier outputs are identical, and that the scalar
+//! and batched kernels produce identical dense subgraphs.
+//!
+//! Caveat recorded in the JSON: on a single-core host the streaming
+//! executor cannot overlap components across workers, so its edge there
+//! comes only from arena reuse and the shared rank tables; the
+//! barrier-elimination win needs real parallel hardware.
+
+use std::time::Instant;
+
+use pfam_bench::dataset_160k_like;
+use pfam_core::{barrier_components, stream_components, ComponentOutput, PipelineConfig};
+use pfam_graph::BipartiteGraph;
+use pfam_seq::SeqId;
+use pfam_shingle::{
+    detect_dense_subgraphs_with, DenseSubgraphConfig, RankKernel, ReductionMode, ShingleArena,
+    ShingleStats,
+};
+
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn outputs_identical(a: &[ComponentOutput], b: &[ComponentOutput]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.graph.members == y.graph.members
+                && x.graph.graph == y.graph.graph
+                && x.record == y.record
+                && x.subgraphs == y.subgraphs
+                && x.stats == y.stats
+        })
+}
+
+/// Run DSD serially over every `Bd` graph with a pinned kernel, returning
+/// the subgraphs plus total shingle work.
+fn dsd_all(
+    outputs: &[ComponentOutput],
+    dsd: &DenseSubgraphConfig,
+    kernel: RankKernel,
+) -> (Vec<Vec<Vec<u32>>>, ShingleStats) {
+    let mut arena = ShingleArena::with_kernel(kernel);
+    let mut all = Vec::with_capacity(outputs.len());
+    let mut stats = ShingleStats::default();
+    for out in outputs {
+        let bd = BipartiteGraph::duplicate_from(&out.graph.graph);
+        let (subgraphs, s) = detect_dense_subgraphs_with(&bd, dsd, &mut arena);
+        stats.absorb(&s);
+        all.push(subgraphs);
+    }
+    (all, stats)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let scale = if smoke { 0.02 } else { positional.first().copied().unwrap_or(0.25) };
+    let reps = if smoke { 1 } else { 3 };
+
+    let data = dataset_160k_like(scale, 0xb99);
+    let set = &data.set;
+    let config =
+        PipelineConfig { min_component_size: 2, min_subgraph_size: 2, ..PipelineConfig::default() };
+    eprintln!(
+        "bgg_dsd_bench: {} ({} reads, {} residues), {} rep(s)",
+        data.label,
+        set.len(),
+        set.total_residues(),
+        reps
+    );
+
+    // The component queue, straight from CCD (the executor's real input).
+    let ccd = pfam_cluster::run_ccd(set, &config.cluster);
+    let queue: Vec<&[SeqId]> = ccd
+        .components
+        .iter()
+        .filter(|c| c.len() >= config.min_component_size)
+        .map(|c| c.as_slice())
+        .collect();
+    assert!(!queue.is_empty(), "dataset produced no components to stream");
+    eprintln!("bgg_dsd_bench: {} components queued", queue.len());
+
+    // ---- Barrier vs streaming executor. ----
+    let (barrier_s, barrier_out) = time_min(reps, || barrier_components(set, &config, &queue));
+    let (stream_s, stream_out) = time_min(reps, || stream_components(set, &config, &queue));
+    let exec_identical = outputs_identical(&stream_out, &barrier_out);
+    assert!(exec_identical, "streaming outputs diverged from barrier — this is a bug");
+
+    // ---- Scalar vs batched rank kernel, same component population. ----
+    let dsd = DenseSubgraphConfig {
+        params: config.shingle,
+        mode: ReductionMode::GlobalSimilarity { tau: 0.5 },
+        min_size: config.min_subgraph_size,
+        disjoint: true,
+    };
+    let batched_kernel = RankKernel::detect();
+    let (scalar_s, (scalar_subs, scalar_stats)) =
+        time_min(reps, || dsd_all(&barrier_out, &dsd, RankKernel::Scalar));
+    let (batched_s, (batched_subs, _)) =
+        time_min(reps, || dsd_all(&barrier_out, &dsd, batched_kernel));
+    let kernel_identical = scalar_subs == batched_subs;
+    assert!(kernel_identical, "batched kernel diverged from scalar — this is a bug");
+    let shingles = (scalar_stats.pass1_shingles + scalar_stats.pass2_shingles) as f64;
+
+    let identical = exec_identical && kernel_identical;
+    let n_components = queue.len() as f64;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"bgg_dsd\",\n",
+            "  \"dataset\": \"{label}\",\n",
+            "  \"n_seqs\": {n_seqs},\n",
+            "  \"n_components\": {n_components},\n",
+            "  \"reps\": {reps},\n",
+            "  \"outputs_identical\": {identical},\n",
+            "  \"barrier\": {{ \"seconds\": {bs:.6}, \"components_per_sec\": {bcps:.1} }},\n",
+            "  \"streaming\": {{ \"seconds\": {ss:.6}, \"components_per_sec\": {scps:.1} }},\n",
+            "  \"streaming_speedup\": {sx:.3},\n",
+            "  \"rank_kernel\": {{\n",
+            "    \"scalar\": {{ \"seconds\": {ks:.6}, \"shingles_per_sec\": {ksps:.0} }},\n",
+            "    \"batched\": {{ \"label\": \"{kl}\", \"seconds\": {kb:.6}, \"shingles_per_sec\": {kbps:.0} }},\n",
+            "    \"speedup\": {kx:.3}\n",
+            "  }},\n",
+            "  \"note\": \"single-core hosts see no cross-worker overlap; streaming gains there are arena reuse + largest-first order only\"\n",
+            "}}\n"
+        ),
+        label = data.label,
+        n_seqs = set.len(),
+        n_components = queue.len(),
+        reps = reps,
+        identical = identical,
+        bs = barrier_s,
+        bcps = n_components / barrier_s,
+        ss = stream_s,
+        scps = n_components / stream_s,
+        sx = barrier_s / stream_s,
+        ks = scalar_s,
+        ksps = shingles / scalar_s,
+        kl = batched_kernel.label(),
+        kb = batched_s,
+        kbps = shingles / batched_s,
+        kx = scalar_s / batched_s,
+    );
+
+    if smoke {
+        println!("{json}");
+        eprintln!("bgg_dsd_bench: smoke mode OK (outputs identical)");
+    } else {
+        std::fs::write("BENCH_bgg_dsd.json", &json).expect("write BENCH_bgg_dsd.json");
+        println!("{json}");
+        eprintln!(
+            "bgg_dsd_bench: wrote BENCH_bgg_dsd.json ({:.2}x streaming vs barrier, {:.2}x {} vs scalar)",
+            barrier_s / stream_s,
+            scalar_s / batched_s,
+            batched_kernel.label()
+        );
+    }
+}

@@ -35,6 +35,24 @@ impl ComponentGraph {
     }
 }
 
+/// Reusable per-worker buffers for repeated [`component_graph_with`]
+/// calls: candidate pairs, accepted edges, and the CSR pair staging area.
+/// Grow-only, so a worker processing components largest-first allocates
+/// only on its first (largest) component.
+#[derive(Debug, Default)]
+pub struct BggScratch {
+    candidates: Vec<Candidate>,
+    edges: Vec<(u32, u32)>,
+    csr_pairs: Vec<(u32, u32)>,
+}
+
+impl BggScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> BggScratch {
+        BggScratch::default()
+    }
+}
+
 /// Build the similarity graph of one component.
 ///
 /// Returns the graph plus the alignment work performed (for the trace).
@@ -42,6 +60,19 @@ pub fn component_graph(
     set: &SequenceSet,
     members: &[SeqId],
     config: &ClusterConfig,
+) -> (ComponentGraph, BatchRecord) {
+    component_graph_with(set, members, config, &mut BggScratch::new())
+}
+
+/// [`component_graph`] through a worker's [`BggScratch`] — identical
+/// output, no per-component buffer allocation at steady state. (The
+/// suffix index itself is rebuilt per component: its arrays are sized by
+/// the component's residues and owned by the `GeneralizedSuffixArray`.)
+pub fn component_graph_with(
+    set: &SequenceSet,
+    members: &[SeqId],
+    config: &ClusterConfig,
+    scratch: &mut BggScratch,
 ) -> (ComponentGraph, BatchRecord) {
     let mut sorted: Vec<SeqId> = members.to_vec();
     sorted.sort_unstable();
@@ -74,17 +105,15 @@ pub fn component_graph(
     let n_generated = pairs.len();
     // Pairs and codes both live in the subset's id space, so the
     // maximal-match anchor coordinates are valid as-is.
-    let candidates: Vec<Candidate> = pairs
-        .iter()
-        .map(|p| Candidate {
-            a: p.a,
-            b: p.b,
-            anchor: Some(Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len }),
-        })
-        .collect();
+    scratch.candidates.clear();
+    scratch.candidates.extend(pairs.iter().map(|p| Candidate {
+        a: p.a,
+        b: p.b,
+        anchor: Some(Anchor { x_pos: p.a_pos, y_pos: p.b_pos, len: p.len }),
+    }));
     let verifier = Verifier::new(config, CorePhase::Ccd);
-    let verdicts = verifier.verify_par(&subset, &candidates);
-    let mut edges = Vec::new();
+    let verdicts = verifier.verify_par(&subset, &scratch.candidates);
+    scratch.edges.clear();
     let mut task_cells = Vec::with_capacity(verdicts.len());
     let (mut cells_computed, mut cells_skipped) = (0u64, 0u64);
     for v in verdicts {
@@ -92,7 +121,7 @@ pub fn component_graph(
         cells_computed += v.cells_computed;
         cells_skipped += v.cells_skipped;
         if v.accept {
-            edges.push((v.a, v.b));
+            scratch.edges.push((v.a, v.b));
         }
     }
     let record = BatchRecord {
@@ -104,7 +133,8 @@ pub fn component_graph(
         cells_computed,
         cells_skipped,
     };
-    (ComponentGraph { graph: CsrGraph::from_edges(sorted.len(), &edges), members: sorted }, record)
+    let graph = CsrGraph::from_edges_reusing(sorted.len(), &scratch.edges, &mut scratch.csr_pairs);
+    (ComponentGraph { graph, members: sorted }, record)
 }
 
 /// Build similarity graphs for every component with ≥ `min_size` members,
@@ -208,5 +238,23 @@ mod tests {
         let set = set_of(&[FAM, FAM]);
         let (cg, _) = component_graph(&set, &[SeqId(1), SeqId(0)], &config());
         assert_eq!(cg.members, vec![SeqId(0), SeqId(1)]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_across_components() {
+        let set = set_of(&[FAM, FAM, FAM, FAM, "WWWWHHHHGGGGCCCC", FAM, FAM]);
+        let comps: Vec<Vec<SeqId>> = vec![
+            vec![SeqId(0), SeqId(1), SeqId(2), SeqId(3)],
+            vec![SeqId(5), SeqId(6)],
+            vec![SeqId(4)],
+        ];
+        let mut scratch = BggScratch::new();
+        for members in &comps {
+            let (want_cg, want_rec) = component_graph(&set, members, &config());
+            let (got_cg, got_rec) = component_graph_with(&set, members, &config(), &mut scratch);
+            assert_eq!(got_cg.members, want_cg.members);
+            assert_eq!(got_cg.graph, want_cg.graph);
+            assert_eq!(got_rec, want_rec);
+        }
     }
 }

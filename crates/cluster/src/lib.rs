@@ -47,7 +47,9 @@ pub mod transport;
 
 pub use crate::core::{Candidate, ClusterCore, CorePhase, Verdict, Verifier};
 pub use baseline::{core_set_clusters, run_all_pairs_baseline, BaselineResult};
-pub use bgg::{all_component_graphs, component_graph, ComponentGraph};
+pub use bgg::{
+    all_component_graphs, component_graph, component_graph_with, BggScratch, ComponentGraph,
+};
 pub use ccd::{run_ccd, run_ccd_from_pairs, run_ccd_resumable, CcdCursor, CcdResult};
 pub use config::ClusterConfig;
 pub use ft::{run_ccd_ft, FtError};

@@ -27,6 +27,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use pfam_cluster::{CcdCursor, PhaseTrace};
+use pfam_shingle::ShingleStats;
 
 /// Magic bytes opening every checkpoint file.
 pub const MAGIC: &[u8; 4] = b"PFCK";
@@ -432,9 +433,8 @@ pub struct DsdComponent {
 pub struct DsdState {
     /// Finished components, in queue order (`done.len()` is the cursor).
     pub done: Vec<DsdComponent>,
-    /// Aggregated shingle counters so far:
-    /// `(pass1_shingles, distinct_s1, pass2_shingles, components)`.
-    pub shingle: (u64, u64, u64, u64),
+    /// Aggregated shingle counters so far.
+    pub shingle: ShingleStats,
     /// Accumulated BGG trace (one batch per finished component).
     pub trace: PhaseTrace,
 }
@@ -452,10 +452,12 @@ impl DsdState {
                 e.u32s(s);
             }
         }
-        e.u64(self.shingle.0);
-        e.u64(self.shingle.1);
-        e.u64(self.shingle.2);
-        e.u64(self.shingle.3);
+        // Four u64 counters in field order — byte-identical to the old
+        // `(u64, u64, u64, u64)` encoding.
+        e.u64(self.shingle.pass1_shingles as u64);
+        e.u64(self.shingle.distinct_s1 as u64);
+        e.u64(self.shingle.pass2_shingles as u64);
+        e.u64(self.shingle.components as u64);
         encode_trace(&mut e, &self.trace);
         e.finish()
     }
@@ -475,7 +477,12 @@ impl DsdState {
             }
             done.push(DsdComponent { members, edges, subgraphs });
         }
-        let shingle = (d.u64()?, d.u64()?, d.u64()?, d.u64()?);
+        let shingle = ShingleStats {
+            pass1_shingles: d.u64()? as usize,
+            distinct_s1: d.u64()? as usize,
+            pass2_shingles: d.u64()? as usize,
+            components: d.u64()? as usize,
+        };
         let trace = decode_trace(&mut d)?;
         d.done()?;
         Ok(DsdState { done, shingle, trace })
@@ -582,7 +589,12 @@ mod tests {
                 },
                 DsdComponent { members: vec![10, 11], edges: vec![(0, 1)], subgraphs: vec![] },
             ],
-            shingle: (4, 3, 2, 1),
+            shingle: ShingleStats {
+                pass1_shingles: 4,
+                distinct_s1: 3,
+                pass2_shingles: 2,
+                components: 1,
+            },
             trace: sample_trace(),
         };
         assert_eq!(DsdState::decode(&s.encode()).expect("decode"), s);

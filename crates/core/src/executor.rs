@@ -1,0 +1,257 @@
+//! The fused, streaming BGG→DSD executor (phases 3 + 4).
+//!
+//! The paper's back half dominated runtime on its 24-node cluster, and the
+//! original data flow here mirrored it: phase 3 built **all** component
+//! graphs behind a barrier before any dense-subgraph work began. This
+//! module removes the barrier: each component flows from CCD output
+//! through similarity-graph construction straight into dense-subgraph
+//! detection as one unit of work, so DSD on early components overlaps BGG
+//! on later ones and no worker idles at a phase boundary.
+//!
+//! Two further levers on the straggler tail and the allocator:
+//!
+//! * **Largest-first scheduling** — component costs are wildly skewed
+//!   (one giant component plus a long tail of small ones is the norm), so
+//!   the queue is ordered by descending member count before being handed
+//!   to the workers; the biggest job starts first instead of landing last
+//!   on an otherwise-drained pool.
+//! * **Per-worker arenas** — each worker owns one [`ExecArena`]: the BGG
+//!   candidate/edge/CSR-pair buffers, the `Bd` pair staging buffer, and
+//!   the Shingle rank tables + selection scratch. All grow-only, so
+//!   steady-state component processing performs no buffer allocation.
+//!
+//! Outputs are scattered back to **queue order**, and every per-component
+//! function is the `_with` (arena) variant of the barrier path's — the
+//! streaming executor is bit-identical to [`barrier_components`], which is
+//! retained as the reference for identity tests and the bench.
+
+use std::cell::RefCell;
+
+use rayon::prelude::*;
+
+use pfam_cluster::{
+    component_graph, component_graph_with, BatchRecord, BggScratch, ComponentGraph,
+};
+use pfam_graph::BipartiteGraph;
+use pfam_seq::{SeqId, SequenceSet};
+use pfam_shingle::{
+    detect_dense_subgraphs, detect_dense_subgraphs_with, DenseSubgraphConfig, ReductionMode,
+    ShingleArena, ShingleStats,
+};
+
+use crate::config::{PipelineConfig, Reduction};
+
+/// Everything one component produces on its way through the fused
+/// BGG→DSD path.
+#[derive(Debug)]
+pub struct ComponentOutput {
+    /// The component's similarity graph (phase-3 output).
+    pub graph: ComponentGraph,
+    /// Alignment work the graph construction performed.
+    pub record: BatchRecord,
+    /// Dense subgraphs as local-index lists (phase-4 output).
+    pub subgraphs: Vec<Vec<u32>>,
+    /// Shingle work counters for this component.
+    pub stats: ShingleStats,
+}
+
+/// One worker's reusable buffers for the whole fused path.
+#[derive(Default)]
+struct ExecArena {
+    /// BGG candidate pairs, accepted edges, CSR staging.
+    bgg: BggScratch,
+    /// `Bd` duplication pair staging.
+    bd_pairs: Vec<(u32, u32)>,
+    /// Shingle rank tables (both passes) + min-wise selection scratch.
+    shingle: ShingleArena,
+}
+
+thread_local! {
+    /// Per-worker arena: every OS thread reuses its buffers across all
+    /// components it draws from the work queue.
+    static ARENA: RefCell<ExecArena> = RefCell::new(ExecArena::default());
+}
+
+/// Map the pipeline-level reduction/size settings to the DSD layer's.
+pub(crate) fn dsd_config_of(config: &PipelineConfig) -> DenseSubgraphConfig {
+    DenseSubgraphConfig {
+        params: config.shingle,
+        mode: match config.reduction {
+            Reduction::GlobalSimilarity { tau } => ReductionMode::GlobalSimilarity { tau },
+            Reduction::DomainBased { .. } => ReductionMode::DomainBased,
+        },
+        min_size: config.min_subgraph_size,
+        disjoint: true,
+    }
+}
+
+/// The fused unit of work: similarity graph, bipartite reduction, and
+/// dense-subgraph detection for one component, all through `arena`.
+fn process_component(
+    input: &SequenceSet,
+    config: &PipelineConfig,
+    dsd_config: &DenseSubgraphConfig,
+    members: &[SeqId],
+    arena: &mut ExecArena,
+) -> ComponentOutput {
+    let (graph, record) = component_graph_with(input, members, &config.cluster, &mut arena.bgg);
+    let (subgraphs, stats) = match config.reduction {
+        Reduction::GlobalSimilarity { .. } => {
+            let bd = BipartiteGraph::duplicate_from_with(&graph.graph, &mut arena.bd_pairs);
+            detect_dense_subgraphs_with(&bd, dsd_config, &mut arena.shingle)
+        }
+        Reduction::DomainBased { w } => {
+            let (subset, _) = input.subset(&graph.members);
+            let bm = BipartiteGraph::word_based(&subset, None, w);
+            detect_dense_subgraphs_with(&bm, dsd_config, &mut arena.shingle)
+        }
+    };
+    ComponentOutput { graph, record, subgraphs, stats }
+}
+
+/// Stream `queue` through the fused BGG→DSD path: components are
+/// dispatched largest-first across the workers, each flows through graph
+/// construction straight into dense-subgraph detection on one worker's
+/// arena, and the outputs come back in **queue order** — bit-identical to
+/// [`barrier_components`].
+pub fn stream_components(
+    input: &SequenceSet,
+    config: &PipelineConfig,
+    queue: &[&[SeqId]],
+) -> Vec<ComponentOutput> {
+    let dsd_config = dsd_config_of(config);
+    // Largest-first kills the straggler tail: the work counter hands out
+    // jobs in this order, so the most expensive component starts first.
+    let mut order: Vec<usize> = (0..queue.len()).collect();
+    order.sort_by(|&a, &b| queue[b].len().cmp(&queue[a].len()).then(a.cmp(&b)));
+    let processed: Vec<(usize, ComponentOutput)> = order
+        .into_par_iter()
+        .map(|qi| {
+            let out = ARENA.with(|arena| {
+                process_component(input, config, &dsd_config, queue[qi], &mut arena.borrow_mut())
+            });
+            (qi, out)
+        })
+        .collect();
+    // Scatter back to queue order: the caller sees the same sequence the
+    // barrier path produces regardless of scheduling.
+    let mut outputs: Vec<Option<ComponentOutput>> = (0..queue.len()).map(|_| None).collect();
+    for (qi, out) in processed {
+        outputs[qi] = Some(out);
+    }
+    outputs.into_iter().map(|o| o.expect("every queued component is processed")).collect()
+}
+
+/// The pre-streaming reference data flow: build **all** component graphs
+/// behind a barrier, then run DSD over them — no arenas, no reordering.
+/// Retained for the executor-identity suites and `bgg_dsd_bench`.
+pub fn barrier_components(
+    input: &SequenceSet,
+    config: &PipelineConfig,
+    queue: &[&[SeqId]],
+) -> Vec<ComponentOutput> {
+    // ---- Phase 3 (barrier): every similarity graph, then nothing else. ----
+    let built: Vec<(ComponentGraph, BatchRecord)> =
+        queue.par_iter().map(|members| component_graph(input, members, &config.cluster)).collect();
+    // ---- Phase 4: dense subgraphs over the finished graphs. ----
+    let dsd_config = dsd_config_of(config);
+    let detected: Vec<(Vec<Vec<u32>>, ShingleStats)> = built
+        .par_iter()
+        .map(|(cg, _)| match config.reduction {
+            Reduction::GlobalSimilarity { .. } => {
+                let bd = BipartiteGraph::duplicate_from(&cg.graph);
+                detect_dense_subgraphs(&bd, &dsd_config)
+            }
+            Reduction::DomainBased { w } => {
+                let (subset, _) = input.subset(&cg.members);
+                let bm = BipartiteGraph::word_based(&subset, None, w);
+                detect_dense_subgraphs(&bm, &dsd_config)
+            }
+        })
+        .collect();
+    built
+        .into_iter()
+        .zip(detected)
+        .map(|((graph, record), (subgraphs, stats))| ComponentOutput {
+            graph,
+            record,
+            subgraphs,
+            stats,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfam_datagen::{DatasetConfig, SyntheticDataset};
+
+    fn queue_of(components: &[Vec<SeqId>], min: usize) -> Vec<&[SeqId]> {
+        components.iter().filter(|c| c.len() >= min).map(|c| c.as_slice()).collect()
+    }
+
+    fn dataset(seed: u64) -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::tiny(seed))
+    }
+
+    fn assert_outputs_equal(a: &[ComponentOutput], b: &[ComponentOutput]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.graph.members, y.graph.members);
+            assert_eq!(x.graph.graph, y.graph.graph);
+            assert_eq!(x.record, y.record);
+            assert_eq!(x.subgraphs, y.subgraphs);
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+
+    #[test]
+    fn streaming_equals_barrier_on_ccd_components() {
+        let d = dataset(7);
+        let config = PipelineConfig::for_tests();
+        let ccd = pfam_cluster::run_ccd(&d.set, &config.cluster);
+        let queue = queue_of(&ccd.components, config.min_component_size);
+        assert!(!queue.is_empty());
+        let streamed = stream_components(&d.set, &config, &queue);
+        let barrier = barrier_components(&d.set, &config, &queue);
+        assert_outputs_equal(&streamed, &barrier);
+    }
+
+    #[test]
+    fn streaming_equals_barrier_for_domain_reduction() {
+        let d = dataset(8);
+        let mut config = PipelineConfig::for_tests();
+        config.reduction = Reduction::DomainBased { w: 10 };
+        let ccd = pfam_cluster::run_ccd(&d.set, &config.cluster);
+        let queue = queue_of(&ccd.components, config.min_component_size);
+        let streamed = stream_components(&d.set, &config, &queue);
+        let barrier = barrier_components(&d.set, &config, &queue);
+        assert_outputs_equal(&streamed, &barrier);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let d = dataset(9);
+        let config = PipelineConfig::for_tests();
+        assert!(stream_components(&d.set, &config, &[]).is_empty());
+        assert!(barrier_components(&d.set, &config, &[]).is_empty());
+    }
+
+    #[test]
+    fn outputs_come_back_in_queue_order() {
+        // Queue deliberately ordered smallest-first: scheduling reorders,
+        // scattering must restore.
+        let d = dataset(10);
+        let config = PipelineConfig::for_tests();
+        let ccd = pfam_cluster::run_ccd(&d.set, &config.cluster);
+        let mut components = ccd.components.clone();
+        components.sort_by_key(|c| c.len());
+        let queue = queue_of(&components, 1);
+        let outs = stream_components(&d.set, &config, &queue);
+        for (q, out) in queue.iter().zip(&outs) {
+            let mut sorted = q.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(out.graph.members, sorted);
+        }
+    }
+}

@@ -14,6 +14,10 @@
 //!   reduction choice, size thresholds).
 //! * [`pipeline`] — orchestration of the four phases, parallel inside
 //!   each phase, with full work-trace capture for `pfam-sim`.
+//! * [`executor`] — the fused, streaming BGG→DSD back half: components
+//!   flow from CCD straight through graph construction into dense-subgraph
+//!   detection, largest-first, on per-worker arenas (no barrier, no
+//!   steady-state allocation), plus the barrier reference path.
 //! * [`report`] — Table-I-style summaries.
 //! * [`quality`] — precision / sensitivity / overlap quality / correlation
 //!   against a benchmark clustering.
@@ -32,6 +36,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod executor;
 pub mod pipeline;
 pub mod quality;
 pub mod report;
@@ -39,8 +44,10 @@ pub mod validate;
 
 pub use checkpoint::{CkptError, Phase};
 pub use config::{PipelineConfig, Reduction};
+pub use executor::{barrier_components, stream_components, ComponentOutput};
 pub use pipeline::{
-    run_pipeline, run_pipeline_checkpointed, CheckpointConfig, DenseSubgraph, PipelineResult,
+    run_pipeline, run_pipeline_barrier, run_pipeline_checkpointed, CheckpointConfig, DenseSubgraph,
+    PipelineResult,
 };
 pub use quality::{evaluate, QualityReport};
 pub use report::TableOneRow;

@@ -1,22 +1,26 @@
 //! The four-phase pipeline of Figure 2: redundancy removal → connected
 //! components → bipartite graph generation → dense subgraph detection.
+//!
+//! Phases 3 and 4 run fused: the component queue flows through the
+//! streaming executor ([`crate::executor`]) with no barrier between graph
+//! construction and dense-subgraph detection. [`run_pipeline_barrier`]
+//! keeps the old phase-at-a-time data flow as the identity reference.
 
 use std::path::PathBuf;
 
-use rayon::prelude::*;
-
 use pfam_cluster::{
-    all_component_graphs, component_graph, run_ccd, run_ccd_resumable, run_redundancy_removal,
-    CcdCursor, CcdResult, ComponentGraph, PhaseTrace,
+    run_ccd, run_ccd_resumable, run_redundancy_removal, CcdCursor, CcdResult, ComponentGraph,
+    PhaseTrace,
 };
-use pfam_graph::{subgraph_density, BipartiteGraph, CsrGraph, SubgraphDensity};
+use pfam_graph::{subgraph_density, CsrGraph, SubgraphDensity};
 use pfam_seq::{SeqId, SequenceSet};
-use pfam_shingle::{detect_dense_subgraphs, DenseSubgraphConfig, ReductionMode, ShingleStats};
+use pfam_shingle::ShingleStats;
 
 use crate::checkpoint::{
     read_checkpoint, write_checkpoint, CcdState, CkptError, DsdComponent, DsdState, Phase, RrState,
 };
-use crate::config::{PipelineConfig, Reduction};
+use crate::config::PipelineConfig;
+use crate::executor::{barrier_components, stream_components};
 
 /// One reported protein family (dense subgraph).
 #[derive(Debug, Clone, PartialEq)]
@@ -66,8 +70,24 @@ impl PipelineResult {
     }
 }
 
-/// Run the full pipeline on `input`.
+/// Run the full pipeline on `input` — the BGG→DSD back half goes through
+/// the fused streaming executor.
 pub fn run_pipeline(input: &SequenceSet, config: &PipelineConfig) -> PipelineResult {
+    run_pipeline_inner(input, config, true)
+}
+
+/// [`run_pipeline`] with the pre-streaming barrier data flow in the back
+/// half (all component graphs built before any dense-subgraph work).
+/// Bit-identical output; retained for identity tests and the bench.
+pub fn run_pipeline_barrier(input: &SequenceSet, config: &PipelineConfig) -> PipelineResult {
+    run_pipeline_inner(input, config, false)
+}
+
+fn run_pipeline_inner(
+    input: &SequenceSet,
+    config: &PipelineConfig,
+    streaming: bool,
+) -> PipelineResult {
     // ---- Phase 1: redundancy removal. ----
     let rr = run_redundancy_removal(input, &config.cluster);
 
@@ -83,28 +103,39 @@ pub fn run_pipeline(input: &SequenceSet, config: &PipelineConfig) -> PipelineRes
         .map(|c| c.iter().map(|&local| mapping[local.index()]).collect())
         .collect();
 
-    // ---- Phase 3: bipartite graph generation (per large component). ----
-    let (graphs, bgg_trace) =
-        all_component_graphs(input, &components, config.min_component_size, &config.cluster);
+    // ---- Phases 3+4: fused BGG→DSD over the large components. ----
+    let selected: Vec<&[SeqId]> = components
+        .iter()
+        .filter(|c| c.len() >= config.min_component_size)
+        .map(|c| c.as_slice())
+        .collect();
+    let outputs = if streaming {
+        stream_components(input, config, &selected)
+    } else {
+        barrier_components(input, config, &selected)
+    };
 
-    // ---- Phase 4: dense subgraph detection (parallel over components). ----
-    let dsd_config = dsd_config_of(config);
-    let per_component: Vec<(Vec<Vec<u32>>, ShingleStats)> =
-        graphs.par_iter().map(|cg| dsd_for_component(input, cg, config, &dsd_config)).collect();
-
+    let mut bgg_trace = PhaseTrace {
+        index_residues: selected
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|&id| input.seq_len(id) as u64)
+            .sum(),
+        ..PhaseTrace::default()
+    };
+    let mut graphs = Vec::with_capacity(outputs.len());
     let mut dense_subgraphs = Vec::new();
     let mut shingle_stats = ShingleStats::default();
-    for (ci, (subgraphs, stats)) in per_component.iter().enumerate() {
-        shingle_stats.pass1_shingles += stats.pass1_shingles;
-        shingle_stats.distinct_s1 += stats.distinct_s1;
-        shingle_stats.pass2_shingles += stats.pass2_shingles;
-        shingle_stats.components += stats.components;
-        for local_members in subgraphs {
-            let density = subgraph_density(&graphs[ci].graph, local_members);
+    for (ci, out) in outputs.into_iter().enumerate() {
+        shingle_stats.absorb(&out.stats);
+        bgg_trace.batches.push(out.record);
+        for local_members in &out.subgraphs {
+            let density = subgraph_density(&out.graph.graph, local_members);
             let members: Vec<SeqId> =
-                local_members.iter().map(|&l| graphs[ci].original_id(l)).collect();
+                local_members.iter().map(|&l| out.graph.original_id(l)).collect();
             dense_subgraphs.push(DenseSubgraph { members, component: ci, density });
         }
+        graphs.push(out.graph);
     }
     // Deterministic output order: biggest first, then by first member.
     dense_subgraphs
@@ -121,37 +152,6 @@ pub fn run_pipeline(input: &SequenceSet, config: &PipelineConfig) -> PipelineRes
     }
 }
 
-fn dsd_config_of(config: &PipelineConfig) -> DenseSubgraphConfig {
-    DenseSubgraphConfig {
-        params: config.shingle,
-        mode: match config.reduction {
-            Reduction::GlobalSimilarity { tau } => ReductionMode::GlobalSimilarity { tau },
-            Reduction::DomainBased { .. } => ReductionMode::DomainBased,
-        },
-        min_size: config.min_subgraph_size,
-        disjoint: true,
-    }
-}
-
-fn dsd_for_component(
-    input: &SequenceSet,
-    cg: &ComponentGraph,
-    config: &PipelineConfig,
-    dsd_config: &DenseSubgraphConfig,
-) -> (Vec<Vec<u32>>, ShingleStats) {
-    match config.reduction {
-        Reduction::GlobalSimilarity { .. } => {
-            let bd = BipartiteGraph::duplicate_from(&cg.graph);
-            detect_dense_subgraphs(&bd, dsd_config)
-        }
-        Reduction::DomainBased { w } => {
-            let (subset, _) = input.subset(&cg.members);
-            let bm = BipartiteGraph::word_based(&subset, None, w);
-            detect_dense_subgraphs(&bm, dsd_config)
-        }
-    }
-}
-
 /// Where and how often [`run_pipeline_checkpointed`] snapshots its state.
 #[derive(Debug, Clone)]
 pub struct CheckpointConfig {
@@ -159,8 +159,13 @@ pub struct CheckpointConfig {
     /// missing).
     pub dir: PathBuf,
     /// Write a CCD cursor every this many master batches (0 = only at
-    /// phase completion). DSD always checkpoints after each component.
+    /// phase completion).
     pub every_batches: usize,
+    /// Write a DSD snapshot every this many finished components; the
+    /// components inside one batch run through the streaming executor in
+    /// parallel. `1` (and, defensively, `0`) checkpoints after every
+    /// component, matching the pre-batching behaviour exactly.
+    pub every_components: usize,
 }
 
 /// The undirected edge list of a component graph, `(u, v)` with `u < v`
@@ -180,7 +185,8 @@ fn csr_edge_list(graph: &CsrGraph) -> Vec<(u32, u32)> {
 /// [`run_pipeline`] with checkpoint/restart (DESIGN.md §robustness).
 ///
 /// State is snapshotted to `ckpt.dir` at phase boundaries (plus every
-/// `ckpt.every_batches` CCD batches and after each DSD component), so a
+/// `ckpt.every_batches` CCD batches and every `ckpt.every_components`
+/// finished DSD components), so a
 /// killed run restarted with `resume = true` replays from the last
 /// snapshot and produces a result *identical* to the uninterrupted run —
 /// CCD's pair generator is deterministic, so skipping the consumed prefix
@@ -288,8 +294,9 @@ pub fn run_pipeline_checkpointed(
         .map(|c| c.iter().map(|&local| mapping[local.index()]).collect())
         .collect();
 
-    // ---- Phases 3+4: BGG + DSD, sequential over the component queue,
-    // checkpointed after every finished component. ----
+    // ---- Phases 3+4: fused BGG→DSD over the component queue in
+    // checkpoint-bounded batches: each batch streams through the executor
+    // in parallel, then one snapshot covers it. ----
     let dsd_path = Phase::Dsd.path_in(&ckpt.dir);
     let selected: Vec<&Vec<SeqId>> =
         components.iter().filter(|c| c.len() >= config.min_component_size).collect();
@@ -308,21 +315,22 @@ pub fn run_pipeline_checkpointed(
     }
     state.trace.index_residues =
         selected.iter().flat_map(|c| c.iter()).map(|&id| input.seq_len(id) as u64).sum();
-    let dsd_config = dsd_config_of(config);
-    for members in selected.iter().skip(state.done.len()) {
-        let (cg, record) = component_graph(input, members.as_slice(), &config.cluster);
-        let (subgraphs, stats) = dsd_for_component(input, &cg, config, &dsd_config);
-        state.done.push(DsdComponent {
-            members: cg.members.iter().map(|id| id.0).collect(),
-            edges: csr_edge_list(&cg.graph),
-            subgraphs,
-        });
-        state.shingle.0 += stats.pass1_shingles as u64;
-        state.shingle.1 += stats.distinct_s1 as u64;
-        state.shingle.2 += stats.pass2_shingles as u64;
-        state.shingle.3 += stats.components as u64;
-        state.trace.batches.push(record);
+    let every = ckpt.every_components.max(1);
+    let mut cursor = state.done.len();
+    while cursor < selected.len() {
+        let end = (cursor + every).min(selected.len());
+        let queue: Vec<&[SeqId]> = selected[cursor..end].iter().map(|c| c.as_slice()).collect();
+        for out in stream_components(input, config, &queue) {
+            state.done.push(DsdComponent {
+                members: out.graph.members.iter().map(|id| id.0).collect(),
+                edges: csr_edge_list(&out.graph.graph),
+                subgraphs: out.subgraphs,
+            });
+            state.shingle.absorb(&out.stats);
+            state.trace.batches.push(out.record);
+        }
         write_checkpoint(&dsd_path, Phase::Dsd, &state.encode())?;
+        cursor = end;
     }
     if state.done.is_empty() {
         // No component reached the DSD stage; still record completion.
@@ -360,12 +368,7 @@ pub fn run_pipeline_checkpointed(
         component_graphs: graphs,
         dense_subgraphs,
         traces: (rr.trace, ccd.trace, state.trace),
-        shingle_stats: ShingleStats {
-            pass1_shingles: state.shingle.0 as usize,
-            distinct_s1: state.shingle.1 as usize,
-            pass2_shingles: state.shingle.2 as usize,
-            components: state.shingle.3 as usize,
-        },
+        shingle_stats: state.shingle,
     }))
 }
 
@@ -466,6 +469,18 @@ mod tests {
         let r = run_pipeline(&SequenceSet::new(), &PipelineConfig::for_tests());
         assert_eq!(r.n_input, 0);
         assert!(r.dense_subgraphs.is_empty());
+    }
+
+    #[test]
+    fn streaming_matches_barrier_pipeline() {
+        let d = small_dataset(27);
+        let config = PipelineConfig::for_tests();
+        let a = run_pipeline(&d.set, &config);
+        let b = run_pipeline_barrier(&d.set, &config);
+        assert_eq!(a.dense_subgraphs, b.dense_subgraphs);
+        assert_eq!(a.shingle_stats, b.shingle_stats);
+        assert_eq!(a.components, b.components);
+        assert_eq!(a.traces.2.batches, b.traces.2.batches);
     }
 
     #[test]

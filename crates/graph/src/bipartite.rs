@@ -15,7 +15,7 @@ use pfam_seq::{KmerIter, SeqId, SequenceSet};
 use crate::csr::CsrGraph;
 
 /// A bipartite graph stored as a left-to-right adjacency (CSR-like).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BipartiteGraph {
     n_left: usize,
     n_right: usize,
@@ -29,33 +29,52 @@ impl BipartiteGraph {
     /// Build from explicit left-to-right edges.
     pub fn from_edges(n_left: usize, n_right: usize, edges: &[(u32, u32)]) -> BipartiteGraph {
         let mut pairs: Vec<(u32, u32)> = edges.to_vec();
-        for &(l, r) in &pairs {
+        BipartiteGraph::from_pairs_in(n_left, n_right, &mut pairs)
+    }
+
+    /// [`BipartiteGraph::from_edges`] consuming a caller-owned pair buffer
+    /// in place (sorted and deduplicated inside it) — identical output,
+    /// and `pairs` keeps its capacity for the next component.
+    pub fn from_pairs_in(
+        n_left: usize,
+        n_right: usize,
+        pairs: &mut Vec<(u32, u32)>,
+    ) -> BipartiteGraph {
+        for &(l, r) in pairs.iter() {
             assert!((l as usize) < n_left && (r as usize) < n_right, "edge ({l},{r}) out of range");
         }
         pairs.sort_unstable();
         pairs.dedup();
         let mut offsets = vec![0usize; n_left + 1];
-        for &(l, _) in &pairs {
+        for &(l, _) in pairs.iter() {
             offsets[l as usize + 1] += 1;
         }
         for i in 0..n_left {
             offsets[i + 1] += offsets[i];
         }
-        let targets = pairs.into_iter().map(|(_, r)| r).collect();
+        let targets = pairs.iter().map(|&(_, r)| r).collect();
         BipartiteGraph { n_left, n_right, offsets, targets, left_words: Vec::new() }
     }
 
     /// The `Bd` reduction of an undirected graph: both sides are the vertex
     /// set of `g`, and each undirected edge contributes both directions.
     pub fn duplicate_from(g: &CsrGraph) -> BipartiteGraph {
+        BipartiteGraph::duplicate_from_with(g, &mut Vec::with_capacity(2 * g.n_edges()))
+    }
+
+    /// [`BipartiteGraph::duplicate_from`] staging the directed pair list
+    /// in a caller-owned buffer — identical output, no fresh allocation at
+    /// steady state.
+    pub fn duplicate_from_with(g: &CsrGraph, pairs: &mut Vec<(u32, u32)>) -> BipartiteGraph {
         let n = g.n_vertices();
-        let mut edges = Vec::with_capacity(2 * g.n_edges());
+        pairs.clear();
+        pairs.reserve(2 * g.n_edges());
         for v in 0..n as u32 {
             for &u in g.neighbors(v) {
-                edges.push((v, u));
+                pairs.push((v, u));
             }
         }
-        BipartiteGraph::from_edges(n, n, &edges)
+        BipartiteGraph::from_pairs_in(n, n, pairs)
     }
 
     /// The `Bm` reduction: left vertices are the `w`-length words occurring
@@ -222,5 +241,29 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_bad_edge() {
         let _ = BipartiteGraph::from_edges(1, 1, &[(0, 1)]);
+    }
+
+    #[test]
+    fn buffer_reusing_constructors_identical() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let mut pairs = Vec::new();
+        assert_eq!(
+            BipartiteGraph::duplicate_from_with(&g, &mut pairs),
+            BipartiteGraph::duplicate_from(&g)
+        );
+        let cap = pairs.capacity();
+        // Reuse across components of descending size: no reallocation.
+        let small = CsrGraph::from_edges(2, &[(0, 1)]);
+        assert_eq!(
+            BipartiteGraph::duplicate_from_with(&small, &mut pairs),
+            BipartiteGraph::duplicate_from(&small)
+        );
+        assert_eq!(pairs.capacity(), cap);
+        // from_pairs_in with duplicated input pairs dedups like from_edges.
+        let mut raw = vec![(0u32, 1u32), (0, 1), (1, 2)];
+        assert_eq!(
+            BipartiteGraph::from_pairs_in(2, 3, &mut raw),
+            BipartiteGraph::from_edges(2, 3, &[(0, 1), (0, 1), (1, 2)])
+        );
     }
 }

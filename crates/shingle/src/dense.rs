@@ -4,7 +4,10 @@
 
 use pfam_graph::{BipartiteGraph, CsrGraph};
 
-use crate::algorithm::{shingle_clusters, BipartiteCluster, ShingleParams, ShingleStats};
+use crate::algorithm::{
+    shingle_clusters, shingle_clusters_with, BipartiteCluster, ShingleArena, ShingleParams,
+    ShingleStats,
+};
 
 /// Which bipartite reduction the clusters came from, deciding how a raw
 /// `(A, B)` pair becomes a dense subgraph.
@@ -77,15 +80,10 @@ fn sorted_union(a: &[u32], b: &[u32]) -> Vec<u32> {
     out
 }
 
-/// Run the Shingle algorithm on `graph` and apply the reporting rule.
-///
-/// Returned subgraphs are vertex lists over the *right* universe (for `Bd`
-/// both sides are the same universe), ordered by decreasing size.
-pub fn detect_dense_subgraphs(
-    graph: &BipartiteGraph,
-    config: &DenseSubgraphConfig,
-) -> (Vec<Vec<u32>>, ShingleStats) {
-    let (clusters, stats) = shingle_clusters(graph, &config.params);
+/// Apply the reduction-dependent reporting rule, size filter, and
+/// disjoint-ification to raw Shingle clusters — shared by the parallel and
+/// arena paths.
+fn report_subgraphs(clusters: &[BipartiteCluster], config: &DenseSubgraphConfig) -> Vec<Vec<u32>> {
     let mut subgraphs: Vec<Vec<u32>> = clusters
         .iter()
         .filter_map(|BipartiteCluster { a, b }| match config.mode {
@@ -113,7 +111,31 @@ pub fn detect_dense_subgraphs(
         subgraphs = disjoint;
     }
     subgraphs.retain(|sg| sg.len() >= config.min_size);
-    (subgraphs, stats)
+    subgraphs
+}
+
+/// Run the Shingle algorithm on `graph` and apply the reporting rule.
+///
+/// Returned subgraphs are vertex lists over the *right* universe (for `Bd`
+/// both sides are the same universe), ordered by decreasing size.
+pub fn detect_dense_subgraphs(
+    graph: &BipartiteGraph,
+    config: &DenseSubgraphConfig,
+) -> (Vec<Vec<u32>>, ShingleStats) {
+    let (clusters, stats) = shingle_clusters(graph, &config.params);
+    (report_subgraphs(&clusters, config), stats)
+}
+
+/// [`detect_dense_subgraphs`] through a worker's [`ShingleArena`] —
+/// bit-identical output, serial per-component, reusing the worker's rank
+/// tables and scratch (the streaming executor's entry point).
+pub fn detect_dense_subgraphs_with(
+    graph: &BipartiteGraph,
+    config: &DenseSubgraphConfig,
+    arena: &mut ShingleArena,
+) -> (Vec<Vec<u32>>, ShingleStats) {
+    let (clusters, stats) = shingle_clusters_with(graph, &config.params, arena);
+    (report_subgraphs(&clusters, config), stats)
 }
 
 /// Convenience wrapper for the global-similarity pipeline: build `Bd` from
@@ -226,6 +248,19 @@ mod tests {
         let g = CsrGraph::from_edges(4, &[]);
         let (subgraphs, _) = dense_subgraphs_of(&g, &fast_config(1));
         assert!(subgraphs.is_empty());
+    }
+
+    #[test]
+    fn arena_variant_matches_for_both_modes() {
+        let g = blocks_graph(&[0..10, 10..18], 18);
+        let bd = BipartiteGraph::duplicate_from(&g);
+        let mut arena = ShingleArena::new();
+        for mode in [ReductionMode::GlobalSimilarity { tau: 0.5 }, ReductionMode::DomainBased] {
+            let config = DenseSubgraphConfig { mode, ..fast_config(2) };
+            let want = detect_dense_subgraphs(&bd, &config);
+            let got = detect_dense_subgraphs_with(&bd, &config, &mut arena);
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -7,23 +7,37 @@
 //! bipartite reduction:
 //!
 //! * [`minwise`] — min-wise independent permutations and (s, c)-shingle
-//!   sets (Broder et al.).
+//!   sets (Broder et al.), plus the reusable [`minwise::RankTable`] /
+//!   [`minwise::ShingleScratch`] arena pieces.
+//! * [`kernel`] — the batched rank kernel: all `c` permutation ranks for a
+//!   block of elements in one pass, SWAR baseline with runtime-dispatched
+//!   SSE2/AVX2 passes, bit-identical to [`HashFamily::rank`].
 //! * [`algorithm`] — the two passes plus the union-find reporting step,
-//!   parallelised over vertices with rayon.
+//!   parallelised over vertices with rayon; [`ShingleArena`] for serial
+//!   allocation-free reruns.
 //! * [`dense`] — the paper's reporting rules on top: the `Bd` mode with
 //!   the `|A∩B| / |A∪B| ≥ τ` post-filter, the `Bm` mode reporting `B`,
 //!   minimum-size filtering, and disjoint-ification.
 
 pub mod algorithm;
 pub mod dense;
+pub mod kernel;
 pub mod minwise;
 pub mod parallel;
 pub mod spmd;
 
-pub use algorithm::{shingle_clusters, BipartiteCluster, ShingleParams, ShingleStats};
-pub use dense::{
-    dense_subgraphs_of, detect_dense_subgraphs, jaccard, DenseSubgraphConfig, ReductionMode,
+pub use algorithm::{
+    shingle_clusters, shingle_clusters_with, BipartiteCluster, ShingleArena, ShingleParams,
+    ShingleStats,
 };
-pub use minwise::{shingle_set, HashFamily, Shingle};
+pub use dense::{
+    dense_subgraphs_of, detect_dense_subgraphs, detect_dense_subgraphs_with, jaccard,
+    DenseSubgraphConfig, ReductionMode,
+};
+pub use kernel::{fill_ranks, fill_ranks_into, RankKernel};
+pub use minwise::{
+    shingle_set, shingle_set_from_table, shingle_set_with, HashFamily, RankTable, Shingle,
+    ShingleScratch,
+};
 pub use parallel::{shingle_clusters_distributed, RankMemory};
 pub use spmd::shingle_clusters_spmd;

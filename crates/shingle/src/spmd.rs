@@ -17,7 +17,8 @@ use pfam_graph::{BipartiteGraph, UnionFind};
 use pfam_mpi::run_spmd;
 
 use crate::algorithm::{BipartiteCluster, ShingleParams};
-use crate::minwise::{shingle_set, HashFamily, Shingle};
+use crate::kernel::RankKernel;
+use crate::minwise::{shingle_set_with, HashFamily, Shingle, ShingleScratch};
 
 /// Pass-I tuple: (shingle id, elements, producing vertex).
 type Tuple = (u64, Vec<u32>, u32);
@@ -43,15 +44,21 @@ pub fn shingle_clusters_spmd(
     let p = n_ranks;
     let owner = |id: u64| (id % p as u64) as usize;
 
+    let kernel = RankKernel::detect();
+
     let results = run_spmd(p, |comm| -> Option<Vec<BipartiteCluster>> {
         let rank = comm.rank();
+        // Each SPMD rank is one worker: one reusable batched-rank scratch.
+        let mut scratch = ShingleScratch::new();
 
         // ---- Pass I over this rank's vertex stripe. ----
         let fam1 = HashFamily::new(params.c1, params.seed);
         let mut outgoing: Vec<Vec<Tuple>> = vec![Vec::new(); p];
         let mut v = rank as u32;
         while (v as usize) < graph.n_left() {
-            for Shingle { id, elements } in shingle_set(graph.out_links(v), &fam1, params.s1) {
+            let shingles =
+                shingle_set_with(graph.out_links(v), &fam1, params.s1, kernel, &mut scratch);
+            for Shingle { id, elements } in shingles {
                 outgoing[owner(id)].push((id, elements, v));
             }
             v += p as u32;
@@ -80,7 +87,7 @@ pub fn shingle_clusters_spmd(
         let fam2 = HashFamily::new(params.c2, params.seed ^ 0xABCD_EF01_2345_6789);
         let mut second_out: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
         for (id, _, vs) in &shingles {
-            for sh in shingle_set(vs, &fam2, params.s2) {
+            for sh in shingle_set_with(vs, &fam2, params.s2, kernel, &mut scratch) {
                 second_out[owner(sh.id)].push((sh.id, *id));
             }
         }

@@ -1,0 +1,104 @@
+//! Property tests for the batched min-wise rank paths: every kernel
+//! (SWAR, SSE2, AVX2 where detected), the scratch-reusing shingle-set
+//! variant, and the precomputed rank table must be bit-identical to the
+//! scalar [`HashFamily::rank`] reference — including the degenerate
+//! shapes: empty sets, singletons, `c = 0`, and `s > |set|`.
+
+use proptest::prelude::*;
+
+use pfam_shingle::{
+    fill_ranks_into, shingle_set, shingle_set_from_table, shingle_set_with, HashFamily, RankKernel,
+    RankTable, ShingleScratch,
+};
+
+/// The dense universe the rank-table checks use.
+const UNIVERSE: u32 = 400;
+
+fn scalar_rank(mult: u64, add: u64, x: u32) -> u64 {
+    mult.wrapping_mul(x as u64 + 1).wrapping_add(add)
+}
+
+/// Assert that every batched shingle-set path reproduces the scalar
+/// reference for one `(links, family, s)` input.
+fn assert_all_paths_match(links: &[u32], family: &HashFamily, s: usize) {
+    let reference = shingle_set(links, family, s);
+    let mut scratch = ShingleScratch::new();
+    for kernel in RankKernel::supported() {
+        let batched = shingle_set_with(links, family, s, kernel, &mut scratch);
+        assert_eq!(batched, reference, "shingle_set_with diverged on kernel {kernel:?}");
+        let mut table = RankTable::new();
+        table.rebuild(family, UNIVERSE as usize, kernel);
+        let tabled = shingle_set_from_table(links, &table, s, &mut scratch);
+        assert_eq!(tabled, reference, "shingle_set_from_table diverged on kernel {kernel:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every kernel reproduces `mult * (x + 1) + add` exactly, for
+    /// arbitrary coefficients and inputs (including `u32::MAX`, where the
+    /// 32-bit SIMD decomposition is most at risk).
+    #[test]
+    fn kernels_equal_scalar_rank(
+        xs in prop::collection::vec(0u32..=u32::MAX, 0..97),
+        mult in 0u64..=u64::MAX,
+        add in 0u64..=u64::MAX,
+    ) {
+        let reference: Vec<u64> = xs.iter().map(|&x| scalar_rank(mult, add, x)).collect();
+        let mut out = vec![0u64; xs.len()];
+        for kernel in RankKernel::supported() {
+            fill_ranks_into(kernel, mult, add, &xs, &mut out);
+            prop_assert_eq!(&out, &reference, "kernel {:?} diverged", kernel);
+        }
+    }
+
+    /// The batched and table paths return the reference shingle set for
+    /// random adjacency lists across the (c, s, seed) parameter space —
+    /// `c = 0` (no permutations) included.
+    #[test]
+    fn batched_shingle_sets_equal_reference(
+        links in prop::collection::vec(0..UNIVERSE, 0..48),
+        c in 0usize..8,
+        s in 1usize..6,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let mut links = links;
+        links.sort_unstable();
+        links.dedup();
+        let family = HashFamily::new(c, seed);
+        assert_all_paths_match(&links, &family, s);
+    }
+}
+
+#[test]
+fn empty_set_is_empty_on_every_path() {
+    let family = HashFamily::new(4, 0xfeed);
+    assert_all_paths_match(&[], &family, 2);
+}
+
+#[test]
+fn singleton_set_on_every_path() {
+    let family = HashFamily::new(4, 0xfeed);
+    for s in 1..4 {
+        assert_all_paths_match(&[17], &family, s);
+    }
+}
+
+#[test]
+fn zero_permutations_on_every_path() {
+    // c = 0: only the whole-set branch can fire; no kernel call at all.
+    let family = HashFamily::new(0, 0xfeed);
+    assert_all_paths_match(&[1, 2, 3, 4, 5, 6, 7, 8], &family, 3);
+}
+
+#[test]
+fn s_larger_than_set_takes_whole_set_branch() {
+    let family = HashFamily::new(3, 0xfeed);
+    let links = [5u32, 9, 40];
+    assert_all_paths_match(&links, &family, 8);
+    // The reference output for this branch is the whole (sorted) set.
+    let got = shingle_set(&links, &family, 8);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].elements, vec![5, 9, 40]);
+}

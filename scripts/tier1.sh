@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, rustfmt check, lint wall, root-package
-# tests, workspace tests, the driver-equivalence matrix, index-bench and
-# align-bench smoke passes (bit-identity checks on tiny workloads), the
-# alignment-engine identity suites, the fault-injection suites, grep
+# tests, workspace tests, the driver-equivalence matrix, index-bench,
+# align-bench and bgg-dsd-bench smoke passes (bit-identity checks on tiny
+# workloads), the alignment-engine, min-wise-kernel and streaming-executor
+# identity suites, the fault-injection suites, grep
 # gates (no unwrap on inter-rank communication paths; no UnionFind
 # mutation outside ClusterCore), and a CLI checkpoint/resume smoke.
 # Run from anywhere inside the repo.
@@ -64,6 +65,19 @@ echo "== tier1: align_bench --test (smoke + verdict-identity check) =="
 ALIGN_SMOKE=$(cargo run --release -p pfam-bench --bin align_bench -- --test)
 echo "$ALIGN_SMOKE" | grep -q '"outputs_identical": true' || {
     echo "tier1 FAIL: align_bench smoke did not report identical outputs" >&2
+    exit 1
+}
+
+echo "== tier1: min-wise kernel + streaming-executor identity suites =="
+# The batched rank kernels must be bit-identical to HashFamily::rank, and
+# the fused streaming BGG->DSD executor bit-identical to the barrier path.
+cargo test -q -p pfam-shingle --test kernel_props
+cargo test -q --test streaming_executor
+
+echo "== tier1: bgg_dsd_bench --test (smoke + executor/kernel identity) =="
+BGG_SMOKE=$(cargo run --release -p pfam-bench --bin bgg_dsd_bench -- --test)
+echo "$BGG_SMOKE" | grep -q '"outputs_identical": true' || {
+    echo "tier1 FAIL: bgg_dsd_bench smoke did not report identical outputs" >&2
     exit 1
 }
 

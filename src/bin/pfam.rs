@@ -60,7 +60,8 @@ fn print_usage() {
          \x20 pfam cluster  <input.fasta> [--out <tsv>] [--tau F] [--domain W]\n\
          \x20               [--min-size N] [--mask] [--psi N]\n\
          \x20 pfam run      <input.fasta> --checkpoint-dir <dir> [--resume]\n\
-         \x20               [--checkpoint-every N] [--stop-after rr|ccd|dsd]\n\
+         \x20               [--checkpoint-every N] [--checkpoint-every-components N]\n\
+         \x20               [--stop-after rr|ccd|dsd]\n\
          \x20               [+ all `cluster` flags]   (fault-tolerant cluster)\n\
          \x20 pfam simulate <input.fasta> [--procs 32,64,128,512]\n\
          \x20               [--save-trace PREFIX]\n\
@@ -88,7 +89,7 @@ fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Resul
 
 /// First free-standing argument: not a flag, and not the value of one.
 fn positional(args: &[String]) -> Option<&String> {
-    const VALUE_FLAGS: [&str; 13] = [
+    const VALUE_FLAGS: [&str; 14] = [
         "--out",
         "--tau",
         "--min-size",
@@ -101,6 +102,7 @@ fn positional(args: &[String]) -> Option<&String> {
         "--save-trace",
         "--checkpoint-dir",
         "--checkpoint-every",
+        "--checkpoint-every-components",
         "--stop-after",
     ];
     let mut skip_next = false;
@@ -225,6 +227,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let ckpt = CheckpointConfig {
         dir: std::path::PathBuf::from(&dir),
         every_batches: parse(args, "--checkpoint-every", 8usize)?,
+        every_components: parse(args, "--checkpoint-every-components", 1usize)?,
     };
     let resume = flag_present(args, "--resume");
     let stop_after = match flag_value(args, "--stop-after").as_deref() {

@@ -73,8 +73,11 @@ fn kill_after_each_phase_then_resume_is_identical() {
     let config = PipelineConfig::for_tests();
     let straight = run_pipeline(&d.set, &config);
     for stop in [Phase::Rr, Phase::Ccd, Phase::Dsd] {
-        let ckpt =
-            CheckpointConfig { dir: scratch_dir(&format!("kill-{stop:?}")), every_batches: 4 };
+        let ckpt = CheckpointConfig {
+            dir: scratch_dir(&format!("kill-{stop:?}")),
+            every_batches: 4,
+            every_components: 1,
+        };
         let first = run_pipeline_checkpointed(&d.set, &config, &ckpt, false, Some(stop))
             .expect("checkpointed run");
         assert!(first.is_none(), "stop_after must end the run early");
@@ -94,7 +97,8 @@ fn resume_from_partial_ccd_cursor_is_identical() {
     let config = PipelineConfig::for_tests();
     let straight = run_pipeline(&d.set, &config);
 
-    let ckpt = CheckpointConfig { dir: scratch_dir("mid-ccd"), every_batches: 1 };
+    let ckpt =
+        CheckpointConfig { dir: scratch_dir("mid-ccd"), every_batches: 1, every_components: 1 };
     run_pipeline_checkpointed(&d.set, &config, &ckpt, false, Some(Phase::Rr)).expect("rr-only run");
 
     // Replay CCD on the survivor set and capture its first cursor.
@@ -122,10 +126,36 @@ fn resume_from_partial_ccd_cursor_is_identical() {
 }
 
 #[test]
+fn batched_dsd_checkpointing_resumes_identically() {
+    // every_components > 1 snapshots once per component batch; the kill
+    // point then sits on a batch boundary, and the resumed run must still
+    // be byte-identical to the uninterrupted one.
+    let d = dataset(4875);
+    let config = PipelineConfig::for_tests();
+    let straight = run_pipeline(&d.set, &config);
+    for every in [2usize, 3, 100] {
+        let ckpt = CheckpointConfig {
+            dir: scratch_dir(&format!("batched-{every}")),
+            every_batches: 4,
+            every_components: every,
+        };
+        let first = run_pipeline_checkpointed(&d.set, &config, &ckpt, false, Some(Phase::Dsd))
+            .expect("checkpointed run");
+        assert!(first.is_none(), "stop_after must end the run early");
+        let resumed = run_pipeline_checkpointed(&d.set, &config, &ckpt, true, None)
+            .expect("resumed run")
+            .expect("resumed run completes");
+        assert_same_result(&d.set, &resumed, &straight);
+        let _ = std::fs::remove_dir_all(&ckpt.dir);
+    }
+}
+
+#[test]
 fn resume_without_checkpoints_just_runs() {
     let d = dataset(4872);
     let config = PipelineConfig::for_tests();
-    let ckpt = CheckpointConfig { dir: scratch_dir("fresh"), every_batches: 0 };
+    let ckpt =
+        CheckpointConfig { dir: scratch_dir("fresh"), every_batches: 0, every_components: 1 };
     let r = run_pipeline_checkpointed(&d.set, &config, &ckpt, true, None)
         .expect("run")
         .expect("completes");
@@ -138,7 +168,8 @@ fn resume_without_checkpoints_just_runs() {
 fn corrupt_checkpoint_is_rejected_not_trusted() {
     let d = dataset(4873);
     let config = PipelineConfig::for_tests();
-    let ckpt = CheckpointConfig { dir: scratch_dir("corrupt"), every_batches: 0 };
+    let ckpt =
+        CheckpointConfig { dir: scratch_dir("corrupt"), every_batches: 0, every_components: 1 };
     run_pipeline_checkpointed(&d.set, &config, &ckpt, false, Some(Phase::Rr)).expect("rr run");
     let path = Phase::Rr.path_in(&ckpt.dir);
     let mut bytes = std::fs::read(&path).expect("read rr.ckpt");
