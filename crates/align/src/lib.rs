@@ -20,11 +20,15 @@
 //!   hot path goes through: length screens, a SWAR/SSE2/AVX2 score-only
 //!   kernel, anchor-seeded banded probes, and a subrectangle traceback —
 //!   verdict-identical to [`criteria`] by construction.
+//! * [`cost`] — the online per-pair cost predictor (`m·n` scaled by the
+//!   engine's observed tier-escape rate) that cost-aware schedulers pack
+//!   and steal by.
 //!
 //! Scores use the [`pfam_seq::ScoringScheme`] type (BLOSUM62 by default).
 
 pub mod alignment;
 pub mod banded;
+pub mod cost;
 pub mod criteria;
 pub mod engine;
 pub mod extend;
@@ -37,6 +41,7 @@ pub mod semiglobal;
 
 pub use alignment::{AlignOp, AlignStats, Alignment};
 pub use banded::banded_global_affine;
+pub use cost::CostModel;
 pub use criteria::{is_contained, overlaps, ContainmentParams, OverlapParams};
 pub use engine::{AlignEngine, AlignEngineKind, AlignScratch, Anchor, EngineVerdict};
 pub use extend::{xdrop_extend, Extension};

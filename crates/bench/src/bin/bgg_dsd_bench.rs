@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use pfam_bench::dataset_160k_like;
+use pfam_bench::{claim_f64, cores_field, dataset_160k_like, detected_cores};
 use pfam_core::{barrier_components, stream_components, ComponentOutput, PipelineConfig};
 use pfam_graph::BipartiteGraph;
 use pfam_seq::SeqId;
@@ -126,6 +126,7 @@ fn main() {
 
     let identical = exec_identical && kernel_identical;
     let n_components = queue.len() as f64;
+    let cores = detected_cores();
     let json = format!(
         concat!(
             "{{\n",
@@ -134,14 +135,15 @@ fn main() {
             "  \"n_seqs\": {n_seqs},\n",
             "  \"n_components\": {n_components},\n",
             "  \"reps\": {reps},\n",
+            "  {cores_field},\n",
             "  \"outputs_identical\": {identical},\n",
             "  \"barrier\": {{ \"seconds\": {bs:.6}, \"components_per_sec\": {bcps:.1} }},\n",
             "  \"streaming\": {{ \"seconds\": {ss:.6}, \"components_per_sec\": {scps:.1} }},\n",
-            "  \"streaming_speedup\": {sx:.3},\n",
+            "  {streaming_speedup},\n",
             "  \"rank_kernel\": {{\n",
             "    \"scalar\": {{ \"seconds\": {ks:.6}, \"shingles_per_sec\": {ksps:.0} }},\n",
             "    \"batched\": {{ \"label\": \"{kl}\", \"seconds\": {kb:.6}, \"shingles_per_sec\": {kbps:.0} }},\n",
-            "    \"speedup\": {kx:.3}\n",
+            "    {kernel_speedup}\n",
             "  }},\n",
             "  \"note\": \"single-core hosts see no cross-worker overlap; streaming gains there are arena reuse + largest-first order only\"\n",
             "}}\n"
@@ -150,18 +152,19 @@ fn main() {
         n_seqs = set.len(),
         n_components = queue.len(),
         reps = reps,
+        cores_field = cores_field(cores),
         identical = identical,
         bs = barrier_s,
         bcps = n_components / barrier_s,
         ss = stream_s,
         scps = n_components / stream_s,
-        sx = barrier_s / stream_s,
+        streaming_speedup = claim_f64(cores, "streaming_speedup", barrier_s / stream_s),
         ks = scalar_s,
         ksps = shingles / scalar_s,
         kl = batched_kernel.label(),
         kb = batched_s,
         kbps = shingles / batched_s,
-        kx = scalar_s / batched_s,
+        kernel_speedup = claim_f64(cores, "speedup", scalar_s / batched_s),
     );
 
     if smoke {

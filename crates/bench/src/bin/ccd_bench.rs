@@ -15,7 +15,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use pfam_bench::dataset_160k_like;
+use pfam_bench::{cores_field, dataset_160k_like, detected_cores};
 use pfam_cluster::{
     run_ccd, run_ccd_from_pairs, run_ccd_master_worker, run_ccd_spmd, CcdResult, ClusterConfig,
 };
@@ -120,6 +120,7 @@ fn main() {
             "  \"n_seqs\": {n_seqs},\n",
             "  \"n_pairs\": {n_pairs},\n",
             "  \"reps\": {reps},\n",
+            "  {cores_field},\n",
             "  \"components_identical\": {identical},\n",
             "  \"drivers\": [\n{rows}\n  ]\n",
             "}}\n"
@@ -128,6 +129,7 @@ fn main() {
         n_seqs = set.len(),
         n_pairs = pairs.len(),
         reps = reps,
+        cores_field = cores_field(detected_cores()),
         identical = identical,
         rows = driver_rows.join(",\n"),
     );

@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use pfam_bench::dataset_160k_like;
+use pfam_bench::{claim, cores_field, dataset_160k_like, detected_cores};
 use pfam_suffix::{
     maximal::all_pairs, parallel_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree,
 };
@@ -52,7 +52,7 @@ fn main() {
     // The paper's 40K performance point is a quarter of its 160K set.
     let data = dataset_160k_like(scale * 0.25, 0x40);
     let set = &data.set;
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = detected_cores();
     eprintln!(
         "index_bench: {} ({} reads, {} residues), threads {:?}, {} rep(s)",
         data.label,
@@ -116,7 +116,9 @@ fn main() {
         );
     }
 
-    let caveat = if cores < max_threads {
+    let caveat = if cores == 1 {
+        String::from("1-core host: parallel timings measure overhead only; scaling claims refused")
+    } else if cores < max_threads {
         format!(
             "only {cores} core(s) available; speedups above {cores} thread(s) \
              reflect overhead, not scaling"
@@ -124,6 +126,10 @@ fn main() {
     } else {
         String::from("thread counts within available cores")
     };
+    // The honesty guard: the per-thread timing table (with its embedded
+    // speedup ratios) is a scaling claim, so on a 1-core host the whole
+    // array is refused and replaced by the sentinel.
+    let scaling = claim(cores, "scaling", &format!("[\n{}\n  ]", rows.join(",\n")));
     let json = format!(
         concat!(
             "{{\n",
@@ -131,7 +137,7 @@ fn main() {
             "  \"dataset\": \"{label}\",\n",
             "  \"n_seqs\": {n_seqs},\n",
             "  \"total_residues\": {residues},\n",
-            "  \"available_cores\": {cores},\n",
+            "  {cores_field},\n",
             "  \"core_caveat\": \"{caveat}\",\n",
             "  \"reps\": {reps},\n",
             "  \"n_pairs\": {n_pairs},\n",
@@ -139,13 +145,13 @@ fn main() {
             "  \"outputs_identical\": true,\n",
             "  \"serial\": {{ \"index_s\": {si:.6}, \"pairgen_s\": {sp:.6}, ",
             "\"total_s\": {st:.6}, \"cells_per_sec\": {scps:.0} }},\n",
-            "  \"scaling\": [\n{rows}\n  ]\n",
+            "  {scaling}\n",
             "}}\n"
         ),
         label = data.label,
         n_seqs = set.len(),
         residues = set.total_residues(),
-        cores = cores,
+        cores_field = cores_field(cores),
         caveat = caveat,
         reps = reps,
         n_pairs = pairs_serial.len(),
@@ -154,7 +160,7 @@ fn main() {
         sp = serial_pairgen_s,
         st = serial_total,
         scps = total_cells as f64 / serial_pairgen_s,
-        rows = rows.join(",\n"),
+        scaling = scaling,
     );
 
     if cores < max_threads {

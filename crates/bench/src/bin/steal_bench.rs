@@ -1,0 +1,222 @@
+//! Work-stealing scheduler benchmark: the same skewed-length CCD workload
+//! driven three ways — fixed-size batches (the rayon reference), cost-model
+//! packed chunks without stealing, and cost-packed chunks with work
+//! stealing — emitting a machine-readable `BENCH_steal.json`.
+//!
+//! ```sh
+//! cargo run --release -p pfam-bench --bin steal_bench [scale]
+//! cargo run --release -p pfam-bench --bin steal_bench -- --test   # smoke
+//! ```
+//!
+//! The dataset deliberately mixes short and very long ancestors, so a
+//! pair's DP cost varies by two orders of magnitude — the regime where
+//! equal pair-count chunks leave workers idle behind one heavy chunk.
+//! `--test` runs a tiny single-rep smoke pass and prints the JSON to
+//! stdout. The bench asserts — and records — that all three schedules
+//! return identical connected components; speedup claims go through the
+//! honesty guard and are refused on a 1-core host.
+
+use std::time::Instant;
+
+use pfam_bench::{claim, cores_field, detected_cores};
+use pfam_cluster::{
+    BatchedPush, CcdCursor, CcdResult, ClusterConfig, ClusterCore, CorePhase, CostModel,
+    IterSource, StealingPush, Verifier, WorkPolicy,
+};
+use pfam_datagen::{DatasetConfig, SyntheticDataset};
+use pfam_seq::SequenceSet;
+use pfam_suffix::{
+    maximal::all_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, SuffixTree,
+};
+
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// A length-skewed workload: family ancestors drawn from 60..900 residues
+/// give pair costs spanning ~two orders of magnitude.
+fn skewed_set(scale: f64, seed: u64) -> SequenceSet {
+    let config = DatasetConfig {
+        n_families: ((24.0 * scale).round() as usize).max(4),
+        n_members: ((320.0 * scale).round() as usize).max(16),
+        size_skew: 1.2,
+        ancestor_len: 60..900,
+        fragment_prob: 0.2,
+        seed,
+        ..DatasetConfig::default()
+    };
+    SyntheticDataset::generate(&config).set
+}
+
+/// One schedule's timing row.
+struct Row {
+    mode: &'static str,
+    seconds: f64,
+    result: CcdResult,
+}
+
+/// Drive the explicit pair stream through the requested schedule.
+fn run_mode<'a>(
+    set: &'a SequenceSet,
+    config: &'a ClusterConfig,
+    pairs: &'a [MatchPair],
+    mode: &'static str,
+    workers: usize,
+) -> impl FnMut() -> CcdResult + 'a {
+    move || {
+        let verifier = Verifier::new(config, CorePhase::Ccd);
+        let mut core = ClusterCore::new_ccd(set);
+        let mut source = IterSource::new(pairs.iter().copied());
+        let round_pairs = config.batch_size.max(1) * workers * 4;
+        match mode {
+            "fixed" => {
+                let mut sink = |_: &CcdCursor| {};
+                BatchedPush {
+                    source: &mut source,
+                    verifier: &verifier,
+                    batch_size: round_pairs,
+                    checkpoint_every: 0,
+                    on_checkpoint: &mut sink,
+                }
+                .drive(&mut core)
+                .expect("the in-process loop cannot fail");
+            }
+            stealing => {
+                let cost = CostModel::new();
+                StealingPush {
+                    source: &mut source,
+                    verifier: &verifier,
+                    cost: &cost,
+                    n_workers: workers,
+                    round_pairs,
+                    chunks_per_worker: 4,
+                    steal_seed: 0x57ea1,
+                    stealing: stealing == "cost_packed_stealing",
+                }
+                .drive(&mut core)
+                .expect("the in-process loop cannot fail");
+            }
+        }
+        CcdResult::from_core(core)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let scale = if smoke { 0.08 } else { positional.first().copied().unwrap_or(0.5) };
+    let reps = if smoke { 1 } else { 3 };
+    let cores = detected_cores();
+    let workers = cores.clamp(2, 8);
+
+    let set = skewed_set(scale, 0x57ea1);
+    let config = ClusterConfig::default();
+    eprintln!(
+        "steal_bench: skewed-length set ({} reads, {} residues), {} worker(s), {} rep(s)",
+        set.len(),
+        set.total_residues(),
+        workers,
+        reps
+    );
+
+    // One shared pair supply, mined once: every schedule sees the exact
+    // same stream, so the components comparison is apples-to-apples.
+    let gsa = GeneralizedSuffixArray::build(&set);
+    let tree = SuffixTree::build(&gsa);
+    let pairs = all_pairs(
+        &tree,
+        MaximalMatchConfig {
+            min_len: config.psi_ccd,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+    );
+    eprintln!("steal_bench: {} promising pairs", pairs.len());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for mode in ["fixed", "cost_packed", "cost_packed_stealing"] {
+        let (seconds, result) = time_min(reps, run_mode(&set, &config, &pairs, mode, workers));
+        eprintln!(
+            "steal_bench: {mode}: {seconds:.3}s, {} chunks, {} steals",
+            result.trace.total_chunks(),
+            result.trace.total_steals()
+        );
+        rows.push(Row { mode, seconds, result });
+    }
+
+    // Bit-identical components across all three schedules — the
+    // determinism seam the stealing driver is built around.
+    let reference = &rows[0].result.components;
+    let identical = rows.iter().all(|r| &r.result.components == reference);
+    assert!(identical, "a schedule diverged from the fixed-batch components — this is a bug");
+
+    let mode_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{ \"mode\": \"{}\", \"seconds\": {:.6}, \"pairs_per_sec\": {:.0}, ",
+                    "\"n_chunks\": {}, \"n_steals\": {} }}"
+                ),
+                r.mode,
+                r.seconds,
+                r.result.trace.total_generated() as f64 / r.seconds,
+                r.result.trace.total_chunks(),
+                r.result.trace.total_steals(),
+            )
+        })
+        .collect();
+    let fixed_s = rows[0].seconds;
+    let scaling = claim(
+        cores,
+        "scaling",
+        &format!(
+            "{{ \"cost_packed_speedup\": {:.3}, \"stealing_speedup\": {:.3} }}",
+            fixed_s / rows[1].seconds,
+            fixed_s / rows[2].seconds
+        ),
+    );
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"steal\",\n",
+            "  \"dataset\": \"skewed-length (n={n_seqs}, scale {scale})\",\n",
+            "  \"n_seqs\": {n_seqs},\n",
+            "  \"n_pairs\": {n_pairs},\n",
+            "  \"reps\": {reps},\n",
+            "  {cores_field},\n",
+            "  \"workers\": {workers},\n",
+            "  \"components_identical\": {identical},\n",
+            "  \"modes\": [\n{rows}\n  ],\n",
+            "  {scaling}\n",
+            "}}\n"
+        ),
+        n_seqs = set.len(),
+        scale = scale,
+        n_pairs = pairs.len(),
+        reps = reps,
+        cores_field = cores_field(cores),
+        workers = workers,
+        identical = identical,
+        rows = mode_rows.join(",\n"),
+        scaling = scaling,
+    );
+
+    if smoke {
+        println!("{json}");
+        eprintln!("steal_bench: smoke mode OK (components identical across schedules)");
+    } else {
+        std::fs::write("BENCH_steal.json", &json).expect("write BENCH_steal.json");
+        println!("{json}");
+        eprintln!("steal_bench: wrote BENCH_steal.json");
+    }
+}

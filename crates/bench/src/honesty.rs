@@ -1,0 +1,71 @@
+//! Bench honesty guard: every `BENCH_*.json` must say how many cores the
+//! numbers were measured on, and must not claim "speedup" or "scaling"
+//! from a single-core host — there, parallel variants only measure their
+//! own scheduling overhead, and a ratio dressed up as a speedup would be
+//! a lie the next reader has no way to detect.
+//!
+//! Usage: detect once with [`detected_cores`], stamp the mandatory
+//! [`cores_field`] into the JSON, and render every comparative ratio
+//! through [`claim`] / [`claim_f64`] so it degrades to the
+//! `"unmeasured-1-core"` sentinel instead of a bogus number.
+
+/// The sentinel recorded in place of any scaling claim on a 1-core host.
+pub const UNMEASURED: &str = "unmeasured-1-core";
+
+/// Cores available to this process (the honest denominator for any
+/// scaling claim). Falls back to 1 when detection fails — the cautious
+/// direction, since 1 suppresses claims rather than inventing them.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The mandatory `"cores"` JSON field (no trailing comma).
+pub fn cores_field(cores: usize) -> String {
+    format!("\"cores\": {cores}")
+}
+
+/// Render one comparative claim honestly: with more than one core the
+/// pre-rendered JSON value passes through as `"key": value`; on a 1-core
+/// host the claim is refused and the field carries the
+/// [`UNMEASURED`] sentinel string instead.
+pub fn claim(cores: usize, key: &str, rendered_value: &str) -> String {
+    if cores > 1 {
+        format!("\"{key}\": {rendered_value}")
+    } else {
+        format!("\"{key}\": \"{UNMEASURED}\"")
+    }
+}
+
+/// [`claim`] for the common case of a single speedup ratio.
+pub fn claim_f64(cores: usize, key: &str, value: f64) -> String {
+    claim(cores, key, &format!("{value:.3}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_reports_at_least_one_core() {
+        assert!(detected_cores() >= 1);
+    }
+
+    #[test]
+    fn cores_field_is_plain_json() {
+        assert_eq!(cores_field(4), "\"cores\": 4");
+    }
+
+    #[test]
+    fn multi_core_claims_pass_through() {
+        assert_eq!(claim_f64(8, "speedup", 2.46813), "\"speedup\": 2.468");
+        assert_eq!(claim(2, "scaling", "[1, 2]"), "\"scaling\": [1, 2]");
+    }
+
+    #[test]
+    fn single_core_claims_are_refused() {
+        let got = claim_f64(1, "speedup", 2.46813);
+        assert_eq!(got, "\"speedup\": \"unmeasured-1-core\"");
+        assert!(!got.contains("2.7"), "no number may survive on 1 core");
+        assert_eq!(claim(1, "scaling", "[1, 2]"), "\"scaling\": \"unmeasured-1-core\"");
+    }
+}

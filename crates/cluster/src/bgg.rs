@@ -79,15 +79,7 @@ pub fn component_graph_with(
     if sorted.len() <= 1 {
         return (
             ComponentGraph { graph: CsrGraph::from_edges(sorted.len(), &[]), members: sorted },
-            BatchRecord {
-                n_generated: 0,
-                n_filtered: 0,
-                n_aligned: 0,
-                align_cells: 0,
-                task_cells: Vec::new(),
-                cells_computed: 0,
-                cells_skipped: 0,
-            },
+            BatchRecord::default(),
         );
     }
     // Index only the component members (local ids 0..k).
@@ -126,12 +118,12 @@ pub fn component_graph_with(
     }
     let record = BatchRecord {
         n_generated,
-        n_filtered: 0,
         n_aligned: task_cells.len(),
         align_cells: task_cells.iter().sum(),
         task_cells,
         cells_computed,
         cells_skipped,
+        ..BatchRecord::default()
     };
     let graph = CsrGraph::from_edges_reusing(sorted.len(), &scratch.edges, &mut scratch.csr_pairs);
     (ComponentGraph { graph, members: sorted }, record)

@@ -45,6 +45,59 @@ pub struct ClusterConfig {
     /// the full-matrix baseline. Verdicts — and therefore components and
     /// `families.tsv` — are bit-identical for both.
     pub align_engine: AlignEngineKind,
+    /// Cost-model-driven work-stealing knobs for the
+    /// [`crate::policy::StealingPush`] driver. Components are
+    /// bit-identical for every setting; only wall-clock changes.
+    pub steal: StealParams,
+}
+
+/// Knobs for the cost-aware stealing scheduler
+/// ([`crate::policy::StealingPush`]). All of them affect scheduling only:
+/// predictions and steal schedules can never change a verdict, so
+/// components are bit-identical for every combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StealParams {
+    /// Route the CCD phase through [`crate::policy::StealingPush`]
+    /// instead of the batched reference loop.
+    pub enabled: bool,
+    /// Verification worker threads (`0` = all available cores).
+    pub workers: usize,
+    /// Chunk oversubscription: chunks packed per worker per round. More
+    /// chunks mean finer stealing granularity at higher dispatch cost.
+    pub chunks_per_worker: usize,
+    /// Pairs admitted per scheduling round (`0` = auto:
+    /// `batch_size × workers × chunks_per_worker`, so each chunk carries
+    /// roughly one reference batch's worth of pairs).
+    pub round_pairs: usize,
+    /// Seed for each worker's victim ordering — the injectable steal
+    /// schedule the identity suites sweep.
+    pub seed: u64,
+}
+
+impl Default for StealParams {
+    fn default() -> Self {
+        StealParams { enabled: false, workers: 0, chunks_per_worker: 4, round_pairs: 0, seed: 0 }
+    }
+}
+
+impl StealParams {
+    /// The worker count with `0` resolved to the machine's parallelism.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// The per-round pair budget with `0` resolved against `batch_size`.
+    pub fn resolved_round_pairs(&self, batch_size: usize) -> usize {
+        if self.round_pairs > 0 {
+            self.round_pairs
+        } else {
+            batch_size.max(1) * self.resolved_workers() * self.chunks_per_worker.max(1)
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -65,6 +118,7 @@ impl Default for ClusterConfig {
             threads: 0,
             parallel_index: true,
             align_engine: AlignEngineKind::default(),
+            steal: StealParams::default(),
         }
     }
 }

@@ -257,11 +257,7 @@ impl<'s> ClusterCore<'s> {
         self.trace.batches.push(BatchRecord {
             n_generated: pairs.len(),
             n_filtered: pairs.len() - candidates.len(),
-            n_aligned: 0,
-            align_cells: 0,
-            task_cells: Vec::new(),
-            cells_computed: 0,
-            cells_skipped: 0,
+            ..BatchRecord::default()
         });
         candidates
     }
@@ -269,15 +265,7 @@ impl<'s> ClusterCore<'s> {
     /// Open one accumulating trace record for a streaming driver that
     /// admits pairs one at a time ([`ClusterCore::admit_one`]).
     pub fn open_stream(&mut self) {
-        self.trace.batches.push(BatchRecord {
-            n_generated: 0,
-            n_filtered: 0,
-            n_aligned: 0,
-            align_cells: 0,
-            task_cells: Vec::new(),
-            cells_computed: 0,
-            cells_skipped: 0,
-        });
+        self.trace.batches.push(BatchRecord::default());
     }
 
     /// Admit a single pair into the open stream record (see
@@ -353,6 +341,16 @@ impl<'s> ClusterCore<'s> {
     /// Record the suffix-tree nodes the pair supply visited.
     pub fn set_nodes_visited(&mut self, n: u64) {
         self.trace.nodes_visited = n;
+    }
+
+    /// Record a cost-aware scheduler's dispatch counters on the most
+    /// recent trace record: chunks packed this round and how many of them
+    /// were executed by a worker other than the one they were packed for.
+    pub fn note_dispatch(&mut self, n_chunks: usize, n_steals: usize) {
+        if let Some(last) = self.trace.batches.last_mut() {
+            last.n_chunks += n_chunks;
+            last.n_steals += n_steals;
+        }
     }
 }
 

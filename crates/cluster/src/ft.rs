@@ -45,9 +45,10 @@ use pfam_suffix::{GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
 use crate::ccd::CcdResult;
 use crate::config::ClusterConfig;
 use crate::core::{ClusterCore, CorePhase, Verifier};
-use crate::policy::{serve_pull_worker, DriveError, LeasedPull, WorkPolicy};
+use crate::policy::{serve_pull_worker, DriveError, LeaseSizing, LeasedPull, WorkPolicy};
 use crate::source::{MinedSource, PairSource};
 use crate::transport::{MpiTransport, MpiWorkerPort};
+use pfam_align::CostModel;
 
 /// Why a fault-tolerant run could not produce a clustering.
 #[derive(Debug)]
@@ -109,10 +110,27 @@ pub fn run_ccd_ft(
                 );
                 let mut core = ClusterCore::new_ccd(set);
                 let mut transport = MpiTransport::master(comm);
+                // Cost-balanced leases ride the same opt-in knob as the
+                // stealing driver: a lease targets roughly what a
+                // pair-count lease of average-length sequences would
+                // cost, so lease *count* stays comparable while lease
+                // *work* evens out. Sizing is scheduling-only — the
+                // components are identical either way.
+                let cost = CostModel::new();
+                let mean_len = (set.total_residues() / set.len().max(1)).max(1) as u64;
+                let sizing = if config.steal.enabled {
+                    LeaseSizing::Cells {
+                        model: &cost,
+                        target: (config.batch_size.max(1) as u64) * mean_len * mean_len,
+                    }
+                } else {
+                    LeaseSizing::Pairs
+                };
                 let outcome = LeasedPull {
                     transport: &mut transport,
                     source: &mut source,
                     batch_size: config.batch_size,
+                    sizing,
                 }
                 .drive(&mut core);
                 Some(match outcome {

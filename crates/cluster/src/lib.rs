@@ -50,14 +50,16 @@ pub use baseline::{core_set_clusters, run_all_pairs_baseline, BaselineResult};
 pub use bgg::{
     all_component_graphs, component_graph, component_graph_with, BggScratch, ComponentGraph,
 };
-pub use ccd::{run_ccd, run_ccd_from_pairs, run_ccd_resumable, CcdCursor, CcdResult};
-pub use config::ClusterConfig;
+pub use ccd::{
+    run_ccd, run_ccd_from_pairs, run_ccd_resumable, run_ccd_stealing, CcdCursor, CcdResult,
+};
+pub use config::{ClusterConfig, StealParams};
 pub use ft::{run_ccd_ft, FtError};
 pub use master_worker::{run_ccd_master_worker, run_ccd_master_worker_with, MwError, MwStats};
-pub use pfam_align::{AlignEngine, AlignEngineKind};
+pub use pfam_align::{AlignEngine, AlignEngineKind, CostModel};
 pub use policy::{
-    serve_pull_worker, serve_push_worker, BatchedPush, DriveError, LeasedPull, MwDispatch,
-    SpmdPush, WorkPolicy,
+    serve_pull_worker, serve_push_worker, BatchedPush, DriveError, LeaseSizing, LeasedPull,
+    MwDispatch, SpmdPush, StealingPush, WorkPolicy,
 };
 pub use rr::{run_redundancy_removal, RrResult};
 pub use source::{with_mined_source, IterSource, MinedSource, PairSource};

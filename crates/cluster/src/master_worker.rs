@@ -28,6 +28,7 @@ use crate::config::ClusterConfig;
 use crate::core::ClusterCore;
 use crate::policy::{DriveError, MwDispatch, WorkPolicy};
 use crate::source::{with_mined_source, PairSource};
+use pfam_align::CostModel;
 
 /// Statistics specific to the threaded run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,7 +101,12 @@ where
     // not in the mining.
     with_mined_source(set, config, config.psi_ccd, 1, |source| {
         let mut core = ClusterCore::new_ccd(set);
-        let mut policy = MwDispatch { source: &mut *source, verify, n_workers, peak_in_flight: 0 };
+        // The injectable verify closure reports no per-tier counters, so
+        // the model stays uncalibrated here: predictions are the full
+        // m·n rectangle, i.e. pure length-product ordering.
+        let cost = CostModel::new();
+        let mut policy =
+            MwDispatch { source: &mut *source, verify, cost: &cost, n_workers, peak_in_flight: 0 };
         let outcome = policy.drive(&mut core);
         let peak_in_flight = policy.peak_in_flight;
         match outcome {

@@ -21,7 +21,7 @@ pub enum PhaseKind {
 }
 
 /// One master-round of pair processing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchRecord {
     /// Pairs the workers generated for this round.
     pub n_generated: usize,
@@ -41,6 +41,12 @@ pub struct BatchRecord {
     /// Full-matrix DP cells the engine avoided (tier screens and
     /// subrectangle traceback); zero under the reference engine.
     pub cells_skipped: u64,
+    /// Work chunks a cost-aware scheduler packed and dispatched this
+    /// round (0 for per-pair and fixed-batch drivers).
+    pub n_chunks: usize,
+    /// Chunks executed by a worker other than the one they were packed
+    /// for — the stealing/imbalance signal (0 without stealing).
+    pub n_steals: usize,
 }
 
 /// Complete trace of one phase run.
@@ -85,6 +91,16 @@ impl PhaseTrace {
         self.batches.iter().map(|b| b.cells_skipped).sum()
     }
 
+    /// Total work chunks dispatched by cost-aware schedulers.
+    pub fn total_chunks(&self) -> usize {
+        self.batches.iter().map(|b| b.n_chunks).sum()
+    }
+
+    /// Total chunks that were stolen by a non-owner worker.
+    pub fn total_steals(&self) -> usize {
+        self.batches.iter().map(|b| b.n_steals).sum()
+    }
+
     /// The filter's work-reduction ratio: filtered / generated
     /// (§V reports > 99.9 % for CCD on the 80K input).
     pub fn filter_ratio(&self) -> f64 {
@@ -107,18 +123,20 @@ impl PhaseTrace {
             self.index_residues, self.nodes_visited
         );
         out.push_str(
-            "#n_generated\tn_filtered\tn_aligned\ttask_cells\tcells_computed\tcells_skipped\n",
+            "#n_generated\tn_filtered\tn_aligned\ttask_cells\tcells_computed\tcells_skipped\tn_chunks\tn_steals\n",
         );
         for b in &self.batches {
             let cells: Vec<String> = b.task_cells.iter().map(u64::to_string).collect();
             out.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 b.n_generated,
                 b.n_filtered,
                 b.n_aligned,
                 cells.join(","),
                 b.cells_computed,
-                b.cells_skipped
+                b.cells_skipped,
+                b.n_chunks,
+                b.n_steals
             ));
         }
         out
@@ -168,8 +186,9 @@ impl PhaseTrace {
                     task_cells.len()
                 ));
             }
-            // Engine counters: absent in traces written before the tiered
-            // engine existed — default to 0 for backward compatibility.
+            // Engine and scheduler counters: absent in traces written
+            // before the tiered engine / cost-aware schedulers existed —
+            // default to 0 for backward compatibility.
             let mut next_u64 = |name: &str| -> Result<u64, String> {
                 match cols.next() {
                     None => Ok(0),
@@ -178,6 +197,8 @@ impl PhaseTrace {
             };
             let cells_computed = next_u64("cells_computed")?;
             let cells_skipped = next_u64("cells_skipped")?;
+            let n_chunks = next_u64("n_chunks")? as usize;
+            let n_steals = next_u64("n_steals")? as usize;
             batches.push(BatchRecord {
                 n_generated,
                 n_filtered,
@@ -186,6 +207,8 @@ impl PhaseTrace {
                 task_cells,
                 cells_computed,
                 cells_skipped,
+                n_chunks,
+                n_steals,
             });
         }
         Ok(PhaseTrace { index_residues, nodes_visited, batches })
@@ -204,7 +227,7 @@ mod tests {
             align_cells: cells.iter().sum(),
             task_cells: cells.to_vec(),
             cells_computed: cells.iter().sum(),
-            cells_skipped: 0,
+            ..BatchRecord::default()
         }
     }
 
@@ -231,16 +254,29 @@ mod tests {
 
     #[test]
     fn tsv_round_trip() {
-        let trace = PhaseTrace {
+        let mut trace = PhaseTrace {
             index_residues: 12345,
             nodes_visited: 67,
             batches: vec![batch(10, 7, &[100, 200, 300]), batch(4, 4, &[])],
         };
+        trace.batches[0].n_chunks = 4;
+        trace.batches[0].n_steals = 2;
         let text = trace.to_tsv();
         let back = PhaseTrace::from_tsv(&text).expect("own output parses");
         assert_eq!(back.index_residues, trace.index_residues);
         assert_eq!(back.nodes_visited, trace.nodes_visited);
         assert_eq!(back.batches, trace.batches);
+        assert_eq!(back.total_chunks(), 4);
+        assert_eq!(back.total_steals(), 2);
+    }
+
+    #[test]
+    fn tsv_without_scheduler_columns_defaults_to_zero() {
+        // A trace written before the cost-aware schedulers existed.
+        let old = "#index_residues=1\tnodes_visited=0\n#h\n2\t1\t1\t50\t50\t0\n";
+        let trace = PhaseTrace::from_tsv(old).expect("old traces still parse");
+        assert_eq!(trace.batches[0].n_chunks, 0);
+        assert_eq!(trace.batches[0].n_steals, 0);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use pfam_cluster::{
     run_ccd, serve_pull_worker, serve_push_worker, BatchedPush, ClusterConfig, ClusterCore,
-    CorePhase, IterSource, LeasedPull, LocalTransport, MinedSource, MwDispatch, PairSource,
-    SpmdPush, Verifier, WorkPolicy,
+    CorePhase, CostModel, IterSource, LeaseSizing, LeasedPull, LocalTransport, MinedSource,
+    MwDispatch, PairSource, SpmdPush, StealingPush, Verifier, WorkPolicy,
 };
 use pfam_cluster::{CcdCursor, CcdResult};
 use pfam_datagen::{DatasetConfig, SyntheticDataset};
@@ -42,12 +42,22 @@ enum PolicyKind {
     Push,
     /// [`LeasedPull`] — master owns the source, workers pull leases.
     Pull,
+    /// [`LeasedPull`] with cost-balanced ([`LeaseSizing::Cells`]) leases.
+    PullCells,
+    /// [`StealingPush`] — cost-packed chunks on work-stealing deques.
+    Stealing,
 }
 
 const SOURCES: [SourceKind; 3] =
     [SourceKind::MinedSerial, SourceKind::MinedParallel, SourceKind::Collected];
-const POLICIES: [PolicyKind; 4] =
-    [PolicyKind::Batched, PolicyKind::Streaming, PolicyKind::Push, PolicyKind::Pull];
+const POLICIES: [PolicyKind; 6] = [
+    PolicyKind::Batched,
+    PolicyKind::Streaming,
+    PolicyKind::Push,
+    PolicyKind::Pull,
+    PolicyKind::PullCells,
+    PolicyKind::Stealing,
+];
 
 fn mining_threads(kind: SourceKind) -> usize {
     match kind {
@@ -138,21 +148,47 @@ fn drive_master_side(
         PolicyKind::Streaming => {
             let engine = config.engine();
             let verify = move |x: &[u8], y: &[u8]| engine.overlaps(x, y, None).accept;
-            MwDispatch { source, verify: &verify, n_workers: 2, peak_in_flight: 0 }
+            let cost = CostModel::new();
+            MwDispatch { source, verify: &verify, cost: &cost, n_workers: 2, peak_in_flight: 0 }
                 .drive(&mut core)
                 .expect("no injected panics");
         }
-        PolicyKind::Pull => {
+        PolicyKind::Pull | PolicyKind::PullCells => {
+            let cost = CostModel::new();
+            let sizing = match policy {
+                PolicyKind::PullCells => LeaseSizing::Cells { model: &cost, target: 50_000 },
+                _ => LeaseSizing::Pairs,
+            };
             let (mut transport, ports) = LocalTransport::new(2, 8);
             std::thread::scope(|scope| {
                 for mut port in ports {
                     let verifier = &verifier;
                     scope.spawn(move || serve_pull_worker(&mut port, verifier, set));
                 }
-                LeasedPull { transport: &mut transport, source, batch_size: config.batch_size }
-                    .drive(&mut core)
-                    .expect("healthy local world");
+                LeasedPull {
+                    transport: &mut transport,
+                    source,
+                    batch_size: config.batch_size,
+                    sizing,
+                }
+                .drive(&mut core)
+                .expect("healthy local world");
             });
+        }
+        PolicyKind::Stealing => {
+            let cost = CostModel::new();
+            StealingPush {
+                source,
+                verifier: &verifier,
+                cost: &cost,
+                n_workers: 2,
+                round_pairs: config.batch_size.max(1) * 4,
+                chunks_per_worker: 2,
+                steal_seed: 7,
+                stealing: true,
+            }
+            .drive(&mut core)
+            .expect("the in-process loop cannot fail");
         }
         PolicyKind::Push => unreachable!("push sources live on the workers"),
     }

@@ -1,0 +1,245 @@
+//! Property suites for the cost-model work-stealing scheduler.
+//!
+//! The determinism claim under test: [`pfam_cluster::StealingPush`]
+//! absorbs verdict sets in chunk-id (= admission) order, so the accepted
+//! edge list AND the final components are bit-identical to the batched
+//! reference at matching granularity — under any steal schedule, any
+//! worker count, and with stealing on or off. Only the `n_steals` trace
+//! counter may vary. The cost model itself is scheduling-only, and its
+//! predictions must stay within a bounded ratio of the work that
+//! actually materialises.
+
+use pfam_cluster::{
+    run_ccd, run_ccd_ft, run_ccd_stealing, Candidate, CcdResult, ClusterConfig, ClusterCore,
+    CorePhase, CostModel, IterSource, StealParams, StealingPush, Verifier, WorkPolicy,
+};
+use pfam_datagen::{DatasetConfig, SyntheticDataset};
+use pfam_mpi::{FaultInjector, MessageFate};
+use pfam_seq::{SeqId, SequenceSet};
+use pfam_suffix::{
+    maximal::all_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, SuffixTree,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const ROUND_PAIRS: usize = 64;
+
+fn dataset(seed: u64) -> SequenceSet {
+    SyntheticDataset::generate(&DatasetConfig::tiny(seed)).set
+}
+
+/// The batched reference at the stealing driver's granularity: edges are
+/// claimed bit-identical only when `batch_size == round_pairs`.
+fn reference(set: &SequenceSet) -> CcdResult {
+    let config = ClusterConfig {
+        batch_size: ROUND_PAIRS,
+        steal: StealParams::default(),
+        ..Default::default()
+    };
+    run_ccd(set, &config)
+}
+
+fn stealing_config(seed: u64, workers: usize) -> ClusterConfig {
+    ClusterConfig {
+        batch_size: ROUND_PAIRS,
+        steal: StealParams {
+            enabled: true,
+            workers,
+            chunks_per_worker: 3,
+            round_pairs: ROUND_PAIRS,
+            seed,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn edges_identical_under_eight_seeded_steal_schedules() {
+    let set = dataset(401);
+    let reference = reference(&set);
+    for schedule in [0u64, 1, 2, 3, 0xDEAD, 0xBEEF, 0x5EED, u64::MAX] {
+        let got = run_ccd_stealing(&set, &stealing_config(schedule, 4));
+        assert_eq!(got.edges, reference.edges, "schedule {schedule:#x}: edge list diverged");
+        assert_eq!(got.components, reference.components, "schedule {schedule:#x}");
+        assert_eq!(got.n_merges, reference.n_merges, "schedule {schedule:#x}");
+    }
+}
+
+#[test]
+fn traces_identical_across_schedules_except_steal_counter() {
+    let set = dataset(402);
+    let a = run_ccd_stealing(&set, &stealing_config(1, 4));
+    let b = run_ccd_stealing(&set, &stealing_config(0xBEEF, 4));
+    assert_eq!(a.trace.batches.len(), b.trace.batches.len());
+    for (x, y) in a.trace.batches.iter().zip(&b.trace.batches) {
+        let mut y = y.clone();
+        y.n_steals = x.n_steals; // the only schedule-dependent field
+        assert_eq!(*x, y, "a trace field other than n_steals depends on the steal schedule");
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_edges() {
+    let set = dataset(403);
+    let reference = reference(&set);
+    for workers in [1usize, 2, 3, 8] {
+        let got = run_ccd_stealing(&set, &stealing_config(7, workers));
+        assert_eq!(got.edges, reference.edges, "{workers} workers");
+        assert_eq!(got.components, reference.components, "{workers} workers");
+    }
+}
+
+/// Drive an explicit pair stream through `StealingPush` with the stealing
+/// toggle pinned — the cost-packed-only ablation must match too.
+fn drive_stealing_toggle(set: &SequenceSet, pairs: &[MatchPair], stealing: bool) -> CcdResult {
+    let config = ClusterConfig::default();
+    let verifier = Verifier::new(&config, CorePhase::Ccd);
+    let cost = CostModel::new();
+    let mut core = ClusterCore::new_ccd(set);
+    let mut source = IterSource::new(pairs.iter().copied());
+    StealingPush {
+        source: &mut source,
+        verifier: &verifier,
+        cost: &cost,
+        n_workers: 3,
+        round_pairs: ROUND_PAIRS,
+        chunks_per_worker: 2,
+        steal_seed: 11,
+        stealing,
+    }
+    .drive(&mut core)
+    .expect("the in-process loop cannot fail");
+    CcdResult::from_core(core)
+}
+
+#[test]
+fn stealing_toggle_is_output_invariant() {
+    let set = dataset(404);
+    let config = ClusterConfig::default();
+    let gsa = GeneralizedSuffixArray::build(&set);
+    let tree = SuffixTree::build(&gsa);
+    let pairs = all_pairs(
+        &tree,
+        MaximalMatchConfig {
+            min_len: config.psi_ccd,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+    );
+    let with = drive_stealing_toggle(&set, &pairs, true);
+    let without = drive_stealing_toggle(&set, &pairs, false);
+    assert_eq!(with.edges, without.edges);
+    assert_eq!(with.components, without.components);
+    assert_eq!(with.trace.total_chunks(), without.trace.total_chunks());
+    assert_eq!(without.trace.total_steals(), 0, "no steals possible with stealing off");
+}
+
+#[test]
+fn steal_counters_reach_the_tsv_trace() {
+    let set = dataset(405);
+    let got = run_ccd_stealing(&set, &stealing_config(3, 2));
+    assert!(got.trace.total_chunks() > 0, "rounds must record their chunk counts");
+    let tsv = got.trace.to_tsv();
+    let reparsed = pfam_cluster::PhaseTrace::from_tsv(&tsv).expect("own TSV re-parses");
+    assert_eq!(reparsed.total_chunks(), got.trace.total_chunks());
+    assert_eq!(reparsed.total_steals(), got.trace.total_steals());
+}
+
+/// Inline fault schedule (same shape as the `ft` unit tests).
+struct Script {
+    kills: Vec<(usize, u64)>,
+}
+
+impl FaultInjector for Script {
+    fn kill_now(&self, rank: usize, event: u64) -> bool {
+        self.kills.iter().any(|&(r, at)| r == rank && event >= at)
+    }
+    fn message_fate(&self, _from: usize, _to: usize, _tag: u32, _seq: u64) -> MessageFate {
+        MessageFate::Deliver
+    }
+}
+
+#[test]
+fn cost_balanced_leases_survive_a_worker_kill() {
+    // `steal.enabled` also opts the fault-tolerant driver into
+    // cost-balanced (predicted-cells) lease sizing; the clustering must
+    // still match the plain reference under a worker kill.
+    let set = dataset(406);
+    let reference = run_ccd(&set, &ClusterConfig::default());
+    let config = ClusterConfig {
+        batch_size: 16,
+        steal: StealParams { enabled: true, ..Default::default() },
+        ..Default::default()
+    };
+    let script = Arc::new(Script { kills: vec![(1, 5)] });
+    let ft = run_ccd_ft(&set, &config, 3, script).expect("a worker survives");
+    assert_eq!(ft.components, reference.components);
+    assert_eq!(ft.n_merges, reference.n_merges);
+}
+
+/// Verify every candidate pair of a dataset sequentially, returning
+/// `(full_cells, cells_computed)` per pair.
+fn observed_work(set: &SequenceSet, config: &ClusterConfig) -> Vec<(u64, u64, usize, usize)> {
+    let gsa = GeneralizedSuffixArray::build(set);
+    let tree = SuffixTree::build(&gsa);
+    let pairs = all_pairs(
+        &tree,
+        MaximalMatchConfig {
+            min_len: config.psi_ccd,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        },
+    );
+    let verifier = Verifier::new(config, CorePhase::Ccd);
+    let candidates: Vec<Candidate> =
+        pairs.iter().map(|p| Candidate { a: p.a, b: p.b, anchor: None }).collect();
+    verifier
+        .verify_seq(set, &candidates)
+        .into_iter()
+        .map(|v| (v.cells, v.cells_computed, set.seq_len(SeqId(v.a)), set.seq_len(SeqId(v.b))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Calibrate on the first half of a workload, predict the second
+    /// half: the aggregate prediction must stay within a bounded ratio
+    /// of the cells the engine actually computes. (Per-pair error can be
+    /// large — the model is a single global escape rate — but the
+    /// aggregate is what chunk packing balances.)
+    #[test]
+    fn calibrated_predictions_track_actual_cells(seed in 500u64..540) {
+        let set = dataset(seed);
+        let config = ClusterConfig::default();
+        let work = observed_work(&set, &config);
+        if work.len() < 8 {
+            return Ok(()); // too little signal to judge calibration
+        }
+        let (train, test) = work.split_at(work.len() / 2);
+
+        let model = CostModel::new();
+        for &(full, computed, _, _) in train {
+            model.observe(full, computed);
+        }
+        let predicted: u64 = test.iter().map(|&(_, _, la, lb)| model.predict(la, lb)).sum();
+        let actual: u64 = test.iter().map(|&(_, computed, _, _)| computed).sum();
+        if actual == 0 {
+            return Ok(()); // every test pair screened out — nothing to track
+        }
+        let ratio = predicted as f64 / actual as f64;
+        prop_assert!(
+            (0.1..=10.0).contains(&ratio),
+            "aggregate prediction off by more than 10x: predicted {predicted}, actual {actual}"
+        );
+    }
+
+    /// Uncalibrated, the model must never under-predict the full
+    /// rectangle — the conservative ceiling pack() relies on in round 1.
+    #[test]
+    fn uncalibrated_predictions_are_the_full_rectangle(la in 1usize..2000, lb in 1usize..2000) {
+        let model = CostModel::new();
+        let cells = (la as u64) * (lb as u64);
+        prop_assert_eq!(model.predict(la, lb), cells.max(64));
+    }
+}

@@ -504,8 +504,7 @@ mod tests {
                 n_aligned: 2,
                 align_cells: 12,
                 task_cells: vec![5, 7],
-                cells_computed: 0,
-                cells_skipped: 0,
+                ..BatchRecord::default()
             }],
         }
     }

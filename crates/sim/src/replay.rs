@@ -68,8 +68,7 @@ pub struct SimReport {
 ///         n_aligned: 600,
 ///         align_cells: 600 * 25_000,
 ///         task_cells: vec![25_000; 600],
-///         cells_computed: 0,
-///         cells_skipped: 0,
+///         ..BatchRecord::default()
 ///     }],
 /// };
 /// let m = MachineModel::bluegene_l();
@@ -178,8 +177,7 @@ mod tests {
             n_aligned: 50,
             align_cells: 50 * 25_000,
             task_cells: vec![25_000; 50],
-            cells_computed: 0,
-            cells_skipped: 0,
+            ..BatchRecord::default()
         }
     }
 
@@ -191,8 +189,7 @@ mod tests {
             n_aligned: 18_000,
             align_cells: 18_000 * 25_000,
             task_cells: vec![25_000; 18_000],
-            cells_computed: 0,
-            cells_skipped: 0,
+            ..BatchRecord::default()
         }
     }
 

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, rustfmt check, lint wall, root-package
-# tests, workspace tests, the driver-equivalence matrix, index-bench,
-# align-bench and bgg-dsd-bench smoke passes (bit-identity checks on tiny
-# workloads), the alignment-engine, min-wise-kernel and streaming-executor
-# identity suites, the fault-injection suites, grep
-# gates (no unwrap on inter-rank communication paths; no UnionFind
-# mutation outside ClusterCore), and a CLI checkpoint/resume smoke.
+# tests, workspace tests, the driver-equivalence matrix, the seeded
+# work-stealing identity suites, index-bench, align-bench, bgg-dsd-bench
+# and steal-bench smoke passes (bit-identity checks on tiny workloads),
+# the alignment-engine, min-wise-kernel and streaming-executor identity
+# suites, the fault-injection suites, grep gates (no unwrap on inter-rank
+# communication paths; no UnionFind mutation outside ClusterCore; no
+# mutex-guarded queues in policy hot loops), and a CLI checkpoint/resume
+# smoke.
 # Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,6 +42,16 @@ if grep -rn "unwrap(\|expect(" crates/mpi/src crates/cluster/src/master_worker.r
     exit 1
 fi
 
+echo "== tier1: no mutex-guarded queues in policy hot loops =="
+# Scheduler contract: work distribution in the policies goes through the
+# lock-free deques (vendor/crossbeam::deque) or the channel transport —
+# never a std::sync::Mutex-wrapped queue, which would serialise the very
+# contention work stealing exists to remove.
+if grep -n "std::sync::Mutex\|sync::Mutex" crates/cluster/src/policy.rs; then
+    echo "tier1 FAIL: std::sync::Mutex queue in policy.rs hot loops" >&2
+    exit 1
+fi
+
 echo "== tier1: cargo test -q (root package) =="
 cargo test -q
 
@@ -51,6 +63,9 @@ cargo test -q --test fault_tolerance --test checkpoint_resume --test degenerate_
 
 echo "== tier1: driver-equivalence matrix (PairSource x WorkPolicy) =="
 cargo test -q -p pfam-cluster --test driver_matrix
+
+echo "== tier1: work-stealing identity suites (seeded schedules) =="
+cargo test -q -p pfam-cluster --test steal_props
 
 echo "== tier1: alignment-engine identity suites =="
 # The tiered engine must be verdict- and output-identical to the reference
@@ -78,6 +93,13 @@ echo "== tier1: bgg_dsd_bench --test (smoke + executor/kernel identity) =="
 BGG_SMOKE=$(cargo run --release -p pfam-bench --bin bgg_dsd_bench -- --test)
 echo "$BGG_SMOKE" | grep -q '"outputs_identical": true' || {
     echo "tier1 FAIL: bgg_dsd_bench smoke did not report identical outputs" >&2
+    exit 1
+}
+
+echo "== tier1: steal_bench --test (smoke + schedule-identity check) =="
+STEAL_SMOKE=$(cargo run --release -p pfam-bench --bin steal_bench -- --test)
+echo "$STEAL_SMOKE" | grep -q '"components_identical": true' || {
+    echo "tier1 FAIL: steal_bench smoke did not report identical components" >&2
     exit 1
 }
 

@@ -3,7 +3,9 @@
 //! ```text
 //! pfam generate --out reads.fasta [--families N] [--members N] [--seed N]
 //! pfam cluster  <input.fasta> [--out families.tsv] [--tau F] [--domain W]
-//!               [--min-size N] [--mask] [--psi N]
+//!               [--min-size N] [--mask] [--psi N] [--steal]
+//!               [--steal-workers N] [--steal-chunks N] [--steal-round N]
+//!               [--steal-seed N]
 //! pfam simulate <input.fasta> [--procs 32,64,128,512] [--save-trace PREFIX]
 //! pfam replay   <trace.tsv> [--procs 32,64,128,512]
 //! pfam align    <input.fasta> <i> <j>
@@ -14,7 +16,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use pfam::cluster::{run_ccd, run_redundancy_removal, ClusterConfig};
+use pfam::cluster::{run_ccd, run_redundancy_removal, ClusterConfig, StealParams};
 use pfam::core::{
     run_pipeline, run_pipeline_checkpointed, CheckpointConfig, Phase, PipelineConfig,
     PipelineResult, Reduction, TableOneRow,
@@ -59,6 +61,8 @@ fn print_usage() {
          \x20 pfam generate --out <fasta> [--families N] [--members N] [--seed N]\n\
          \x20 pfam cluster  <input.fasta> [--out <tsv>] [--tau F] [--domain W]\n\
          \x20               [--min-size N] [--mask] [--psi N]\n\
+         \x20               [--steal] [--steal-workers N] [--steal-chunks N]\n\
+         \x20               [--steal-round N] [--steal-seed N]\n\
          \x20 pfam run      <input.fasta> --checkpoint-dir <dir> [--resume]\n\
          \x20               [--checkpoint-every N] [--checkpoint-every-components N]\n\
          \x20               [--stop-after rr|ccd|dsd]\n\
@@ -89,7 +93,7 @@ fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Resul
 
 /// First free-standing argument: not a flag, and not the value of one.
 fn positional(args: &[String]) -> Option<&String> {
-    const VALUE_FLAGS: [&str; 14] = [
+    const VALUE_FLAGS: [&str; 18] = [
         "--out",
         "--tau",
         "--min-size",
@@ -104,6 +108,10 @@ fn positional(args: &[String]) -> Option<&String> {
         "--checkpoint-every",
         "--checkpoint-every-components",
         "--stop-after",
+        "--steal-workers",
+        "--steal-chunks",
+        "--steal-round",
+        "--steal-seed",
     ];
     let mut skip_next = false;
     for a in args {
@@ -173,6 +181,14 @@ fn pipeline_config(args: &[String]) -> Result<(PipelineConfig, usize), String> {
     if flag_present(args, "--mask") {
         cluster.mask = Some(MaskParams::default());
     }
+    let default_steal = StealParams::default();
+    cluster.steal = StealParams {
+        enabled: flag_present(args, "--steal"),
+        workers: parse(args, "--steal-workers", default_steal.workers)?,
+        chunks_per_worker: parse(args, "--steal-chunks", default_steal.chunks_per_worker)?,
+        round_pairs: parse(args, "--steal-round", default_steal.round_pairs)?,
+        seed: parse(args, "--steal-seed", default_steal.seed)?,
+    };
     let config = PipelineConfig {
         cluster,
         reduction: match domain_w {

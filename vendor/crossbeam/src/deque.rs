@@ -1,0 +1,446 @@
+//! Chase–Lev work-stealing deque, covering the subset of the
+//! `crossbeam-deque` API the workspace uses.
+//!
+//! One [`Worker`] owns the deque: it pushes and pops at the *bottom* in
+//! LIFO order, with no synchronisation beyond a fence on `pop`. Any
+//! number of [`Stealer`] handles (cloneable, `Send + Sync`) take from the
+//! *top* — the oldest entry — with a single CAS per successful steal and
+//! no locks, so thieves never block the owner and never block each other.
+//!
+//! Unlike the channel stand-in, this module keeps the real crate's
+//! lock-free algorithm: the scheduler built on top steals on the latency
+//! path of idle workers, where a mutex hand-off would serialise exactly
+//! the threads that are trying to spread out. The only simplification is
+//! memory reclamation — grown-out buffers are retired to a list freed on
+//! drop instead of epoch-reclaimed, bounding memory at ~2× the high-water
+//! mark, which is fine for the coarse work chunks the workspace queues.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a [`Stealer::steal`] attempt.
+pub enum Steal<T> {
+    /// The deque was empty at the time of the attempt.
+    Empty,
+    /// The attempt lost a race (with the owner or another thief) and may
+    /// be retried immediately.
+    Retry,
+    /// One task was stolen.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// `true` when the attempt observed an empty deque.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// `true` when the attempt lost a race and should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+// Like the real crate: `Debug` without a `T: Debug` bound.
+impl<T> std::fmt::Debug for Steal<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Steal::Empty => f.write_str("Empty"),
+            Steal::Retry => f.write_str("Retry"),
+            Steal::Success(_) => f.write_str("Success(..)"),
+        }
+    }
+}
+
+/// A circular buffer of maybe-initialised slots. Which slots hold live
+/// values is tracked entirely by the deque's `top`/`bottom` indices.
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: isize,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
+            (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        Box::into_raw(Box::new(Buffer { slots, mask: cap as isize - 1 }))
+    }
+
+    fn cap(&self) -> isize {
+        self.slots.len() as isize
+    }
+
+    /// Write `value` into the slot for `index`.
+    ///
+    /// Safety: the caller must hold the owner side and `index` must not be
+    /// claimable by a concurrent reader (i.e. `index == bottom`).
+    unsafe fn write(&self, index: isize, value: T) {
+        let slot = self.slots[(index & self.mask) as usize].get();
+        unsafe { (*slot).write(value) };
+    }
+
+    /// Take a bitwise copy of the value at `index`.
+    ///
+    /// Safety: `index` must lie in `[top, bottom)` at the time of the
+    /// call. The copy only becomes owned once the caller wins the CAS on
+    /// `top` (thief) or keeps `bottom` below it (owner); a loser must
+    /// `mem::forget` the copy.
+    unsafe fn read(&self, index: isize) -> T {
+        let slot = self.slots[(index & self.mask) as usize].get();
+        unsafe { slot.read().assume_init() }
+    }
+}
+
+/// State shared between the owner and the thieves.
+struct Inner<T> {
+    /// Owner's end. Only the owner writes it (thieves read it).
+    bottom: AtomicIsize,
+    /// Thieves' end. Claimed by CAS — the serialisation point of a steal.
+    top: AtomicIsize,
+    /// Current circular buffer. Replaced (never mutated in place below
+    /// `bottom`) when the owner grows the deque.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by growth, kept alive until drop so that thieves
+    /// holding a stale buffer pointer can finish their reads. Touched only
+    /// on the owner's (rare) grow path, never on the steal path.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// The raw pointers are owned allocations managed by `Inner` itself.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let b = *self.bottom.get_mut();
+        let t = *self.top.get_mut();
+        let buf = *self.buffer.get_mut();
+        unsafe {
+            // Exactly the unconsumed entries are live in the current
+            // buffer; retired buffers hold only forgotten bitwise copies.
+            for i in t..b {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+        }
+        let retired = self.retired.get_mut().expect("retire list poisoned");
+        for p in retired.drain(..) {
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+}
+
+const MIN_CAP: usize = 64;
+
+/// The owning end of a deque: LIFO push/pop at the bottom. `Send` but not
+/// `Sync` — exactly one thread drives it at a time.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Opt out of `Sync`: the owner protocol is single-threaded.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl<T: Send> Worker<T> {
+    /// A fresh deque whose owner pops its *most recently pushed* entry
+    /// (the real crate's `new_lifo` flavour — the only one we need).
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Inner {
+                bottom: AtomicIsize::new(0),
+                top: AtomicIsize::new(0),
+                buffer: AtomicPtr::new(Buffer::alloc(MIN_CAP)),
+                retired: Mutex::new(Vec::new()),
+            }),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// A new stealing handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: self.inner.clone() }
+    }
+
+    /// `true` when the deque held no entries at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        b <= t
+    }
+
+    /// Push `value` onto the bottom (the owner's end).
+    pub fn push(&self, value: T) {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        let mut buf = self.inner.buffer.load(Ordering::Relaxed);
+        if b - t >= unsafe { (*buf).cap() } {
+            self.grow(t, b);
+            buf = self.inner.buffer.load(Ordering::Relaxed);
+        }
+        unsafe { (*buf).write(b, value) };
+        self.inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pop from the bottom: the entry pushed most recently.
+    pub fn pop(&self) -> Option<T> {
+        let b = self.inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.inner.buffer.load(Ordering::Relaxed);
+        // Reserve the bottom entry, then re-read `top`: the SeqCst fence
+        // orders this against a thief's fence so at most one side can
+        // claim the last entry without going through the CAS below.
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            let value = unsafe { (*buf).read(b) };
+            if t == b {
+                // Last entry: race thieves for it on `top`.
+                let won = self
+                    .inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.inner.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    // A thief claimed it; our bitwise copy is not ours.
+                    std::mem::forget(value);
+                    return None;
+                }
+            }
+            Some(value)
+        } else {
+            // Already empty: undo the reservation.
+            self.inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Double the buffer, copying the live range `[t, b)`. The old buffer
+    /// is retired, not freed: a thief may still be reading from it.
+    fn grow(&self, t: isize, b: isize) {
+        let old = self.inner.buffer.load(Ordering::Relaxed);
+        let new = unsafe { Buffer::alloc(((*old).cap() as usize) * 2) };
+        unsafe {
+            for i in t..b {
+                // Bitwise copy: top/bottom arithmetic guarantees each
+                // index is consumed exactly once across both buffers.
+                (*new).write(i, (*old).read(i));
+            }
+        }
+        self.inner.buffer.store(new, Ordering::Release);
+        self.inner.retired.lock().expect("retire list poisoned").push(old);
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Worker { .. }")
+    }
+}
+
+/// A stealing handle: takes the *oldest* entry from the top. Cloneable
+/// and shareable across threads.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: self.inner.clone() }
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// `true` when the deque held no entries at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        b <= t
+    }
+
+    /// Attempt to steal the top entry. Lock-free: one CAS on success,
+    /// [`Steal::Retry`] when a race is lost.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read before claiming: after a successful CAS the owner may
+        // immediately overwrite the slot, so the copy must already exist.
+        let buf = self.inner.buffer.load(Ordering::Acquire);
+        let value = unsafe { (*buf).read(t) };
+        if self.inner.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_err() {
+            // Lost to the owner or another thief; the copy is not ours.
+            std::mem::forget(value);
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Stealer { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn owner_is_lifo() {
+        let w = Worker::new_lifo();
+        for i in 0..5 {
+            w.push(i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| w.pop()).collect();
+        assert_eq!(got, vec![4, 3, 2, 1, 0]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn thief_takes_the_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal().success(), Some(2));
+        assert!(s.steal().is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_every_entry() {
+        let w = Worker::new_lifo();
+        let n = 10 * MIN_CAP;
+        for i in 0..n {
+            w.push(i);
+        }
+        let mut got: Vec<usize> = std::iter::from_fn(|| w.pop()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_entries() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let w = Worker::new_lifo();
+        for _ in 0..100 {
+            w.push(Counted);
+        }
+        drop(w.pop()); // one consumed
+        drop(w);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn concurrent_thieves_take_each_entry_once() {
+        let w = Worker::new_lifo();
+        let n: usize = 20_000;
+        let sum = AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let s = w.stealer();
+                let (sum, count) = (&sum, &count);
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if count.load(Ordering::Acquire) >= n {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for i in 0..n {
+                w.push(i);
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), n);
+        assert_eq!(sum.load(Ordering::SeqCst), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn owner_and_thieves_race_without_loss() {
+        let w = Worker::new_lifo();
+        let n: usize = 20_000;
+        let stolen_sum = AtomicUsize::new(0);
+        let stolen_count = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let mut own_sum = 0usize;
+        let mut own_count = 0usize;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let s = w.stealer();
+                let (sum, count, done) = (&stolen_sum, &stolen_count, &done);
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // The owner interleaves pushes with pops, like a worker that
+            // processes its own chunk between productions.
+            for i in 0..n {
+                w.push(i);
+                if i % 3 == 0 {
+                    if let Some(v) = w.pop() {
+                        own_sum += v;
+                        own_count += 1;
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                own_sum += v;
+                own_count += 1;
+            }
+            done.store(1, Ordering::Release);
+        });
+        // Late steals may still land between the final pop and `done`;
+        // drain whatever is left (there should be nothing).
+        assert!(w.is_empty());
+        assert_eq!(own_count + stolen_count.load(Ordering::SeqCst), n);
+        assert_eq!(own_sum + stolen_sum.load(Ordering::SeqCst), n * (n - 1) / 2);
+    }
+}

@@ -1,13 +1,21 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only the `channel` module is provided: multi-producer multi-consumer
-//! channels built on `Mutex<VecDeque>` + condvars, with the same
-//! disconnect semantics as crossbeam-channel — `send` fails once every
-//! receiver is gone, `recv` fails once the queue is drained and every
-//! sender is gone, and a bounded channel blocks senders at capacity.
-//! Slower than the real lock-free implementation, but the workspace only
-//! pushes coarse work items (verification tasks, rank envelopes) through
-//! these, so throughput is not the bottleneck.
+//! Two modules are provided:
+//!
+//! * [`channel`] — multi-producer multi-consumer channels built on
+//!   `Mutex<VecDeque>` + condvars, with the same disconnect semantics as
+//!   crossbeam-channel — `send` fails once every receiver is gone, `recv`
+//!   fails once the queue is drained and every sender is gone, and a
+//!   bounded channel blocks senders at capacity. Slower than the real
+//!   lock-free implementation, but the workspace only pushes coarse work
+//!   items (verification tasks, rank envelopes) through these, so
+//!   throughput is not the bottleneck.
+//! * [`deque`] — a Chase–Lev work-stealing deque with the
+//!   crossbeam-deque `Worker`/`Stealer`/`Steal` API. Unlike the channel,
+//!   this one keeps the lock-free algorithm of the real crate (see the
+//!   module docs for why).
+
+pub mod deque;
 
 pub mod channel {
     use std::collections::VecDeque;
