@@ -352,6 +352,25 @@ impl<'s> ClusterCore<'s> {
             last.n_steals += n_steals;
         }
     }
+
+    /// Record recovery-plane activity on the most recent trace record:
+    /// leases requeued by timeout/death, transient transport retries, and
+    /// speculative duplicates (issued / won). No-op before the first
+    /// batch — recovery can only act on work that was dispatched.
+    pub fn note_recovery(
+        &mut self,
+        n_requeued: usize,
+        n_retries: u64,
+        n_spec_issued: usize,
+        n_spec_wins: usize,
+    ) {
+        if let Some(last) = self.trace.batches.last_mut() {
+            last.n_requeued += n_requeued;
+            last.n_retries += n_retries;
+            last.n_spec_issued += n_spec_issued;
+            last.n_spec_wins += n_spec_wins;
+        }
+    }
 }
 
 impl CcdResult {

@@ -37,16 +37,21 @@
 //! scheduler errors onto [`FtError`].
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use pfam_mpi::{run_spmd_faulty, FaultInjector};
+use pfam_mpi::{run_spmd_faulty, run_spmd_supervised, FaultInjector, RankOutcome, RespawnOptions};
 use pfam_seq::SequenceSet;
 use pfam_suffix::{GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
 
 use crate::ccd::CcdResult;
 use crate::config::ClusterConfig;
 use crate::core::{ClusterCore, CorePhase, Verifier};
-use crate::policy::{serve_pull_worker, DriveError, LeaseSizing, LeasedPull, WorkPolicy};
+use crate::policy::{
+    serve_pull_worker_with, DriveError, LeaseKnobs, LeaseSizing, LeasedPull, WorkPolicy,
+};
+use crate::retry::{Retry, RetryPolicy, RetryPort};
 use crate::source::{MinedSource, PairSource};
+use crate::supervise::HealthReport;
 use crate::transport::{MpiTransport, MpiWorkerPort};
 use pfam_align::CostModel;
 
@@ -76,16 +81,43 @@ impl std::error::Error for FtError {}
 /// Run CCD on `n_ranks` ranks (1 master + workers) under `injector`,
 /// recovering from worker failures. Returns the clustering — identical
 /// components to [`crate::ccd::run_ccd`] — as long as the master and at
-/// least one worker survive.
+/// least one worker survive. Thin wrapper over
+/// [`run_ccd_ft_supervised`] that discards the health report.
 pub fn run_ccd_ft(
     set: &SequenceSet,
     config: &ClusterConfig,
     n_ranks: usize,
     injector: Arc<dyn FaultInjector>,
 ) -> Result<CcdResult, FtError> {
+    run_ccd_ft_supervised(set, config, n_ranks, injector).map(|(result, _)| result)
+}
+
+/// The full supervision-plane entry point: [`run_ccd_ft`] plus the
+/// recovery machinery configured by `config.recovery` —
+///
+/// * transient sends are retried with seeded backoff and a per-peer
+///   budget; an exhausted budget quarantines the peer onto the liveness
+///   board ([`crate::retry`]);
+/// * with `max_respawns > 0`, a supervisor thread watches the liveness
+///   board and spawns replacement worker incarnations mid-run
+///   ([`pfam_mpi::run_spmd_supervised`]), and the master tolerates a
+///   fully-dead pool for `respawn_grace` while that happens;
+/// * with `speculate` on, straggler leases past their cost-model-predicted
+///   deadline are duplicated onto idle workers — first verdict wins.
+///
+/// Returns the clustering plus the per-worker [`HealthReport`]: what
+/// recovery *cost*, for a run whose components are bit-identical to the
+/// batched reference under every injected schedule that leaves the master
+/// and at least one worker (original or respawned) alive.
+pub fn run_ccd_ft_supervised(
+    set: &SequenceSet,
+    config: &ClusterConfig,
+    n_ranks: usize,
+    injector: Arc<dyn FaultInjector>,
+) -> Result<(CcdResult, HealthReport), FtError> {
     assert!(n_ranks >= 2, "need a master and at least one worker");
     if set.is_empty() {
-        return Ok(CcdResult::empty());
+        return Ok((CcdResult::empty(), HealthReport::new(n_ranks - 1)));
     }
 
     // The index is built once, before the world starts: in MPI terms this
@@ -96,65 +128,126 @@ pub fn run_ccd_ft(
     let gsa = GeneralizedSuffixArray::build_parallel(&index_set, threads);
     let tree = SuffixTree::build(&gsa);
 
-    let outcomes =
-        run_spmd_faulty(n_ranks, injector, |comm| -> Option<Result<CcdResult, FtError>> {
-            if comm.rank() == 0 {
-                let mut source = MinedSource::new(
-                    &tree,
-                    MaximalMatchConfig {
-                        min_len: config.psi_ccd,
-                        max_pairs_per_node: config.max_pairs_per_node,
-                        dedup: true,
-                    },
-                    threads,
-                );
-                let mut core = ClusterCore::new_ccd(set);
-                let mut transport = MpiTransport::master(comm);
-                // Cost-balanced leases ride the same opt-in knob as the
-                // stealing driver: a lease targets roughly what a
-                // pair-count lease of average-length sequences would
-                // cost, so lease *count* stays comparable while lease
-                // *work* evens out. Sizing is scheduling-only — the
-                // components are identical either way.
-                let cost = CostModel::new();
-                let mean_len = (set.total_residues() / set.len().max(1)).max(1) as u64;
-                let sizing = if config.steal.enabled {
-                    LeaseSizing::Cells {
-                        model: &cost,
-                        target: (config.batch_size.max(1) as u64) * mean_len * mean_len,
-                    }
-                } else {
-                    LeaseSizing::Pairs
-                };
-                let outcome = LeasedPull {
-                    transport: &mut transport,
-                    source: &mut source,
-                    batch_size: config.batch_size,
-                    sizing,
+    let recovery = &config.recovery;
+    let retry_policy = RetryPolicy {
+        budget: recovery.retry_budget,
+        backoff: recovery.retry_backoff,
+        seed: recovery.retry_seed,
+    };
+    let knobs = LeaseKnobs {
+        lease_timeout: recovery.lease_timeout,
+        // The grace window only makes sense when someone can actually
+        // respawn capacity; without a supervisor keep the fail-fast path.
+        respawn_grace: if recovery.max_respawns > 0 {
+            recovery.respawn_grace
+        } else {
+            Duration::ZERO
+        },
+        speculate: recovery.speculate,
+        spec_min_wait: recovery.spec_min_wait,
+        spec_slack: recovery.spec_slack,
+    };
+
+    type MasterResult = Result<(CcdResult, HealthReport), FtError>;
+    let body = |comm: &mut pfam_mpi::Communicator| -> Option<MasterResult> {
+        if comm.rank() == 0 {
+            let mut source = MinedSource::new(
+                &tree,
+                MaximalMatchConfig {
+                    min_len: config.psi_ccd,
+                    max_pairs_per_node: config.max_pairs_per_node,
+                    dedup: true,
+                },
+                threads,
+            );
+            let mut core = ClusterCore::new_ccd(set);
+            let mut transport = MpiTransport::master(comm);
+            let mut retry = Retry::new(&mut transport, retry_policy);
+            // Cost-balanced leases ride the same opt-in knob as the
+            // stealing driver: a lease targets roughly what a
+            // pair-count lease of average-length sequences would
+            // cost, so lease *count* stays comparable while lease
+            // *work* evens out. Sizing is scheduling-only — the
+            // components are identical either way.
+            let cost = CostModel::new();
+            let mean_len = (set.total_residues() / set.len().max(1)).max(1) as u64;
+            let sizing = if config.steal.enabled {
+                LeaseSizing::Cells {
+                    model: &cost,
+                    target: (config.batch_size.max(1) as u64) * mean_len * mean_len,
                 }
-                .drive(&mut core);
-                Some(match outcome {
-                    Ok(()) => {
-                        core.set_nodes_visited(source.nodes_visited());
-                        Ok(CcdResult::from_core(core))
-                    }
-                    Err(DriveError::NoWorkersLeft) => Err(FtError::NoWorkersLeft),
-                    Err(e) => Err(FtError::MasterFailed(format!("{e}"))),
-                })
             } else {
-                let verifier = Verifier::new(config, CorePhase::Ccd);
-                let mut port = MpiWorkerPort::new(comm);
-                serve_pull_worker(&mut port, &verifier, set);
-                None
+                LeaseSizing::Pairs
+            };
+            let mut policy = LeasedPull {
+                transport: &mut retry,
+                source: &mut source,
+                batch_size: config.batch_size,
+                sizing,
+                cost: &cost,
+                knobs,
+                health: HealthReport::new(n_ranks - 1),
+            };
+            let outcome = policy.drive(&mut core);
+            let mut health = std::mem::take(&mut policy.health);
+            drop(policy);
+            // Fold the transport-level retry/quarantine counters into the
+            // per-worker report and onto the trace.
+            for (w, &n) in retry.retries().iter().enumerate() {
+                health.worker_mut(w).retries += n;
             }
-        });
+            for (w, &q) in retry.quarantined().iter().enumerate() {
+                health.worker_mut(w).quarantined |= q;
+            }
+            core.note_recovery(0, retry.total_retries(), 0, 0);
+            Some(match outcome {
+                Ok(()) => {
+                    core.set_nodes_visited(source.nodes_visited());
+                    Ok((CcdResult::from_core(core), health))
+                }
+                Err(DriveError::NoWorkersLeft) => Err(FtError::NoWorkersLeft),
+                Err(e) => Err(FtError::MasterFailed(format!("{e}"))),
+            })
+        } else {
+            let verifier = Verifier::new(config, CorePhase::Ccd);
+            let mut port = MpiWorkerPort::new(comm);
+            let mut port = RetryPort::new(&mut port, retry_policy);
+            serve_pull_worker_with(&mut port, &verifier, set, recovery.poll_interval);
+            None
+        }
+    };
+
+    let (outcomes, respawns): (Vec<RankOutcome<Option<MasterResult>>>, Vec<pfam_mpi::Respawn>) =
+        if recovery.max_respawns > 0 {
+            let supervised = run_spmd_supervised(
+                n_ranks,
+                injector,
+                RespawnOptions {
+                    max_respawns: recovery.max_respawns,
+                    poll: RespawnOptions::default().poll,
+                },
+                body,
+            );
+            (supervised.outcomes, supervised.respawns)
+        } else {
+            (run_spmd_faulty(n_ranks, injector, body), Vec::new())
+        };
+
     let mut outcomes = outcomes.into_iter();
-    match outcomes.next() {
+    let mut result = match outcomes.next() {
         Some(Ok(Some(result))) => result,
         Some(Ok(None)) => Err(FtError::MasterFailed("master returned no result".into())),
         Some(Err(failure)) => Err(FtError::MasterFailed(format!("{failure:?}"))),
         None => Err(FtError::MasterFailed("empty world".into())),
+    };
+    if let Ok((_, health)) = &mut result {
+        for r in &respawns {
+            if r.rank >= 1 {
+                health.worker_mut(r.rank - 1).respawns += 1;
+            }
+        }
     }
+    result
 }
 
 #[cfg(test)]

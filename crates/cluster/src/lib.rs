@@ -39,9 +39,11 @@ pub mod ft;
 pub(crate) mod mask;
 pub mod master_worker;
 pub mod policy;
+pub mod retry;
 pub mod rr;
 pub mod source;
 pub mod spmd;
+pub mod supervise;
 pub mod trace;
 pub mod transport;
 
@@ -53,17 +55,19 @@ pub use bgg::{
 pub use ccd::{
     run_ccd, run_ccd_from_pairs, run_ccd_resumable, run_ccd_stealing, CcdCursor, CcdResult,
 };
-pub use config::{ClusterConfig, StealParams};
-pub use ft::{run_ccd_ft, FtError};
+pub use config::{ClusterConfig, RecoveryParams, StealParams};
+pub use ft::{run_ccd_ft, run_ccd_ft_supervised, FtError};
 pub use master_worker::{run_ccd_master_worker, run_ccd_master_worker_with, MwError, MwStats};
 pub use pfam_align::{AlignEngine, AlignEngineKind, CostModel};
 pub use policy::{
-    serve_pull_worker, serve_push_worker, BatchedPush, DriveError, LeaseSizing, LeasedPull,
-    MwDispatch, SpmdPush, StealingPush, WorkPolicy,
+    serve_pull_worker, serve_pull_worker_with, serve_push_worker, BatchedPush, DriveError,
+    LeaseKnobs, LeaseSizing, LeasedPull, MwDispatch, SpmdPush, StealingPush, WorkPolicy,
 };
+pub use retry::{Retry, RetryPolicy, RetryPort};
 pub use rr::{run_redundancy_removal, RrResult};
 pub use source::{with_mined_source, IterSource, MinedSource, PairSource};
 pub use spmd::{run_ccd_spmd, run_rr_spmd};
+pub use supervise::{HealthReport, WorkerHealth};
 pub use trace::{BatchRecord, PhaseKind, PhaseTrace};
 pub use transport::{
     LocalPort, LocalTransport, MasterMsg, MpiTransport, MpiWorkerPort, Transport, TransportError,

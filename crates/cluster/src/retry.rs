@@ -1,0 +1,349 @@
+//! Transient-fault absorption under the policy layer: retry with
+//! deterministic seeded backoff, a per-peer retry budget, and a circuit
+//! breaker that quarantines a repeatedly-flaky peer.
+//!
+//! [`Retry`] wraps any [`Transport`] (the master side), [`RetryPort`]
+//! wraps any [`WorkerPort`] (the worker side). Both react only to
+//! [`TransportError::Transient`]: the operation is repeated after an
+//! exponential backoff whose jitter is a pure function of
+//! `(seed, peer, attempt)` — same seed, same schedule, so chaos runs
+//! reproduce. Consecutive transient failures against one peer are
+//! budgeted; when the budget is exhausted the circuit breaker trips:
+//!
+//! * on the master, the peer is **quarantined** — [`Transport::worker_alive`]
+//!   reports it dead from then on, so the lease scheduler sidelines it
+//!   exactly like a crashed worker (leases recovered, requests ignored)
+//!   instead of wedging the master in an endless retry loop;
+//! * on a worker, the port gives up ([`TransportError::PeerGone`]) and the
+//!   worker exits — the master recovers its lease like any other death.
+//!
+//! Retries can only *restore* delivery, never duplicate application:
+//! every message is idempotent at the protocol layer (requests are
+//! re-issued anyway, task/verdict pairs are filtered by lease id), so a
+//! retry that races a timeout recovery is indistinguishable from a slow
+//! network. Components stay bit-identical.
+//!
+//! This module must stay free of `unwrap`/`expect` (tier-1 greps it): a
+//! supervision path that panics is a supervision path that kills the job
+//! it was meant to save.
+
+use std::time::Duration;
+
+use crate::transport::{MasterMsg, Transport, TransportError, WorkerMsg, WorkerPort};
+
+/// Knobs for [`Retry`] / [`RetryPort`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive transient failures tolerated per peer before the
+    /// circuit breaker trips (successes reset the count).
+    pub budget: u32,
+    /// Base backoff: attempt `n` sleeps `backoff × 2^min(n, 6)` plus a
+    /// seeded jitter below one base unit.
+    pub backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { budget: 4, backoff: Duration::from_micros(50), seed: 0x5EED }
+    }
+}
+
+/// splitmix64 — the workspace's stock generator for seeded determinism.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Sleep for the deterministic backoff of `attempt` against `peer`.
+fn backoff(policy: &RetryPolicy, peer: usize, attempt: u32) {
+    let base = policy.backoff.max(Duration::from_micros(1));
+    let exp = base.saturating_mul(1 << attempt.min(6));
+    let lane = policy.seed ^ ((peer as u64) << 32) ^ u64::from(attempt);
+    let jitter_us = splitmix64(lane) % (base.as_micros().max(1) as u64);
+    std::thread::sleep(exp + Duration::from_micros(jitter_us));
+}
+
+/// Master-side retry/backoff/circuit-breaker wrapper over any
+/// [`Transport`]. See the module docs for semantics.
+pub struct Retry<'a, T: Transport + ?Sized> {
+    inner: &'a mut T,
+    policy: RetryPolicy,
+    consecutive: Vec<u32>,
+    quarantined: Vec<bool>,
+    retries: Vec<u64>,
+}
+
+impl<'a, T: Transport + ?Sized> Retry<'a, T> {
+    /// Wrap `inner` under `policy`.
+    pub fn new(inner: &'a mut T, policy: RetryPolicy) -> Self {
+        let n = inner.n_workers();
+        Retry {
+            inner,
+            policy,
+            consecutive: vec![0; n],
+            quarantined: vec![false; n],
+            retries: vec![0; n],
+        }
+    }
+
+    /// Transient send failures retried, per worker.
+    pub fn retries(&self) -> &[u64] {
+        &self.retries
+    }
+
+    /// Which workers the circuit breaker has quarantined.
+    pub fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Total transient retries across all workers.
+    pub fn total_retries(&self) -> u64 {
+        self.retries.iter().sum()
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Retry<'_, T> {
+    fn n_workers(&self) -> usize {
+        self.inner.n_workers()
+    }
+
+    fn worker_alive(&self, w: usize) -> bool {
+        // The quarantine IS the liveness board entry: a tripped breaker
+        // makes the peer indistinguishable from a corpse to the policy.
+        !self.quarantined[w] && self.inner.worker_alive(w)
+    }
+
+    fn send(&mut self, w: usize, msg: MasterMsg) -> Result<(), TransportError> {
+        if self.quarantined[w] {
+            return Err(TransportError::PeerGone);
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            match self.inner.send(w, msg.clone()) {
+                Ok(()) => {
+                    self.consecutive[w] = 0;
+                    return Ok(());
+                }
+                Err(TransportError::Transient(_)) => {
+                    self.retries[w] += 1;
+                    self.consecutive[w] += 1;
+                    if self.consecutive[w] > self.policy.budget {
+                        self.quarantined[w] = true;
+                        return Err(TransportError::PeerGone);
+                    }
+                    backoff(&self.policy, w, attempt);
+                    attempt += 1;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<(usize, WorkerMsg)>, TransportError> {
+        match self.inner.try_recv() {
+            // A transient receive fault is a failed poll, nothing more:
+            // the caller polls again on its next loop.
+            Err(TransportError::Transient(_)) => Ok(None),
+            other => other,
+        }
+    }
+
+    fn barrier(&mut self) -> Result<(), TransportError> {
+        self.inner.barrier()
+    }
+}
+
+/// Worker-side retry/backoff wrapper over any [`WorkerPort`]. Exhausting
+/// the budget surfaces [`TransportError::PeerGone`]: the worker exits and
+/// the master recovers its lease.
+pub struct RetryPort<'a, P: WorkerPort + ?Sized> {
+    inner: &'a mut P,
+    policy: RetryPolicy,
+    consecutive: u32,
+    retries: u64,
+}
+
+impl<'a, P: WorkerPort + ?Sized> RetryPort<'a, P> {
+    /// Wrap `inner` under `policy`.
+    pub fn new(inner: &'a mut P, policy: RetryPolicy) -> Self {
+        RetryPort { inner, policy, consecutive: 0, retries: 0 }
+    }
+
+    /// Transient send failures retried against the master.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+}
+
+impl<P: WorkerPort + ?Sized> WorkerPort for RetryPort<'_, P> {
+    fn send(&mut self, msg: WorkerMsg) -> Result<(), TransportError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.inner.send(msg.clone()) {
+                Ok(()) => {
+                    self.consecutive = 0;
+                    return Ok(());
+                }
+                Err(TransportError::Transient(_)) => {
+                    self.retries += 1;
+                    self.consecutive += 1;
+                    if self.consecutive > self.policy.budget {
+                        return Err(TransportError::PeerGone);
+                    }
+                    backoff(&self.policy, 0, attempt);
+                    attempt += 1;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<MasterMsg>, TransportError> {
+        match self.inner.try_recv() {
+            Err(TransportError::Transient(_)) => Ok(None),
+            other => other,
+        }
+    }
+
+    fn master_alive(&self) -> bool {
+        self.inner.master_alive()
+    }
+
+    fn barrier(&mut self) -> Result<(), TransportError> {
+        self.inner.barrier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted transport: send attempt `n` to worker `w` fails
+    /// transiently while `n < flaky_sends[w]`.
+    struct Flaky {
+        flaky_sends: Vec<u32>,
+        attempts: Vec<u32>,
+        delivered: Vec<usize>,
+    }
+
+    impl Flaky {
+        fn new(flaky_sends: Vec<u32>) -> Self {
+            let n = flaky_sends.len();
+            Flaky { flaky_sends, attempts: vec![0; n], delivered: vec![0; n] }
+        }
+    }
+
+    impl Transport for Flaky {
+        fn n_workers(&self) -> usize {
+            self.flaky_sends.len()
+        }
+        fn worker_alive(&self, _w: usize) -> bool {
+            true
+        }
+        fn send(&mut self, w: usize, _msg: MasterMsg) -> Result<(), TransportError> {
+            let attempt = self.attempts[w];
+            self.attempts[w] += 1;
+            if attempt < self.flaky_sends[w] {
+                Err(TransportError::Transient("scripted flake".into()))
+            } else {
+                self.delivered[w] += 1;
+                Ok(())
+            }
+        }
+        fn try_recv(&mut self) -> Result<Option<(usize, WorkerMsg)>, TransportError> {
+            Ok(None)
+        }
+        fn barrier(&mut self) -> Result<(), TransportError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn transient_sends_are_retried_to_success() {
+        let mut inner = Flaky::new(vec![3, 0]);
+        let mut retry = Retry::new(
+            &mut inner,
+            RetryPolicy { budget: 4, backoff: Duration::from_micros(1), seed: 9 },
+        );
+        assert_eq!(retry.send(0, MasterMsg::Shutdown), Ok(()));
+        assert_eq!(retry.send(1, MasterMsg::Shutdown), Ok(()));
+        assert_eq!(retry.retries(), &[3, 0]);
+        assert!(retry.worker_alive(0) && retry.worker_alive(1));
+        assert_eq!(inner.delivered, vec![1, 1]);
+    }
+
+    #[test]
+    fn exhausted_budget_trips_the_breaker_and_quarantines() {
+        let mut inner = Flaky::new(vec![100]);
+        let mut retry = Retry::new(
+            &mut inner,
+            RetryPolicy { budget: 2, backoff: Duration::from_micros(1), seed: 9 },
+        );
+        assert_eq!(retry.send(0, MasterMsg::Shutdown), Err(TransportError::PeerGone));
+        assert!(!retry.worker_alive(0), "quarantined worker reads as dead");
+        assert_eq!(retry.quarantined(), &[true]);
+        // Further sends short-circuit without touching the flaky link.
+        let attempts_before = inner_attempts(&retry);
+        assert_eq!(retry.send(0, MasterMsg::Shutdown), Err(TransportError::PeerGone));
+        assert_eq!(inner_attempts(&retry), attempts_before);
+    }
+
+    fn inner_attempts(retry: &Retry<'_, Flaky>) -> u32 {
+        retry.inner.attempts[0]
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        // 2 flakes, success, then 2 more flakes: budget 2 never trips
+        // because the success in between resets the streak.
+        struct Pattern {
+            attempts: u32,
+        }
+        impl Transport for Pattern {
+            fn n_workers(&self) -> usize {
+                1
+            }
+            fn worker_alive(&self, _w: usize) -> bool {
+                true
+            }
+            fn send(&mut self, _w: usize, _msg: MasterMsg) -> Result<(), TransportError> {
+                let n = self.attempts;
+                self.attempts += 1;
+                match n {
+                    0 | 1 | 3 | 4 => Err(TransportError::Transient("flake".into())),
+                    _ => Ok(()),
+                }
+            }
+            fn try_recv(&mut self) -> Result<Option<(usize, WorkerMsg)>, TransportError> {
+                Ok(None)
+            }
+            fn barrier(&mut self) -> Result<(), TransportError> {
+                Ok(())
+            }
+        }
+        let mut inner = Pattern { attempts: 0 };
+        let mut retry = Retry::new(
+            &mut inner,
+            RetryPolicy { budget: 2, backoff: Duration::from_micros(1), seed: 1 },
+        );
+        assert_eq!(retry.send(0, MasterMsg::Shutdown), Ok(()));
+        assert_eq!(retry.send(0, MasterMsg::Shutdown), Ok(()));
+        assert!(retry.worker_alive(0));
+        assert_eq!(retry.total_retries(), 4);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic() {
+        // Same (seed, peer, attempt) → same jitter; different seeds
+        // diverge. Probed via the pure helper, not wall clock.
+        let a = splitmix64(7 ^ (3u64 << 32) ^ 2);
+        let b = splitmix64(7 ^ (3u64 << 32) ^ 2);
+        let c = splitmix64(8 ^ (3u64 << 32) ^ 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

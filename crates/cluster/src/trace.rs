@@ -47,6 +47,15 @@ pub struct BatchRecord {
     /// Chunks executed by a worker other than the one they were packed
     /// for — the stealing/imbalance signal (0 without stealing).
     pub n_steals: usize,
+    /// Leases requeued by timeout/death recovery this round (0 outside
+    /// the fault-tolerant driver).
+    pub n_requeued: usize,
+    /// Transient transport sends retried this round.
+    pub n_retries: u64,
+    /// Speculative duplicate leases issued against stragglers this round.
+    pub n_spec_issued: usize,
+    /// Speculative races won by a duplicate this round.
+    pub n_spec_wins: usize,
 }
 
 /// Complete trace of one phase run.
@@ -101,6 +110,26 @@ impl PhaseTrace {
         self.batches.iter().map(|b| b.n_steals).sum()
     }
 
+    /// Total leases requeued by recovery (timeouts and worker deaths).
+    pub fn total_requeued(&self) -> usize {
+        self.batches.iter().map(|b| b.n_requeued).sum()
+    }
+
+    /// Total transient transport retries.
+    pub fn total_retries(&self) -> u64 {
+        self.batches.iter().map(|b| b.n_retries).sum()
+    }
+
+    /// Total speculative duplicate leases issued.
+    pub fn total_speculated(&self) -> usize {
+        self.batches.iter().map(|b| b.n_spec_issued).sum()
+    }
+
+    /// Total speculative races won by the duplicate.
+    pub fn total_spec_wins(&self) -> usize {
+        self.batches.iter().map(|b| b.n_spec_wins).sum()
+    }
+
     /// The filter's work-reduction ratio: filtered / generated
     /// (§V reports > 99.9 % for CCD on the 80K input).
     pub fn filter_ratio(&self) -> f64 {
@@ -123,12 +152,12 @@ impl PhaseTrace {
             self.index_residues, self.nodes_visited
         );
         out.push_str(
-            "#n_generated\tn_filtered\tn_aligned\ttask_cells\tcells_computed\tcells_skipped\tn_chunks\tn_steals\n",
+            "#n_generated\tn_filtered\tn_aligned\ttask_cells\tcells_computed\tcells_skipped\tn_chunks\tn_steals\tn_requeued\tn_retries\tn_spec_issued\tn_spec_wins\n",
         );
         for b in &self.batches {
             let cells: Vec<String> = b.task_cells.iter().map(u64::to_string).collect();
             out.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 b.n_generated,
                 b.n_filtered,
                 b.n_aligned,
@@ -136,7 +165,11 @@ impl PhaseTrace {
                 b.cells_computed,
                 b.cells_skipped,
                 b.n_chunks,
-                b.n_steals
+                b.n_steals,
+                b.n_requeued,
+                b.n_retries,
+                b.n_spec_issued,
+                b.n_spec_wins
             ));
         }
         out
@@ -199,6 +232,10 @@ impl PhaseTrace {
             let cells_skipped = next_u64("cells_skipped")?;
             let n_chunks = next_u64("n_chunks")? as usize;
             let n_steals = next_u64("n_steals")? as usize;
+            let n_requeued = next_u64("n_requeued")? as usize;
+            let n_retries = next_u64("n_retries")?;
+            let n_spec_issued = next_u64("n_spec_issued")? as usize;
+            let n_spec_wins = next_u64("n_spec_wins")? as usize;
             batches.push(BatchRecord {
                 n_generated,
                 n_filtered,
@@ -209,6 +246,10 @@ impl PhaseTrace {
                 cells_skipped,
                 n_chunks,
                 n_steals,
+                n_requeued,
+                n_retries,
+                n_spec_issued,
+                n_spec_wins,
             });
         }
         Ok(PhaseTrace { index_residues, nodes_visited, batches })
@@ -261,6 +302,10 @@ mod tests {
         };
         trace.batches[0].n_chunks = 4;
         trace.batches[0].n_steals = 2;
+        trace.batches[0].n_requeued = 3;
+        trace.batches[0].n_retries = 6;
+        trace.batches[1].n_spec_issued = 2;
+        trace.batches[1].n_spec_wins = 1;
         let text = trace.to_tsv();
         let back = PhaseTrace::from_tsv(&text).expect("own output parses");
         assert_eq!(back.index_residues, trace.index_residues);
@@ -268,6 +313,10 @@ mod tests {
         assert_eq!(back.batches, trace.batches);
         assert_eq!(back.total_chunks(), 4);
         assert_eq!(back.total_steals(), 2);
+        assert_eq!(back.total_requeued(), 3);
+        assert_eq!(back.total_retries(), 6);
+        assert_eq!(back.total_speculated(), 2);
+        assert_eq!(back.total_spec_wins(), 1);
     }
 
     #[test]
@@ -277,6 +326,10 @@ mod tests {
         let trace = PhaseTrace::from_tsv(old).expect("old traces still parse");
         assert_eq!(trace.batches[0].n_chunks, 0);
         assert_eq!(trace.batches[0].n_steals, 0);
+        assert_eq!(trace.batches[0].n_requeued, 0);
+        assert_eq!(trace.batches[0].n_retries, 0);
+        assert_eq!(trace.batches[0].n_spec_issued, 0);
+        assert_eq!(trace.batches[0].n_spec_wins, 0);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 
 use pfam_cluster::{
     run_ccd, serve_pull_worker, serve_push_worker, BatchedPush, ClusterConfig, ClusterCore,
-    CorePhase, CostModel, IterSource, LeaseSizing, LeasedPull, LocalTransport, MinedSource,
-    MwDispatch, PairSource, SpmdPush, StealingPush, Verifier, WorkPolicy,
+    CorePhase, CostModel, HealthReport, IterSource, LeaseKnobs, LeaseSizing, LeasedPull,
+    LocalTransport, MinedSource, MwDispatch, PairSource, SpmdPush, StealingPush, Verifier,
+    WorkPolicy,
 };
 use pfam_cluster::{CcdCursor, CcdResult};
 use pfam_datagen::{DatasetConfig, SyntheticDataset};
@@ -170,6 +171,9 @@ fn drive_master_side(
                     source,
                     batch_size: config.batch_size,
                     sizing,
+                    cost: &cost,
+                    knobs: LeaseKnobs::default(),
+                    health: HealthReport::default(),
                 }
                 .drive(&mut core)
                 .expect("healthy local world");

@@ -40,4 +40,4 @@ pub use minwise::{
     ShingleScratch,
 };
 pub use parallel::{shingle_clusters_distributed, RankMemory};
-pub use spmd::shingle_clusters_spmd;
+pub use spmd::{shingle_clusters_spmd, shingle_clusters_spmd_faulty};

@@ -12,41 +12,83 @@
 //!    edges, which a gather at rank 0 feeds into the union-find reporting.
 //!
 //! Results are identical to the serial algorithm (tested).
+//!
+//! The collectives are all-or-nothing, so this engine does not recover
+//! *in-job* — but it no longer aborts the process on a communicator
+//! error either. Every fault is routed through the transient/fatal
+//! classification ([`pfam_mpi::CommError::class`]): a transient fault
+//! earns the world one full re-run (fault schedules are finite), and
+//! anything else **degrades to the serial algorithm**, which computes the
+//! identical clustering on one node. Shingle sits at the tail of the
+//! pipeline; hours of upstream clustering should never be thrown away
+//! because a rank died during reporting.
+
+use std::sync::Arc;
 
 use pfam_graph::{BipartiteGraph, UnionFind};
-use pfam_mpi::run_spmd;
+use pfam_mpi::{run_spmd_faulty, CommError, FaultClass, FaultInjector, NoFaults};
 
-use crate::algorithm::{BipartiteCluster, ShingleParams};
+use crate::algorithm::{shingle_clusters, BipartiteCluster, ShingleParams};
 use crate::kernel::RankKernel;
 use crate::minwise::{shingle_set_with, HashFamily, Shingle, ShingleScratch};
 
 /// Pass-I tuple: (shingle id, elements, producing vertex).
 type Tuple = (u64, Vec<u32>, u32);
 
-/// This engine runs a fault-free world: any communicator error is a bug,
-/// not a tolerated fault, so it panics.
-fn healthy<T>(r: Result<T, pfam_mpi::CommError>) -> T {
-    match r {
-        Ok(v) => v,
-        Err(e) => panic!("spmd world must stay healthy: {e}"),
-    }
-}
-
 /// Run the two-pass Shingle algorithm as an SPMD job on `n_ranks` ranks.
 /// Every rank participates in the compute; rank 0 performs the final
-/// union-find reporting and returns the clusters.
+/// union-find reporting and returns the clusters. Equivalent to
+/// [`shingle_clusters_spmd_faulty`] with no injected faults.
 pub fn shingle_clusters_spmd(
     graph: &BipartiteGraph,
     params: &ShingleParams,
     n_ranks: usize,
 ) -> Vec<BipartiteCluster> {
+    shingle_clusters_spmd_faulty(graph, params, n_ranks, Arc::new(NoFaults))
+}
+
+/// [`shingle_clusters_spmd`] under a fault injector. One transient-class
+/// failure is absorbed by re-running the world; any persistent or fatal
+/// failure falls back to the serial algorithm. Either way the returned
+/// clustering is identical to the healthy run.
+pub fn shingle_clusters_spmd_faulty(
+    graph: &BipartiteGraph,
+    params: &ShingleParams,
+    n_ranks: usize,
+    injector: Arc<dyn FaultInjector>,
+) -> Vec<BipartiteCluster> {
     assert!(n_ranks >= 1, "need at least one rank");
+    for attempt in 0..2 {
+        match try_spmd(graph, params, n_ranks, injector.clone()) {
+            Ok(clusters) => return clusters,
+            // A transient fault (flaky link, timeout) earns one re-run;
+            // a fatal one goes straight to the serial fallback.
+            Err(e) if attempt == 0 && e.class() == FaultClass::Transient => continue,
+            Err(_) => break,
+        }
+    }
+    // Serial fallback: same algorithm, same clustering, one node. Match
+    // the SPMD report ordering (largest element set first).
+    let (mut clusters, _) = shingle_clusters(graph, params);
+    clusters.sort_by(|x, y| y.b.len().cmp(&x.b.len()).then(x.a.cmp(&y.a)));
+    clusters
+}
+
+/// One attempt at the SPMD run: every communicator error is propagated
+/// (never panicked) so the caller can classify it.
+fn try_spmd(
+    graph: &BipartiteGraph,
+    params: &ShingleParams,
+    n_ranks: usize,
+    injector: Arc<dyn FaultInjector>,
+) -> Result<Vec<BipartiteCluster>, CommError> {
     let p = n_ranks;
     let owner = |id: u64| (id % p as u64) as usize;
 
     let kernel = RankKernel::detect();
 
-    let results = run_spmd(p, |comm| -> Option<Vec<BipartiteCluster>> {
+    type RankReturn = Result<Option<Vec<BipartiteCluster>>, CommError>;
+    let results = run_spmd_faulty(p, injector, |comm| -> RankReturn {
         let rank = comm.rank();
         // Each SPMD rank is one worker: one reusable batched-rank scratch.
         let mut scratch = ShingleScratch::new();
@@ -65,7 +107,7 @@ pub fn shingle_clusters_spmd(
         }
 
         // ---- Shuffle tuples to shingle owners. ----
-        let incoming = healthy(comm.all_to_all(outgoing));
+        let incoming = comm.all_to_all(outgoing)?;
 
         // ---- Group + pass II locally. ----
         use std::collections::HashMap;
@@ -94,7 +136,7 @@ pub fn shingle_clusters_spmd(
 
         // ---- Shuffle second-level tuples; owners emit merge edges. ----
         let mut second_in: Vec<(u64, u64)> =
-            healthy(comm.all_to_all(second_out)).into_iter().flatten().collect();
+            comm.all_to_all(second_out)?.into_iter().flatten().collect();
         second_in.sort_unstable();
         let mut edges: Vec<(u64, u64)> = Vec::new();
         let mut i = 0;
@@ -108,11 +150,11 @@ pub fn shingle_clusters_spmd(
         }
 
         // ---- Gather shingles + edges at rank 0 for reporting. ----
-        let gathered_shingles = healthy(comm.gather(0, shingles));
-        let gathered_edges = healthy(comm.gather(0, edges));
+        let gathered_shingles = comm.gather(0, shingles)?;
+        let gathered_edges = comm.gather(0, edges)?;
         let (Some(all_shingle_lists), Some(all_edge_lists)) = (gathered_shingles, gathered_edges)
         else {
-            return None;
+            return Ok(None);
         };
 
         let mut all: Vec<(u64, Vec<u32>, Vec<u32>)> =
@@ -145,9 +187,14 @@ pub fn shingle_clusters_spmd(
             })
             .collect();
         clusters.sort_by(|x, y| y.b.len().cmp(&x.b.len()).then(x.a.cmp(&y.a)));
-        Some(clusters)
+        Ok(Some(clusters))
     });
-    results.into_iter().next().flatten().expect("rank 0 returns the clusters")
+    match results.into_iter().next() {
+        Some(Ok(Ok(Some(clusters)))) => Ok(clusters),
+        Some(Ok(Ok(None))) => Err(CommError::Protocol("rank 0 produced no clusters")),
+        Some(Ok(Err(e))) => Err(e),
+        Some(Err(_)) | None => Err(CommError::Disconnected),
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +251,35 @@ mod tests {
     fn empty_graph() {
         let g = BipartiteGraph::from_edges(0, 0, &[]);
         assert!(shingle_clusters_spmd(&g, &params(), 3).is_empty());
+    }
+
+    /// Kill `rank` at its `event`-th operation — the degrade trigger.
+    struct KillAt {
+        rank: usize,
+        event: u64,
+    }
+
+    impl FaultInjector for KillAt {
+        fn kill_now(&self, rank: usize, event: u64) -> bool {
+            rank == self.rank && event >= self.event
+        }
+    }
+
+    #[test]
+    fn rank_death_degrades_to_serial_instead_of_aborting() {
+        let g = clique_graph(&[0..10, 10..22, 22..30], 30);
+        let (serial, _) = shingle_clusters(&g, &params());
+        let serial_set: std::collections::HashSet<(Vec<u32>, Vec<u32>)> =
+            serial.into_iter().map(|c| (c.a, c.b)).collect();
+        // Kill a compute rank mid-shuffle and, separately, rank 0 itself:
+        // both used to panic the whole process; now the clustering still
+        // comes back, identical to serial.
+        for (rank, event) in [(2usize, 1u64), (0, 2)] {
+            let faulty =
+                shingle_clusters_spmd_faulty(&g, &params(), 4, Arc::new(KillAt { rank, event }));
+            let faulty_set: std::collections::HashSet<(Vec<u32>, Vec<u32>)> =
+                faulty.into_iter().map(|c| (c.a, c.b)).collect();
+            assert_eq!(faulty_set, serial_set, "killed rank {rank} at event {event}");
+        }
     }
 }

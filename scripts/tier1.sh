@@ -4,10 +4,11 @@
 # work-stealing identity suites, index-bench, align-bench, bgg-dsd-bench
 # and steal-bench smoke passes (bit-identity checks on tiny workloads),
 # the alignment-engine, min-wise-kernel and streaming-executor identity
-# suites, the fault-injection suites, grep gates (no unwrap on inter-rank
-# communication paths; no UnionFind mutation outside ClusterCore; no
-# mutex-guarded queues in policy hot loops), and a CLI checkpoint/resume
-# smoke.
+# suites, the fault-injection + chaos-soak + supervision suites, the
+# ft-bench recovery smoke, grep gates (no unwrap on inter-rank
+# communication or supervision/retry paths; no UnionFind mutation outside
+# ClusterCore; no mutex-guarded queues in policy hot loops), and a CLI
+# checkpoint/resume smoke.
 # Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -42,6 +43,14 @@ if grep -rn "unwrap(\|expect(" crates/mpi/src crates/cluster/src/master_worker.r
     exit 1
 fi
 
+echo "== tier1: no unwrap/expect in the supervision & retry plane =="
+# Recovery contract: the retry wrapper and the health/supervision plane
+# exist to absorb failures — a panic there defeats the whole subsystem.
+if grep -rn "unwrap(\|expect(" crates/cluster/src/retry.rs crates/cluster/src/supervise.rs; then
+    echo "tier1 FAIL: unwrap/expect found in a supervision/retry path" >&2
+    exit 1
+fi
+
 echo "== tier1: no mutex-guarded queues in policy hot loops =="
 # Scheduler contract: work distribution in the policies goes through the
 # lock-free deques (vendor/crossbeam::deque) or the channel transport —
@@ -60,6 +69,9 @@ cargo test --workspace -q
 
 echo "== tier1: fault-injection + checkpoint/restart suites =="
 cargo test -q --test fault_tolerance --test checkpoint_resume --test degenerate_inputs
+
+echo "== tier1: chaos soak (supervision, respawn, speculation, quarantine) =="
+cargo test -q --test chaos_soak
 
 echo "== tier1: driver-equivalence matrix (PairSource x WorkPolicy) =="
 cargo test -q -p pfam-cluster --test driver_matrix
@@ -100,6 +112,13 @@ echo "== tier1: steal_bench --test (smoke + schedule-identity check) =="
 STEAL_SMOKE=$(cargo run --release -p pfam-bench --bin steal_bench -- --test)
 echo "$STEAL_SMOKE" | grep -q '"components_identical": true' || {
     echo "tier1 FAIL: steal_bench smoke did not report identical components" >&2
+    exit 1
+}
+
+echo "== tier1: ft_bench --test (smoke + recovery identity check) =="
+FT_SMOKE=$(cargo run --release -p pfam-bench --bin ft_bench -- --test)
+echo "$FT_SMOKE" | grep -q '"components_identical": true' || {
+    echo "tier1 FAIL: ft_bench smoke did not report identical components" >&2
     exit 1
 }
 

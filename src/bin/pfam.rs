@@ -5,7 +5,9 @@
 //! pfam cluster  <input.fasta> [--out families.tsv] [--tau F] [--domain W]
 //!               [--min-size N] [--mask] [--psi N] [--steal]
 //!               [--steal-workers N] [--steal-chunks N] [--steal-round N]
-//!               [--steal-seed N]
+//!               [--steal-seed N] [--lease-timeout-ms N] [--poll-ms N]
+//!               [--retry-budget N] [--max-respawns N] [--speculate]
+//!               [--spec-slack F]
 //! pfam simulate <input.fasta> [--procs 32,64,128,512] [--save-trace PREFIX]
 //! pfam replay   <trace.tsv> [--procs 32,64,128,512]
 //! pfam align    <input.fasta> <i> <j>
@@ -16,7 +18,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use pfam::cluster::{run_ccd, run_redundancy_removal, ClusterConfig, StealParams};
+use pfam::cluster::{run_ccd, run_redundancy_removal, ClusterConfig, RecoveryParams, StealParams};
 use pfam::core::{
     run_pipeline, run_pipeline_checkpointed, CheckpointConfig, Phase, PipelineConfig,
     PipelineResult, Reduction, TableOneRow,
@@ -63,6 +65,8 @@ fn print_usage() {
          \x20               [--min-size N] [--mask] [--psi N]\n\
          \x20               [--steal] [--steal-workers N] [--steal-chunks N]\n\
          \x20               [--steal-round N] [--steal-seed N]\n\
+         \x20               [--lease-timeout-ms N] [--poll-ms N] [--retry-budget N]\n\
+         \x20               [--max-respawns N] [--speculate] [--spec-slack F]\n\
          \x20 pfam run      <input.fasta> --checkpoint-dir <dir> [--resume]\n\
          \x20               [--checkpoint-every N] [--checkpoint-every-components N]\n\
          \x20               [--stop-after rr|ccd|dsd]\n\
@@ -93,7 +97,7 @@ fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Resul
 
 /// First free-standing argument: not a flag, and not the value of one.
 fn positional(args: &[String]) -> Option<&String> {
-    const VALUE_FLAGS: [&str; 18] = [
+    const VALUE_FLAGS: [&str; 23] = [
         "--out",
         "--tau",
         "--min-size",
@@ -112,6 +116,11 @@ fn positional(args: &[String]) -> Option<&String> {
         "--steal-chunks",
         "--steal-round",
         "--steal-seed",
+        "--lease-timeout-ms",
+        "--poll-ms",
+        "--retry-budget",
+        "--max-respawns",
+        "--spec-slack",
     ];
     let mut skip_next = false;
     for a in args {
@@ -188,6 +197,24 @@ fn pipeline_config(args: &[String]) -> Result<(PipelineConfig, usize), String> {
         chunks_per_worker: parse(args, "--steal-chunks", default_steal.chunks_per_worker)?,
         round_pairs: parse(args, "--steal-round", default_steal.round_pairs)?,
         seed: parse(args, "--steal-seed", default_steal.seed)?,
+    };
+    let default_recovery = RecoveryParams::default();
+    cluster.recovery = RecoveryParams {
+        lease_timeout: std::time::Duration::from_millis(parse(
+            args,
+            "--lease-timeout-ms",
+            default_recovery.lease_timeout.as_millis() as u64,
+        )?),
+        poll_interval: std::time::Duration::from_millis(parse(
+            args,
+            "--poll-ms",
+            default_recovery.poll_interval.as_millis() as u64,
+        )?),
+        retry_budget: parse(args, "--retry-budget", default_recovery.retry_budget)?,
+        max_respawns: parse(args, "--max-respawns", default_recovery.max_respawns)?,
+        speculate: flag_present(args, "--speculate"),
+        spec_slack: parse(args, "--spec-slack", default_recovery.spec_slack)?,
+        ..default_recovery
     };
     let config = PipelineConfig {
         cluster,
