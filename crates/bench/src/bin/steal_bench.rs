@@ -1,7 +1,10 @@
 //! Work-stealing scheduler benchmark: the same skewed-length CCD workload
-//! driven three ways — fixed-size batches (the rayon reference), cost-model
-//! packed chunks without stealing, and cost-packed chunks with work
-//! stealing — emitting a machine-readable `BENCH_steal.json`.
+//! driven four ways — fixed-size batches (the rayon reference), cost-model
+//! packed chunks without stealing, cost-packed chunks with work stealing
+//! under the balanced LPT deal, and the same chunks under the adversarial
+//! worst-case deal (everything piled on a stalled worker 0, so the other
+//! workers can only contribute by stealing) — emitting a machine-readable
+//! `BENCH_steal.json` with per-worker steal counts.
 //!
 //! ```sh
 //! cargo run --release -p pfam-bench --bin steal_bench [scale]
@@ -11,16 +14,20 @@
 //! The dataset deliberately mixes short and very long ancestors, so a
 //! pair's DP cost varies by two orders of magnitude — the regime where
 //! equal pair-count chunks leave workers idle behind one heavy chunk.
-//! `--test` runs a tiny single-rep smoke pass and prints the JSON to
-//! stdout. The bench asserts — and records — that all three schedules
-//! return identical connected components; speedup claims go through the
-//! honesty guard and are refused on a 1-core host.
+//! Under the LPT deal steals are *rare by design* (the deal balances the
+//! predicted load so well that deques usually drain in place); the
+//! worst-case deal exists to demonstrate the steal path actually fires,
+//! and the full bench asserts its steal count is non-zero. `--test` runs
+//! a tiny single-rep smoke pass and prints the JSON to stdout. The bench
+//! asserts — and records — that all four schedules return identical
+//! connected components; speedup claims go through the honesty guard and
+//! are refused on a 1-core host.
 
 use std::time::Instant;
 
 use pfam_bench::{claim, cores_field, detected_cores};
 use pfam_cluster::{
-    BatchedPush, CcdCursor, CcdResult, ClusterConfig, ClusterCore, CorePhase, CostModel,
+    BatchedPush, CcdCursor, CcdResult, ClusterConfig, ClusterCore, CorePhase, CostModel, DealPlan,
     IterSource, StealingPush, Verifier, WorkPolicy,
 };
 use pfam_datagen::{DatasetConfig, SyntheticDataset};
@@ -61,21 +68,25 @@ struct Row {
     mode: &'static str,
     seconds: f64,
     result: CcdResult,
+    steals_by_worker: Vec<usize>,
 }
 
-/// Drive the explicit pair stream through the requested schedule.
+/// Drive the explicit pair stream through the requested schedule,
+/// returning the result plus the per-worker stolen-chunk counts (empty
+/// for the non-stealing schedules).
 fn run_mode<'a>(
     set: &'a SequenceSet,
     config: &'a ClusterConfig,
     pairs: &'a [MatchPair],
     mode: &'static str,
     workers: usize,
-) -> impl FnMut() -> CcdResult + 'a {
+) -> impl FnMut() -> (CcdResult, Vec<usize>) + 'a {
     move || {
         let verifier = Verifier::new(config, CorePhase::Ccd);
         let mut core = ClusterCore::new_ccd(set);
         let mut source = IterSource::new(pairs.iter().copied());
         let round_pairs = config.batch_size.max(1) * workers * 4;
+        let mut steals_by_worker = Vec::new();
         match mode {
             "fixed" => {
                 let mut sink = |_: &CcdCursor| {};
@@ -91,7 +102,7 @@ fn run_mode<'a>(
             }
             stealing => {
                 let cost = CostModel::new();
-                StealingPush {
+                let mut policy = StealingPush {
                     source: &mut source,
                     verifier: &verifier,
                     cost: &cost,
@@ -99,13 +110,19 @@ fn run_mode<'a>(
                     round_pairs,
                     chunks_per_worker: 4,
                     steal_seed: 0x57ea1,
-                    stealing: stealing == "cost_packed_stealing",
-                }
-                .drive(&mut core)
-                .expect("the in-process loop cannot fail");
+                    stealing: stealing.starts_with("cost_packed_stealing"),
+                    deal: if stealing.ends_with("worst_case") {
+                        DealPlan::SkewWorstCase { stall: std::time::Duration::from_millis(10) }
+                    } else {
+                        DealPlan::Lpt
+                    },
+                    steals_by_worker: Vec::new(),
+                };
+                policy.drive(&mut core).expect("the in-process loop cannot fail");
+                steals_by_worker = std::mem::take(&mut policy.steals_by_worker);
             }
         }
-        CcdResult::from_core(core)
+        (CcdResult::from_core(core), steals_by_worker)
     }
 }
 
@@ -143,35 +160,51 @@ fn main() {
     eprintln!("steal_bench: {} promising pairs", pairs.len());
 
     let mut rows: Vec<Row> = Vec::new();
-    for mode in ["fixed", "cost_packed", "cost_packed_stealing"] {
-        let (seconds, result) = time_min(reps, run_mode(&set, &config, &pairs, mode, workers));
+    for mode in ["fixed", "cost_packed", "cost_packed_stealing", "cost_packed_stealing_worst_case"]
+    {
+        let (seconds, (result, steals_by_worker)) =
+            time_min(reps, run_mode(&set, &config, &pairs, mode, workers));
         eprintln!(
-            "steal_bench: {mode}: {seconds:.3}s, {} chunks, {} steals",
+            "steal_bench: {mode}: {seconds:.3}s, {} chunks, {} steals {:?}",
             result.trace.total_chunks(),
-            result.trace.total_steals()
+            result.trace.total_steals(),
+            steals_by_worker
         );
-        rows.push(Row { mode, seconds, result });
+        rows.push(Row { mode, seconds, result, steals_by_worker });
     }
 
-    // Bit-identical components across all three schedules — the
+    // Bit-identical components across all four schedules — the
     // determinism seam the stealing driver is built around.
     let reference = &rows[0].result.components;
     let identical = rows.iter().all(|r| &r.result.components == reference);
     assert!(identical, "a schedule diverged from the fixed-batch components — this is a bug");
 
+    // The worst-case deal exists to prove the steal path fires: all
+    // chunks sit on a stalled worker 0, so any progress by workers 1…
+    // is a steal. Timing-sensitive, so the smoke pass only reports it.
+    let worst = rows.last().expect("four modes ran");
+    if !smoke {
+        assert!(
+            worst.result.trace.total_steals() > 0,
+            "worst-case deal produced no steals — the steal path is dead"
+        );
+    }
+
     let mode_rows: Vec<String> = rows
         .iter()
         .map(|r| {
+            let by_worker: Vec<String> = r.steals_by_worker.iter().map(usize::to_string).collect();
             format!(
                 concat!(
                     "    {{ \"mode\": \"{}\", \"seconds\": {:.6}, \"pairs_per_sec\": {:.0}, ",
-                    "\"n_chunks\": {}, \"n_steals\": {} }}"
+                    "\"n_chunks\": {}, \"n_steals\": {}, \"steals_by_worker\": [{}] }}"
                 ),
                 r.mode,
                 r.seconds,
                 r.result.trace.total_generated() as f64 / r.seconds,
                 r.result.trace.total_chunks(),
                 r.result.trace.total_steals(),
+                by_worker.join(", "),
             )
         })
         .collect();

@@ -60,6 +60,9 @@ impl CcdResult {
 /// assert_eq!(result.components.len(), 2); // {a, b} and {c}
 /// ```
 pub fn run_ccd(set: &SequenceSet, config: &ClusterConfig) -> CcdResult {
+    if config.shard.enabled() {
+        return crate::shard::run_ccd_sharded(set, config);
+    }
     if config.steal.enabled {
         return run_ccd_stealing(set, config);
     }
@@ -91,6 +94,8 @@ pub fn run_ccd_stealing(set: &SequenceSet, config: &ClusterConfig) -> CcdResult 
             chunks_per_worker: config.steal.chunks_per_worker.max(1),
             steal_seed: config.steal.seed,
             stealing: true,
+            deal: crate::policy::DealPlan::Lpt,
+            steals_by_worker: Vec::new(),
         }
         .drive(&mut core)
         .expect("the stealing in-process policy cannot fail");

@@ -53,6 +53,73 @@ pub struct ClusterConfig {
     /// (lease timeouts, transient retry, respawn, speculation).
     /// Components are bit-identical for every setting.
     pub recovery: RecoveryParams,
+    /// Sharded clustering-plane knobs ([`crate::shard`]): how many master
+    /// shards the sequence universe partitions across and how each shard
+    /// drives its intra-shard CCD. Components are bit-identical for every
+    /// setting (the merge tree is a transitive closure of the same
+    /// accepted edges); only the scaling shape changes.
+    pub shard: ShardParams,
+}
+
+/// Which [`crate::policy::WorkPolicy`] drives each shard's intra-shard
+/// CCD loop in the sharded plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardDriver {
+    /// [`crate::policy::BatchedPush`] — the deterministic reference loop.
+    Batched,
+    /// [`crate::policy::StealingPush`] — cost-packed stealing deques.
+    Stealing,
+    /// [`crate::policy::LeasedPull`] — per-shard pull workers over the
+    /// local channel transport.
+    Pull,
+}
+
+/// Knobs for the sharded clustering plane ([`crate::shard`]). Sequence
+/// ownership is a stable hash of the sequence id, cross-shard pairs route
+/// to a deterministic owner shard, and shard forests merge up a binary
+/// tree — so components are bit-identical to the single-master run for
+/// every shard count and driver (the driver matrix pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardParams {
+    /// Master shard count K. `0` or `1` disables the plane and routes
+    /// through the single-master drivers.
+    pub shards: usize,
+    /// The intra-shard CCD driver.
+    pub driver: ShardDriver,
+    /// Verification workers per shard for the [`ShardDriver::Stealing`]
+    /// and [`ShardDriver::Pull`] drivers.
+    pub workers_per_shard: usize,
+    /// Routed pairs buffered per shard before a batch goes on the wire
+    /// (`0` = auto: the engine's `batch_size`).
+    pub route_batch: usize,
+}
+
+impl Default for ShardParams {
+    fn default() -> Self {
+        ShardParams {
+            shards: 1,
+            driver: ShardDriver::Batched,
+            workers_per_shard: 2,
+            route_batch: 0,
+        }
+    }
+}
+
+impl ShardParams {
+    /// Whether the sharded plane is engaged at all.
+    pub fn enabled(&self) -> bool {
+        self.shards > 1
+    }
+
+    /// The per-shard-pair routing batch with `0` resolved against the
+    /// engine batch size.
+    pub fn resolved_route_batch(&self, batch_size: usize) -> usize {
+        if self.route_batch > 0 {
+            self.route_batch
+        } else {
+            batch_size.max(1)
+        }
+    }
 }
 
 /// Knobs for the supervision and recovery plane
@@ -175,6 +242,7 @@ impl Default for ClusterConfig {
             align_engine: AlignEngineKind::default(),
             steal: StealParams::default(),
             recovery: RecoveryParams::default(),
+            shard: ShardParams::default(),
         }
     }
 }

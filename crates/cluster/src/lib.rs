@@ -41,13 +41,14 @@ pub mod master_worker;
 pub mod policy;
 pub mod retry;
 pub mod rr;
+pub mod shard;
 pub mod source;
 pub mod spmd;
 pub mod supervise;
 pub mod trace;
 pub mod transport;
 
-pub use crate::core::{Candidate, ClusterCore, CorePhase, Verdict, Verifier};
+pub use crate::core::{Candidate, ClusterCore, CorePhase, ShardForest, Verdict, Verifier};
 pub use baseline::{core_set_clusters, run_all_pairs_baseline, BaselineResult};
 pub use bgg::{
     all_component_graphs, component_graph, component_graph_with, BggScratch, ComponentGraph,
@@ -55,16 +56,21 @@ pub use bgg::{
 pub use ccd::{
     run_ccd, run_ccd_from_pairs, run_ccd_resumable, run_ccd_stealing, CcdCursor, CcdResult,
 };
-pub use config::{ClusterConfig, RecoveryParams, StealParams};
+pub use config::{ClusterConfig, RecoveryParams, ShardDriver, ShardParams, StealParams};
 pub use ft::{run_ccd_ft, run_ccd_ft_supervised, FtError};
 pub use master_worker::{run_ccd_master_worker, run_ccd_master_worker_with, MwError, MwStats};
 pub use pfam_align::{AlignEngine, AlignEngineKind, CostModel};
 pub use policy::{
-    serve_pull_worker, serve_pull_worker_with, serve_push_worker, BatchedPush, DriveError,
-    LeaseKnobs, LeaseSizing, LeasedPull, MwDispatch, SpmdPush, StealingPush, WorkPolicy,
+    serve_pull_worker, serve_pull_worker_with, serve_push_worker, BatchedPush, DealPlan,
+    DriveError, LeaseKnobs, LeaseSizing, LeasedPull, MwDispatch, SpmdPush, StealingPush,
+    WorkPolicy,
 };
 pub use retry::{Retry, RetryPolicy, RetryPort};
 pub use rr::{run_redundancy_removal, RrResult};
+pub use shard::{
+    owner_shard, run_ccd_sharded, run_ccd_sharded_detailed, run_ccd_sharded_from_pairs,
+    run_ccd_sharded_spmd, shard_of, PortSource, ShardRun,
+};
 pub use source::{with_mined_source, IterSource, MinedSource, PairSource};
 pub use spmd::{run_ccd_spmd, run_rr_spmd};
 pub use supervise::{HealthReport, WorkerHealth};

@@ -197,6 +197,28 @@ fn victim_order(n_workers: usize, me: usize, seed: u64) -> Vec<usize> {
     order
 }
 
+/// How [`StealingPush`] deals packed chunks onto the per-worker deques.
+/// Dealing is scheduling-only — verdicts are absorbed in chunk-id order
+/// whoever executes them — so components and edges are identical under
+/// every plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DealPlan {
+    /// Longest-processing-time-first onto the least-loaded worker — the
+    /// balanced production deal.
+    #[default]
+    Lpt,
+    /// Pile every chunk onto worker 0 and stall that worker before its
+    /// first pop — the adversarial deal that exercises the steal path on
+    /// purpose: every other worker starts idle and can only contribute
+    /// by stealing from the pile. `steal_bench` uses it to demonstrate
+    /// that steals actually occur and land in the counters.
+    SkewWorstCase {
+        /// How long worker 0 sleeps before draining its pile (gives the
+        /// thieves a deterministic head start).
+        stall: Duration,
+    },
+}
+
 /// The cost-model work-stealing scheduler. Each round it admits a window
 /// of pairs, packs the surviving candidates into chunks of roughly equal
 /// *predicted* DP cells ([`CostModel::predict`]), deals the chunks to
@@ -225,6 +247,12 @@ pub struct StealingPush<'a, S: PairSource + ?Sized> {
     /// `false` pins the cost-packed-only ablation: workers run their own
     /// deques dry and idle instead of stealing.
     pub stealing: bool,
+    /// How chunks are dealt onto the deques (scheduling-only).
+    pub deal: DealPlan,
+    /// Out-parameter: chunks executed by a worker other than their owner,
+    /// indexed by the *executing* worker (reset and filled in during the
+    /// drive; read it back out after [`WorkPolicy::drive`] returns).
+    pub steals_by_worker: Vec<usize>,
 }
 
 impl<S: PairSource + ?Sized> StealingPush<'_, S> {
@@ -262,13 +290,16 @@ impl<S: PairSource + ?Sized> StealingPush<'_, S> {
     }
 
     /// Execute one round: deal `chunks` to per-worker deques
-    /// (longest-processing-time-first, heaviest chunk at the steal end),
-    /// run the scoped worker pool with stealing, and return the verdict
-    /// sets indexed by chunk id plus the number of stolen chunks.
-    fn run_round(&self, set: &SequenceSet, chunks: Vec<CostChunk>) -> (Vec<Vec<Verdict>>, usize) {
+    /// ([`DealPlan::Lpt`]: longest-processing-time-first, heaviest chunk
+    /// at the steal end), run the scoped worker pool with stealing, and
+    /// return the verdict sets indexed by chunk id plus the stolen-chunk
+    /// counts indexed by executing worker.
+    fn run_round(
+        &self,
+        set: &SequenceSet,
+        chunks: Vec<CostChunk>,
+    ) -> (Vec<Vec<Verdict>>, Vec<usize>) {
         let n_chunks = chunks.len();
-        // LPT deal: heaviest chunk first, always onto the least-loaded
-        // worker (ties toward the lower worker index — deterministic).
         let mut owner_of: Vec<usize> = vec![0; n_chunks];
         let mut by_worker: Vec<Vec<CostChunk>> = (0..self.n_workers).map(|_| Vec::new()).collect();
         let mut load = vec![0u64; self.n_workers];
@@ -276,16 +307,26 @@ impl<S: PairSource + ?Sized> StealingPush<'_, S> {
             chunks.into_iter().map(|c| (self.chunk_cost(set, &c), c)).collect();
         deal.sort_by(|x, y| (y.0, x.1.id).cmp(&(x.0, y.1.id)));
         for (cost, chunk) in deal {
-            let w = (0..self.n_workers).min_by_key(|&w| (load[w], w)).unwrap_or(0);
+            // LPT deal: heaviest chunk first, always onto the least-loaded
+            // worker (ties toward the lower worker index — deterministic).
+            // The worst-case plan piles everything onto worker 0 instead.
+            let w = match self.deal {
+                DealPlan::Lpt => (0..self.n_workers).min_by_key(|&w| (load[w], w)).unwrap_or(0),
+                DealPlan::SkewWorstCase { .. } => 0,
+            };
             load[w] += cost;
             owner_of[chunk.id] = w;
             by_worker[w].push(chunk);
         }
+        let stall = match self.deal {
+            DealPlan::SkewWorstCase { stall } => stall,
+            DealPlan::Lpt => Duration::ZERO,
+        };
 
         let verifier = self.verifier;
         let (tx, rx) = crossbeam::channel::unbounded::<(usize, usize, Vec<Verdict>)>();
         let mut results: Vec<Vec<Verdict>> = (0..n_chunks).map(|_| Vec::new()).collect();
-        let mut n_steals = 0usize;
+        let mut steals_by: Vec<usize> = vec![0; self.n_workers];
         let mut stealers: Vec<Stealer<CostChunk>> = Vec::with_capacity(self.n_workers);
         let mut deques: Vec<Deque<CostChunk>> = Vec::with_capacity(self.n_workers);
         for own in by_worker {
@@ -308,6 +349,11 @@ impl<S: PairSource + ?Sized> StealingPush<'_, S> {
                 let victims = victim_order(self.n_workers, me, self.steal_seed);
                 let stealing = self.stealing;
                 scope.spawn(move || {
+                    if me == 0 && !stall.is_zero() {
+                        // Worst-case deal: the pile owner stalls so the
+                        // idle workers' steal passes land first.
+                        std::thread::sleep(stall);
+                    }
                     loop {
                         // Drain the own deque first (LIFO, light end).
                         while let Some(chunk) = own.pop() {
@@ -352,12 +398,12 @@ impl<S: PairSource + ?Sized> StealingPush<'_, S> {
             drop(tx);
             for (id, executor, verdicts) in rx.iter() {
                 if executor != owner_of[id] {
-                    n_steals += 1;
+                    steals_by[executor] += 1;
                 }
                 results[id] = verdicts;
             }
         });
-        (results, n_steals)
+        (results, steals_by)
     }
 }
 
@@ -365,6 +411,7 @@ impl<S: PairSource + ?Sized> WorkPolicy for StealingPush<'_, S> {
     fn drive(&mut self, core: &mut ClusterCore<'_>) -> Result<(), DriveError> {
         assert!(self.n_workers >= 1, "resolve a zero worker count before constructing");
         assert!(self.round_pairs >= 1 && self.chunks_per_worker >= 1);
+        self.steals_by_worker = vec![0; self.n_workers];
         let set = core.set();
         loop {
             let batch = self.source.next_batch(self.round_pairs);
@@ -377,8 +424,11 @@ impl<S: PairSource + ?Sized> WorkPolicy for StealingPush<'_, S> {
             }
             let chunks = self.pack(set, candidates);
             let n_chunks = chunks.len();
-            let (results, n_steals) = self.run_round(set, chunks);
-            core.note_dispatch(n_chunks, n_steals);
+            let (results, steals_by) = self.run_round(set, chunks);
+            core.note_dispatch(n_chunks, steals_by.iter().sum());
+            for (w, s) in steals_by.into_iter().enumerate() {
+                self.steals_by_worker[w] += s;
+            }
             // Absorb in chunk-id order — admission order — regardless of
             // which worker finished what when: this is the determinism
             // seam. Observations feed next round's packing; they cannot
@@ -569,7 +619,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Reconstruct filterable pairs from their wire form (anchors do not
 /// cross the wire; match lengths are not needed by the filter).
-fn wire_pairs(pairs: &[(u32, u32)]) -> Vec<MatchPair> {
+pub(crate) fn wire_pairs(pairs: &[(u32, u32)]) -> Vec<MatchPair> {
     pairs.iter().map(|&(a, b)| MatchPair::new(SeqId(a), SeqId(b), 0)).collect()
 }
 
@@ -679,7 +729,7 @@ pub fn serve_push_worker<P, S>(
                     healthy(port.barrier());
                     return;
                 }
-                Some(MasterMsg::Shutdown) | None => {}
+                Some(_) | None => {}
             }
             if !exhausted {
                 // Produce the next pair batch eagerly.
@@ -1161,7 +1211,7 @@ pub fn serve_pull_worker_with<P: WorkerPort + ?Sized>(
                     }
                     break; // back to requesting
                 }
-                Ok(Some(MasterMsg::SourceDone)) | Ok(None) => {}
+                Ok(Some(_)) | Ok(None) => {}
                 Err(TransportError::Transient(_)) => {}
                 Err(_) => return,
             }

@@ -32,7 +32,7 @@ use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 
 use pfam_mpi::{CommError, Communicator, ANY_SOURCE};
 
-use crate::core::Verdict;
+use crate::core::{ShardForest, Verdict};
 
 /// Tag carrying [`WorkerMsg`] values (worker → master).
 const TAG_TO_MASTER: u32 = 21;
@@ -88,6 +88,19 @@ pub enum MasterMsg {
     /// Pull protocol: no more work — acknowledge with [`WorkerMsg::Bye`]
     /// and exit.
     Shutdown,
+    /// Shard plane: a routed batch of promising pairs this shard owns,
+    /// in global generation order (the router preserves the mined
+    /// stream's order within every shard's subsequence).
+    ShardPairs {
+        /// `(a, b)` sequence-id pairs, anchors stripped at the wire.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Shard plane merge tree: a peer shard's exported clustering state,
+    /// relayed by the router from a [`WorkerMsg::Forest`].
+    Merge {
+        /// The peer's forest + accepted edges.
+        forest: ShardForest,
+    },
 }
 
 /// Worker → master protocol messages.
@@ -114,6 +127,15 @@ pub enum WorkerMsg {
     Bye,
     /// Streaming dispatcher: the worker died mid-task (panic payload).
     Failed(String),
+    /// Shard plane merge tree: this shard's exported clustering state,
+    /// to be relayed by the router to shard `to` as a
+    /// [`MasterMsg::Merge`].
+    Forest {
+        /// Receiving shard index.
+        to: usize,
+        /// This shard's forest + accepted edges.
+        forest: ShardForest,
+    },
 }
 
 /// The master's endpoint: `n_workers` peers indexed `0..n_workers`.

@@ -10,10 +10,10 @@
 //! the same axes the public `run_*` drivers are built from.
 
 use pfam_cluster::{
-    run_ccd, serve_pull_worker, serve_push_worker, BatchedPush, ClusterConfig, ClusterCore,
-    CorePhase, CostModel, HealthReport, IterSource, LeaseKnobs, LeaseSizing, LeasedPull,
-    LocalTransport, MinedSource, MwDispatch, PairSource, SpmdPush, StealingPush, Verifier,
-    WorkPolicy,
+    run_ccd, run_ccd_sharded, run_ccd_sharded_from_pairs, serve_pull_worker, serve_push_worker,
+    BatchedPush, ClusterConfig, ClusterCore, CorePhase, CostModel, DealPlan, HealthReport,
+    IterSource, LeaseKnobs, LeaseSizing, LeasedPull, LocalTransport, MinedSource, MwDispatch,
+    PairSource, ShardDriver, ShardParams, SpmdPush, StealingPush, Verifier, WorkPolicy,
 };
 use pfam_cluster::{CcdCursor, CcdResult};
 use pfam_datagen::{DatasetConfig, SyntheticDataset};
@@ -190,6 +190,8 @@ fn drive_master_side(
                 chunks_per_worker: 2,
                 steal_seed: 7,
                 stealing: true,
+                deal: DealPlan::Lpt,
+                steals_by_worker: Vec::new(),
             }
             .drive(&mut core)
             .expect("the in-process loop cannot fail");
@@ -234,6 +236,72 @@ fn assert_matrix_agrees(set: &SequenceSet, config: &ClusterConfig) {
             );
         }
     }
+}
+
+/// The shard axis: every shard count × intra-shard driver × pair supply
+/// must reproduce the single-master components (and merge count — both
+/// paths start from the same singletons, so `n_merges = n − C` agrees).
+const SHARD_DRIVERS: [ShardDriver; 3] =
+    [ShardDriver::Batched, ShardDriver::Stealing, ShardDriver::Pull];
+
+fn shard_config(config: &ClusterConfig, k: usize, driver: ShardDriver) -> ClusterConfig {
+    ClusterConfig {
+        shard: ShardParams { shards: k, driver, ..Default::default() },
+        ..config.clone()
+    }
+}
+
+/// Cross the shard axis against every pair supply. `full` runs the whole
+/// K × driver × source cube; otherwise a reduced diagonal (every driver,
+/// extreme shard counts, mined supply only).
+fn assert_shard_matrix_agrees(set: &SequenceSet, config: &ClusterConfig, full: bool) {
+    let reference = run_ccd(set, config);
+    let counts: Vec<usize> =
+        if full { vec![1, 2, 3, 8, set.len() + 7] } else { vec![2, set.len() + 7] };
+    for &k in &counts {
+        for driver in SHARD_DRIVERS {
+            let cfg = shard_config(config, k, driver);
+            // The plane's own mined supply.
+            let got = run_ccd_sharded(set, &cfg);
+            assert_eq!(got.components, reference.components, "K={k} {driver:?} mined");
+            assert_eq!(got.n_merges, reference.n_merges, "K={k} {driver:?} mined");
+            if !full {
+                continue;
+            }
+            // Pre-collected supplies, serial and parallel mining.
+            for threads in [1usize, 2] {
+                let pairs = collect_pairs(set, config, threads);
+                let got = run_ccd_sharded_from_pairs(set, pairs, &cfg);
+                assert_eq!(
+                    got.components, reference.components,
+                    "K={k} {driver:?} collected (threads={threads})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_matrix_agrees_on_random_datagen_inputs() {
+    let d = SyntheticDataset::generate(&DatasetConfig::tiny(11));
+    assert_shard_matrix_agrees(&d.set, &ClusterConfig::default(), true);
+    for seed in [12u64, 13] {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(seed));
+        assert_shard_matrix_agrees(&d.set, &ClusterConfig::default(), false);
+    }
+}
+
+#[test]
+fn shard_matrix_agrees_on_empty_set() {
+    assert_shard_matrix_agrees(&SequenceSet::new(), &ClusterConfig::default(), true);
+}
+
+#[test]
+fn shard_matrix_agrees_on_identical_family_with_more_shards_than_seqs() {
+    const FAM: &str = "MKVLWAAKNDCQEGHILKMFPSTWYV";
+    let seqs = vec![FAM; 6];
+    let set = set_of(&seqs);
+    assert_shard_matrix_agrees(&set, &ClusterConfig::for_short_sequences(), true);
 }
 
 fn set_of(seqs: &[&str]) -> SequenceSet {

@@ -11,7 +11,7 @@
 
 use pfam_cluster::{
     run_ccd, run_ccd_ft, run_ccd_stealing, Candidate, CcdResult, ClusterConfig, ClusterCore,
-    CorePhase, CostModel, IterSource, StealParams, StealingPush, Verifier, WorkPolicy,
+    CorePhase, CostModel, DealPlan, IterSource, StealParams, StealingPush, Verifier, WorkPolicy,
 };
 use pfam_datagen::{DatasetConfig, SyntheticDataset};
 use pfam_mpi::{FaultInjector, MessageFate};
@@ -106,6 +106,8 @@ fn drive_stealing_toggle(set: &SequenceSet, pairs: &[MatchPair], stealing: bool)
         chunks_per_worker: 2,
         steal_seed: 11,
         stealing,
+        deal: DealPlan::Lpt,
+        steals_by_worker: Vec::new(),
     }
     .drive(&mut core)
     .expect("the in-process loop cannot fail");

@@ -27,6 +27,8 @@ pub mod topology;
 pub use faults::{FaultEvent, FaultSchedule};
 pub use machine::MachineModel;
 pub use memory::{MemoryModel, PhaseMemory};
-pub use replay::{simulate_phase, simulate_phases, speedup_sweep, SimBreakdown, SimReport};
+pub use replay::{
+    simulate_phase, simulate_phases, simulate_sharded, speedup_sweep, SimBreakdown, SimReport,
+};
 pub use scheduler::{list_schedule_makespan, total_work};
 pub use topology::Topology;

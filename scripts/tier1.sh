@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, rustfmt check, lint wall, root-package
 # tests, workspace tests, the driver-equivalence matrix, the seeded
-# work-stealing identity suites, index-bench, align-bench, bgg-dsd-bench
-# and steal-bench smoke passes (bit-identity checks on tiny workloads),
-# the alignment-engine, min-wise-kernel and streaming-executor identity
+# work-stealing identity suites, the shard-plane identity suite,
+# index-bench, align-bench, bgg-dsd-bench, steal-bench and shard-bench
+# smoke passes (bit-identity checks on tiny workloads), the
+# alignment-engine, min-wise-kernel and streaming-executor identity
 # suites, the fault-injection + chaos-soak + supervision suites, the
 # ft-bench recovery smoke, grep gates (no unwrap on inter-rank
 # communication or supervision/retry paths; no UnionFind mutation outside
-# ClusterCore; no mutex-guarded queues in policy hot loops), and a CLI
-# checkpoint/resume smoke.
+# ClusterCore; no mutex-guarded queues in policy hot loops), and CLI
+# checkpoint/resume + sharded-cluster smokes.
 # Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -79,6 +80,9 @@ cargo test -q -p pfam-cluster --test driver_matrix
 echo "== tier1: work-stealing identity suites (seeded schedules) =="
 cargo test -q -p pfam-cluster --test steal_props
 
+echo "== tier1: shard-plane identity suite (sharded == single master) =="
+cargo test -q -p pfam-cluster --test shard_identity
+
 echo "== tier1: alignment-engine identity suites =="
 # The tiered engine must be verdict- and output-identical to the reference
 # criteria: kernel/property tests plus the end-to-end RR/CCD/SPMD/FT runs.
@@ -115,6 +119,13 @@ echo "$STEAL_SMOKE" | grep -q '"components_identical": true' || {
     exit 1
 }
 
+echo "== tier1: shard_bench --test (smoke + shard/single-master identity) =="
+SHARD_SMOKE=$(cargo run --release -p pfam-bench --bin shard_bench -- --test)
+echo "$SHARD_SMOKE" | grep -q '"components_identical": true' || {
+    echo "tier1 FAIL: shard_bench smoke did not report identical components" >&2
+    exit 1
+}
+
 echo "== tier1: ft_bench --test (smoke + recovery identity check) =="
 FT_SMOKE=$(cargo run --release -p pfam-bench --bin ft_bench -- --test)
 echo "$FT_SMOKE" | grep -q '"components_identical": true' || {
@@ -132,5 +143,10 @@ trap 'rm -rf "$SMOKE"' EXIT
     --resume --min-size 3 --out "$SMOKE/resumed.tsv"
 ./target/release/pfam cluster "$SMOKE/reads.fasta" --min-size 3 --out "$SMOKE/straight.tsv"
 diff "$SMOKE/resumed.tsv" "$SMOKE/straight.tsv"
+
+echo "== tier1: CLI sharded-cluster smoke (byte-identical families.tsv) =="
+./target/release/pfam cluster "$SMOKE/reads.fasta" --min-size 3 --shards 3 \
+    --out "$SMOKE/sharded.tsv"
+diff "$SMOKE/sharded.tsv" "$SMOKE/straight.tsv"
 
 echo "== tier1: OK =="

@@ -7,7 +7,8 @@
 //!               [--steal-workers N] [--steal-chunks N] [--steal-round N]
 //!               [--steal-seed N] [--lease-timeout-ms N] [--poll-ms N]
 //!               [--retry-budget N] [--max-respawns N] [--speculate]
-//!               [--spec-slack F]
+//!               [--spec-slack F] [--shards K] [--shard-driver batched|stealing|pull]
+//!               [--shard-workers N]
 //! pfam simulate <input.fasta> [--procs 32,64,128,512] [--save-trace PREFIX]
 //! pfam replay   <trace.tsv> [--procs 32,64,128,512]
 //! pfam align    <input.fasta> <i> <j>
@@ -18,7 +19,10 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use pfam::cluster::{run_ccd, run_redundancy_removal, ClusterConfig, RecoveryParams, StealParams};
+use pfam::cluster::{
+    run_ccd, run_redundancy_removal, ClusterConfig, RecoveryParams, ShardDriver, ShardParams,
+    StealParams,
+};
 use pfam::core::{
     run_pipeline, run_pipeline_checkpointed, CheckpointConfig, Phase, PipelineConfig,
     PipelineResult, Reduction, TableOneRow,
@@ -67,6 +71,8 @@ fn print_usage() {
          \x20               [--steal-round N] [--steal-seed N]\n\
          \x20               [--lease-timeout-ms N] [--poll-ms N] [--retry-budget N]\n\
          \x20               [--max-respawns N] [--speculate] [--spec-slack F]\n\
+         \x20               [--shards K] [--shard-driver batched|stealing|pull]\n\
+         \x20               [--shard-workers N]   (sharded clustering plane)\n\
          \x20 pfam run      <input.fasta> --checkpoint-dir <dir> [--resume]\n\
          \x20               [--checkpoint-every N] [--checkpoint-every-components N]\n\
          \x20               [--stop-after rr|ccd|dsd]\n\
@@ -97,7 +103,7 @@ fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Resul
 
 /// First free-standing argument: not a flag, and not the value of one.
 fn positional(args: &[String]) -> Option<&String> {
-    const VALUE_FLAGS: [&str; 23] = [
+    const VALUE_FLAGS: [&str; 26] = [
         "--out",
         "--tau",
         "--min-size",
@@ -121,6 +127,9 @@ fn positional(args: &[String]) -> Option<&String> {
         "--retry-budget",
         "--max-respawns",
         "--spec-slack",
+        "--shards",
+        "--shard-driver",
+        "--shard-workers",
     ];
     let mut skip_next = false;
     for a in args {
@@ -215,6 +224,21 @@ fn pipeline_config(args: &[String]) -> Result<(PipelineConfig, usize), String> {
         speculate: flag_present(args, "--speculate"),
         spec_slack: parse(args, "--spec-slack", default_recovery.spec_slack)?,
         ..default_recovery
+    };
+    let default_shard = ShardParams::default();
+    cluster.shard = ShardParams {
+        shards: parse(args, "--shards", default_shard.shards)?,
+        driver: match flag_value(args, "--shard-driver").as_deref() {
+            None => default_shard.driver,
+            Some("batched") => ShardDriver::Batched,
+            Some("stealing") => ShardDriver::Stealing,
+            Some("pull") => ShardDriver::Pull,
+            Some(other) => {
+                return Err(format!("invalid --shard-driver: {other} (batched|stealing|pull)"))
+            }
+        },
+        workers_per_shard: parse(args, "--shard-workers", default_shard.workers_per_shard)?,
+        ..default_shard
     };
     let config = PipelineConfig {
         cluster,
