@@ -12,27 +12,15 @@
 //! stdout instead of writing the file. The bench asserts — and records —
 //! that both engines return identical verdicts on every candidate.
 
-use std::time::Instant;
-
 use pfam_align::{AlignEngine, AlignEngineKind, AlignScratch, Anchor};
-use pfam_bench::{claim_f64, cores_field, dataset_160k_like, detected_cores};
+use pfam_bench::{
+    claim_f64, cores_field, dataset_160k_like, detected_cores, emit, time_min, BenchArgs,
+};
 use pfam_cluster::ClusterConfig;
 use pfam_seq::{SeqId, SequenceSet};
 use pfam_suffix::{
     maximal::all_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, SuffixTree,
 };
-
-fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        last = Some(r);
-    }
-    (best, last.expect("reps >= 1"))
-}
 
 /// One alignment task: `(x, y, anchor, containment?)`.
 type Task = (SeqId, SeqId, Anchor, bool);
@@ -76,11 +64,9 @@ fn run_tasks(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--test");
-    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
-    let scale = if smoke { 0.02 } else { positional.first().copied().unwrap_or(0.25) };
-    let reps = if smoke { 1 } else { 3 };
+    let args = BenchArgs::parse();
+    let scale = args.scale(0.02, 0.25);
+    let reps = args.reps();
 
     let data = dataset_160k_like(scale, 0xa11);
     let set = &data.set;
@@ -197,16 +183,10 @@ fn main() {
         speedup = claim_f64(cores, "speedup", ref_s / tier_s),
     );
 
-    if smoke {
-        println!("{json}");
-        eprintln!("align_bench: smoke mode OK (outputs identical)");
-    } else {
-        std::fs::write("BENCH_align.json", &json).expect("write BENCH_align.json");
-        println!("{json}");
-        eprintln!(
-            "align_bench: wrote BENCH_align.json ({:.2}x cells/sec vs reference, kernel {})",
-            ref_s / tier_s,
-            tiered.kernel_label()
-        );
-    }
+    eprintln!(
+        "align_bench: {:.2}x cells/sec vs reference, kernel {}",
+        ref_s / tier_s,
+        tiered.kernel_label()
+    );
+    emit("align", &json, args.smoke);
 }

@@ -19,9 +19,9 @@
 //! comes only from arena reuse and the shared rank tables; the
 //! barrier-elimination win needs real parallel hardware.
 
-use std::time::Instant;
-
-use pfam_bench::{claim_f64, cores_field, dataset_160k_like, detected_cores};
+use pfam_bench::{
+    claim_f64, cores_field, dataset_160k_like, detected_cores, emit, time_min, BenchArgs,
+};
 use pfam_core::{barrier_components, stream_components, ComponentOutput, PipelineConfig};
 use pfam_graph::BipartiteGraph;
 use pfam_seq::SeqId;
@@ -29,18 +29,6 @@ use pfam_shingle::{
     detect_dense_subgraphs_with, DenseSubgraphConfig, RankKernel, ReductionMode, ShingleArena,
     ShingleStats,
 };
-
-fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        last = Some(r);
-    }
-    (best, last.expect("reps >= 1"))
-}
 
 fn outputs_identical(a: &[ComponentOutput], b: &[ComponentOutput]) -> bool {
     a.len() == b.len()
@@ -73,11 +61,9 @@ fn dsd_all(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--test");
-    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
-    let scale = if smoke { 0.02 } else { positional.first().copied().unwrap_or(0.25) };
-    let reps = if smoke { 1 } else { 3 };
+    let args = BenchArgs::parse();
+    let scale = args.scale(0.02, 0.25);
+    let reps = args.reps();
 
     let data = dataset_160k_like(scale, 0xb99);
     let set = &data.set;
@@ -167,17 +153,11 @@ fn main() {
         kernel_speedup = claim_f64(cores, "speedup", scalar_s / batched_s),
     );
 
-    if smoke {
-        println!("{json}");
-        eprintln!("bgg_dsd_bench: smoke mode OK (outputs identical)");
-    } else {
-        std::fs::write("BENCH_bgg_dsd.json", &json).expect("write BENCH_bgg_dsd.json");
-        println!("{json}");
-        eprintln!(
-            "bgg_dsd_bench: wrote BENCH_bgg_dsd.json ({:.2}x streaming vs barrier, {:.2}x {} vs scalar)",
-            barrier_s / stream_s,
-            scalar_s / batched_s,
-            batched_kernel.label()
-        );
-    }
+    eprintln!(
+        "bgg_dsd_bench: {:.2}x streaming vs barrier, {:.2}x {} vs scalar",
+        barrier_s / stream_s,
+        scalar_s / batched_s,
+        batched_kernel.label()
+    );
+    emit("bgg_dsd", &json, args.smoke);
 }

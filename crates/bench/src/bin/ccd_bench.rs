@@ -13,9 +13,8 @@
 //! that every driver returns identical connected components.
 
 use std::sync::Arc;
-use std::time::Instant;
 
-use pfam_bench::{cores_field, dataset_160k_like, detected_cores};
+use pfam_bench::{cores_field, dataset_160k_like, detected_cores, emit, time_min, BenchArgs};
 use pfam_cluster::{
     run_ccd, run_ccd_from_pairs, run_ccd_master_worker, run_ccd_spmd, CcdResult, ClusterConfig,
 };
@@ -24,18 +23,6 @@ use pfam_seq::SequenceSet;
 use pfam_suffix::{
     maximal::all_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, SuffixTree,
 };
-
-fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        last = Some(r);
-    }
-    (best, last.expect("reps >= 1"))
-}
 
 /// One driver's timing row.
 struct Row {
@@ -52,11 +39,9 @@ impl Row {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--test");
-    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
-    let scale = if smoke { 0.02 } else { positional.first().copied().unwrap_or(0.15) };
-    let reps = if smoke { 1 } else { 3 };
+    let args = BenchArgs::parse();
+    let scale = args.scale(0.02, 0.15);
+    let reps = args.reps();
 
     let data = dataset_160k_like(scale, 0xccd);
     let set = &data.set;
@@ -134,22 +119,16 @@ fn main() {
         rows = driver_rows.join(",\n"),
     );
 
-    if smoke {
-        println!("{json}");
-        eprintln!("ccd_bench: smoke mode OK (components identical across drivers)");
-    } else {
-        std::fs::write("BENCH_ccd.json", &json).expect("write BENCH_ccd.json");
-        println!("{json}");
-        let best = rows
-            .iter()
-            .max_by(|a, b| a.pairs_per_sec().total_cmp(&b.pairs_per_sec()))
-            .expect("at least one driver");
-        eprintln!(
-            "ccd_bench: wrote BENCH_ccd.json (fastest driver: {} at {:.0} pairs/sec)",
-            best.driver,
-            best.pairs_per_sec()
-        );
-    }
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.pairs_per_sec().total_cmp(&b.pairs_per_sec()))
+        .expect("at least one driver");
+    eprintln!(
+        "ccd_bench: fastest driver: {} at {:.0} pairs/sec (components identical)",
+        best.driver,
+        best.pairs_per_sec()
+    );
+    emit("ccd", &json, args.smoke);
 }
 
 /// Mine the full promising-pair stream once (no masking in the default

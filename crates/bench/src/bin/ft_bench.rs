@@ -21,26 +21,14 @@
 //! 1-core host.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use pfam_bench::{claim, cores_field, detected_cores};
+use pfam_bench::{claim, cores_field, detected_cores, emit, time_min, BenchArgs};
 use pfam_cluster::{run_ccd, run_ccd_ft_supervised, ClusterConfig, HealthReport, RecoveryParams};
 use pfam_datagen::{DatasetConfig, SyntheticDataset};
 use pfam_mpi::NoFaults;
 use pfam_seq::SequenceSet;
 use pfam_sim::{FaultEvent, FaultSchedule};
-
-fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        last = Some(r);
-    }
-    (best, last.expect("reps >= 1"))
-}
 
 /// A length-skewed workload: family ancestors drawn from 60..900 residues
 /// give lease costs spanning ~two orders of magnitude, so a lost lease is
@@ -67,11 +55,9 @@ struct Row {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--test");
-    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
-    let scale = if smoke { 0.08 } else { positional.first().copied().unwrap_or(0.5) };
-    let reps = if smoke { 1 } else { 3 };
+    let args = BenchArgs::parse();
+    let scale = args.scale(0.08, 0.5);
+    let reps = args.reps();
     let cores = detected_cores();
     // Master + two workers: enough that a kill leaves the run alive while
     // the supervisor brings the replacement up.
@@ -191,12 +177,6 @@ fn main() {
         recovery = recovery,
     );
 
-    if smoke {
-        println!("{json}");
-        eprintln!("ft_bench: smoke mode OK (components identical, {faulted_respawns} respawn(s))");
-    } else {
-        std::fs::write("BENCH_ft.json", &json).expect("write BENCH_ft.json");
-        println!("{json}");
-        eprintln!("ft_bench: wrote BENCH_ft.json");
-    }
+    eprintln!("ft_bench: components identical, {faulted_respawns} respawn(s)");
+    emit("ft", &json, args.smoke);
 }

@@ -13,52 +13,27 @@
 //! prints the JSON to stdout instead of writing the file (so CI smoke
 //! runs never clobber a real measurement).
 
-use std::time::Instant;
-
-use pfam_bench::{claim, cores_field, dataset_160k_like, detected_cores};
+use pfam_bench::{cores_field, dataset_160k_like, emit, thread_sweep, time_min, BenchArgs};
 use pfam_suffix::{
     maximal::all_pairs, parallel_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree,
 };
 
-fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        last = Some(r);
-    }
-    (best, last.expect("reps >= 1"))
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--test");
-    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
-    let scale = if smoke { 0.05 } else { positional.first().copied().unwrap_or(1.0) };
-    let max_threads = positional.get(1).map_or(8usize, |&t| (t as usize).max(1));
-    let reps = if smoke { 1 } else { 3 };
-    // Power-of-two scaling ladder: 1, 2, 4, … up to max_threads (shorter
-    // in smoke mode to keep CI fast).
-    let mut thread_counts = vec![1usize];
-    while *thread_counts.last().expect("non-empty") * 2 <= max_threads {
-        thread_counts.push(thread_counts.last().expect("non-empty") * 2);
-    }
-    if smoke {
-        thread_counts.truncate(2);
-    }
+    let args = BenchArgs::parse();
+    let scale = args.scale(0.05, 1.0);
+    let max_threads = args.positional(1).map_or(8usize, |t| (t as usize).max(1));
+    let reps = args.reps();
+    let sweep = thread_sweep(max_threads, args.smoke);
 
     // The paper's 40K performance point is a quarter of its 160K set.
     let data = dataset_160k_like(scale * 0.25, 0x40);
     let set = &data.set;
-    let cores = detected_cores();
     eprintln!(
         "index_bench: {} ({} reads, {} residues), threads {:?}, {} rep(s)",
         data.label,
         set.len(),
         set.total_residues(),
-        thread_counts,
+        sweep.counts,
         reps
     );
 
@@ -84,7 +59,7 @@ fn main() {
     // Parallel path at each thread count; every point must be bit-identical
     // to the serial reference — the whole point of the design.
     let mut rows = Vec::new();
-    for &threads in &thread_counts {
+    for &threads in &sweep.counts {
         let (par_index_s, gsa_par) =
             time_min(reps, || GeneralizedSuffixArray::build_parallel(set, threads));
         let tree_par = SuffixTree::build(&gsa_par);
@@ -116,20 +91,11 @@ fn main() {
         );
     }
 
-    let caveat = if cores == 1 {
-        String::from("1-core host: parallel timings measure overhead only; scaling claims refused")
-    } else if cores < max_threads {
-        format!(
-            "only {cores} core(s) available; speedups above {cores} thread(s) \
-             reflect overhead, not scaling"
-        )
-    } else {
-        String::from("thread counts within available cores")
-    };
+    let caveat = sweep.caveat();
     // The honesty guard: the per-thread timing table (with its embedded
     // speedup ratios) is a scaling claim, so on a 1-core host the whole
     // array is refused and replaced by the sentinel.
-    let scaling = claim(cores, "scaling", &format!("[\n{}\n  ]", rows.join(",\n")));
+    let scaling = sweep.scaling_field(&rows);
     let json = format!(
         concat!(
             "{{\n",
@@ -151,7 +117,7 @@ fn main() {
         label = data.label,
         n_seqs = set.len(),
         residues = set.total_residues(),
-        cores_field = cores_field(cores),
+        cores_field = cores_field(sweep.cores),
         caveat = caveat,
         reps = reps,
         n_pairs = pairs_serial.len(),
@@ -163,18 +129,8 @@ fn main() {
         scaling = scaling,
     );
 
-    if cores < max_threads {
+    if sweep.cores < max_threads {
         eprintln!("index_bench: NOTE — {caveat}");
     }
-    if smoke {
-        println!("{json}");
-        eprintln!("index_bench: smoke mode OK (outputs identical)");
-    } else {
-        std::fs::write("BENCH_index.json", &json).expect("write BENCH_index.json");
-        println!("{json}");
-        eprintln!(
-            "index_bench: wrote BENCH_index.json (scaling table up to {} threads)",
-            thread_counts.last().expect("non-empty")
-        );
-    }
+    emit("index", &json, args.smoke);
 }

@@ -23,7 +23,7 @@
 
 use std::time::Instant;
 
-use pfam_bench::{claim, cores_field, dataset_160k_like, detected_cores};
+use pfam_bench::{claim, cores_field, dataset_160k_like, detected_cores, emit, BenchArgs};
 use pfam_cluster::{run_ccd, run_ccd_sharded_detailed, ClusterConfig, PhaseTrace, ShardParams};
 use pfam_sim::{simulate_phase, simulate_sharded, MachineModel};
 
@@ -36,10 +36,9 @@ struct Rung {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--test");
-    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
-    let scale = if smoke { 0.04 } else { positional.first().copied().unwrap_or(0.4) };
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let scale = args.scale(0.04, 0.4);
     let cores = detected_cores();
 
     let data = dataset_160k_like(scale, 0x5AAD);
@@ -190,12 +189,6 @@ fn main() {
         wall = wall,
     );
 
-    if smoke {
-        println!("{json}");
-        eprintln!("shard_bench: smoke mode OK (components identical across shard counts)");
-    } else {
-        std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
-        println!("{json}");
-        eprintln!("shard_bench: wrote BENCH_shard.json");
-    }
+    eprintln!("shard_bench: components identical across shard counts");
+    emit("shard", &json, smoke);
 }

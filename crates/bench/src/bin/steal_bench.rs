@@ -23,9 +23,7 @@
 //! connected components; speedup claims go through the honesty guard and
 //! are refused on a 1-core host.
 
-use std::time::Instant;
-
-use pfam_bench::{claim, cores_field, detected_cores};
+use pfam_bench::{claim, cores_field, detected_cores, emit, time_min, BenchArgs};
 use pfam_cluster::{
     BatchedPush, CcdCursor, CcdResult, ClusterConfig, ClusterCore, CorePhase, CostModel, DealPlan,
     IterSource, StealingPush, Verifier, WorkPolicy,
@@ -35,18 +33,6 @@ use pfam_seq::SequenceSet;
 use pfam_suffix::{
     maximal::all_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, SuffixTree,
 };
-
-fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        last = Some(r);
-    }
-    (best, last.expect("reps >= 1"))
-}
 
 /// A length-skewed workload: family ancestors drawn from 60..900 residues
 /// give pair costs spanning ~two orders of magnitude.
@@ -127,11 +113,10 @@ fn run_mode<'a>(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--test");
-    let positional: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
-    let scale = if smoke { 0.08 } else { positional.first().copied().unwrap_or(0.5) };
-    let reps = if smoke { 1 } else { 3 };
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let scale = args.scale(0.08, 0.5);
+    let reps = args.reps();
     let cores = detected_cores();
     let workers = cores.clamp(2, 8);
 
@@ -244,12 +229,6 @@ fn main() {
         scaling = scaling,
     );
 
-    if smoke {
-        println!("{json}");
-        eprintln!("steal_bench: smoke mode OK (components identical across schedules)");
-    } else {
-        std::fs::write("BENCH_steal.json", &json).expect("write BENCH_steal.json");
-        println!("{json}");
-        eprintln!("steal_bench: wrote BENCH_steal.json");
-    }
+    eprintln!("steal_bench: components identical across schedules");
+    emit("steal", &json, smoke);
 }

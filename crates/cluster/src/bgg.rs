@@ -12,7 +12,7 @@ use rayon::prelude::*;
 
 use pfam_align::Anchor;
 use pfam_graph::CsrGraph;
-use pfam_seq::{SeqId, SequenceSet};
+use pfam_seq::{materialize_subset, SeqId, SeqStore};
 use pfam_suffix::{maximal::all_pairs, GeneralizedSuffixArray, MaximalMatchConfig, SuffixTree};
 
 use crate::config::ClusterConfig;
@@ -51,13 +51,23 @@ impl BggScratch {
     pub fn new() -> BggScratch {
         BggScratch::default()
     }
+
+    /// Bytes currently held by the grow-only buffers — what this scratch
+    /// contributes when an executor registers its arenas against a
+    /// [`pfam_seq::MemoryBudget`]. Capacity, not length: the arena keeps
+    /// its high-water allocation across components.
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.candidates.capacity() * std::mem::size_of::<Candidate>()) as u64
+            + (self.edges.capacity() * std::mem::size_of::<(u32, u32)>()) as u64
+            + (self.csr_pairs.capacity() * std::mem::size_of::<(u32, u32)>()) as u64
+    }
 }
 
 /// Build the similarity graph of one component.
 ///
 /// Returns the graph plus the alignment work performed (for the trace).
 pub fn component_graph(
-    set: &SequenceSet,
+    set: &dyn SeqStore,
     members: &[SeqId],
     config: &ClusterConfig,
 ) -> (ComponentGraph, BatchRecord) {
@@ -69,7 +79,7 @@ pub fn component_graph(
 /// suffix index itself is rebuilt per component: its arrays are sized by
 /// the component's residues and owned by the `GeneralizedSuffixArray`.)
 pub fn component_graph_with(
-    set: &SequenceSet,
+    set: &dyn SeqStore,
     members: &[SeqId],
     config: &ClusterConfig,
     scratch: &mut BggScratch,
@@ -82,8 +92,22 @@ pub fn component_graph_with(
             BatchRecord::default(),
         );
     }
-    // Index only the component members (local ids 0..k).
-    let (subset, _mapping) = set.subset(&sorted);
+    // Index only the component members (local ids 0..k): materialized
+    // through the store trait, so a paged store reads just this
+    // component's pages. The per-component GSA registers against the
+    // budget; components are small relative to the index plane's chunks,
+    // so a refused reservation degrades to accounting-only (BGG never
+    // aborts mid-pipeline — the budgeted entry's feasibility check is the
+    // fallible surface).
+    let subset = materialize_subset(set, &sorted);
+    let _gsa_held = config
+        .mem
+        .budget
+        .try_reserve(
+            "bgg-gsa",
+            pfam_suffix::estimated_index_bytes(subset.total_residues(), subset.len()),
+        )
+        .ok();
     let gsa = GeneralizedSuffixArray::build(&subset);
     let tree = SuffixTree::build(&gsa);
     let pairs = all_pairs(
@@ -133,7 +157,7 @@ pub fn component_graph_with(
 /// in parallel across components. Returns the graphs plus a combined
 /// trace.
 pub fn all_component_graphs(
-    set: &SequenceSet,
+    set: &dyn SeqStore,
     components: &[Vec<SeqId>],
     min_size: usize,
     config: &ClusterConfig,
@@ -160,7 +184,7 @@ pub fn all_component_graphs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pfam_seq::SequenceSetBuilder;
+    use pfam_seq::{SequenceSet, SequenceSetBuilder};
 
     fn set_of(seqs: &[&str]) -> SequenceSet {
         let mut b = SequenceSetBuilder::new();

@@ -13,14 +13,14 @@
 //! [`crate::policy::BatchedPush`]; the entry points here are thin
 //! compositions of core + [`crate::source::PairSource`] + policy.
 
-use pfam_seq::{SeqId, SequenceSet};
+use pfam_seq::{SeqId, SeqStore};
 
 pub use crate::core::CcdCursor;
 
 use crate::config::ClusterConfig;
 use crate::core::{ClusterCore, CorePhase, Verifier};
 use crate::policy::{BatchedPush, StealingPush, WorkPolicy};
-use crate::source::{with_mined_source, IterSource, PairSource};
+use crate::source::{with_source, with_source_pinned, IterSource};
 use crate::trace::PhaseTrace;
 use pfam_align::CostModel;
 
@@ -59,7 +59,7 @@ impl CcdResult {
 /// let result = run_ccd(&b.finish(), &ClusterConfig::for_short_sequences());
 /// assert_eq!(result.components.len(), 2); // {a, b} and {c}
 /// ```
-pub fn run_ccd(set: &SequenceSet, config: &ClusterConfig) -> CcdResult {
+pub fn run_ccd(set: &dyn SeqStore, config: &ClusterConfig) -> CcdResult {
     if config.shard.enabled() {
         return crate::shard::run_ccd_sharded(set, config);
     }
@@ -77,11 +77,11 @@ pub fn run_ccd(set: &SequenceSet, config: &ClusterConfig) -> CcdResult {
 /// and the steal property suites assert this. Checkpoint emission stays
 /// with the batched policy (`run_ccd_resumable`), whose cursor semantics
 /// the resume suites pin.
-pub fn run_ccd_stealing(set: &SequenceSet, config: &ClusterConfig) -> CcdResult {
+pub fn run_ccd_stealing(set: &dyn SeqStore, config: &ClusterConfig) -> CcdResult {
     if set.is_empty() {
         return CcdResult::empty();
     }
-    with_mined_source(set, config, config.psi_ccd, config.index_threads(), |source| {
+    with_source(set, config, config.psi_ccd, config.index_threads(), |source| {
         let mut core = ClusterCore::new_ccd(set);
         let verifier = Verifier::new(config, CorePhase::Ccd);
         let cost = CostModel::new();
@@ -110,7 +110,7 @@ pub fn run_ccd_stealing(set: &SequenceSet, config: &ClusterConfig) -> CcdResult 
 /// identical to the uninterrupted [`run_ccd`] — the checkpoint/resume
 /// integration tests assert this batch boundary by batch boundary.
 pub fn run_ccd_resumable(
-    set: &SequenceSet,
+    set: &dyn SeqStore,
     config: &ClusterConfig,
     resume: Option<CcdCursor>,
     checkpoint_every: usize,
@@ -119,7 +119,11 @@ pub fn run_ccd_resumable(
     if set.is_empty() {
         return CcdResult::empty();
     }
-    with_mined_source(set, config, config.psi_ccd, config.index_threads(), |source| {
+    // Resume pins the generation plan the checkpoint was cut under, so
+    // the skip below lands on the same pair prefix even if this run's
+    // MemParams (budget, chunk size) differ from the original run's.
+    let pin = resume.as_ref().map(|c| c.gen_chunk_bytes);
+    with_source_pinned(set, config, config.psi_ccd, config.index_threads(), pin, |source, plan| {
         let mut core = match resume {
             Some(cursor) => {
                 // Deterministic replay: advance the generator past the
@@ -130,12 +134,19 @@ pub fn run_ccd_resumable(
             None => ClusterCore::new_ccd(set),
         };
         let verifier = Verifier::new(config, CorePhase::Ccd);
+        // Stamp the settled plan into every emitted cursor — the other
+        // half of the pin.
+        let mut stamped = |cursor: &CcdCursor| {
+            let mut cursor = cursor.clone();
+            cursor.gen_chunk_bytes = plan;
+            on_checkpoint(&cursor)
+        };
         BatchedPush {
             source: &mut *source,
             verifier: &verifier,
             batch_size: config.batch_size,
             checkpoint_every,
-            on_checkpoint,
+            on_checkpoint: &mut stamped,
         }
         .drive(&mut core)
         .expect("the batched in-process policy cannot fail");
@@ -148,7 +159,7 @@ pub fn run_ccd_resumable(
 /// hook: feeding the same pairs in a different order shows how much the
 /// longest-match-first discipline contributes to the filter's savings.
 pub fn run_ccd_from_pairs(
-    set: &SequenceSet,
+    set: &dyn SeqStore,
     pairs: Vec<pfam_suffix::MatchPair>,
     config: &ClusterConfig,
 ) -> CcdResult {
@@ -173,7 +184,7 @@ pub fn run_ccd_from_pairs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pfam_seq::SequenceSetBuilder;
+    use pfam_seq::{SequenceSet, SequenceSetBuilder};
 
     fn set_of(seqs: &[&str]) -> SequenceSet {
         let mut b = SequenceSetBuilder::new();

@@ -4,7 +4,7 @@
 
 use pfam_align::{AlignEngine, AlignEngineKind, ContainmentParams, OverlapParams};
 use pfam_seq::complexity::MaskParams;
-use pfam_seq::ScoringScheme;
+use pfam_seq::{MemoryBudget, ScoringScheme};
 
 /// Configuration shared by the RR and CCD phases.
 #[derive(Debug, Clone)]
@@ -59,6 +59,41 @@ pub struct ClusterConfig {
     /// setting (the merge tree is a transitive closure of the same
     /// accepted edges); only the scaling shape changes.
     pub shard: ShardParams,
+    /// Memory-budget knobs for the out-of-core index plane
+    /// ([`crate::source::with_source`]): the shared accounting budget the
+    /// index builders reserve against, and the per-chunk index target for
+    /// partitioned GSA construction. Pair *sets* (and therefore
+    /// components) are bit-identical for every setting.
+    pub mem: MemParams,
+}
+
+/// Knobs for the out-of-core index plane. The budget is *shared*
+/// accounting state ([`MemoryBudget`] clones share one counter), so a
+/// pipeline-wide budget threads through every phase's reservations.
+#[derive(Debug, Clone, Default)]
+pub struct MemParams {
+    /// The memory budget index structures reserve against. Default:
+    /// unlimited (accounting only, nothing refused).
+    pub budget: MemoryBudget,
+    /// Target estimated index bytes per GSA chunk for the partitioned
+    /// miner. `0` = auto: monolithic when it fits the budget, otherwise
+    /// chunks derived from the remaining budget; any positive value
+    /// forces the partitioned path with chunks of roughly this many
+    /// index bytes.
+    pub index_chunk_bytes: u64,
+}
+
+impl MemParams {
+    /// Params enforcing `bytes` as the budget limit (chunk sizing on auto).
+    pub fn limited(bytes: u64) -> MemParams {
+        MemParams { budget: MemoryBudget::limited(bytes), index_chunk_bytes: 0 }
+    }
+
+    /// Whether these params can route an index build down the partitioned
+    /// path (either explicitly or via a binding budget).
+    pub fn partitioning_requested(&self) -> bool {
+        self.index_chunk_bytes > 0 || self.budget.is_limited()
+    }
 }
 
 /// Which [`crate::policy::WorkPolicy`] drives each shard's intra-shard
@@ -243,6 +278,7 @@ impl Default for ClusterConfig {
             steal: StealParams::default(),
             recovery: RecoveryParams::default(),
             shard: ShardParams::default(),
+            mem: MemParams::default(),
         }
     }
 }

@@ -33,7 +33,7 @@
 
 use pfam_align::Anchor;
 use pfam_graph::UnionFind;
-use pfam_seq::{SeqId, SequenceSet};
+use pfam_seq::{SeqId, SeqStore};
 use pfam_suffix::MatchPair;
 
 use crate::ccd::CcdResult;
@@ -109,6 +109,12 @@ enum ModeState {
 pub struct CcdCursor {
     /// Pairs already drawn from the generator (a batch boundary).
     pub pairs_consumed: u64,
+    /// How the pair stream was generated: `0` for the monolithic index,
+    /// else the settled per-chunk index target of the partitioned
+    /// generator. Resume rebuilds the source from *this* value — not the
+    /// resumed run's own `MemParams` — because `pairs_consumed` is a
+    /// position in that specific generation order.
+    pub gen_chunk_bytes: u64,
     /// Union-find parent array (`UnionFind::parts`).
     pub uf_parent: Vec<u32>,
     /// Union-find rank array.
@@ -134,6 +140,7 @@ impl CcdCursor {
         let (parent, rank) = uf.parts();
         CcdCursor {
             pairs_consumed: result.trace.total_generated() as u64,
+            gen_chunk_bytes: 0,
             uf_parent: parent.to_vec(),
             uf_rank: rank.to_vec(),
             edges: result.edges.iter().map(|&(a, b)| (a.0, b.0)).collect(),
@@ -163,17 +170,27 @@ pub struct ShardForest {
 }
 
 /// The clustering state machine. See the module docs for the contract.
-#[derive(Debug)]
 pub struct ClusterCore<'s> {
-    set: &'s SequenceSet,
+    set: &'s dyn SeqStore,
     state: ModeState,
     trace: PhaseTrace,
     pairs_consumed: u64,
 }
 
+impl std::fmt::Debug for ClusterCore<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterCore")
+            .field("n_seqs", &self.set.len())
+            .field("state", &self.state)
+            .field("trace", &self.trace)
+            .field("pairs_consumed", &self.pairs_consumed)
+            .finish()
+    }
+}
+
 impl<'s> ClusterCore<'s> {
     /// Fresh CCD state: every sequence a singleton cluster.
-    pub fn new_ccd(set: &'s SequenceSet) -> ClusterCore<'s> {
+    pub fn new_ccd(set: &'s dyn SeqStore) -> ClusterCore<'s> {
         ClusterCore {
             set,
             state: ModeState::Ccd { uf: UnionFind::new(set.len()), edges: Vec::new(), n_merges: 0 },
@@ -186,7 +203,7 @@ impl<'s> ClusterCore<'s> {
     }
 
     /// Fresh RR state: no sequence marked redundant.
-    pub fn new_rr(set: &'s SequenceSet) -> ClusterCore<'s> {
+    pub fn new_rr(set: &'s dyn SeqStore) -> ClusterCore<'s> {
         ClusterCore {
             set,
             state: ModeState::Rr { redundant: vec![None; set.len()], removed: Vec::new() },
@@ -201,7 +218,7 @@ impl<'s> ClusterCore<'s> {
     /// Restore a CCD core from a checkpoint cursor (deterministic replay:
     /// the caller must also skip `cursor.pairs_consumed` pairs on its
     /// [`crate::source::PairSource`]).
-    pub fn resume_ccd(set: &'s SequenceSet, cursor: CcdCursor) -> ClusterCore<'s> {
+    pub fn resume_ccd(set: &'s dyn SeqStore, cursor: CcdCursor) -> ClusterCore<'s> {
         ClusterCore {
             set,
             state: ModeState::Ccd {
@@ -222,8 +239,8 @@ impl<'s> ClusterCore<'s> {
         }
     }
 
-    /// The sequence set the core clusters.
-    pub fn set(&self) -> &'s SequenceSet {
+    /// The sequence store the core clusters.
+    pub fn set(&self) -> &'s dyn SeqStore {
         self.set
     }
 
@@ -234,7 +251,7 @@ impl<'s> ClusterCore<'s> {
 
     /// Filter one pair against the current state, without recording
     /// anything. `None` means the pair is already resolved.
-    fn filter(state: &mut ModeState, set: &SequenceSet, p: &MatchPair) -> Option<Candidate> {
+    fn filter(state: &mut ModeState, set: &dyn SeqStore, p: &MatchPair) -> Option<Candidate> {
         match state {
             ModeState::Ccd { uf, .. } => {
                 if uf.same(p.a.0, p.b.0) {
@@ -346,6 +363,7 @@ impl<'s> ClusterCore<'s> {
                 let (parent, rank) = uf.parts();
                 CcdCursor {
                     pairs_consumed: self.pairs_consumed,
+                    gen_chunk_bytes: 0,
                     uf_parent: parent.to_vec(),
                     uf_rank: rank.to_vec(),
                     edges: edges.iter().map(|&(a, b)| (a.0, b.0)).collect(),
@@ -491,7 +509,10 @@ impl RrResult {
     pub fn from_core(core: ClusterCore<'_>) -> RrResult {
         match core.state {
             ModeState::Rr { redundant, removed } => RrResult {
-                kept: core.set.ids().filter(|id| redundant[id.index()].is_none()).collect(),
+                kept: (0..core.set.len() as u32)
+                    .map(SeqId)
+                    .filter(|id| redundant[id.index()].is_none())
+                    .collect(),
                 removed,
                 trace: core.trace,
             },
@@ -514,14 +535,17 @@ impl Verifier {
         Verifier { engine: config.engine(), phase }
     }
 
-    /// Verify one candidate.
-    pub fn verdict(&self, set: &SequenceSet, c: &Candidate) -> Verdict {
-        let x = set.codes(c.a);
-        let y = set.codes(c.b);
+    /// Verify one candidate. The residues come through
+    /// [`SeqStore::codes_cow`], so a paged store fetches exactly the two
+    /// sequences an alignment touches (the batch-fetch seam of the
+    /// out-of-core plane); the in-memory store borrows from its arena.
+    pub fn verdict(&self, set: &dyn SeqStore, c: &Candidate) -> Verdict {
+        let x = set.codes_cow(c.a);
+        let y = set.codes_cow(c.b);
         let cells = (x.len() as u64) * (y.len() as u64);
         let v = match self.phase {
-            CorePhase::Ccd => self.engine.overlaps(x, y, c.anchor),
-            CorePhase::Rr => self.engine.contained(x, y, c.anchor),
+            CorePhase::Ccd => self.engine.overlaps(&x, &y, c.anchor),
+            CorePhase::Rr => self.engine.contained(&x, &y, c.anchor),
         };
         Verdict {
             a: c.a.0,
@@ -535,13 +559,13 @@ impl Verifier {
 
     /// Verify a candidate batch across the rayon pool (dispatch order is
     /// preserved in the output).
-    pub fn verify_par(&self, set: &SequenceSet, candidates: &[Candidate]) -> Vec<Verdict> {
+    pub fn verify_par(&self, set: &dyn SeqStore, candidates: &[Candidate]) -> Vec<Verdict> {
         use rayon::prelude::*;
         candidates.par_iter().map(|c| self.verdict(set, c)).collect()
     }
 
     /// Verify a candidate batch sequentially (worker ranks).
-    pub fn verify_seq(&self, set: &SequenceSet, candidates: &[Candidate]) -> Vec<Verdict> {
+    pub fn verify_seq(&self, set: &dyn SeqStore, candidates: &[Candidate]) -> Vec<Verdict> {
         candidates.iter().map(|c| self.verdict(set, c)).collect()
     }
 }
@@ -549,7 +573,7 @@ impl Verifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pfam_seq::SequenceSetBuilder;
+    use pfam_seq::{SequenceSet, SequenceSetBuilder};
 
     fn set_of(seqs: &[&str]) -> SequenceSet {
         let mut b = SequenceSetBuilder::new();

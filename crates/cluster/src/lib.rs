@@ -56,7 +56,7 @@ pub use bgg::{
 pub use ccd::{
     run_ccd, run_ccd_from_pairs, run_ccd_resumable, run_ccd_stealing, CcdCursor, CcdResult,
 };
-pub use config::{ClusterConfig, RecoveryParams, ShardDriver, ShardParams, StealParams};
+pub use config::{ClusterConfig, MemParams, RecoveryParams, ShardDriver, ShardParams, StealParams};
 pub use ft::{run_ccd_ft, run_ccd_ft_supervised, FtError};
 pub use master_worker::{run_ccd_master_worker, run_ccd_master_worker_with, MwError, MwStats};
 pub use pfam_align::{AlignEngine, AlignEngineKind, CostModel};
@@ -71,7 +71,10 @@ pub use shard::{
     owner_shard, run_ccd_sharded, run_ccd_sharded_detailed, run_ccd_sharded_from_pairs,
     run_ccd_sharded_spmd, shard_of, PortSource, ShardRun,
 };
-pub use source::{with_mined_source, IterSource, MinedSource, PairSource};
+pub use source::{
+    check_index_budget, with_mined_source, with_source, with_source_pinned, IterSource,
+    MinedSource, PairSource, PartitionedMinedSource,
+};
 pub use spmd::{run_ccd_spmd, run_rr_spmd};
 pub use supervise::{HealthReport, WorkerHealth};
 pub use trace::{BatchRecord, PhaseKind, PhaseTrace};

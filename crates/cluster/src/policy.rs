@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
 use pfam_align::CostModel;
-use pfam_seq::{SeqId, SequenceSet};
+use pfam_seq::{SeqId, SeqStore};
 use pfam_suffix::MatchPair;
 
 use crate::core::{Candidate, CcdCursor, ClusterCore, Verdict, Verifier};
@@ -259,7 +259,7 @@ impl<S: PairSource + ?Sized> StealingPush<'_, S> {
     /// Pack `candidates` (admission order) into contiguous chunks whose
     /// predicted cells sum to roughly `total / (workers × oversub)`. A
     /// single over-budget pair gets a chunk of its own.
-    fn pack(&self, set: &SequenceSet, candidates: Vec<Candidate>) -> Vec<CostChunk> {
+    fn pack(&self, set: &dyn SeqStore, candidates: Vec<Candidate>) -> Vec<CostChunk> {
         let costs: Vec<u64> = candidates
             .iter()
             .map(|c| self.cost.predict(set.seq_len(c.a), set.seq_len(c.b)))
@@ -285,7 +285,7 @@ impl<S: PairSource + ?Sized> StealingPush<'_, S> {
     }
 
     /// Predicted cells of one chunk (for the LPT deal).
-    fn chunk_cost(&self, set: &SequenceSet, chunk: &CostChunk) -> u64 {
+    fn chunk_cost(&self, set: &dyn SeqStore, chunk: &CostChunk) -> u64 {
         chunk.candidates.iter().map(|c| self.cost.predict(set.seq_len(c.a), set.seq_len(c.b))).sum()
     }
 
@@ -296,7 +296,7 @@ impl<S: PairSource + ?Sized> StealingPush<'_, S> {
     /// counts indexed by executing worker.
     fn run_round(
         &self,
-        set: &SequenceSet,
+        set: &dyn SeqStore,
         chunks: Vec<CostChunk>,
     ) -> (Vec<Vec<Verdict>>, Vec<usize>) {
         let n_chunks = chunks.len();
@@ -496,10 +496,10 @@ where
                         // the scope (which would lose the in-flight task
                         // and abort every other worker's progress).
                         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            let x = set.codes(SeqId(a));
-                            let y = set.codes(SeqId(b));
+                            let x = set.codes_cow(SeqId(a));
+                            let y = set.codes_cow(SeqId(b));
                             let cells = (x.len() as u64) * (y.len() as u64);
-                            (verify(x, y), cells)
+                            (verify(&x, &y), cells)
                         }));
                         let msg = match outcome {
                             Ok((accept, cells)) => WorkerMsg::Verdicts {
@@ -689,7 +689,7 @@ pub fn serve_push_worker<P, S>(
     port: &mut P,
     source: &mut S,
     verifier: &Verifier,
-    set: &SequenceSet,
+    set: &dyn SeqStore,
     batch_size: usize,
 ) where
     P: WorkerPort + ?Sized,
@@ -905,7 +905,7 @@ where
     }
 
     /// Predicted DP cells of one wire batch (speculation deadline input).
-    fn predict_batch(&self, set: &SequenceSet, candidates: &[(u32, u32)]) -> u64 {
+    fn predict_batch(&self, set: &dyn SeqStore, candidates: &[(u32, u32)]) -> u64 {
         candidates
             .iter()
             .map(|&(a, b)| self.cost.predict(set.seq_len(SeqId(a)), set.seq_len(SeqId(b))))
@@ -1156,7 +1156,7 @@ where
 }
 
 /// Verify a wire-form candidate batch (anchor-free probes) sequentially.
-fn verify_wire(verifier: &Verifier, set: &SequenceSet, candidates: &[(u32, u32)]) -> Vec<Verdict> {
+fn verify_wire(verifier: &Verifier, set: &dyn SeqStore, candidates: &[(u32, u32)]) -> Vec<Verdict> {
     candidates
         .iter()
         .map(|&(a, b)| verifier.verdict(set, &Candidate { a: SeqId(a), b: SeqId(b), anchor: None }))
@@ -1168,7 +1168,7 @@ fn verify_wire(verifier: &Verifier, set: &SequenceSet, candidates: &[(u32, u32)]
 pub fn serve_pull_worker<P: WorkerPort + ?Sized>(
     port: &mut P,
     verifier: &Verifier,
-    set: &SequenceSet,
+    set: &dyn SeqStore,
 ) {
     serve_pull_worker_with(port, verifier, set, REQUEST_TIMEOUT)
 }
@@ -1182,7 +1182,7 @@ pub fn serve_pull_worker<P: WorkerPort + ?Sized>(
 pub fn serve_pull_worker_with<P: WorkerPort + ?Sized>(
     port: &mut P,
     verifier: &Verifier,
-    set: &SequenceSet,
+    set: &dyn SeqStore,
     request_timeout: Duration,
 ) {
     loop {

@@ -14,12 +14,12 @@
 //! [`crate::core::ClusterCore`]'s RR mode; this entry point is the
 //! batched in-process composition around it.
 
-use pfam_seq::{SeqId, SequenceSet};
+use pfam_seq::{SeqId, SeqStore};
 
 use crate::config::ClusterConfig;
 use crate::core::{ClusterCore, CorePhase, Verifier};
 use crate::policy::{BatchedPush, WorkPolicy};
-use crate::source::{with_mined_source, PairSource};
+use crate::source::with_source;
 use crate::trace::PhaseTrace;
 
 /// Outcome of the RR phase.
@@ -41,11 +41,11 @@ impl RrResult {
 }
 
 /// Run redundancy removal over `set`.
-pub fn run_redundancy_removal(set: &SequenceSet, config: &ClusterConfig) -> RrResult {
+pub fn run_redundancy_removal(set: &dyn SeqStore, config: &ClusterConfig) -> RrResult {
     if set.is_empty() {
         return RrResult::empty();
     }
-    with_mined_source(set, config, config.psi_rr, config.index_threads(), |source| {
+    with_source(set, config, config.psi_rr, config.index_threads(), |source| {
         let mut core = ClusterCore::new_rr(set);
         let verifier = Verifier::new(config, CorePhase::Rr);
         BatchedPush {
@@ -65,7 +65,7 @@ pub fn run_redundancy_removal(set: &SequenceSet, config: &ClusterConfig) -> RrRe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pfam_seq::SequenceSetBuilder;
+    use pfam_seq::{SequenceSet, SequenceSetBuilder};
 
     fn set_of(seqs: &[&str]) -> SequenceSet {
         let mut b = SequenceSetBuilder::new();

@@ -36,7 +36,7 @@
 //! K combination.
 
 use pfam_align::CostModel;
-use pfam_seq::SequenceSet;
+use pfam_seq::{SeqStore, SequenceSet};
 use pfam_suffix::MatchPair;
 
 use crate::ccd::{run_ccd_from_pairs, CcdResult};
@@ -46,7 +46,7 @@ use crate::policy::{
     serve_pull_worker, wire_pairs, BatchedPush, DealPlan, LeaseKnobs, LeaseSizing, LeasedPull,
     StealingPush, WorkPolicy,
 };
-use crate::source::{with_mined_source, IterSource, PairSource};
+use crate::source::{with_source, IterSource, PairSource};
 use crate::supervise::HealthReport;
 use crate::trace::PhaseTrace;
 use crate::transport::{
@@ -224,7 +224,7 @@ fn wait_merge<P: WorkerPort + ?Sized>(port: &mut P) -> ShardForest {
 /// policies' own identity suites pin that), so the choice is
 /// scheduling-only here too.
 fn drive_intra_shard<P: WorkerPort + ?Sized>(
-    set: &SequenceSet,
+    set: &dyn SeqStore,
     config: &ClusterConfig,
     verifier: &Verifier,
     core: &mut ClusterCore<'_>,
@@ -286,7 +286,7 @@ fn drive_intra_shard<P: WorkerPort + ?Sized>(
 /// the merge-tree exchange. Returns the shard's work trace and — on
 /// shard 0 only — the merged global result.
 fn run_shard<P: WorkerPort + ?Sized>(
-    set: &SequenceSet,
+    set: &dyn SeqStore,
     config: &ClusterConfig,
     me: usize,
     k: usize,
@@ -340,7 +340,11 @@ pub struct ShardRun {
 
 /// The in-process sharded plane: K shard threads around a router thread
 /// (this one), all over [`LocalTransport`]'s addressed queues.
-fn shard_plane(set: &SequenceSet, config: &ClusterConfig, source: &mut dyn PairSource) -> ShardRun {
+fn shard_plane(
+    set: &dyn SeqStore,
+    config: &ClusterConfig,
+    source: &mut dyn PairSource,
+) -> ShardRun {
     let k = config.shard.shards;
     let route_batch = config.shard.resolved_route_batch(config.batch_size);
     let (mut transport, ports) = LocalTransport::new(k, 1);
@@ -374,7 +378,7 @@ fn shard_plane(set: &SequenceSet, config: &ClusterConfig, source: &mut dyn PairS
 /// Run CCD through the sharded plane with the per-shard breakdown. With
 /// `shards ≤ 1` this delegates to the single-master entry points (the
 /// plane with one shard *is* the single master plus a routing hop).
-pub fn run_ccd_sharded_detailed(set: &SequenceSet, config: &ClusterConfig) -> ShardRun {
+pub fn run_ccd_sharded_detailed(set: &dyn SeqStore, config: &ClusterConfig) -> ShardRun {
     if config.shard.shards <= 1 {
         let single =
             ClusterConfig { shard: ShardParams { shards: 1, ..config.shard }, ..config.clone() };
@@ -388,7 +392,7 @@ pub fn run_ccd_sharded_detailed(set: &SequenceSet, config: &ClusterConfig) -> Sh
             shard_traces: vec![PhaseTrace::default(); config.shard.shards],
         };
     }
-    with_mined_source(set, config, config.psi_ccd, config.index_threads(), |source| {
+    with_source(set, config, config.psi_ccd, config.index_threads(), |source| {
         shard_plane(set, config, source)
     })
 }
@@ -396,7 +400,7 @@ pub fn run_ccd_sharded_detailed(set: &SequenceSet, config: &ClusterConfig) -> Sh
 /// Run CCD through the sharded plane (see the module docs). Components —
 /// and `n_merges` — are bit-identical to [`crate::ccd::run_ccd`] with the
 /// plane disabled, for every shard count and [`ShardDriver`].
-pub fn run_ccd_sharded(set: &SequenceSet, config: &ClusterConfig) -> CcdResult {
+pub fn run_ccd_sharded(set: &dyn SeqStore, config: &ClusterConfig) -> CcdResult {
     run_ccd_sharded_detailed(set, config).result
 }
 
@@ -404,7 +408,7 @@ pub fn run_ccd_sharded(set: &SequenceSet, config: &ClusterConfig) -> CcdResult {
 /// counterpart of [`crate::ccd::run_ccd_from_pairs`], used by the
 /// driver-equivalence matrix's pre-collected sources.
 pub fn run_ccd_sharded_from_pairs(
-    set: &SequenceSet,
+    set: &dyn SeqStore,
     pairs: Vec<MatchPair>,
     config: &ClusterConfig,
 ) -> CcdResult {

@@ -13,15 +13,25 @@
 //! * [`IterSource`] — any explicit pair stream; the ablation hook
 //!   (`run_ccd_from_pairs`) and the pre-collected sources in the
 //!   driver-equivalence matrix tests.
+//! * [`PartitionedMinedSource`] — the out-of-core generator: per-chunk
+//!   GSAs mined task by task under a [`pfam_seq::MemoryBudget`]
+//!   (see [`pfam_suffix::PartitionedMiner`]); the pair *set* is identical
+//!   to [`MinedSource`], the order is the deterministic task order.
 //!
 //! The suffix index borrows the sequence set transitively (set → GSA →
 //! tree → generator), so [`with_mined_source`] owns that borrow chain and
-//! lends the finished source to a closure.
+//! lends the finished source to a closure. [`with_source`] is the
+//! budget-aware front door every driver routes through: it picks the
+//! monolithic or partitioned generator from the [`crate::config::MemParams`]
+//! knobs and the store's residency, degrading to smaller chunks instead
+//! of aborting when the budget binds.
 
-use pfam_seq::SequenceSet;
+use std::ops::Range;
+
+use pfam_seq::{BudgetError, MemoryBudget, SeqId, SeqStore, SequenceSet};
 use pfam_suffix::{
-    promising_pairs, GeneralizedSuffixArray, MatchPair, MaximalMatchConfig, MaximalMatchGenerator,
-    SuffixTree,
+    estimated_index_bytes, promising_pairs, ChunkPlan, GeneralizedSuffixArray, MatchPair,
+    MaximalMatchConfig, MaximalMatchGenerator, PartitionedMiner, SuffixTree,
 };
 
 use crate::config::ClusterConfig;
@@ -89,6 +99,152 @@ impl PairSource for MinedSource<'_> {
     }
 }
 
+/// A chunk loader: global id range → in-memory set (ids renumbered from
+/// 0) with the config's index-side masking already applied. Masking is
+/// per-sequence, so chunk-level masking equals whole-set masking.
+type ChunkLoader<'a> = Box<dyn FnMut(Range<u32>) -> SequenceSet + 'a>;
+
+fn chunk_loader<'a>(
+    store: &'a dyn SeqStore,
+    mask: Option<pfam_seq::complexity::MaskParams>,
+) -> ChunkLoader<'a> {
+    Box::new(move |r: Range<u32>| {
+        let chunk = store.load_range(r);
+        match mask {
+            None => chunk,
+            Some(_) => crate::mask::index_view(&chunk, &mask).into_owned(),
+        }
+    })
+}
+
+/// Default per-chunk index target when partitioning is forced (paged
+/// store) but neither a chunk size nor a budget limit is configured.
+const DEFAULT_CHUNK_INDEX_BYTES: u64 = 256 << 20;
+
+/// Pairs mined from per-chunk suffix indexes — the out-of-core
+/// counterpart of [`MinedSource`]. Same pair *set*, deterministic
+/// task-major order, at most one task's index resident at a time.
+pub struct PartitionedMinedSource<'a> {
+    miner: PartitionedMiner<ChunkLoader<'a>>,
+    /// The per-chunk index target the plan was built from, after budget
+    /// degradation — the value a checkpoint cursor pins so resume can
+    /// rebuild the identical generation order.
+    chunk_target: u64,
+}
+
+impl<'a> PartitionedMinedSource<'a> {
+    /// Build the partitioned generator over `store`, sizing chunks from
+    /// [`crate::config::MemParams`] and degrading (halving the chunk
+    /// target, down to one-sequence chunks) until the plan's peak task
+    /// footprint fits the budget. When even one-sequence chunks exceed
+    /// the limit the miner runs accounting-only rather than aborting —
+    /// the fallible pipeline surface ([`check_index_budget`]) reports
+    /// that case as a typed error before any driver gets here.
+    pub fn new(
+        store: &'a dyn SeqStore,
+        config: &ClusterConfig,
+        psi: u32,
+        threads: usize,
+    ) -> PartitionedMinedSource<'a> {
+        let mm = MaximalMatchConfig {
+            min_len: psi,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        };
+        let budget = &config.mem.budget;
+        let lens: Vec<u32> =
+            (0..store.len()).map(|i| store.seq_len(SeqId(i as u32)) as u32).collect();
+        let mut target = if config.mem.index_chunk_bytes > 0 {
+            config.mem.index_chunk_bytes
+        } else if budget.is_limited() {
+            // A task holds two chunks resident; the third share is slack
+            // for the union text's sentinels and mining scratch.
+            (budget.remaining() / 3).max(1)
+        } else {
+            DEFAULT_CHUNK_INDEX_BYTES
+        };
+        loop {
+            let plan = ChunkPlan::plan(&lens, target);
+            let maxed_out = plan.n_chunks() >= lens.len();
+            match PartitionedMiner::try_new(
+                plan,
+                chunk_loader(store, config.mask),
+                mm,
+                threads,
+                budget,
+            ) {
+                Ok(miner) => return PartitionedMinedSource { miner, chunk_target: target },
+                Err(_) if !maxed_out => target = (target / 2).max(1),
+                Err(_) => {
+                    // One-sequence chunks still over budget: degrade to
+                    // accounting-only (never abort mid-drive).
+                    let plan = ChunkPlan::plan(&lens, 1);
+                    let miner =
+                        PartitionedMiner::new(plan, chunk_loader(store, config.mask), mm, threads);
+                    return PartitionedMinedSource { miner, chunk_target: 1 };
+                }
+            }
+        }
+    }
+
+    /// Build the partitioned generator with an exact, pinned per-chunk
+    /// target — no degradation: the chunk plan (and therefore the pair
+    /// *order*) is a pure function of the store's lengths and `target`.
+    /// This is the checkpoint-resume path: the cursor pins the target the
+    /// original run settled on, and replay must reproduce that order even
+    /// if this run's budget differs. The budget still *accounts* for the
+    /// footprint when it fits; when it does not, the miner runs
+    /// accounting-only rather than silently changing the order.
+    pub fn with_target(
+        store: &'a dyn SeqStore,
+        config: &ClusterConfig,
+        psi: u32,
+        threads: usize,
+        target: u64,
+    ) -> PartitionedMinedSource<'a> {
+        let mm = MaximalMatchConfig {
+            min_len: psi,
+            max_pairs_per_node: config.max_pairs_per_node,
+            dedup: true,
+        };
+        let lens: Vec<u32> =
+            (0..store.len()).map(|i| store.seq_len(SeqId(i as u32)) as u32).collect();
+        let plan = ChunkPlan::plan(&lens, target.max(1));
+        let miner = match PartitionedMiner::try_new(
+            plan.clone(),
+            chunk_loader(store, config.mask),
+            mm,
+            threads,
+            &config.mem.budget,
+        ) {
+            Ok(miner) => miner,
+            Err(_) => PartitionedMiner::new(plan, chunk_loader(store, config.mask), mm, threads),
+        };
+        PartitionedMinedSource { miner, chunk_target: target.max(1) }
+    }
+
+    /// The chunk plan the miner settled on (after budget degradation).
+    pub fn plan(&self) -> &ChunkPlan {
+        self.miner.plan()
+    }
+
+    /// The per-chunk index target the plan was built from — what a
+    /// checkpoint cursor records as its generation-plan pin.
+    pub fn chunk_target(&self) -> u64 {
+        self.chunk_target
+    }
+}
+
+impl PairSource for PartitionedMinedSource<'_> {
+    fn next_batch(&mut self, max: usize) -> Vec<MatchPair> {
+        self.miner.by_ref().take(max).collect()
+    }
+
+    fn nodes_visited(&self) -> u64 {
+        self.miner.stats().nodes_visited as u64
+    }
+}
+
 /// An explicit pair stream (ablations, tests, replay from a recording).
 pub struct IterSource<I> {
     inner: I,
@@ -133,6 +289,114 @@ pub fn with_mined_source<R>(
         threads,
     );
     f(&mut source)
+}
+
+/// The budget-aware front door every in-process driver routes through:
+/// build a pair source for `store` honouring [`crate::config::MemParams`]
+/// and lend it to `f`.
+///
+/// Routing: the monolithic [`MinedSource`] when the store is in-memory,
+/// no chunk size is forced, and the whole index fits the budget
+/// (reserving its footprint for the duration of `f`); otherwise the
+/// [`PartitionedMinedSource`], whose chunk plan degrades under the budget
+/// instead of aborting. Both yield the same pair *set*, and every
+/// consumer is order-invariant, so components are identical either way.
+pub fn with_source<R>(
+    store: &dyn SeqStore,
+    config: &ClusterConfig,
+    psi: u32,
+    threads: usize,
+    f: impl FnOnce(&mut dyn PairSource) -> R,
+) -> R {
+    with_source_pinned(store, config, psi, threads, None, |source, _| f(source))
+}
+
+/// [`with_source`] with an explicit generation-plan pin — the
+/// checkpoint-resume seam.
+///
+/// `pairs_consumed` in a [`crate::core::CcdCursor`] is a position in one
+/// specific generation order, and the partitioned generator's order is a
+/// function of its chunk plan. So every emitted cursor pins the plan it
+/// was generated under (`0` = monolithic, else the settled per-chunk
+/// target), and resume passes that pin here: the source is rebuilt from
+/// the *pin*, not from this run's [`crate::config::MemParams`], making
+/// resume byte-identical even when the resumed run is configured with a
+/// different chunk size (or none at all). The closure receives the
+/// settled pin so fresh runs can stamp it into the cursors they emit.
+///
+/// A pinned plan overrides budget *routing* but not budget *accounting*:
+/// the reservation is still attempted, and when the pinned plan no longer
+/// fits the generator runs accounting-only — changing the order would
+/// corrupt the replay, which is strictly worse than exceeding a soft
+/// limit.
+pub fn with_source_pinned<R>(
+    store: &dyn SeqStore,
+    config: &ClusterConfig,
+    psi: u32,
+    threads: usize,
+    pin: Option<u64>,
+    f: impl FnOnce(&mut dyn PairSource, u64) -> R,
+) -> R {
+    match pin {
+        // Pinned monolithic: the checkpointed run mined one big index.
+        Some(0) => {
+            let owned;
+            let set: &SequenceSet = match store.as_sequence_set() {
+                Some(set) => set,
+                None => {
+                    owned = store.load_range(0..store.len() as u32);
+                    &owned
+                }
+            };
+            let estimate = estimated_index_bytes(set.total_residues(), set.len());
+            let _held = config.mem.budget.try_reserve("gsa-index", estimate).ok();
+            with_mined_source(set, config, psi, threads, |source| f(source, 0))
+        }
+        // Pinned partitioned: rebuild the exact chunk plan.
+        Some(target) => {
+            let mut source =
+                PartitionedMinedSource::with_target(store, config, psi, threads, target);
+            f(&mut source, target)
+        }
+        // Fresh run: route from MemParams and report what was chosen.
+        None => {
+            if config.mem.index_chunk_bytes == 0 {
+                if let Some(set) = store.as_sequence_set() {
+                    let estimate = estimated_index_bytes(set.total_residues(), set.len());
+                    if let Ok(_held) = config.mem.budget.try_reserve("gsa-index", estimate) {
+                        return with_mined_source(set, config, psi, threads, |source| f(source, 0));
+                    }
+                }
+            }
+            let mut source = PartitionedMinedSource::new(store, config, psi, threads);
+            let target = source.chunk_target();
+            f(&mut source, target)
+        }
+    }
+}
+
+/// The fallible budget check for the pipeline's budgeted entry points:
+/// `Err` iff the *minimum feasible* index plan — one-sequence chunks, the
+/// deepest the partitioned miner can degrade — still exceeds the
+/// remaining budget, i.e. no amount of chunking makes the index fit.
+/// Drivers themselves never abort; this is where the typed error
+/// surfaces instead.
+pub fn check_index_budget(store: &dyn SeqStore, budget: &MemoryBudget) -> Result<(), BudgetError> {
+    if !budget.is_limited() {
+        return Ok(());
+    }
+    let lens: Vec<u32> = (0..store.len()).map(|i| store.seq_len(SeqId(i as u32)) as u32).collect();
+    let need = ChunkPlan::plan(&lens, 1).max_task_index_bytes();
+    if budget.would_fit(need) {
+        Ok(())
+    } else {
+        Err(BudgetError {
+            what: "partitioned-gsa",
+            requested: need,
+            in_use: budget.used(),
+            limit: budget.limit().unwrap_or(u64::MAX),
+        })
+    }
 }
 
 #[cfg(test)]

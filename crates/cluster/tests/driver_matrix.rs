@@ -13,7 +13,8 @@ use pfam_cluster::{
     run_ccd, run_ccd_sharded, run_ccd_sharded_from_pairs, serve_pull_worker, serve_push_worker,
     BatchedPush, ClusterConfig, ClusterCore, CorePhase, CostModel, DealPlan, HealthReport,
     IterSource, LeaseKnobs, LeaseSizing, LeasedPull, LocalTransport, MinedSource, MwDispatch,
-    PairSource, ShardDriver, ShardParams, SpmdPush, StealingPush, Verifier, WorkPolicy,
+    PairSource, PartitionedMinedSource, ShardDriver, ShardParams, SpmdPush, StealingPush, Verifier,
+    WorkPolicy,
 };
 use pfam_cluster::{CcdCursor, CcdResult};
 use pfam_datagen::{DatasetConfig, SyntheticDataset};
@@ -29,6 +30,9 @@ enum SourceKind {
     MinedParallel,
     /// Pairs pre-collected into an explicit [`IterSource`] stream.
     Collected,
+    /// The out-of-core generator: per-chunk suffix indexes with a chunk
+    /// target tiny enough that real inputs split into several chunks.
+    Partitioned,
 }
 
 /// The scheduling axis (the transport is implied: rayon in-process for
@@ -49,8 +53,12 @@ enum PolicyKind {
     Stealing,
 }
 
-const SOURCES: [SourceKind; 3] =
-    [SourceKind::MinedSerial, SourceKind::MinedParallel, SourceKind::Collected];
+const SOURCES: [SourceKind; 4] = [
+    SourceKind::MinedSerial,
+    SourceKind::MinedParallel,
+    SourceKind::Collected,
+    SourceKind::Partitioned,
+];
 const POLICIES: [PolicyKind; 6] = [
     PolicyKind::Batched,
     PolicyKind::Streaming,
@@ -89,6 +97,26 @@ fn match_config(config: &ClusterConfig) -> MaximalMatchConfig {
     }
 }
 
+/// `config` with a chunk target small enough that any non-trivial set
+/// splits into several per-chunk indexes.
+fn chunked(config: &ClusterConfig) -> ClusterConfig {
+    let mut cfg = config.clone();
+    cfg.mem.index_chunk_bytes = 256;
+    cfg
+}
+
+/// The full pair stream of the out-of-core generator (its deterministic
+/// task-major order).
+fn partitioned_pairs(set: &SequenceSet, config: &ClusterConfig) -> Vec<MatchPair> {
+    let cfg = chunked(config);
+    let mut source = PartitionedMinedSource::new(set, &cfg, config.psi_ccd, 1);
+    assert!(
+        set.len() < 2 || source.plan().n_chunks() > 1,
+        "the forced chunk target must actually partition the set"
+    );
+    source.next_batch(usize::MAX)
+}
+
 /// Drive one (source, policy) cell and return its components.
 fn run_cell(
     set: &SequenceSet,
@@ -99,7 +127,10 @@ fn run_cell(
     let threads = mining_threads(source);
     // The push protocol's sources live on the workers, not the master.
     if matches!(policy, PolicyKind::Push) {
-        let pairs = collect_pairs(set, config, threads);
+        let pairs = match source {
+            SourceKind::Partitioned => partitioned_pairs(set, config),
+            _ => collect_pairs(set, config, threads),
+        };
         // Split the supply across two workers; for the `Collected`
         // flavour, hand everything to one worker and leave the other
         // idle (the degenerate partition).
@@ -112,15 +143,23 @@ fn run_cell(
         };
         return drive_push(set, config, vec![left, right]);
     }
-    if set.is_empty() || matches!(source, SourceKind::Collected) {
-        let pairs = collect_pairs(set, config, threads);
-        let mut src = IterSource::new(pairs.into_iter());
-        drive_master_side(set, config, &mut src, policy)
-    } else {
-        let gsa = GeneralizedSuffixArray::build_parallel(set, threads);
-        let tree = SuffixTree::build(&gsa);
-        let mut src = MinedSource::new(&tree, match_config(config), threads);
-        drive_master_side(set, config, &mut src, policy)
+    match source {
+        SourceKind::Partitioned => {
+            let cfg = chunked(config);
+            let mut src = PartitionedMinedSource::new(set, &cfg, config.psi_ccd, 1);
+            drive_master_side(set, config, &mut src, policy)
+        }
+        _ if set.is_empty() || matches!(source, SourceKind::Collected) => {
+            let pairs = collect_pairs(set, config, threads);
+            let mut src = IterSource::new(pairs.into_iter());
+            drive_master_side(set, config, &mut src, policy)
+        }
+        _ => {
+            let gsa = GeneralizedSuffixArray::build_parallel(set, threads);
+            let tree = SuffixTree::build(&gsa);
+            let mut src = MinedSource::new(&tree, match_config(config), threads);
+            drive_master_side(set, config, &mut src, policy)
+        }
     }
 }
 

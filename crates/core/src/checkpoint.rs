@@ -31,8 +31,9 @@ use pfam_shingle::ShingleStats;
 
 /// Magic bytes opening every checkpoint file.
 pub const MAGIC: &[u8; 4] = b"PFCK";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. v2 added the generation-plan pin
+/// (`CcdCursor::gen_chunk_bytes`) to the CCD payload.
+pub const VERSION: u32 = 2;
 
 /// Which phase a checkpoint belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -387,6 +388,7 @@ impl CcdState {
         let mut e = Enc::new();
         e.u8(self.complete as u8);
         e.u64(self.cursor.pairs_consumed);
+        e.u64(self.cursor.gen_chunk_bytes);
         e.u32s(&self.cursor.uf_parent);
         e.bytes(&self.cursor.uf_rank);
         e.pairs(&self.cursor.edges);
@@ -400,6 +402,7 @@ impl CcdState {
         let mut d = Dec::new(payload);
         let complete = d.u8()? != 0;
         let pairs_consumed = d.u64()?;
+        let gen_chunk_bytes = d.u64()?;
         let uf_parent = d.u32s()?;
         let uf_rank = d.bytes()?.to_vec();
         if uf_rank.len() != uf_parent.len() {
@@ -411,7 +414,15 @@ impl CcdState {
         d.done()?;
         Ok(CcdState {
             complete,
-            cursor: CcdCursor { pairs_consumed, uf_parent, uf_rank, edges, n_merges, trace },
+            cursor: CcdCursor {
+                pairs_consumed,
+                gen_chunk_bytes,
+                uf_parent,
+                uf_rank,
+                edges,
+                n_merges,
+                trace,
+            },
         })
     }
 }
@@ -567,6 +578,7 @@ mod tests {
             complete: false,
             cursor: CcdCursor {
                 pairs_consumed: 512,
+                gen_chunk_bytes: 4096,
                 uf_parent: vec![0, 0, 2, 2],
                 uf_rank: vec![1, 0, 1, 0],
                 edges: vec![(0, 1), (2, 3)],

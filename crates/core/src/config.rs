@@ -85,6 +85,27 @@ impl PipelineConfig {
         self.cluster.steal = steal;
         self
     }
+
+    /// Cap the index plane's working memory at `bytes`: the GSA goes
+    /// partitioned when the monolithic index would not fit, and the
+    /// shingle rank tables fall back to per-set hashing when refused.
+    /// Results are bit-identical for every cap; `0` removes the limit.
+    pub fn with_mem_budget(mut self, bytes: u64) -> PipelineConfig {
+        self.cluster.mem.budget = if bytes == 0 {
+            pfam_seq::MemoryBudget::unlimited()
+        } else {
+            pfam_seq::MemoryBudget::limited(bytes)
+        };
+        self
+    }
+
+    /// Pin the partitioned index's per-chunk size to `bytes` of index
+    /// footprint (`0` = derive from the budget, or one monolithic chunk
+    /// when unlimited). Any positive value forces the partitioned path.
+    pub fn with_index_chunk_bytes(mut self, bytes: u64) -> PipelineConfig {
+        self.cluster.mem.index_chunk_bytes = bytes;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +144,26 @@ mod tests {
         let c = c.with_stealing(StealParams { enabled: true, workers: 2, ..Default::default() });
         assert!(c.cluster.steal.enabled);
         assert_eq!(c.cluster.steal.resolved_workers(), 2);
+    }
+
+    #[test]
+    fn with_mem_budget_reaches_the_cluster_layer() {
+        let c = PipelineConfig::for_tests();
+        assert!(!c.cluster.mem.budget.is_limited(), "unlimited by default");
+        let c = c.with_mem_budget(1 << 20);
+        assert_eq!(c.cluster.mem.budget.limit(), Some(1 << 20));
+        assert!(c.cluster.mem.partitioning_requested());
+        let c = c.with_mem_budget(0);
+        assert!(!c.cluster.mem.budget.is_limited(), "0 clears the cap");
+    }
+
+    #[test]
+    fn with_index_chunk_bytes_reaches_the_cluster_layer() {
+        let c = PipelineConfig::for_tests();
+        assert_eq!(c.cluster.mem.index_chunk_bytes, 0, "auto by default");
+        let c = c.with_index_chunk_bytes(4096);
+        assert_eq!(c.cluster.mem.index_chunk_bytes, 4096);
+        assert!(c.cluster.mem.partitioning_requested());
     }
 
     #[test]

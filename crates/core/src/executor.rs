@@ -33,7 +33,7 @@ use pfam_cluster::{
     component_graph, component_graph_with, BatchRecord, BggScratch, ComponentGraph,
 };
 use pfam_graph::BipartiteGraph;
-use pfam_seq::{SeqId, SequenceSet};
+use pfam_seq::{materialize_subset, SeqId, SeqStore};
 use pfam_shingle::{
     detect_dense_subgraphs, detect_dense_subgraphs_with, DenseSubgraphConfig, ReductionMode,
     ShingleArena, ShingleStats,
@@ -88,12 +88,15 @@ pub(crate) fn dsd_config_of(config: &PipelineConfig) -> DenseSubgraphConfig {
 /// The fused unit of work: similarity graph, bipartite reduction, and
 /// dense-subgraph detection for one component, all through `arena`.
 fn process_component(
-    input: &SequenceSet,
+    input: &dyn SeqStore,
     config: &PipelineConfig,
     dsd_config: &DenseSubgraphConfig,
     members: &[SeqId],
     arena: &mut ExecArena,
 ) -> ComponentOutput {
+    // Point this worker's rank tables at the pipeline's budget (a shared
+    // handle — cloning only bumps a refcount).
+    arena.shingle.set_budget(config.cluster.mem.budget.clone());
     let (graph, record) = component_graph_with(input, members, &config.cluster, &mut arena.bgg);
     let (subgraphs, stats) = match config.reduction {
         Reduction::GlobalSimilarity { .. } => {
@@ -101,7 +104,7 @@ fn process_component(
             detect_dense_subgraphs_with(&bd, dsd_config, &mut arena.shingle)
         }
         Reduction::DomainBased { w } => {
-            let (subset, _) = input.subset(&graph.members);
+            let subset = materialize_subset(input, &graph.members);
             let bm = BipartiteGraph::word_based(&subset, None, w);
             detect_dense_subgraphs_with(&bm, dsd_config, &mut arena.shingle)
         }
@@ -115,7 +118,7 @@ fn process_component(
 /// arena, and the outputs come back in **queue order** — bit-identical to
 /// [`barrier_components`].
 pub fn stream_components(
-    input: &SequenceSet,
+    input: &dyn SeqStore,
     config: &PipelineConfig,
     queue: &[&[SeqId]],
 ) -> Vec<ComponentOutput> {
@@ -146,7 +149,7 @@ pub fn stream_components(
 /// behind a barrier, then run DSD over them — no arenas, no reordering.
 /// Retained for the executor-identity suites and `bgg_dsd_bench`.
 pub fn barrier_components(
-    input: &SequenceSet,
+    input: &dyn SeqStore,
     config: &PipelineConfig,
     queue: &[&[SeqId]],
 ) -> Vec<ComponentOutput> {
@@ -163,7 +166,7 @@ pub fn barrier_components(
                 detect_dense_subgraphs(&bd, &dsd_config)
             }
             Reduction::DomainBased { w } => {
-                let (subset, _) = input.subset(&cg.members);
+                let subset = materialize_subset(input, &cg.members);
                 let bm = BipartiteGraph::word_based(&subset, None, w);
                 detect_dense_subgraphs(&bm, &dsd_config)
             }

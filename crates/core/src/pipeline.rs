@@ -9,11 +9,11 @@
 use std::path::PathBuf;
 
 use pfam_cluster::{
-    run_ccd, run_ccd_resumable, run_redundancy_removal, CcdCursor, CcdResult, ComponentGraph,
-    PhaseTrace,
+    check_index_budget, run_ccd, run_ccd_resumable, run_redundancy_removal, CcdCursor, CcdResult,
+    ComponentGraph, PhaseTrace,
 };
 use pfam_graph::{subgraph_density, CsrGraph, SubgraphDensity};
-use pfam_seq::{SeqId, SequenceSet};
+use pfam_seq::{BudgetError, SeqId, SeqStore, SubsetStore};
 use pfam_shingle::ShingleStats;
 
 use crate::checkpoint::{
@@ -71,32 +71,49 @@ impl PipelineResult {
 }
 
 /// Run the full pipeline on `input` — the BGG→DSD back half goes through
-/// the fused streaming executor.
-pub fn run_pipeline(input: &SequenceSet, config: &PipelineConfig) -> PipelineResult {
+/// the fused streaming executor. `input` is any [`SeqStore`]: an
+/// in-memory [`pfam_seq::SequenceSet`] or a paged on-disk store.
+pub fn run_pipeline(input: &dyn SeqStore, config: &PipelineConfig) -> PipelineResult {
     run_pipeline_inner(input, config, true)
+}
+
+/// [`run_pipeline`] behind the memory-budget pre-flight check: refuses to
+/// start — with a typed error, never an abort — when even the smallest
+/// partitioned index task (one chunk per sequence) cannot fit
+/// `config.cluster.mem.budget`. A run that passes the check degrades
+/// gracefully inside: the index plane picks chunk sizes that fit, and the
+/// rank tables fall back to per-set hashing when refused.
+pub fn run_pipeline_budgeted(
+    input: &dyn SeqStore,
+    config: &PipelineConfig,
+) -> Result<PipelineResult, BudgetError> {
+    check_index_budget(input, &config.cluster.mem.budget)?;
+    Ok(run_pipeline_inner(input, config, true))
 }
 
 /// [`run_pipeline`] with the pre-streaming barrier data flow in the back
 /// half (all component graphs built before any dense-subgraph work).
 /// Bit-identical output; retained for identity tests and the bench.
-pub fn run_pipeline_barrier(input: &SequenceSet, config: &PipelineConfig) -> PipelineResult {
+pub fn run_pipeline_barrier(input: &dyn SeqStore, config: &PipelineConfig) -> PipelineResult {
     run_pipeline_inner(input, config, false)
 }
 
 fn run_pipeline_inner(
-    input: &SequenceSet,
+    input: &dyn SeqStore,
     config: &PipelineConfig,
     streaming: bool,
 ) -> PipelineResult {
     // ---- Phase 1: redundancy removal. ----
     let rr = run_redundancy_removal(input, &config.cluster);
 
-    // Re-pack the non-redundant sequences as their own set; `mapping[i]`
-    // is the original id of non-redundant sequence `i`.
-    let (nr_set, mapping) = input.subset(&rr.kept);
+    // View the non-redundant sequences through the store (no re-pack —
+    // a paged input stays on disk); local id `i` maps back to original id
+    // `rr.kept[i]`.
+    let nr_store = SubsetStore::new(input, rr.kept.clone());
 
     // ---- Phase 2: connected-component detection. ----
-    let ccd = run_ccd(&nr_set, &config.cluster);
+    let ccd = run_ccd(&nr_store, &config.cluster);
+    let mapping = &rr.kept;
     let components: Vec<Vec<SeqId>> = ccd
         .components
         .iter()
@@ -196,7 +213,7 @@ fn csr_edge_list(graph: &CsrGraph) -> Vec<(u32, u32)> {
 /// written (returning `Ok(None)`) — the hook the kill-at-every-phase
 /// integration tests use to simulate a crash at a phase boundary.
 pub fn run_pipeline_checkpointed(
-    input: &SequenceSet,
+    input: &dyn SeqStore,
     config: &PipelineConfig,
     ckpt: &CheckpointConfig,
     resume: bool,
@@ -235,7 +252,8 @@ pub fn run_pipeline_checkpointed(
     }
 
     let kept_ids: Vec<SeqId> = rr.kept.iter().map(|&i| SeqId(i)).collect();
-    let (nr_set, mapping) = input.subset(&kept_ids);
+    let nr_store = SubsetStore::new(input, kept_ids.clone());
+    let mapping = &kept_ids;
 
     // ---- Phase 2: CCD (cursor every N batches, final state at the end). ----
     let ccd_path = Phase::Ccd.path_in(&ckpt.dir);
@@ -244,7 +262,7 @@ pub fn run_pipeline_checkpointed(
         None => None,
     };
     if let Some(state) = &prior {
-        if state.cursor.uf_parent.len() != nr_set.len() {
+        if state.cursor.uf_parent.len() != nr_store.len() {
             return Err(CkptError::Corrupt("ccd checkpoint is for a different input"));
         }
     }
@@ -267,7 +285,7 @@ pub fn run_pipeline_checkpointed(
                 }
             };
             let result = run_ccd_resumable(
-                &nr_set,
+                &nr_store,
                 &config.cluster,
                 cursor,
                 ckpt.every_batches,
@@ -278,8 +296,10 @@ pub fn run_pipeline_checkpointed(
             }
             // Final snapshot: the forest rebuilt from the accepted edges
             // yields the same partition the master loop ended with.
-            let state =
-                CcdState { complete: true, cursor: CcdCursor::from_result(&result, nr_set.len()) };
+            let state = CcdState {
+                complete: true,
+                cursor: CcdCursor::from_result(&result, nr_store.len()),
+            };
             write_checkpoint(&ccd_path, Phase::Ccd, &state.encode())?;
             result
         }
@@ -376,6 +396,7 @@ pub fn run_pipeline_checkpointed(
 mod tests {
     use super::*;
     use pfam_datagen::{DatasetConfig, MutationModel, SyntheticDataset};
+    use pfam_seq::SequenceSet;
 
     fn small_dataset(seed: u64) -> SyntheticDataset {
         SyntheticDataset::generate(&DatasetConfig {
@@ -481,6 +502,64 @@ mod tests {
         assert_eq!(a.shingle_stats, b.shingle_stats);
         assert_eq!(a.components, b.components);
         assert_eq!(a.traces.2.batches, b.traces.2.batches);
+    }
+
+    #[test]
+    fn budgeted_pipeline_is_bit_identical() {
+        // A budget far below the monolithic index estimate forces the
+        // partitioned index plane and the per-set shingle-hash path; every
+        // reported family must be unchanged.
+        let d = small_dataset(28);
+        let config = PipelineConfig::for_tests();
+        let want = run_pipeline(&d.set, &config);
+        let est = pfam_suffix::estimated_index_bytes(d.set.total_residues(), d.set.len());
+        let tight = config.clone().with_mem_budget(est / 4);
+        let got = run_pipeline_budgeted(&d.set, &tight).expect("budget is feasible");
+        assert_eq!(got.dense_subgraphs, want.dense_subgraphs);
+        assert_eq!(got.components, want.components);
+        assert_eq!(got.non_redundant, want.non_redundant);
+        assert_eq!(got.shingle_stats, want.shingle_stats);
+    }
+
+    #[test]
+    fn infeasible_budget_is_a_typed_error() {
+        let d = small_dataset(29);
+        let config = PipelineConfig::for_tests().with_mem_budget(8);
+        let err = run_pipeline_budgeted(&d.set, &config).unwrap_err();
+        assert_eq!(err.what, "partitioned-gsa");
+        assert_eq!(err.limit, 8);
+        assert!(err.requested > err.limit);
+    }
+
+    #[test]
+    fn explicit_chunk_size_is_bit_identical() {
+        let d = small_dataset(30);
+        let config = PipelineConfig::for_tests();
+        let want = run_pipeline(&d.set, &config);
+        for chunk in [512u64, 4096, 1 << 20] {
+            let forced = config.clone().with_index_chunk_bytes(chunk);
+            let got = run_pipeline(&d.set, &forced);
+            assert_eq!(got.dense_subgraphs, want.dense_subgraphs, "chunk={chunk}");
+            assert_eq!(got.components, want.components, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn paged_store_input_matches_in_memory() {
+        // The same pipeline over the same sequences, once from the
+        // in-memory set and once from a paged on-disk store.
+        let d = small_dataset(31);
+        let dir = std::env::temp_dir().join(format!("pfam-pipe-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("input.pfss");
+        pfam_seq::PagedSeqStore::write_set(&path, &d.set, 1 << 14).unwrap();
+        let store = pfam_seq::PagedSeqStore::open(&path).unwrap();
+        let config = PipelineConfig::for_tests().with_mem_budget(1 << 20);
+        let want = run_pipeline(&d.set, &config);
+        let got = run_pipeline_budgeted(&store, &config).expect("budget is feasible");
+        assert_eq!(got.dense_subgraphs, want.dense_subgraphs);
+        assert_eq!(got.components, want.components);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

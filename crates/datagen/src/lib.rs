@@ -18,5 +18,8 @@
 pub mod dataset;
 pub mod mutation;
 
-pub use dataset::{skewed_sizes, DatasetConfig, Provenance, SyntheticDataset};
+pub use dataset::{
+    generate_to_store, skewed_sizes, DatasetConfig, Provenance, StreamedDataset, SyntheticDataset,
+    REDUNDANCY_WINDOW,
+};
 pub use mutation::{quick_identity, random_peptide, random_residue, MutationModel};

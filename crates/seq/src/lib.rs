@@ -15,6 +15,7 @@
 //! Wu & Kalyanaraman (SC 2008).
 
 pub mod alphabet;
+pub mod budget;
 pub mod complexity;
 pub mod composition;
 pub mod error;
@@ -25,8 +26,10 @@ pub mod orf;
 pub mod scoring;
 pub mod sequence;
 pub mod stats;
+pub mod store;
 
 pub use alphabet::{AminoAcid, ALPHABET_SIZE};
+pub use budget::{BudgetError, MemoryBudget, Reservation};
 pub use composition::Composition;
 pub use error::SeqError;
 pub use kmer::KmerIter;
@@ -34,3 +37,4 @@ pub use minimizer::{minimizers, Minimizer};
 pub use scoring::{ScoringScheme, SubstMatrix};
 pub use sequence::{SeqId, Sequence, SequenceSet, SequenceSetBuilder};
 pub use stats::LengthStats;
+pub use store::{materialize_subset, PagedSeqStore, PagedStoreWriter, SeqStore, SubsetStore};

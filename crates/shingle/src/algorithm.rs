@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use rayon::prelude::*;
 
 use pfam_graph::{BipartiteGraph, UnionFind};
+use pfam_seq::{MemoryBudget, Reservation};
 
 use crate::kernel::RankKernel;
 use crate::minwise::{
@@ -90,6 +91,17 @@ fn table_fits(c: usize, n: usize) -> bool {
     c.checked_mul(n).is_some_and(|entries| entries <= TABLE_MAX_ENTRIES)
 }
 
+/// Take the rank-table path only if the table is below the entry ceiling
+/// **and** its bytes fit the memory budget; the returned reservation is
+/// held while the table is live for the pass. `None` sends the pass down
+/// the per-set batched-hashing path, which is bit-identical in output.
+fn try_table(budget: &MemoryBudget, c: usize, n: usize) -> Option<Reservation> {
+    if !table_fits(c, n) {
+        return None;
+    }
+    budget.try_reserve("rank-table", RankTable::bytes_for(c, n)).ok()
+}
+
 thread_local! {
     /// Per-worker scratch for the parallel passes: each OS thread reuses
     /// its buffers across every item it draws from the work queue.
@@ -103,6 +115,7 @@ thread_local! {
 #[derive(Debug)]
 pub struct ShingleArena {
     kernel: RankKernel,
+    budget: MemoryBudget,
     scratch: ShingleScratch,
     table1: RankTable,
     table2: RankTable,
@@ -118,15 +131,37 @@ impl ShingleArena {
     pub fn with_kernel(kernel: RankKernel) -> ShingleArena {
         ShingleArena {
             kernel,
+            budget: MemoryBudget::unlimited(),
             scratch: ShingleScratch::new(),
             table1: RankTable::new(),
             table2: RankTable::new(),
         }
     }
 
+    /// Register this arena's rank tables against `budget`: each pass
+    /// reserves its table's bytes before building it and falls back to
+    /// per-set batched hashing — bit-identical output — when the
+    /// reservation is refused.
+    pub fn with_budget(mut self, budget: MemoryBudget) -> ShingleArena {
+        self.budget = budget;
+        self
+    }
+
+    /// [`ShingleArena::with_budget`] for an arena already in place — what
+    /// a per-worker executor calls to point its thread-local arena at the
+    /// pipeline's budget (a cheap handle clone; the accounting is shared).
+    pub fn set_budget(&mut self, budget: MemoryBudget) {
+        self.budget = budget;
+    }
+
     /// The rank kernel this arena dispatches to.
     pub fn kernel(&self) -> RankKernel {
         self.kernel
+    }
+
+    /// The budget the rank tables register against.
+    pub fn budget(&self) -> &MemoryBudget {
+        &self.budget
     }
 }
 
@@ -222,70 +257,85 @@ pub fn shingle_clusters(
     graph: &BipartiteGraph,
     params: &ShingleParams,
 ) -> (Vec<BipartiteCluster>, ShingleStats) {
+    shingle_clusters_budgeted(graph, params, &MemoryBudget::unlimited())
+}
+
+/// [`shingle_clusters`] with the rank tables registered against `budget`:
+/// each pass reserves its table's bytes for the duration of the pass and
+/// falls back to per-set batched hashing when refused. Output is
+/// bit-identical to the unbudgeted run regardless of which path each pass
+/// takes.
+pub fn shingle_clusters_budgeted(
+    graph: &BipartiteGraph,
+    params: &ShingleParams,
+    budget: &MemoryBudget,
+) -> (Vec<BipartiteCluster>, ShingleStats) {
     let mut stats = ShingleStats::default();
     let kernel = RankKernel::detect();
 
     // ---- Pass I (parallel over left vertices). ----
     let fam1 = HashFamily::new(params.c1, params.seed);
-    let per_vertex: Vec<Vec<Shingle>> = if table_fits(params.c1, graph.n_right()) {
-        let mut table = RankTable::new();
-        table.rebuild(&fam1, graph.n_right(), kernel);
-        let table = &table;
-        (0..graph.n_left() as u32)
-            .into_par_iter()
-            .map(|v| {
-                SCRATCH.with(|s| {
-                    shingle_set_from_table(
-                        graph.out_links(v),
-                        table,
-                        params.s1,
-                        &mut s.borrow_mut(),
-                    )
+    let per_vertex: Vec<Vec<Shingle>> =
+        if let Some(_held) = try_table(budget, params.c1, graph.n_right()) {
+            let mut table = RankTable::new();
+            table.rebuild(&fam1, graph.n_right(), kernel);
+            let table = &table;
+            (0..graph.n_left() as u32)
+                .into_par_iter()
+                .map(|v| {
+                    SCRATCH.with(|s| {
+                        shingle_set_from_table(
+                            graph.out_links(v),
+                            table,
+                            params.s1,
+                            &mut s.borrow_mut(),
+                        )
+                    })
                 })
-            })
-            .collect()
-    } else {
-        (0..graph.n_left() as u32)
-            .into_par_iter()
-            .map(|v| {
-                SCRATCH.with(|s| {
-                    shingle_set_with(
-                        graph.out_links(v),
-                        &fam1,
-                        params.s1,
-                        kernel,
-                        &mut s.borrow_mut(),
-                    )
+                .collect()
+        } else {
+            (0..graph.n_left() as u32)
+                .into_par_iter()
+                .map(|v| {
+                    SCRATCH.with(|s| {
+                        shingle_set_with(
+                            graph.out_links(v),
+                            &fam1,
+                            params.s1,
+                            kernel,
+                            &mut s.borrow_mut(),
+                        )
+                    })
                 })
-            })
-            .collect()
-    };
+                .collect()
+        };
     let s1_list = group_pass1(per_vertex, &mut stats);
 
     // ---- Pass II over first-level shingles (elements are left vertices). ----
     let fam2 = HashFamily::new(params.c2, params.seed ^ PASS2_SEED_XOR);
-    let second: Vec<Vec<Shingle>> = if table_fits(params.c2, graph.n_left()) {
-        let mut table = RankTable::new();
-        table.rebuild(&fam2, graph.n_left(), kernel);
-        let table = &table;
-        s1_list
-            .par_iter()
-            .map(|(_, _, vertices)| {
-                SCRATCH.with(|s| {
-                    shingle_set_from_table(vertices, table, params.s2, &mut s.borrow_mut())
+    let second: Vec<Vec<Shingle>> =
+        if let Some(_held) = try_table(budget, params.c2, graph.n_left()) {
+            let mut table = RankTable::new();
+            table.rebuild(&fam2, graph.n_left(), kernel);
+            let table = &table;
+            s1_list
+                .par_iter()
+                .map(|(_, _, vertices)| {
+                    SCRATCH.with(|s| {
+                        shingle_set_from_table(vertices, table, params.s2, &mut s.borrow_mut())
+                    })
                 })
-            })
-            .collect()
-    } else {
-        s1_list
-            .par_iter()
-            .map(|(_, _, vertices)| {
-                SCRATCH.with(|s| {
-                    shingle_set_with(vertices, &fam2, params.s2, kernel, &mut s.borrow_mut())
+                .collect()
+        } else {
+            s1_list
+                .par_iter()
+                .map(|(_, _, vertices)| {
+                    SCRATCH.with(|s| {
+                        shingle_set_with(vertices, &fam2, params.s2, kernel, &mut s.borrow_mut())
+                    })
                 })
-            })
-            .collect()
-    };
+                .collect()
+        };
 
     let clusters = report_clusters(&s1_list, &second, &mut stats);
     (clusters, stats)
@@ -303,26 +353,32 @@ pub fn shingle_clusters_with(
     arena: &mut ShingleArena,
 ) -> (Vec<BipartiteCluster>, ShingleStats) {
     let mut stats = ShingleStats::default();
-    let ShingleArena { kernel, scratch, table1, table2 } = arena;
+    let ShingleArena { kernel, budget, scratch, table1, table2 } = arena;
     let kernel = *kernel;
 
+    // Each pass reserves its table's bytes while the table is in use; the
+    // arena's grow-only capacity after the run is bounded by the largest
+    // table a reservation ever approved.
     // ---- Pass I (serial over left vertices). ----
     let fam1 = HashFamily::new(params.c1, params.seed);
-    let per_vertex: Vec<Vec<Shingle>> = if table_fits(params.c1, graph.n_right()) {
-        table1.rebuild(&fam1, graph.n_right(), kernel);
-        (0..graph.n_left() as u32)
-            .map(|v| shingle_set_from_table(graph.out_links(v), table1, params.s1, scratch))
-            .collect()
-    } else {
-        (0..graph.n_left() as u32)
-            .map(|v| shingle_set_with(graph.out_links(v), &fam1, params.s1, kernel, scratch))
-            .collect()
-    };
+    let per_vertex: Vec<Vec<Shingle>> =
+        if let Some(_held) = try_table(budget, params.c1, graph.n_right()) {
+            table1.rebuild(&fam1, graph.n_right(), kernel);
+            (0..graph.n_left() as u32)
+                .map(|v| shingle_set_from_table(graph.out_links(v), table1, params.s1, scratch))
+                .collect()
+        } else {
+            (0..graph.n_left() as u32)
+                .map(|v| shingle_set_with(graph.out_links(v), &fam1, params.s1, kernel, scratch))
+                .collect()
+        };
     let s1_list = group_pass1(per_vertex, &mut stats);
 
     // ---- Pass II over first-level shingles. ----
     let fam2 = HashFamily::new(params.c2, params.seed ^ PASS2_SEED_XOR);
-    let second: Vec<Vec<Shingle>> = if table_fits(params.c2, graph.n_left()) {
+    let second: Vec<Vec<Shingle>> = if let Some(_held) =
+        try_table(budget, params.c2, graph.n_left())
+    {
         table2.rebuild(&fam2, graph.n_left(), kernel);
         s1_list
             .iter()
@@ -483,6 +539,45 @@ mod tests {
         let (b, sb) = shingle_clusters(&g, &p);
         assert_eq!(a, b);
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn binding_budget_is_bit_identical() {
+        // A budget too small for any rank table forces the per-set
+        // batched-hashing path; clusters and stats must not change.
+        let p = fast_params();
+        let graphs = [
+            clique_graph(&[0..12], 12),
+            clique_graph(&[0..10, 10..20], 20),
+            clique_graph(&[0..5], 10),
+        ];
+        for g in &graphs {
+            let (want_clusters, want_stats) = shingle_clusters(g, &p);
+            let tight = MemoryBudget::limited(16);
+            let (got_clusters, got_stats) = shingle_clusters_budgeted(g, &p, &tight);
+            assert_eq!(got_clusters, want_clusters);
+            assert_eq!(got_stats, want_stats);
+            assert_eq!(tight.used(), 0, "refused reservations must release");
+
+            let mut arena = ShingleArena::new().with_budget(MemoryBudget::limited(16));
+            let (arena_clusters, arena_stats) = shingle_clusters_with(g, &p, &mut arena);
+            assert_eq!(arena_clusters, want_clusters);
+            assert_eq!(arena_stats, want_stats);
+        }
+    }
+
+    #[test]
+    fn generous_budget_accounts_table_bytes() {
+        let p = fast_params();
+        let g = clique_graph(&[0..12], 12);
+        let budget = MemoryBudget::limited(64 << 20);
+        let (clusters, _) = shingle_clusters_budgeted(&g, &p, &budget);
+        assert!(!clusters.is_empty());
+        assert_eq!(budget.used(), 0, "pass reservations are released");
+        assert!(
+            budget.peak() >= RankTable::bytes_for(p.c1, g.n_right()),
+            "pass-I table must have registered its bytes"
+        );
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod parallel;
 pub mod spmd;
 
 pub use algorithm::{
-    shingle_clusters, shingle_clusters_with, BipartiteCluster, ShingleArena, ShingleParams,
-    ShingleStats,
+    shingle_clusters, shingle_clusters_budgeted, shingle_clusters_with, BipartiteCluster,
+    ShingleArena, ShingleParams, ShingleStats,
 };
 pub use dense::{
     dense_subgraphs_of, detect_dense_subgraphs, detect_dense_subgraphs_with, jaccard,

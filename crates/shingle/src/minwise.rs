@@ -219,6 +219,13 @@ impl RankTable {
         }
     }
 
+    /// Bytes a `c × n` table occupies once built: the rank matrix (u64
+    /// per entry) plus the iota row (u32 per element). This is what a
+    /// budget reservation for the table must cover.
+    pub fn bytes_for(c: usize, n: usize) -> u64 {
+        (c as u64) * (n as u64) * 8 + (n as u64) * 4
+    }
+
     /// Number of permutations (table rows).
     pub fn c(&self) -> usize {
         self.c

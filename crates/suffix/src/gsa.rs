@@ -16,11 +16,24 @@
 //! occurrence is therefore encoded as its own unique character above the
 //! residue range, so no common prefix can include one.
 
-use pfam_seq::{SeqId, SequenceSet, ALPHABET_SIZE};
+use pfam_seq::{BudgetError, MemoryBudget, Reservation, SeqId, SequenceSet, ALPHABET_SIZE};
 
 use crate::lcp::lcp_array;
 use crate::parallel::{lcp_array_parallel, resolve_threads, suffix_array_parallel};
 use crate::sais::suffix_array;
+
+/// Estimated resident bytes of a [`GeneralizedSuffixArray`] over
+/// `n_residues` residues in `n_seqs` sequences: the text, suffix array,
+/// LCP array and seq-of table are one `u32` per text position (residues
+/// plus one sentinel per sequence), plus the per-sequence start table.
+///
+/// This is the figure the chunk planner and [`MemoryBudget`] account
+/// with; construction scratch (SA-IS recursion) is transient and not
+/// counted.
+pub fn estimated_index_bytes(n_residues: usize, n_seqs: usize) -> u64 {
+    let text_len = n_residues as u64 + n_seqs as u64;
+    16 * text_len + 4 * n_seqs as u64
+}
 
 /// Encoded concatenation of a sequence set, ready for suffix sorting.
 struct EncodedText {
@@ -133,6 +146,21 @@ impl GeneralizedSuffixArray {
         let sa = suffix_array_parallel(&text, k, threads);
         let lcp = lcp_array_parallel(&text, &sa, threads);
         GeneralizedSuffixArray { text, sa, lcp, seq_of, starts, n_seqs, n_unknown }
+    }
+
+    /// Build with up to `threads` workers after reserving the index's
+    /// estimated footprint against `budget`. Over-budget construction is
+    /// a typed [`BudgetError`] — never an abort — so callers can degrade
+    /// (smaller chunks) or propagate. The returned [`Reservation`] holds
+    /// the bytes for the index's lifetime; drop them together.
+    pub fn try_build_budgeted(
+        set: &SequenceSet,
+        threads: usize,
+        budget: &MemoryBudget,
+    ) -> Result<(GeneralizedSuffixArray, Reservation), BudgetError> {
+        let bytes = estimated_index_bytes(set.total_residues(), set.len());
+        let reservation = budget.try_reserve("gsa-index", bytes)?;
+        Ok((GeneralizedSuffixArray::build_parallel(set, threads), reservation))
     }
 
     /// Number of sequences indexed.

@@ -30,18 +30,20 @@ pub mod gsa;
 pub mod lcp;
 pub mod maximal;
 pub mod parallel;
+pub mod partitioned;
 pub mod repeats;
 pub mod rmq;
 pub mod sais;
 pub mod tree;
 pub mod ukkonen;
 
-pub use gsa::GeneralizedSuffixArray;
+pub use gsa::{estimated_index_bytes, GeneralizedSuffixArray};
 pub use maximal::{MatchPair, MaximalMatchConfig, MaximalMatchGenerator};
 pub use parallel::{
     lcp_array_parallel, parallel_pairs, promising_pairs, resolve_threads, suffix_array_parallel,
     PairSource,
 };
+pub use partitioned::{ChunkPlan, PartitionedMiner};
 pub use repeats::{longest_repeat, supermaximal_repeats, Repeat};
 pub use rmq::{LcpOracle, SparseRmq};
 pub use sais::suffix_array;

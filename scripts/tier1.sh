@@ -6,9 +6,11 @@
 # smoke passes (bit-identity checks on tiny workloads), the
 # alignment-engine, min-wise-kernel and streaming-executor identity
 # suites, the fault-injection + chaos-soak + supervision suites, the
-# ft-bench recovery smoke, grep gates (no unwrap on inter-rank
+# ft-bench recovery smoke, the out-of-core partitioned-identity suite +
+# index_oc_bench smoke, grep gates (no unwrap on inter-rank
 # communication or supervision/retry paths; no UnionFind mutation outside
-# ClusterCore; no mutex-guarded queues in policy hot loops), and CLI
+# ClusterCore; no mutex-guarded queues in policy hot loops; no whole-file
+# sequence reads outside pfam-seq's SeqStore), and CLI
 # checkpoint/resume + sharded-cluster smokes.
 # Run from anywhere inside the repo.
 set -euo pipefail
@@ -62,6 +64,20 @@ if grep -n "std::sync::Mutex\|sync::Mutex" crates/cluster/src/policy.rs; then
     exit 1
 fi
 
+echo "== tier1: sequence text stays behind pfam-seq's SeqStore =="
+# Out-of-core contract: no data-plane crate slurps whole files or
+# materializes full sequence text on its own; sequence bytes are reached
+# through the SeqStore trait (load_range / codes_cow), so the memory
+# budget actually binds. Checkpoint payloads (crates/core/src/
+# checkpoint.rs) are pipeline state, not sequence data, and are exempt.
+if grep -rn "std::fs::read\b\|std::fs::read_to_string" \
+    crates/suffix/src crates/cluster/src crates/shingle/src \
+    crates/align/src crates/graph/src crates/datagen/src crates/core/src \
+    | grep -v "^crates/core/src/checkpoint\.rs:"; then
+    echo "tier1 FAIL: whole-file read in the data plane — route through pfam_seq::SeqStore" >&2
+    exit 1
+fi
+
 echo "== tier1: cargo test -q (root package) =="
 cargo test -q
 
@@ -82,6 +98,9 @@ cargo test -q -p pfam-cluster --test steal_props
 
 echo "== tier1: shard-plane identity suite (sharded == single master) =="
 cargo test -q -p pfam-cluster --test shard_identity
+
+echo "== tier1: out-of-core identity suite (partitioned == monolithic) =="
+cargo test -q -p pfam-cluster --test partitioned_identity
 
 echo "== tier1: alignment-engine identity suites =="
 # The tiered engine must be verdict- and output-identical to the reference
@@ -123,6 +142,13 @@ echo "== tier1: shard_bench --test (smoke + shard/single-master identity) =="
 SHARD_SMOKE=$(cargo run --release -p pfam-bench --bin shard_bench -- --test)
 echo "$SHARD_SMOKE" | grep -q '"components_identical": true' || {
     echo "tier1 FAIL: shard_bench smoke did not report identical components" >&2
+    exit 1
+}
+
+echo "== tier1: index_oc_bench --test (smoke + partitioned-pair identity) =="
+OC_SMOKE=$(cargo run --release -p pfam-bench --bin index_oc_bench -- --test)
+echo "$OC_SMOKE" | grep -q '"pairs_identical": true' || {
+    echo "tier1 FAIL: index_oc_bench smoke did not report identical pair sets" >&2
     exit 1
 }
 

@@ -3,7 +3,9 @@
 //! ```text
 //! pfam generate --out reads.fasta [--families N] [--members N] [--seed N]
 //! pfam cluster  <input.fasta> [--out families.tsv] [--tau F] [--domain W]
-//!               [--min-size N] [--mask] [--psi N] [--steal]
+//!               [--min-size N] [--mask] [--psi N]
+//!               [--mem-budget BYTES[K|M|G]] [--index-chunk-bytes BYTES[K|M|G]]
+//!               [--steal]
 //!               [--steal-workers N] [--steal-chunks N] [--steal-round N]
 //!               [--steal-seed N] [--lease-timeout-ms N] [--poll-ms N]
 //!               [--retry-budget N] [--max-respawns N] [--speculate]
@@ -24,7 +26,7 @@ use pfam::cluster::{
     StealParams,
 };
 use pfam::core::{
-    run_pipeline, run_pipeline_checkpointed, CheckpointConfig, Phase, PipelineConfig,
+    run_pipeline_budgeted, run_pipeline_checkpointed, CheckpointConfig, Phase, PipelineConfig,
     PipelineResult, Reduction, TableOneRow,
 };
 use pfam::datagen::{DatasetConfig, SyntheticDataset};
@@ -67,6 +69,9 @@ fn print_usage() {
          \x20 pfam generate --out <fasta> [--families N] [--members N] [--seed N]\n\
          \x20 pfam cluster  <input.fasta> [--out <tsv>] [--tau F] [--domain W]\n\
          \x20               [--min-size N] [--mask] [--psi N]\n\
+         \x20               [--mem-budget BYTES[K|M|G]] (cap index-plane memory)\n\
+         \x20               [--index-chunk-bytes BYTES[K|M|G]] (pin the\n\
+         \x20               partitioned-index chunk size; 0 = from the budget)\n\
          \x20               [--steal] [--steal-workers N] [--steal-chunks N]\n\
          \x20               [--steal-round N] [--steal-seed N]\n\
          \x20               [--lease-timeout-ms N] [--poll-ms N] [--retry-budget N]\n\
@@ -101,10 +106,28 @@ fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Resul
     }
 }
 
+/// Parse a byte-count flag accepting `K`/`M`/`G` suffixes (powers of
+/// 1024); absent means `default`.
+fn parse_bytes(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    let Some(v) = flag_value(args, flag) else {
+        return Ok(default);
+    };
+    let (digits, mult) = match v.chars().last() {
+        Some('K') | Some('k') => (&v[..v.len() - 1], 1u64 << 10),
+        Some('M') | Some('m') => (&v[..v.len() - 1], 1u64 << 20),
+        Some('G') | Some('g') => (&v[..v.len() - 1], 1u64 << 30),
+        _ => (v.as_str(), 1),
+    };
+    let n: u64 = digits.parse().map_err(|_| format!("invalid value for {flag}: {v}"))?;
+    n.checked_mul(mult).ok_or_else(|| format!("value for {flag} overflows u64: {v}"))
+}
+
 /// First free-standing argument: not a flag, and not the value of one.
 fn positional(args: &[String]) -> Option<&String> {
-    const VALUE_FLAGS: [&str; 26] = [
+    const VALUE_FLAGS: [&str; 28] = [
         "--out",
+        "--mem-budget",
+        "--index-chunk-bytes",
         "--tau",
         "--min-size",
         "--domain",
@@ -249,7 +272,9 @@ fn pipeline_config(args: &[String]) -> Result<(PipelineConfig, usize), String> {
         min_component_size: min_size,
         min_subgraph_size: min_size,
         ..PipelineConfig::default()
-    };
+    }
+    .with_mem_budget(parse_bytes(args, "--mem-budget", 0)?)
+    .with_index_chunk_bytes(parse_bytes(args, "--index-chunk-bytes", 0)?);
     let problems = pfam::core::validate(&config);
     if !problems.is_empty() {
         return Err(problems.iter().map(ToString::to_string).collect::<Vec<_>>().join("; "));
@@ -283,13 +308,15 @@ fn report_families(
 fn cmd_cluster(args: &[String]) -> Result<(), String> {
     let set = load_fasta(args)?;
     let (config, min_size) = pipeline_config(args)?;
-    let result = run_pipeline(&set, &config);
+    let result = run_pipeline_budgeted(&set, &config).map_err(|e| e.to_string())?;
     report_families(&set, &result, min_size, args)
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let set = load_fasta(args)?;
     let (config, min_size) = pipeline_config(args)?;
+    pfam::cluster::check_index_budget(&set, &config.cluster.mem.budget)
+        .map_err(|e| e.to_string())?;
     let dir = flag_value(args, "--checkpoint-dir").ok_or("run requires --checkpoint-dir <dir>")?;
     let ckpt = CheckpointConfig {
         dir: std::path::PathBuf::from(&dir),
