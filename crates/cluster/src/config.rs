@@ -6,6 +6,8 @@ use pfam_align::{AlignEngine, AlignEngineKind, ContainmentParams, OverlapParams}
 use pfam_seq::complexity::MaskParams;
 use pfam_seq::{MemoryBudget, ScoringScheme};
 
+use crate::lsh::SketchParams;
+
 /// Configuration shared by the RR and CCD phases.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -65,6 +67,14 @@ pub struct ClusterConfig {
     /// partitioned GSA construction. Pair *sets* (and therefore
     /// components) are bit-identical for every setting.
     pub mem: MemParams,
+    /// Sketch-plane knobs ([`crate::lsh`]): which candidate generator the
+    /// front half runs (`Exact` pins the suffix-index miner; `Approx` and
+    /// `Hybrid` route through the LSH sketch sources) and the banding
+    /// shape. For a fixed setting the candidate stream is deterministic
+    /// across drivers, shard counts, and thread counts; `Approx` trades
+    /// recall for footprint per the banding curve, while `Hybrid` under
+    /// exhaustive banding reproduces the exact pair set.
+    pub sketch: SketchParams,
 }
 
 /// Knobs for the out-of-core index plane. The budget is *shared*
@@ -279,6 +289,7 @@ impl Default for ClusterConfig {
             recovery: RecoveryParams::default(),
             shard: ShardParams::default(),
             mem: MemParams::default(),
+            sketch: SketchParams::default(),
         }
     }
 }

@@ -11,6 +11,10 @@
 //!   around the core: where pairs come from, how candidate batches and
 //!   verdicts travel, and who drives the loop. Every public `run_*`
 //!   entry point is a thin composition of these.
+//! * [`lsh`] — the memory-lean candidate axis: banded min-hash sketch
+//!   sources (`approx` and `hybrid` modes) that replace the suffix-index
+//!   pair generator behind the same [`source`] seam, trading exactness
+//!   for footprint on the banding curve.
 //! * [`rr`] — redundancy removal: drop sequences ≥95 %-contained in
 //!   another, candidates from the maximal-match generator, containment
 //!   verified by alignment in parallel batches.
@@ -36,6 +40,7 @@ pub mod ccd;
 pub mod config;
 pub mod core;
 pub mod ft;
+pub mod lsh;
 pub(crate) mod mask;
 pub mod master_worker;
 pub mod policy;
@@ -58,6 +63,10 @@ pub use ccd::{
 };
 pub use config::{ClusterConfig, MemParams, RecoveryParams, ShardDriver, ShardParams, StealParams};
 pub use ft::{run_ccd_ft, run_ccd_ft_supervised, FtError};
+pub use lsh::{
+    check_sketch_params, HybridSource, HybridStats, SketchBanding, SketchMode, SketchParamError,
+    SketchParams, SketchSource, SketchStats,
+};
 pub use master_worker::{run_ccd_master_worker, run_ccd_master_worker_with, MwError, MwStats};
 pub use pfam_align::{AlignEngine, AlignEngineKind, CostModel};
 pub use policy::{
@@ -73,7 +82,7 @@ pub use shard::{
 };
 pub use source::{
     check_index_budget, with_mined_source, with_source, with_source_pinned, IterSource,
-    MinedSource, PairSource, PartitionedMinedSource,
+    MinedSource, PairSource, PartitionedMinedSource, PIN_SKETCH_APPROX, PIN_SKETCH_HYBRID,
 };
 pub use spmd::{run_ccd_spmd, run_rr_spmd};
 pub use supervise::{HealthReport, WorkerHealth};

@@ -35,12 +35,24 @@ use pfam_suffix::{
 };
 
 use crate::config::ClusterConfig;
+use crate::lsh::{HybridSource, SketchMode, SketchSource};
+
+/// Generation-plan pin for the approximate sketch source
+/// ([`crate::lsh::SketchSource`]): the sketch stream has no chunk plan,
+/// so its cursors pin a reserved sentinel instead of an index target.
+pub const PIN_SKETCH_APPROX: u64 = u64::MAX;
+/// Generation-plan pin for the hybrid sketch source
+/// ([`crate::lsh::HybridSource`]).
+pub const PIN_SKETCH_HYBRID: u64 = u64::MAX - 1;
 
 /// A stream of promising pairs, drawn batch-wise by a
 /// [`crate::policy::WorkPolicy`]. An empty batch means the source is
 /// exhausted (sources never yield an empty batch mid-stream).
 pub trait PairSource {
-    /// Pull up to `max` pairs.
+    /// Pull up to `max` pairs. A batch shorter than `max` means the
+    /// stream is exhausted — the pull/push worker protocols rely on that
+    /// to piggyback end-of-stream on the last real batch, so sources
+    /// must fill the batch while pairs remain.
     fn next_batch(&mut self, max: usize) -> Vec<MatchPair>;
 
     /// Suffix-tree nodes visited producing the stream so far (0 for
@@ -295,12 +307,17 @@ pub fn with_mined_source<R>(
 /// build a pair source for `store` honouring [`crate::config::MemParams`]
 /// and lend it to `f`.
 ///
-/// Routing: the monolithic [`MinedSource`] when the store is in-memory,
-/// no chunk size is forced, and the whole index fits the budget
-/// (reserving its footprint for the duration of `f`); otherwise the
+/// Routing: sketch modes first — [`crate::config::ClusterConfig::sketch`]
+/// in `Approx`/`Hybrid` mode routes to the LSH sources ([`SketchSource`]
+/// / [`HybridSource`]), which is how every driver, shard router, and
+/// steal/lease policy picks up the sketch plane without changing.
+/// Otherwise the exact miner: the monolithic [`MinedSource`] when the
+/// store is in-memory, no chunk size is forced, and the whole index fits
+/// the budget (reserving its footprint for the duration of `f`); else the
 /// [`PartitionedMinedSource`], whose chunk plan degrades under the budget
-/// instead of aborting. Both yield the same pair *set*, and every
-/// consumer is order-invariant, so components are identical either way.
+/// instead of aborting. The exact variants yield the same pair *set*, and
+/// every consumer is order-invariant, so components are identical either
+/// way; `Approx` changes the pair set per the banding curve.
 pub fn with_source<R>(
     store: &dyn SeqStore,
     config: &ClusterConfig,
@@ -317,8 +334,9 @@ pub fn with_source<R>(
 /// `pairs_consumed` in a [`crate::core::CcdCursor`] is a position in one
 /// specific generation order, and the partitioned generator's order is a
 /// function of its chunk plan. So every emitted cursor pins the plan it
-/// was generated under (`0` = monolithic, else the settled per-chunk
-/// target), and resume passes that pin here: the source is rebuilt from
+/// was generated under (`0` = monolithic, [`PIN_SKETCH_APPROX`] /
+/// [`PIN_SKETCH_HYBRID`] = the deterministic sketch streams, else the
+/// settled per-chunk target), and resume passes that pin here: the source is rebuilt from
 /// the *pin*, not from this run's [`crate::config::MemParams`], making
 /// resume byte-identical even when the resumed run is configured with a
 /// different chunk size (or none at all). The closure receives the
@@ -338,6 +356,17 @@ pub fn with_source_pinned<R>(
     f: impl FnOnce(&mut dyn PairSource, u64) -> R,
 ) -> R {
     match pin {
+        // Pinned sketch modes: rebuild the same deterministic sketch
+        // stream (a pure function of the store and SketchParams, so the
+        // pin carries no plan payload — just which source to rebuild).
+        Some(PIN_SKETCH_APPROX) => {
+            let mut source = SketchSource::new(store, config, psi, threads);
+            f(&mut source, PIN_SKETCH_APPROX)
+        }
+        Some(PIN_SKETCH_HYBRID) => {
+            let mut source = HybridSource::new(store, config, psi, threads);
+            f(&mut source, PIN_SKETCH_HYBRID)
+        }
         // Pinned monolithic: the checkpointed run mined one big index.
         Some(0) => {
             let owned;
@@ -358,8 +387,20 @@ pub fn with_source_pinned<R>(
                 PartitionedMinedSource::with_target(store, config, psi, threads, target);
             f(&mut source, target)
         }
-        // Fresh run: route from MemParams and report what was chosen.
+        // Fresh run: route from SketchParams/MemParams and report what
+        // was chosen.
         None => {
+            match config.sketch.mode {
+                SketchMode::Approx => {
+                    let mut source = SketchSource::new(store, config, psi, threads);
+                    return f(&mut source, PIN_SKETCH_APPROX);
+                }
+                SketchMode::Hybrid => {
+                    let mut source = HybridSource::new(store, config, psi, threads);
+                    return f(&mut source, PIN_SKETCH_HYBRID);
+                }
+                SketchMode::Exact => {}
+            }
             if config.mem.index_chunk_bytes == 0 {
                 if let Some(set) = store.as_sequence_set() {
                     let estimate = estimated_index_bytes(set.total_residues(), set.len());

@@ -12,9 +12,9 @@
 use pfam_cluster::{
     run_ccd, run_ccd_sharded, run_ccd_sharded_from_pairs, serve_pull_worker, serve_push_worker,
     BatchedPush, ClusterConfig, ClusterCore, CorePhase, CostModel, DealPlan, HealthReport,
-    IterSource, LeaseKnobs, LeaseSizing, LeasedPull, LocalTransport, MinedSource, MwDispatch,
-    PairSource, PartitionedMinedSource, ShardDriver, ShardParams, SpmdPush, StealingPush, Verifier,
-    WorkPolicy,
+    HybridSource, IterSource, LeaseKnobs, LeaseSizing, LeasedPull, LocalTransport, MinedSource,
+    MwDispatch, PairSource, PartitionedMinedSource, ShardDriver, ShardParams, SketchBanding,
+    SketchMode, SketchParams, SketchSource, SpmdPush, StealingPush, Verifier, WorkPolicy,
 };
 use pfam_cluster::{CcdCursor, CcdResult};
 use pfam_datagen::{DatasetConfig, SyntheticDataset};
@@ -349,6 +349,125 @@ fn set_of(seqs: &[&str]) -> SequenceSet {
         b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
     }
     b.finish()
+}
+
+/// The sketch axis ([`pfam_cluster::lsh`]): for a fixed seed the LSH
+/// candidate stream is a deterministic function of the store, so every
+/// policy and every shard count must land on identical components —
+/// identical to each other, not necessarily to exact mode (approximate
+/// recall is the deal the mode makes).
+fn approx_config(seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        sketch: SketchParams {
+            mode: SketchMode::Approx,
+            k: 5,
+            bands: 12,
+            rows: 2,
+            seed,
+            ..SketchParams::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+/// Drain a source to exhaustion (sketch sources fill their buffer band
+/// by band, so a single `next_batch(usize::MAX)` is only one band's
+/// worth — the contract is that only an *empty* batch means exhausted).
+fn drain(source: &mut dyn PairSource) -> Vec<MatchPair> {
+    let mut out = Vec::new();
+    loop {
+        let batch = source.next_batch(usize::MAX);
+        if batch.is_empty() {
+            return out;
+        }
+        out.extend(batch);
+    }
+}
+
+/// Drain the full sketch candidate stream.
+fn sketch_pairs(set: &SequenceSet, config: &ClusterConfig, threads: usize) -> Vec<MatchPair> {
+    let mut src = SketchSource::new(set, config, config.psi_ccd, threads);
+    drain(&mut src)
+}
+
+fn assert_sketch_axis_agrees(set: &SequenceSet, config: &ClusterConfig) {
+    // The reference cell: `run_ccd` routes through `with_source`, which
+    // in Approx mode builds the SketchSource for the batched driver.
+    let reference = run_ccd(set, config).components;
+    for policy in POLICIES {
+        let got = match policy {
+            PolicyKind::Push => {
+                let pairs = sketch_pairs(set, config, 1);
+                let mid = pairs.len() / 2;
+                let (left, right) = (pairs[..mid].to_vec(), pairs[mid..].to_vec());
+                drive_push(set, config, vec![left, right])
+            }
+            _ => {
+                // Alternate thread counts across cells: the stream is
+                // thread-count invariant, so this is pure extra coverage.
+                let threads = 1 + (policy as usize) % 2;
+                let mut src = SketchSource::new(set, config, config.psi_ccd, threads);
+                drive_master_side(set, config, &mut src, policy)
+            }
+        };
+        assert_eq!(got, reference, "Sketch × {policy:?} diverged from the reference components");
+    }
+    for k in [1usize, 2, 8] {
+        for driver in SHARD_DRIVERS {
+            let cfg = shard_config(config, k, driver);
+            let got = run_ccd_sharded(set, &cfg);
+            assert_eq!(
+                got.components, reference,
+                "Sketch × shards K={k} × {driver:?} diverged from the reference components"
+            );
+        }
+    }
+}
+
+#[test]
+fn sketch_axis_agrees_across_policies_and_shard_counts() {
+    for seed in [11u64, 12] {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(seed));
+        assert_sketch_axis_agrees(&d.set, &approx_config(0x005E_7C11 + seed));
+    }
+    assert_sketch_axis_agrees(&SequenceSet::new(), &approx_config(1));
+}
+
+/// The hybrid-≡-exact contract: under exhaustive banding with `k ≤ ψ`
+/// the LSH prefilter's candidates cover every exact promising pair, and
+/// the per-pair suffix confirmation reproduces the miner's longest-match
+/// lengths — so the hybrid pair *set* (and the resulting components) is
+/// identical to exact mode.
+#[test]
+fn hybrid_exhaustive_equals_exact_pair_set_and_components() {
+    for seed in [21u64, 22, 23] {
+        let d = SyntheticDataset::generate(&DatasetConfig::tiny(seed));
+        let exact_cfg = ClusterConfig::default();
+        let hybrid_cfg = ClusterConfig {
+            sketch: SketchParams {
+                mode: SketchMode::Hybrid,
+                k: 5,
+                banding: SketchBanding::Exhaustive,
+                ..SketchParams::default()
+            },
+            ..exact_cfg.clone()
+        };
+        let mut exact: Vec<(u32, u32, u32)> = collect_pairs(&d.set, &exact_cfg, 1)
+            .into_iter()
+            .map(|p| (p.a.0, p.b.0, p.len))
+            .collect();
+        let mut src = HybridSource::new(&d.set, &hybrid_cfg, hybrid_cfg.psi_ccd, 1);
+        let mut hybrid: Vec<(u32, u32, u32)> =
+            drain(&mut src).into_iter().map(|p| (p.a.0, p.b.0, p.len)).collect();
+        exact.sort_unstable();
+        hybrid.sort_unstable();
+        assert_eq!(hybrid, exact, "seed {seed}: hybrid pair set must equal the exact miner's");
+        assert_eq!(
+            run_ccd(&d.set, &hybrid_cfg).components,
+            run_ccd(&d.set, &exact_cfg).components,
+            "seed {seed}: hybrid components must equal exact components"
+        );
+    }
 }
 
 #[test]

@@ -106,6 +106,17 @@ impl PipelineConfig {
         self.cluster.mem.index_chunk_bytes = bytes;
         self
     }
+
+    /// Route candidate generation through the LSH sketch plane
+    /// ([`pfam_cluster::lsh`]): `Approx` replaces the suffix-index miner
+    /// with banded min-hash buckets (approximate recall, O(n·b) memory),
+    /// `Hybrid` adds per-pair suffix confirmation (exact lengths; the
+    /// exact pair set under exhaustive banding). `Exact` mode leaves the
+    /// reference path untouched.
+    pub fn with_sketch(mut self, sketch: pfam_cluster::SketchParams) -> PipelineConfig {
+        self.cluster.sketch = sketch;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +175,21 @@ mod tests {
         let c = c.with_index_chunk_bytes(4096);
         assert_eq!(c.cluster.mem.index_chunk_bytes, 4096);
         assert!(c.cluster.mem.partitioning_requested());
+    }
+
+    #[test]
+    fn with_sketch_reaches_the_cluster_layer() {
+        use pfam_cluster::{SketchMode, SketchParams};
+        let c = PipelineConfig::for_tests();
+        assert_eq!(c.cluster.sketch.mode, SketchMode::Exact, "exact mode is the default");
+        let c = c.with_sketch(SketchParams {
+            mode: SketchMode::Approx,
+            bands: 24,
+            ..SketchParams::default()
+        });
+        assert_eq!(c.cluster.sketch.mode, SketchMode::Approx);
+        assert_eq!(c.cluster.sketch.bands, 24);
+        assert!(c.cluster.sketch.enabled());
     }
 
     #[test]

@@ -83,23 +83,27 @@ impl ShingleStats {
 /// Pass II derives its permutations from an independent seed stream.
 const PASS2_SEED_XOR: u64 = 0xABCD_EF01_2345_6789;
 
-/// Rank tables above this many entries (`c × universe`) fall back to
-/// per-set batched hashing; 2²³ u64 entries is a 64 MiB ceiling.
-const TABLE_MAX_ENTRIES: usize = 1 << 23;
+/// Default rank-table ceiling when no memory budget is configured:
+/// 64 MiB, the historical 2²³-entry cap. A *limited* budget replaces this
+/// constant entirely — the shared [`MemoryBudget`] ledger (the same one
+/// the index plane and the sketch plane reserve against) decides whether
+/// a table fits, so `--mem-budget` governs rank tables too.
+const DEFAULT_TABLE_BYTES: u64 = 64 << 20;
 
-fn table_fits(c: usize, n: usize) -> bool {
-    c.checked_mul(n).is_some_and(|entries| entries <= TABLE_MAX_ENTRIES)
-}
-
-/// Take the rank-table path only if the table is below the entry ceiling
-/// **and** its bytes fit the memory budget; the returned reservation is
-/// held while the table is live for the pass. `None` sends the pass down
-/// the per-set batched-hashing path, which is bit-identical in output.
+/// Take the rank-table path only if the table's bytes fit the memory
+/// ledger (or, unbudgeted, the default ceiling); the returned reservation
+/// is held while the table is live for the pass. `None` sends the pass
+/// down the per-set batched-hashing path, which is bit-identical in
+/// output.
 fn try_table(budget: &MemoryBudget, c: usize, n: usize) -> Option<Reservation> {
-    if !table_fits(c, n) {
+    // Entry-count overflow means the table is unrepresentable regardless
+    // of any budget.
+    c.checked_mul(n)?;
+    let bytes = RankTable::bytes_for(c, n);
+    if !budget.is_limited() && bytes > DEFAULT_TABLE_BYTES {
         return None;
     }
-    budget.try_reserve("rank-table", RankTable::bytes_for(c, n)).ok()
+    budget.try_reserve("rank-table", bytes).ok()
 }
 
 thread_local! {
@@ -564,6 +568,32 @@ mod tests {
             assert_eq!(arena_clusters, want_clusters);
             assert_eq!(arena_stats, want_stats);
         }
+    }
+
+    #[test]
+    fn table_routing_follows_the_ledger() {
+        // Unbudgeted runs keep the historical 64 MiB default ceiling.
+        let unlimited = MemoryBudget::unlimited();
+        assert!(try_table(&unlimited, 8, 1000).is_some());
+        let big = (1usize << 23) + 1; // bytes_for(1, big) ≈ 100 MB > 64 MiB
+        assert!(RankTable::bytes_for(1, big) > DEFAULT_TABLE_BYTES);
+        assert!(try_table(&unlimited, 1, big).is_none(), "default ceiling binds unbudgeted");
+
+        // A limited budget replaces the ceiling with the shared ledger:
+        // room above 64 MiB admits the table the default refuses...
+        let roomy = MemoryBudget::limited(256 << 20);
+        let held = try_table(&roomy, 1, big);
+        assert!(held.is_some(), "the ledger, not the 64 MiB constant, decides");
+        assert!(roomy.used() >= RankTable::bytes_for(1, big));
+        drop(held);
+        assert_eq!(roomy.used(), 0, "reservation releases on drop");
+
+        // ...and a binding ledger refuses what the default would allow.
+        let tight = MemoryBudget::limited(1 << 10);
+        assert!(try_table(&tight, 8, 1000).is_none());
+
+        // Entry-count overflow is unrepresentable regardless of budget.
+        assert!(try_table(&unlimited, usize::MAX, 2).is_none());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`algorithm`] — the two passes plus the union-find reporting step,
 //!   parallelised over vertices with rayon; [`ShingleArena`] for serial
 //!   allocation-free reruns.
+//! * [`sketch`] — banded min-hash sketches over per-sequence k-mer sets:
+//!   the hashing substrate of the front-half LSH candidate generator
+//!   (`pfam_cluster::lsh`), built on the same kernel/family machinery.
 //! * [`dense`] — the paper's reporting rules on top: the `Bd` mode with
 //!   the `|A∩B| / |A∪B| ≥ τ` post-filter, the `Bm` mode reporting `B`,
 //!   minimum-size filtering, and disjoint-ification.
@@ -24,6 +27,7 @@ pub mod dense;
 pub mod kernel;
 pub mod minwise;
 pub mod parallel;
+pub mod sketch;
 pub mod spmd;
 
 pub use algorithm::{
@@ -40,4 +44,5 @@ pub use minwise::{
     ShingleScratch,
 };
 pub use parallel::{shingle_clusters_distributed, RankMemory};
+pub use sketch::{splitmix64, SketchScratch, Sketcher, MAX_SKETCH_K};
 pub use spmd::{shingle_clusters_spmd, shingle_clusters_spmd_faulty};

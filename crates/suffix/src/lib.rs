@@ -31,6 +31,7 @@ pub mod lcp;
 pub mod maximal;
 pub mod parallel;
 pub mod partitioned;
+pub mod probe;
 pub mod repeats;
 pub mod rmq;
 pub mod sais;
@@ -44,6 +45,7 @@ pub use parallel::{
     PairSource,
 };
 pub use partitioned::{ChunkPlan, PartitionedMiner};
+pub use probe::longest_common_match;
 pub use repeats::{longest_repeat, supermaximal_repeats, Repeat};
 pub use rmq::{LcpOracle, SparseRmq};
 pub use sais::suffix_array;

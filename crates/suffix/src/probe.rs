@@ -1,0 +1,129 @@
+//! Pairwise confirm probe — the suffix-array back stop of the hybrid
+//! LSH path (`pfam_cluster::lsh::HybridSource`).
+//!
+//! The LSH prefilter proposes `(a, b)` candidates; this probe answers
+//! "would the exact miner have emitted this pair, and at what length?"
+//! without ever building an index over the whole set. It is the
+//! degenerate two-sequence case of the partitioned miner: a throwaway
+//! GSA over just `{a, b}`, mined with the exact per-pair semantics of
+//! [`crate::maximal::MaximalMatchGenerator`] under `dedup` — so the
+//! reported length is the pair's *longest* maximal match, byte-identical
+//! to what the monolithic or partitioned generator reports for the same
+//! pair (pair-longest matches are a pairwise property; PR 9's
+//! chunk-invariance argument).
+
+use pfam_seq::{SeqId, SequenceSetBuilder};
+
+use crate::gsa::GeneralizedSuffixArray;
+use crate::maximal::{all_pairs, MaximalMatchConfig};
+use crate::tree::SuffixTree;
+
+/// Longest maximal match of length ≥ `min_len` between two residue-code
+/// slices, as `(len, a_pos, b_pos)`; `None` when no such match exists
+/// (including when either slice is empty).
+///
+/// Positions name one occurrence of the match (the generator's canonical
+/// first-at-deepest-node pick); `len` is unique even when several
+/// occurrences tie.
+pub fn longest_common_match(a: &[u8], b: &[u8], min_len: u32) -> Option<(u32, u32, u32)> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let mut builder = SequenceSetBuilder::with_capacity(2, a.len() + b.len());
+    builder.push_codes("a".to_owned(), a.to_vec()).ok()?;
+    builder.push_codes("b".to_owned(), b.to_vec()).ok()?;
+    let set = builder.finish();
+    let gsa = GeneralizedSuffixArray::build(&set);
+    let tree = SuffixTree::build(&gsa);
+    // `dedup` emits the cross-sequence pair once, at its longest match
+    // (nodes are processed deepest-first); the cap never binds on a
+    // two-sequence index with dedup on.
+    let config = MaximalMatchConfig { min_len, max_pairs_per_node: usize::MAX, dedup: true };
+    all_pairs(&tree, config)
+        .into_iter()
+        .find(|p| p.a == SeqId(0) && p.b == SeqId(1))
+        .map(|p| (p.len, p.a_pos, p.b_pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maximal::MatchPair;
+    use pfam_seq::alphabet::encode;
+    use pfam_seq::SequenceSet;
+
+    fn codes(s: &str) -> Vec<u8> {
+        encode(s.as_bytes()).unwrap()
+    }
+
+    fn set_of(seqs: &[&str]) -> SequenceSet {
+        let mut b = SequenceSetBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_letters(format!("s{i}"), s.as_bytes()).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn finds_the_longest_shared_substring() {
+        let a = codes("MKVLWAAKND");
+        let b = codes("CQEGMKVLWC");
+        let (len, a_pos, b_pos) = longest_common_match(&a, &b, 3).unwrap();
+        assert_eq!(len, 5, "MKVLW");
+        assert_eq!(&a[a_pos as usize..(a_pos + len) as usize], &codes("MKVLW")[..]);
+        assert_eq!(&b[b_pos as usize..(b_pos + len) as usize], &codes("MKVLW")[..]);
+    }
+
+    #[test]
+    fn cutoff_filters_short_matches() {
+        let a = codes("MKVLWAAKND");
+        let b = codes("CQEGMKVLWC");
+        assert!(longest_common_match(&a, &b, 6).is_none(), "longest shared run is 5");
+        assert!(longest_common_match(&a, &b, 5).is_some());
+    }
+
+    #[test]
+    fn no_shared_content_and_empty_inputs() {
+        assert!(longest_common_match(&codes("MKVLW"), &codes("GHIPS"), 2).is_none());
+        assert!(longest_common_match(&[], &codes("MKVLW"), 1).is_none());
+        assert!(longest_common_match(&codes("MKVLW"), &[], 1).is_none());
+    }
+
+    #[test]
+    fn agrees_with_the_whole_set_miner_per_pair() {
+        // Probe every pair of a small set and compare against the
+        // monolithic generator's deduped (pair → longest) output.
+        let seqs = [
+            "MKVLWAAKNDCQEGHILKMF",
+            "PSTWYVMKVLWAAKND",
+            "CQEGHILKMFPSTWYV",
+            "GHILPWYVRNDAAKCC",
+            "MKVLWAAKNDCQEGHILKMF", // exact duplicate of s0
+        ];
+        let set = set_of(&seqs);
+        let gsa = GeneralizedSuffixArray::build(&set);
+        let tree = SuffixTree::build(&gsa);
+        let config = MaximalMatchConfig { min_len: 4, max_pairs_per_node: usize::MAX, dedup: true };
+        let mined: Vec<MatchPair> = all_pairs(&tree, config);
+        let mut mined_by_pair = std::collections::HashMap::new();
+        for p in &mined {
+            assert!(
+                mined_by_pair.insert((p.a.0, p.b.0), p.len).is_none(),
+                "dedup emits each pair once"
+            );
+        }
+        assert!(!mined_by_pair.is_empty());
+        for x in 0..seqs.len() as u32 {
+            for y in x + 1..seqs.len() as u32 {
+                let probed =
+                    longest_common_match(set.get(SeqId(x)).codes, set.get(SeqId(y)).codes, 4)
+                        .map(|(len, _, _)| len);
+                assert_eq!(
+                    probed,
+                    mined_by_pair.get(&(x, y)).copied(),
+                    "pair ({x},{y}) probe and miner disagree"
+                );
+            }
+        }
+    }
+}

@@ -7,10 +7,12 @@
 # alignment-engine, min-wise-kernel and streaming-executor identity
 # suites, the fault-injection + chaos-soak + supervision suites, the
 # ft-bench recovery smoke, the out-of-core partitioned-identity suite +
-# index_oc_bench smoke, grep gates (no unwrap on inter-rank
+# index_oc_bench smoke, the sketch-plane driver-matrix suite +
+# lsh_bench smoke, grep gates (no unwrap on inter-rank
 # communication or supervision/retry paths; no UnionFind mutation outside
 # ClusterCore; no mutex-guarded queues in policy hot loops; no whole-file
-# sequence reads outside pfam-seq's SeqStore), and CLI
+# sequence reads outside pfam-seq's SeqStore; no raw k-mer hashing
+# outside pfam-shingle's sketch wrappers), and CLI
 # checkpoint/resume + sharded-cluster smokes.
 # Run from anywhere inside the repo.
 set -euo pipefail
@@ -61,6 +63,17 @@ echo "== tier1: no mutex-guarded queues in policy hot loops =="
 # contention work stealing exists to remove.
 if grep -n "std::sync::Mutex\|sync::Mutex" crates/cluster/src/policy.rs; then
     echo "tier1 FAIL: std::sync::Mutex queue in policy.rs hot loops" >&2
+    exit 1
+fi
+
+echo "== tier1: raw k-mer hashing stays behind pfam-shingle's sketch plane =="
+# Sketch contract: the clustering and pipeline layers reach k-mer
+# signatures only through pfam_shingle::sketch (Sketcher / kmer_postings)
+# so every sketch goes through the batched rank kernels; re-rolling
+# KmerIter / pack_word / HashFamily in a data-plane crate would fork the
+# hashing and silently break cross-mode identity.
+if grep -rn "KmerIter\|pack_word\|HashFamily" crates/cluster/src crates/core/src; then
+    echo "tier1 FAIL: raw k-mer hashing in a data-plane crate — use pfam_shingle::sketch" >&2
     exit 1
 fi
 
@@ -149,6 +162,25 @@ echo "== tier1: index_oc_bench --test (smoke + partitioned-pair identity) =="
 OC_SMOKE=$(cargo run --release -p pfam-bench --bin index_oc_bench -- --test)
 echo "$OC_SMOKE" | grep -q '"pairs_identical": true' || {
     echo "tier1 FAIL: index_oc_bench smoke did not report identical pair sets" >&2
+    exit 1
+}
+
+echo "== tier1: sketch driver-matrix suite (LSH axis + hybrid == exact) =="
+cargo test -q -p pfam-cluster --test driver_matrix sketch_axis_agrees_across_policies_and_shard_counts
+cargo test -q -p pfam-cluster --test driver_matrix hybrid_exhaustive_equals_exact_pair_set_and_components
+
+echo "== tier1: lsh_bench --test (smoke + recall/memory/hybrid-identity fields) =="
+LSH_SMOKE=$(cargo run --release -p pfam-bench --bin lsh_bench -- --test)
+echo "$LSH_SMOKE" | grep -q '"recall"' || {
+    echo "tier1 FAIL: lsh_bench smoke did not report a recall field" >&2
+    exit 1
+}
+echo "$LSH_SMOKE" | grep -q '"peak_bytes"' || {
+    echo "tier1 FAIL: lsh_bench smoke did not report allocator peak fields" >&2
+    exit 1
+}
+echo "$LSH_SMOKE" | grep -q '"hybrid_exact_identical": true' || {
+    echo "tier1 FAIL: lsh_bench smoke did not verify hybrid == exact pair sets" >&2
     exit 1
 }
 

@@ -5,6 +5,9 @@
 //! pfam cluster  <input.fasta> [--out families.tsv] [--tau F] [--domain W]
 //!               [--min-size N] [--mask] [--psi N]
 //!               [--mem-budget BYTES[K|M|G]] [--index-chunk-bytes BYTES[K|M|G]]
+//!               [--sketch-mode exact|approx|hybrid] [--sketch-k N]
+//!               [--sketch-bands N] [--sketch-rows N] [--sketch-width N]
+//!               [--sketch-seed N] [--sketch-banding minhash|exhaustive]
 //!               [--steal]
 //!               [--steal-workers N] [--steal-chunks N] [--steal-round N]
 //!               [--steal-seed N] [--lease-timeout-ms N] [--poll-ms N]
@@ -23,7 +26,7 @@ use std::process::ExitCode;
 
 use pfam::cluster::{
     run_ccd, run_redundancy_removal, ClusterConfig, RecoveryParams, ShardDriver, ShardParams,
-    StealParams,
+    SketchBanding, SketchMode, SketchParams, StealParams,
 };
 use pfam::core::{
     run_pipeline_budgeted, run_pipeline_checkpointed, CheckpointConfig, Phase, PipelineConfig,
@@ -72,6 +75,12 @@ fn print_usage() {
          \x20               [--mem-budget BYTES[K|M|G]] (cap index-plane memory)\n\
          \x20               [--index-chunk-bytes BYTES[K|M|G]] (pin the\n\
          \x20               partitioned-index chunk size; 0 = from the budget)\n\
+         \x20               [--sketch-mode exact|approx|hybrid] (LSH candidate\n\
+         \x20               generation: approx = banded min-hash buckets,\n\
+         \x20               hybrid = LSH prefilter + suffix confirmation)\n\
+         \x20               [--sketch-k N] [--sketch-bands N] [--sketch-rows N]\n\
+         \x20               [--sketch-width N] [--sketch-seed N]\n\
+         \x20               [--sketch-banding minhash|exhaustive]\n\
          \x20               [--steal] [--steal-workers N] [--steal-chunks N]\n\
          \x20               [--steal-round N] [--steal-seed N]\n\
          \x20               [--lease-timeout-ms N] [--poll-ms N] [--retry-budget N]\n\
@@ -124,8 +133,15 @@ fn parse_bytes(args: &[String], flag: &str, default: u64) -> Result<u64, String>
 
 /// First free-standing argument: not a flag, and not the value of one.
 fn positional(args: &[String]) -> Option<&String> {
-    const VALUE_FLAGS: [&str; 28] = [
+    const VALUE_FLAGS: [&str; 35] = [
         "--out",
+        "--sketch-mode",
+        "--sketch-k",
+        "--sketch-bands",
+        "--sketch-rows",
+        "--sketch-width",
+        "--sketch-seed",
+        "--sketch-banding",
         "--mem-budget",
         "--index-chunk-bytes",
         "--tau",
@@ -222,6 +238,32 @@ fn pipeline_config(args: &[String]) -> Result<(PipelineConfig, usize), String> {
     if flag_present(args, "--mask") {
         cluster.mask = Some(MaskParams::default());
     }
+    let default_sketch = SketchParams::default();
+    cluster.sketch = SketchParams {
+        mode: match flag_value(args, "--sketch-mode").as_deref() {
+            None => default_sketch.mode,
+            Some("exact") => SketchMode::Exact,
+            Some("approx") => SketchMode::Approx,
+            Some("hybrid") => SketchMode::Hybrid,
+            Some(other) => {
+                return Err(format!("invalid --sketch-mode: {other} (exact|approx|hybrid)"))
+            }
+        },
+        k: parse(args, "--sketch-k", default_sketch.k)?,
+        bands: parse(args, "--sketch-bands", default_sketch.bands)?,
+        rows: parse(args, "--sketch-rows", default_sketch.rows)?,
+        width: parse(args, "--sketch-width", default_sketch.width)?,
+        seed: parse(args, "--sketch-seed", default_sketch.seed)?,
+        banding: match flag_value(args, "--sketch-banding").as_deref() {
+            None => default_sketch.banding,
+            Some("minhash") => SketchBanding::MinHash,
+            Some("exhaustive") => SketchBanding::Exhaustive,
+            Some(other) => {
+                return Err(format!("invalid --sketch-banding: {other} (minhash|exhaustive)"))
+            }
+        },
+        ..default_sketch
+    };
     let default_steal = StealParams::default();
     cluster.steal = StealParams {
         enabled: flag_present(args, "--steal"),
@@ -308,6 +350,7 @@ fn report_families(
 fn cmd_cluster(args: &[String]) -> Result<(), String> {
     let set = load_fasta(args)?;
     let (config, min_size) = pipeline_config(args)?;
+    pfam::cluster::check_sketch_params(&set, &config.cluster).map_err(|e| e.to_string())?;
     let result = run_pipeline_budgeted(&set, &config).map_err(|e| e.to_string())?;
     report_families(&set, &result, min_size, args)
 }
@@ -315,6 +358,7 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let set = load_fasta(args)?;
     let (config, min_size) = pipeline_config(args)?;
+    pfam::cluster::check_sketch_params(&set, &config.cluster).map_err(|e| e.to_string())?;
     pfam::cluster::check_index_budget(&set, &config.cluster.mem.budget)
         .map_err(|e| e.to_string())?;
     let dir = flag_value(args, "--checkpoint-dir").ok_or("run requires --checkpoint-dir <dir>")?;
